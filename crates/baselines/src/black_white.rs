@@ -1,0 +1,234 @@
+//! Taubenfeld's Black-White Bakery algorithm.
+//!
+//! The Black-White Bakery is the best-known representative of the paper's
+//! "approach 2" to bounding the Bakery algorithm: it **adds a shared
+//! variable** — a single colour bit written by every process leaving its
+//! critical section — and takes ticket numbers only relative to processes of
+//! the same colour.  Because at most `N` processes of one colour can be in the
+//! bakery at once, ticket values never exceed `N`, so the registers are
+//! bounded without any overflow check.
+//!
+//! The cost is exactly what the Bakery++ paper objects to: the colour bit is
+//! a multi-writer shared variable (every process writes it), so the algorithm
+//! gives up the "no process writes into another process's memory" property of
+//! the original Bakery.  Experiment **E6** reports the shared-word counts and
+//! the maximum observed ticket values of both algorithms side by side.
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
+use bakery_core::ticket::{Ticket, TicketOrder};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Taubenfeld's Black-White Bakery lock for `N` processes.
+///
+/// Ticket values are bounded by `N` by construction.
+///
+/// ```
+/// use bakery_baselines::BlackWhiteBakeryLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = BlackWhiteBakeryLock::new(3);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct BlackWhiteBakeryLock {
+    /// The shared colour bit — written by every process (multi-writer).
+    color: CachePadded<AtomicBool>,
+    choosing: Box<[CachePadded<AtomicBool>]>,
+    /// Each process's colour, taken from `color` in the doorway.
+    mycolor: Box<[CachePadded<AtomicBool>]>,
+    number: Box<[CachePadded<AtomicU64>]>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl BlackWhiteBakeryLock {
+    /// Creates a Black-White Bakery lock for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        Self {
+            color: CachePadded::new(AtomicBool::new(false)),
+            choosing: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            mycolor: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            number: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The current shared colour (false = black, true = white).
+    #[must_use]
+    pub fn shared_color(&self) -> bool {
+        self.color.load(Ordering::SeqCst)
+    }
+
+    /// The ticket number currently held by `pid` (0 when idle).
+    #[must_use]
+    pub fn number_of(&self, pid: usize) -> u64 {
+        self.number[pid].load(Ordering::SeqCst)
+    }
+
+    fn color_of(&self, j: usize) -> bool {
+        self.mycolor[j].load(Ordering::SeqCst)
+    }
+}
+
+impl RawNProcessLock for BlackWhiteBakeryLock {
+    fn capacity(&self) -> usize {
+        self.number.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let n = self.capacity();
+        assert!(pid < n, "pid {pid} out of range");
+        let mut waits = 0u64;
+
+        // Doorway: take the shared colour, then a ticket one larger than the
+        // maximum among same-coloured processes.
+        self.choosing[pid].store(true, Ordering::SeqCst);
+        let my_color = self.color.load(Ordering::SeqCst);
+        self.mycolor[pid].store(my_color, Ordering::SeqCst);
+        let same_color_numbers: Vec<u64> = (0..n)
+            .filter(|&j| self.color_of(j) == my_color)
+            .map(|j| self.number[j].load(Ordering::SeqCst))
+            .collect();
+        let ticket = TicketOrder::maximum(&same_color_numbers) + 1;
+        self.number[pid].store(ticket, Ordering::SeqCst);
+        self.stats.record_ticket(ticket);
+        self.choosing[pid].store(false, Ordering::SeqCst);
+
+        // Scan.
+        for j in 0..n {
+            if j == pid {
+                continue;
+            }
+            let mut backoff = Backoff::new();
+            while self.choosing[j].load(Ordering::SeqCst) {
+                waits += 1;
+                backoff.snooze();
+            }
+            backoff.reset();
+            loop {
+                let nj = self.number[j].load(Ordering::SeqCst);
+                if nj == 0 {
+                    break;
+                }
+                let cj = self.color_of(j);
+                if cj == my_color {
+                    // Same colour: ordinary Bakery priority check.
+                    let me = Ticket::new(self.number[pid].load(Ordering::SeqCst), pid);
+                    let other = Ticket::new(nj, j);
+                    if !TicketOrder::must_wait_for(me, other) || cj != self.color_of(j) {
+                        break;
+                    }
+                } else {
+                    // Different colour: j goes first only while the shared
+                    // colour still equals my colour.
+                    if self.color.load(Ordering::SeqCst) != my_color || cj == self.color_of(pid) {
+                        break;
+                    }
+                }
+                waits += 1;
+                backoff.snooze();
+            }
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, pid: usize) {
+        // Flip the shared colour away from our own, then retire the ticket.
+        let my_color = self.mycolor[pid].load(Ordering::SeqCst);
+        self.color.store(!my_color, Ordering::SeqCst);
+        self.number[pid].store(0, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "black-white-bakery"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // choosing[N] + mycolor[N] + number[N] + the shared colour bit.
+        3 * self.number.len() + 1
+    }
+
+    fn register_bound(&self) -> Option<u64> {
+        // Ticket values are bounded by the number of processes.
+        Some(self.number.len() as u64)
+    }
+}
+
+impl_mutex_facade!(BlackWhiteBakeryLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = BlackWhiteBakeryLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+    }
+
+    #[test]
+    fn colour_flips_on_every_release() {
+        let lock = BlackWhiteBakeryLock::new(2);
+        let slot = lock.register().unwrap();
+        let before = lock.shared_color();
+        drop(lock.lock(&slot));
+        assert_ne!(lock.shared_color(), before);
+        drop(lock.lock(&slot));
+        assert_eq!(lock.shared_color(), before);
+    }
+
+    #[test]
+    fn ticket_values_stay_bounded_by_n() {
+        // The whole point of the colour bit: numbers never exceed N even
+        // though the bakery never empties logically.
+        let lock = BlackWhiteBakeryLock::new(2);
+        let slot = lock.register().unwrap();
+        for _ in 0..200 {
+            let _g = lock.lock(&slot);
+        }
+        assert!(lock.stats().max_ticket() <= 2);
+        assert_eq!(lock.register_bound(), Some(2));
+    }
+
+    #[test]
+    fn metadata() {
+        let lock = BlackWhiteBakeryLock::new(4);
+        assert_eq!(lock.capacity(), 4);
+        assert_eq!(lock.shared_word_count(), 13);
+        assert_eq!(lock.algorithm_name(), "black-white-bakery");
+    }
+
+    #[test]
+    fn mutual_exclusion_four_threads() {
+        let lock = std::sync::Arc::new(BlackWhiteBakeryLock::new(4));
+        let total = assert_mutual_exclusion(std::sync::Arc::clone(&lock), 4, 500);
+        assert_eq!(total, 2000);
+        assert!(
+            lock.stats().max_ticket() <= 4,
+            "black-white tickets must stay bounded by N, saw {}",
+            lock.stats().max_ticket()
+        );
+    }
+}

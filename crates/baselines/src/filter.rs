@@ -1,0 +1,159 @@
+//! The Filter lock — Peterson's algorithm generalised to `N` processes.
+//!
+//! The filter lock funnels processes through `N - 1` levels; at each level at
+//! least one process is blocked as the `victim`, so at most one process
+//! reaches the final level.  Like Peterson's algorithm it relies on
+//! multi-writer shared variables (`victim[level]` is written by every process
+//! passing that level), which is exactly the property Bakery/Bakery++ avoid.
+//! It is not first-come-first-served, which shows up in the fairness
+//! experiment (**E8**).
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicUsize, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Sentinel meaning "no victim recorded at this level yet".
+const NO_VICTIM: usize = usize::MAX;
+
+/// The Filter lock for `N` processes.
+///
+/// ```
+/// use bakery_baselines::FilterLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = FilterLock::new(3);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct FilterLock {
+    /// `level[i]` — the highest level process `i` has reached (0 = idle).
+    level: Box<[CachePadded<AtomicUsize>]>,
+    /// `victim[l]` — the most recent process to enter level `l` (multi-writer).
+    victim: Box<[CachePadded<AtomicUsize>]>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl FilterLock {
+    /// Creates a Filter lock for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        Self {
+            level: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            victim: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(NO_VICTIM)))
+                .collect(),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The level process `pid` currently occupies (0 when idle).
+    #[must_use]
+    pub fn level_of(&self, pid: usize) -> usize {
+        self.level[pid].load(Ordering::SeqCst)
+    }
+
+    fn exists_conflict(&self, pid: usize, l: usize) -> bool {
+        let n = self.level.len();
+        (0..n).any(|k| k != pid && self.level[k].load(Ordering::SeqCst) >= l)
+            && self.victim[l].load(Ordering::SeqCst) == pid
+    }
+}
+
+impl RawNProcessLock for FilterLock {
+    fn capacity(&self) -> usize {
+        self.level.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let n = self.capacity();
+        assert!(pid < n, "pid {pid} out of range");
+        let mut waits = 0u64;
+        for l in 1..n {
+            self.level[pid].store(l, Ordering::SeqCst);
+            self.victim[l].store(pid, Ordering::SeqCst);
+            let mut backoff = Backoff::new();
+            while self.exists_conflict(pid, l) {
+                waits += 1;
+                backoff.snooze();
+            }
+        }
+        // With a single slot the loop body never runs; the lock is still
+        // correct because only one process exists.
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, pid: usize) {
+        self.level[pid].store(0, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // level[0..N] plus victim[1..N-1]; we allocate N victim slots for
+        // simplicity but level 0 is unused, matching the textbook 2N - 1.
+        2 * self.level.len() - 1
+    }
+}
+
+impl_mutex_facade!(FilterLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = FilterLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+    }
+
+    #[test]
+    fn level_tracks_acquire_release() {
+        let lock = FilterLock::new(3);
+        let slot = lock.register().unwrap();
+        assert_eq!(lock.level_of(0), 0);
+        let g = lock.lock(&slot);
+        assert_eq!(lock.level_of(0), 2, "holder sits at level N-1");
+        drop(g);
+        assert_eq!(lock.level_of(0), 0);
+    }
+
+    #[test]
+    fn metadata() {
+        let lock = FilterLock::new(5);
+        assert_eq!(lock.capacity(), 5);
+        assert_eq!(lock.shared_word_count(), 9);
+        assert_eq!(lock.algorithm_name(), "filter");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_capacity_rejected() {
+        let _ = FilterLock::new(0);
+    }
+
+    #[test]
+    fn mutual_exclusion_four_threads() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(FilterLock::new(4)), 4, 500);
+        assert_eq!(total, 2000);
+    }
+}

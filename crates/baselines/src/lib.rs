@@ -1,0 +1,117 @@
+//! # bakery-baselines
+//!
+//! Every mutual-exclusion algorithm the Bakery++ paper positions itself
+//! against, implemented as real, atomics-based locks behind the same
+//! [`RawNProcessLock`]/[`NProcessMutex`] traits as the headline locks in
+//! `bakery-core`.  Having the baselines live means the paper's comparative
+//! claims (Section 4 and Section 7) can be *measured* rather than quoted:
+//!
+//! | module | algorithm | paper's framing |
+//! |---|---|---|
+//! | [`peterson`] | Peterson's 2-process algorithm | uses a shared multi-writer `turn` variable |
+//! | [`tournament`] | Peterson tournament tree for N processes | ditto, O(log N) path |
+//! | [`filter`] | the Filter lock (Peterson generalisation) | shared multi-writer `victim[]` |
+//! | [`szymanski`] | Szymanski's FCFS algorithm | "much more complicated than Bakery++", 2 more shared values per process |
+//! | [`black_white`] | Taubenfeld's Black-White Bakery | bounded via an extra shared colour bit (approach 2) |
+//! | [`modulo_bakery`] | Jayanti et al. style bounded Bakery | bounded via modulo arithmetic, redefining `<` and `maximum` (approach 1) |
+//! | [`dijkstra`] | Dijkstra's 1965 algorithm | the original solution, not FCFS, all processes write `k` |
+//! | [`ticket_lock`] | fetch-and-add ticket lock | "not a true mutual exclusion algorithm": relies on atomic RMW |
+//! | [`spin`] | TAS / TTAS spin locks | ditto |
+//!
+//! All locks follow the conventions of `bakery-core`: process slots, RAII
+//! guards, SeqCst protocol accesses, [`LockStats`] counters and a
+//! `shared_word_count()` report used by the spatial-complexity experiment
+//! (**E6**).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod black_white;
+pub mod dijkstra;
+pub mod filter;
+pub mod modulo_bakery;
+pub mod peterson;
+pub mod registry;
+pub mod spin;
+pub mod szymanski;
+pub mod ticket_lock;
+pub mod tournament;
+
+pub use black_white::BlackWhiteBakeryLock;
+pub use dijkstra::DijkstraLock;
+pub use filter::FilterLock;
+pub use modulo_bakery::ModuloBakeryLock;
+pub use peterson::PetersonLock;
+pub use registry::{all_algorithms, AlgorithmId, LockFactory};
+pub use spin::{TasLock, TtasLock};
+pub use szymanski::SzymanskiLock;
+pub use ticket_lock::TicketLock;
+pub use tournament::TournamentLock;
+
+// Re-export the traits so downstream users only need one crate in scope.
+pub use bakery_core::{LockStats, NProcessMutex, RawNProcessLock, Slot};
+
+/// Implements the [`NProcessMutex`] facade for a lock struct that stores its
+/// slot allocator in a field named `slots` and its statistics in `stats`.
+macro_rules! impl_mutex_facade {
+    ($ty:ty) => {
+        impl bakery_core::NProcessMutex for $ty {
+            fn slot_allocator(&self) -> &std::sync::Arc<bakery_core::slots::SlotAllocator> {
+                &self.slots
+            }
+
+            fn stats(&self) -> &bakery_core::LockStats {
+                &self.stats
+            }
+
+            fn as_raw(&self) -> &dyn bakery_core::RawNProcessLock {
+                self
+            }
+        }
+    };
+}
+pub(crate) use impl_mutex_facade;
+
+/// Shared test/stress utilities.
+///
+/// Exposed (hidden from docs) so the workspace-level integration tests and the
+/// benchmark harness can reuse the same mutual-exclusion stress routine the
+/// unit tests use.
+#[doc(hidden)]
+pub mod testutil {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use bakery_core::NProcessMutex;
+
+    /// Runs `threads` real threads, each entering the critical section
+    /// `iterations` times, and asserts mutual exclusion throughout.
+    ///
+    /// Returns the total number of critical-section entries observed.
+    pub fn assert_mutual_exclusion<L>(lock: Arc<L>, threads: usize, iterations: u64) -> u64
+    where
+        L: NProcessMutex + Send + Sync + 'static,
+    {
+        let counter = Arc::new(AtomicU64::new(0));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().expect("a free slot");
+                    for _ in 0..iterations {
+                        let _guard = lock.lock(&slot);
+                        let inside = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(inside, 0, "mutual exclusion violated");
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        counter.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,299 @@
+//! A bounded Bakery variant in the style of Jayanti et al. (2001).
+//!
+//! Jayanti, Tan, Friedland and Katz bound Lamport's Bakery by **redefining the
+//! `maximum` function and the `<` operator over a modular ticket space** (the
+//! paper's "approach 1", partly combined with approach 2).  This module
+//! implements that idea: tickets live on a ring of size `ring` and are
+//! compared by *modular distance*, so the stored values never exceed the ring
+//! size even though logically the sequence of tickets is unbounded.
+//!
+//! The comparison is sound as long as the tickets simultaneously present in
+//! the bakery span less than half the ring, which is guaranteed when
+//! `ring ≥ 2·N + 2` because a new ticket is always the successor of the
+//! current maximum and at most `N` tickets are live at once.  The constructor
+//! enforces that requirement.
+//!
+//! This is exactly the kind of solution the Bakery++ paper contrasts itself
+//! with: it works, but the ordering operator is no longer the plain integer
+//! `<` of the original algorithm, and arguing its correctness requires the
+//! windowing lemma above.  Bakery++ keeps plain integers and adds two `if`s.
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Modular-arithmetic comparison of two live tickets on a ring of size `ring`.
+///
+/// Returns `true` when `a` precedes `b` — i.e. `a` was drawn earlier, assuming
+/// the two tickets are less than `ring / 2` drawing steps apart.
+#[must_use]
+pub fn mod_precedes(a: u64, b: u64, ring: u64) -> bool {
+    debug_assert!(a >= 1 && a <= ring && b >= 1 && b <= ring);
+    if a == b {
+        return false;
+    }
+    // Distance travelled going forward from a to b on the ring 1..=ring.
+    let dist = if b > a { b - a } else { ring - (a - b) };
+    dist <= ring / 2
+}
+
+/// Successor of a ticket on the ring `1..=ring`.
+#[must_use]
+pub fn mod_successor(t: u64, ring: u64) -> u64 {
+    if t == 0 || t == ring {
+        1
+    } else {
+        t + 1
+    }
+}
+
+/// The modular maximum of a set of live tickets: the ticket that no other
+/// ticket precedes.  Returns 0 when the set is empty.
+#[must_use]
+pub fn mod_maximum(values: &[u64], ring: u64) -> u64 {
+    let live: Vec<u64> = values.iter().copied().filter(|&v| v != 0).collect();
+    let mut best = 0u64;
+    for &v in &live {
+        if best == 0 || mod_precedes(best, v, ring) {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Bounded Bakery lock using modular ticket arithmetic.
+///
+/// ```
+/// use bakery_baselines::ModuloBakeryLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = ModuloBakeryLock::new(3);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct ModuloBakeryLock {
+    choosing: Box<[CachePadded<AtomicBool>]>,
+    number: Box<[CachePadded<AtomicU64>]>,
+    ring: u64,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl ModuloBakeryLock {
+    /// Creates a modulo-Bakery lock for `n` processes with the minimal safe
+    /// ring size `2·n + 2`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_ring(n, 2 * n as u64 + 2)
+    }
+
+    /// Creates a modulo-Bakery lock with an explicit ring size.
+    ///
+    /// # Panics
+    /// Panics if `ring < 2·n + 2`, the bound required for modular comparison
+    /// to be unambiguous.
+    #[must_use]
+    pub fn with_ring(n: usize, ring: u64) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        assert!(
+            ring >= 2 * n as u64 + 2,
+            "ring size {ring} is too small for {n} processes (need at least {})",
+            2 * n as u64 + 2
+        );
+        Self {
+            choosing: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+            number: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            ring,
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The ring size (maximum storable ticket value).
+    #[must_use]
+    pub fn ring(&self) -> u64 {
+        self.ring
+    }
+
+    /// The ticket number currently held by `pid` (0 when idle).
+    #[must_use]
+    pub fn number_of(&self, pid: usize) -> u64 {
+        self.number[pid].load(Ordering::SeqCst)
+    }
+
+    fn must_wait_for(&self, me_num: u64, me_pid: usize, other_num: u64, other_pid: usize) -> bool {
+        if other_num == 0 {
+            return false;
+        }
+        if other_num == me_num {
+            return other_pid < me_pid;
+        }
+        mod_precedes(other_num, me_num, self.ring)
+    }
+}
+
+impl RawNProcessLock for ModuloBakeryLock {
+    fn capacity(&self) -> usize {
+        self.number.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let n = self.capacity();
+        assert!(pid < n, "pid {pid} out of range");
+        let mut waits = 0u64;
+
+        // Doorway with the redefined maximum and successor.
+        self.choosing[pid].store(true, Ordering::SeqCst);
+        let snapshot: Vec<u64> = (0..n)
+            .map(|j| self.number[j].load(Ordering::SeqCst))
+            .collect();
+        let max = mod_maximum(&snapshot, self.ring);
+        let ticket = mod_successor(max, self.ring);
+        self.number[pid].store(ticket, Ordering::SeqCst);
+        self.stats.record_ticket(ticket);
+        self.choosing[pid].store(false, Ordering::SeqCst);
+
+        // Scan with the redefined comparison.
+        for j in 0..n {
+            if j == pid {
+                continue;
+            }
+            let mut backoff = Backoff::new();
+            while self.choosing[j].load(Ordering::SeqCst) {
+                waits += 1;
+                backoff.snooze();
+            }
+            backoff.reset();
+            loop {
+                let me_num = self.number[pid].load(Ordering::SeqCst);
+                let other_num = self.number[j].load(Ordering::SeqCst);
+                if !self.must_wait_for(me_num, pid, other_num, j) {
+                    break;
+                }
+                waits += 1;
+                backoff.snooze();
+            }
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, pid: usize) {
+        self.number[pid].store(0, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "modulo-bakery"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        2 * self.number.len()
+    }
+
+    fn register_bound(&self) -> Option<u64> {
+        Some(self.ring)
+    }
+}
+
+impl_mutex_facade!(ModuloBakeryLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn successor_wraps_around_the_ring() {
+        assert_eq!(mod_successor(0, 8), 1);
+        assert_eq!(mod_successor(3, 8), 4);
+        assert_eq!(mod_successor(8, 8), 1);
+    }
+
+    #[test]
+    fn precedes_handles_wraparound() {
+        // 7 was drawn before 1 on a ring of 8 (1 is 2 steps ahead of 7).
+        assert!(mod_precedes(7, 1, 8));
+        assert!(!mod_precedes(1, 7, 8));
+        assert!(mod_precedes(2, 4, 8));
+        assert!(!mod_precedes(4, 2, 8));
+        assert!(!mod_precedes(5, 5, 8));
+    }
+
+    #[test]
+    fn maximum_respects_modular_order() {
+        assert_eq!(mod_maximum(&[0, 0, 0], 8), 0);
+        assert_eq!(mod_maximum(&[2, 4, 0], 8), 4);
+        // With live tickets {7, 1}, 1 is the newer one.
+        assert_eq!(mod_maximum(&[7, 1, 0], 8), 1);
+    }
+
+    #[test]
+    fn tickets_never_exceed_ring() {
+        let lock = ModuloBakeryLock::new(2);
+        let slot = lock.register().unwrap();
+        for _ in 0..100 {
+            let _g = lock.lock(&slot);
+        }
+        assert!(lock.stats().max_ticket() <= lock.ring());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_ring_rejected() {
+        let _ = ModuloBakeryLock::with_ring(4, 6);
+    }
+
+    #[test]
+    fn metadata() {
+        let lock = ModuloBakeryLock::new(4);
+        assert_eq!(lock.capacity(), 4);
+        assert_eq!(lock.ring(), 10);
+        assert_eq!(lock.shared_word_count(), 8);
+        assert_eq!(lock.register_bound(), Some(10));
+        assert_eq!(lock.algorithm_name(), "modulo-bakery");
+    }
+
+    #[test]
+    fn mutual_exclusion_four_threads() {
+        let lock = std::sync::Arc::new(ModuloBakeryLock::new(4));
+        let total = assert_mutual_exclusion(std::sync::Arc::clone(&lock), 4, 500);
+        assert_eq!(total, 2000);
+        assert!(lock.stats().max_ticket() <= lock.ring());
+    }
+
+    proptest! {
+        /// Antisymmetry of the modular order for distinct live tickets that
+        /// are within the safe window of each other.
+        #[test]
+        fn modular_order_is_antisymmetric(ring in 6u64..64, a in 1u64..64, steps in 1u64..16) {
+            let a = (a - 1) % ring + 1;
+            prop_assume!(steps * 2 < ring);
+            // b is `steps` draws after a.
+            let mut b = a;
+            for _ in 0..steps {
+                b = mod_successor(b, ring);
+            }
+            prop_assert!(mod_precedes(a, b, ring));
+            prop_assert!(!mod_precedes(b, a, ring));
+        }
+
+        /// The successor stays within the ring and never returns 0.
+        #[test]
+        fn successor_stays_on_ring(ring in 2u64..100, t in 0u64..100) {
+            let t = t % (ring + 1);
+            let s = mod_successor(t, ring);
+            prop_assert!(s >= 1 && s <= ring);
+        }
+    }
+}

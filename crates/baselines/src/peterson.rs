@@ -1,0 +1,157 @@
+//! Peterson's two-process mutual exclusion algorithm.
+//!
+//! The paper (Section 4) contrasts Bakery++ with Peterson's algorithm on one
+//! structural point: Peterson uses a variable `turn` that **every** process
+//! writes, whereas in Bakery/Bakery++ each process writes only its own cells.
+//! This lock exists so that difference — and the resulting shared-word counts
+//! and throughput — can be measured (experiments **E6**/**E7**).
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Peterson's algorithm for exactly two processes.
+///
+/// ```
+/// use bakery_baselines::PetersonLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = PetersonLock::new();
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct PetersonLock {
+    flag: [CachePadded<AtomicBool>; 2],
+    /// Written by both processes — the multi-writer variable the paper calls out.
+    turn: CachePadded<AtomicUsize>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl PetersonLock {
+    /// Creates a two-process Peterson lock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            flag: [
+                CachePadded::new(AtomicBool::new(false)),
+                CachePadded::new(AtomicBool::new(false)),
+            ],
+            turn: CachePadded::new(AtomicUsize::new(0)),
+            slots: SlotAllocator::new(2),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// True when process `pid` currently signals interest.
+    #[must_use]
+    pub fn is_interested(&self, pid: usize) -> bool {
+        self.flag[pid].load(Ordering::SeqCst)
+    }
+}
+
+impl Default for PetersonLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawNProcessLock for PetersonLock {
+    fn capacity(&self) -> usize {
+        2
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < 2, "Peterson's algorithm supports exactly two processes");
+        let other = 1 - pid;
+        self.flag[pid].store(true, Ordering::SeqCst);
+        self.turn.store(other, Ordering::SeqCst);
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
+        {
+            waits += 1;
+            backoff.snooze();
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, pid: usize) {
+        self.flag[pid].store(false, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "peterson"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // flag[0], flag[1] and the shared multi-writer turn.
+        3
+    }
+}
+
+impl_mutex_facade!(PetersonLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = PetersonLock::new();
+        let slot = lock.register().unwrap();
+        for _ in 0..20 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 20);
+    }
+
+    #[test]
+    fn capacity_is_two() {
+        let lock = PetersonLock::new();
+        assert_eq!(lock.capacity(), 2);
+        assert_eq!(lock.shared_word_count(), 3);
+        assert_eq!(lock.algorithm_name(), "peterson");
+        assert_eq!(lock.register_bound(), None);
+    }
+
+    #[test]
+    fn third_registration_fails() {
+        let lock = PetersonLock::new();
+        let _a = lock.register().unwrap();
+        let _b = lock.register().unwrap();
+        assert!(lock.register().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two processes")]
+    fn out_of_range_pid_panics() {
+        let lock = PetersonLock::new();
+        lock.acquire(2);
+    }
+
+    #[test]
+    fn interest_flag_tracks_acquire_release() {
+        let lock = PetersonLock::new();
+        let slot = lock.register().unwrap();
+        assert!(!lock.is_interested(0));
+        let g = lock.lock(&slot);
+        assert!(lock.is_interested(0));
+        drop(g);
+        assert!(!lock.is_interested(0));
+    }
+
+    #[test]
+    fn mutual_exclusion_two_threads() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(PetersonLock::new()), 2, 2000);
+        assert_eq!(total, 4000);
+    }
+}

@@ -1,0 +1,278 @@
+//! A uniform registry of every lock in the suite.
+//!
+//! The experiment harness and the Criterion benches iterate over "all
+//! algorithms" dozens of times; this module centralises the list so adding a
+//! new algorithm automatically enrols it in every experiment.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex};
+
+use crate::{
+    BlackWhiteBakeryLock, DijkstraLock, FilterLock, ModuloBakeryLock, PetersonLock, SzymanskiLock,
+    TasLock, TicketLock, TournamentLock, TtasLock,
+};
+
+/// Identifier for each algorithm in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum AlgorithmId {
+    Bakery,
+    BakeryPlusPlus,
+    BlackWhiteBakery,
+    ModuloBakery,
+    Peterson,
+    PetersonTournament,
+    Filter,
+    Szymanski,
+    Dijkstra,
+    TicketLock,
+    Tas,
+    Ttas,
+}
+
+impl AlgorithmId {
+    /// All identifiers, in report order.
+    #[must_use]
+    pub fn all() -> &'static [AlgorithmId] {
+        &[
+            AlgorithmId::Bakery,
+            AlgorithmId::BakeryPlusPlus,
+            AlgorithmId::BlackWhiteBakery,
+            AlgorithmId::ModuloBakery,
+            AlgorithmId::Peterson,
+            AlgorithmId::PetersonTournament,
+            AlgorithmId::Filter,
+            AlgorithmId::Szymanski,
+            AlgorithmId::Dijkstra,
+            AlgorithmId::TicketLock,
+            AlgorithmId::Tas,
+            AlgorithmId::Ttas,
+        ]
+    }
+
+    /// The short name used in tables (matches `RawNProcessLock::algorithm_name`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmId::Bakery => "bakery",
+            AlgorithmId::BakeryPlusPlus => "bakery++",
+            AlgorithmId::BlackWhiteBakery => "black-white-bakery",
+            AlgorithmId::ModuloBakery => "modulo-bakery",
+            AlgorithmId::Peterson => "peterson",
+            AlgorithmId::PetersonTournament => "peterson-tournament",
+            AlgorithmId::Filter => "filter",
+            AlgorithmId::Szymanski => "szymanski",
+            AlgorithmId::Dijkstra => "dijkstra",
+            AlgorithmId::TicketLock => "ticket-lock",
+            AlgorithmId::Tas => "tas",
+            AlgorithmId::Ttas => "ttas",
+        }
+    }
+
+    /// True for algorithms that avoid lower-level mutual exclusion (no atomic
+    /// read-modify-write instructions) — the paper's notion of a *true*
+    /// mutual exclusion algorithm.
+    #[must_use]
+    pub fn is_true_mutex(&self) -> bool {
+        !matches!(
+            self,
+            AlgorithmId::TicketLock | AlgorithmId::Tas | AlgorithmId::Ttas
+        )
+    }
+
+    /// True for algorithms that serve processes in first-come-first-served
+    /// order (at the doorway granularity).
+    #[must_use]
+    pub fn is_fcfs(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmId::Bakery
+                | AlgorithmId::BakeryPlusPlus
+                | AlgorithmId::BlackWhiteBakery
+                | AlgorithmId::ModuloBakery
+                | AlgorithmId::Szymanski
+                | AlgorithmId::TicketLock
+        )
+    }
+
+    /// True for algorithms whose shared ticket registers are bounded.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        !matches!(self, AlgorithmId::Bakery | AlgorithmId::TicketLock)
+    }
+
+    /// Whether the algorithm can be instantiated for `n` participants.
+    #[must_use]
+    pub fn supports(&self, n: usize) -> bool {
+        match self {
+            AlgorithmId::Peterson => n == 2,
+            _ => n >= 1,
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds locks by [`AlgorithmId`].
+#[derive(Debug, Clone, Copy)]
+pub struct LockFactory {
+    /// Register bound `M` applied to the bound-aware algorithms
+    /// (Bakery++ and, as its wrap-around failure mode, bounded classic Bakery
+    /// when `bounded_classic` is set).
+    pub bound: u64,
+    /// When true the classic Bakery is built with bounded (wrapping)
+    /// registers instead of 64-bit ones.
+    pub bounded_classic: bool,
+}
+
+impl Default for LockFactory {
+    fn default() -> Self {
+        Self {
+            bound: bakery_core::DEFAULT_PP_BOUND,
+            bounded_classic: false,
+        }
+    }
+}
+
+impl LockFactory {
+    /// Creates a factory with the default Bakery++ bound.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the register bound used for bound-aware locks.
+    #[must_use]
+    pub fn with_bound(mut self, bound: u64) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Makes the classic Bakery use bounded wrapping registers.
+    #[must_use]
+    pub fn with_bounded_classic(mut self, bounded: bool) -> Self {
+        self.bounded_classic = bounded;
+        self
+    }
+
+    /// Instantiates the lock `id` for `n` processes.
+    ///
+    /// # Panics
+    /// Panics if `id` does not support `n` participants (only Peterson is
+    /// restricted, to exactly two).
+    #[must_use]
+    pub fn build(&self, id: AlgorithmId, n: usize) -> Arc<dyn NProcessMutex + Send + Sync> {
+        assert!(
+            id.supports(n),
+            "{id} does not support {n} participating processes"
+        );
+        match id {
+            AlgorithmId::Bakery => {
+                if self.bounded_classic {
+                    Arc::new(BakeryLock::with_bound(n, self.bound))
+                } else {
+                    Arc::new(BakeryLock::new(n))
+                }
+            }
+            AlgorithmId::BakeryPlusPlus => Arc::new(BakeryPlusPlusLock::with_bound(n, self.bound)),
+            AlgorithmId::BlackWhiteBakery => Arc::new(BlackWhiteBakeryLock::new(n)),
+            AlgorithmId::ModuloBakery => Arc::new(ModuloBakeryLock::new(n)),
+            AlgorithmId::Peterson => Arc::new(PetersonLock::new()),
+            AlgorithmId::PetersonTournament => Arc::new(TournamentLock::new(n)),
+            AlgorithmId::Filter => Arc::new(FilterLock::new(n)),
+            AlgorithmId::Szymanski => Arc::new(SzymanskiLock::new(n)),
+            AlgorithmId::Dijkstra => Arc::new(DijkstraLock::new(n)),
+            AlgorithmId::TicketLock => Arc::new(TicketLock::new(n)),
+            AlgorithmId::Tas => Arc::new(TasLock::new(n)),
+            AlgorithmId::Ttas => Arc::new(TtasLock::new(n)),
+        }
+    }
+}
+
+/// Builds every algorithm that supports `n` participants.
+#[must_use]
+pub fn all_algorithms(
+    n: usize,
+    factory: &LockFactory,
+) -> Vec<(AlgorithmId, Arc<dyn NProcessMutex + Send + Sync>)> {
+    AlgorithmId::all()
+        .iter()
+        .copied()
+        .filter(|id| id.supports(n))
+        .map(|id| (id, factory.build(id, n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_lock_implementations() {
+        let factory = LockFactory::new();
+        for &id in AlgorithmId::all() {
+            let n = if id == AlgorithmId::Peterson { 2 } else { 3 };
+            let lock = factory.build(id, n);
+            assert_eq!(lock.algorithm_name(), id.name(), "{id:?}");
+            assert!(lock.capacity() >= 2);
+        }
+    }
+
+    #[test]
+    fn peterson_is_restricted_to_two() {
+        assert!(AlgorithmId::Peterson.supports(2));
+        assert!(!AlgorithmId::Peterson.supports(3));
+        assert!(AlgorithmId::Bakery.supports(7));
+    }
+
+    #[test]
+    fn all_algorithms_excludes_unsupported() {
+        let factory = LockFactory::new();
+        let at_three = all_algorithms(3, &factory);
+        assert!(at_three.iter().all(|(id, _)| *id != AlgorithmId::Peterson));
+        let at_two = all_algorithms(2, &factory);
+        assert!(at_two.iter().any(|(id, _)| *id == AlgorithmId::Peterson));
+        assert_eq!(at_two.len(), AlgorithmId::all().len());
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(AlgorithmId::BakeryPlusPlus.is_true_mutex());
+        assert!(!AlgorithmId::Tas.is_true_mutex());
+        assert!(AlgorithmId::Bakery.is_fcfs());
+        assert!(!AlgorithmId::Filter.is_fcfs());
+        assert!(AlgorithmId::BakeryPlusPlus.is_bounded());
+        assert!(!AlgorithmId::Bakery.is_bounded());
+    }
+
+    #[test]
+    fn factory_bound_applies_to_bakery_pp() {
+        let factory = LockFactory::new().with_bound(42);
+        let lock = factory.build(AlgorithmId::BakeryPlusPlus, 3);
+        assert_eq!(lock.register_bound(), Some(42));
+        let classic = factory.build(AlgorithmId::Bakery, 3);
+        assert_eq!(classic.register_bound(), Some(u64::MAX));
+        let bounded = factory
+            .with_bounded_classic(true)
+            .build(AlgorithmId::Bakery, 3);
+        assert_eq!(bounded.register_bound(), Some(42));
+    }
+
+    #[test]
+    fn every_algorithm_enters_a_critical_section() {
+        let factory = LockFactory::new();
+        for (id, lock) in all_algorithms(2, &factory) {
+            let slot = lock.register().unwrap();
+            for _ in 0..3 {
+                let _g = lock.lock(&slot);
+            }
+            assert_eq!(lock.stats().cs_entries(), 3, "{id}");
+        }
+    }
+}

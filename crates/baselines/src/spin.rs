@@ -1,0 +1,183 @@
+//! Test-and-set (TAS) and test-and-test-and-set (TTAS) spin locks.
+//!
+//! Like the ticket lock these rely on atomic read-modify-write operations, so
+//! the paper would not count them as true mutual exclusion algorithms; they
+//! are the "hardware-assisted strawman" end of the comparison spectrum.  They
+//! are deliberately unfair — a thread can barge in ahead of threads that have
+//! been waiting far longer — which gives the fairness experiment (**E8**) its
+//! worst-case baseline.
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicBool, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Plain test-and-set spin lock.
+#[derive(Debug)]
+pub struct TasLock {
+    locked: CachePadded<AtomicBool>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl TasLock {
+    /// Creates a TAS lock usable by up to `n` registered processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            locked: CachePadded::new(AtomicBool::new(false)),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// True when some process currently holds the lock.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::SeqCst)
+    }
+}
+
+impl RawNProcessLock for TasLock {
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        while self.locked.swap(true, Ordering::SeqCst) {
+            waits += 1;
+            backoff.snooze();
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, _pid: usize) {
+        self.locked.store(false, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "tas"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        1
+    }
+}
+
+impl_mutex_facade!(TasLock);
+
+/// Test-and-test-and-set spin lock: spin on a plain load, swap only when the
+/// lock looks free.  Same semantics as [`TasLock`], far less coherence
+/// traffic under contention.
+#[derive(Debug)]
+pub struct TtasLock {
+    locked: CachePadded<AtomicBool>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl TtasLock {
+    /// Creates a TTAS lock usable by up to `n` registered processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            locked: CachePadded::new(AtomicBool::new(false)),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// True when some process currently holds the lock.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::SeqCst)
+    }
+}
+
+impl RawNProcessLock for TtasLock {
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        loop {
+            // Spin on the cached value first.
+            while self.locked.load(Ordering::SeqCst) {
+                waits += 1;
+                backoff.snooze();
+            }
+            if !self.locked.swap(true, Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, _pid: usize) {
+        self.locked.store(false, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "ttas"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        1
+    }
+}
+
+impl_mutex_facade!(TtasLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn tas_basic_cycle() {
+        let lock = TasLock::new(2);
+        let slot = lock.register().unwrap();
+        assert!(!lock.is_locked());
+        let g = lock.lock(&slot);
+        assert!(lock.is_locked());
+        drop(g);
+        assert!(!lock.is_locked());
+        assert_eq!(lock.algorithm_name(), "tas");
+        assert_eq!(lock.shared_word_count(), 1);
+    }
+
+    #[test]
+    fn ttas_basic_cycle() {
+        let lock = TtasLock::new(2);
+        let slot = lock.register().unwrap();
+        assert!(!lock.is_locked());
+        let g = lock.lock(&slot);
+        assert!(lock.is_locked());
+        drop(g);
+        assert!(!lock.is_locked());
+        assert_eq!(lock.algorithm_name(), "ttas");
+    }
+
+    #[test]
+    fn tas_mutual_exclusion() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(TasLock::new(4)), 4, 1000);
+        assert_eq!(total, 4000);
+    }
+
+    #[test]
+    fn ttas_mutual_exclusion() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(TtasLock::new(4)), 4, 1000);
+        assert_eq!(total, 4000);
+    }
+}

@@ -1,0 +1,185 @@
+//! Szymanski's mutual exclusion algorithm.
+//!
+//! The paper (Section 4) cites Szymanski's first-come-first-served algorithm
+//! as "much more complicated than Bakery++" and as using two more shared
+//! values per process.  This module implements the classic five-state version
+//! so that claim can be inspected and so the algorithm participates in the
+//! throughput/fairness experiments.
+//!
+//! Each process advertises a state in `flag[i] ∈ {0,…,4}`:
+//!
+//! | value | meaning |
+//! |---|---|
+//! | 0 | noncritical section |
+//! | 1 | standing outside the waiting room, wants to enter |
+//! | 2 | waiting inside for the door to close |
+//! | 3 | standing in the doorway |
+//! | 4 | door closed, in (or about to enter) the critical section |
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicUsize, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// Szymanski's N-process mutual exclusion lock.
+///
+/// ```
+/// use bakery_baselines::SzymanskiLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = SzymanskiLock::new(3);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct SzymanskiLock {
+    flag: Box<[CachePadded<AtomicUsize>]>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl SzymanskiLock {
+    /// Creates a Szymanski lock for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        Self {
+            flag: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The waiting-room state of process `pid`.
+    #[must_use]
+    pub fn state_of(&self, pid: usize) -> usize {
+        self.flag[pid].load(Ordering::SeqCst)
+    }
+
+    fn flag_of(&self, j: usize) -> usize {
+        self.flag[j].load(Ordering::SeqCst)
+    }
+
+    fn wait_until<F: Fn() -> bool>(&self, cond: F) -> u64 {
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        while !cond() {
+            waits += 1;
+            backoff.snooze();
+        }
+        waits
+    }
+}
+
+impl RawNProcessLock for SzymanskiLock {
+    fn capacity(&self) -> usize {
+        self.flag.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let n = self.capacity();
+        assert!(pid < n, "pid {pid} out of range");
+        let mut waits = 0u64;
+
+        // Stand outside the waiting room and wait for the door to be open.
+        self.flag[pid].store(1, Ordering::SeqCst);
+        waits += self.wait_until(|| (0..n).all(|j| self.flag_of(j) < 3));
+
+        // Step into the doorway.
+        self.flag[pid].store(3, Ordering::SeqCst);
+
+        // If someone else is still outside waiting (state 1), step back into
+        // the waiting room (state 2) and wait for a peer to close the door
+        // (state 4).
+        if (0..n).any(|j| j != pid && self.flag_of(j) == 1) {
+            self.flag[pid].store(2, Ordering::SeqCst);
+            waits += self.wait_until(|| (0..n).any(|j| self.flag_of(j) == 4));
+        }
+
+        // Close the door behind us.
+        self.flag[pid].store(4, Ordering::SeqCst);
+
+        // Wait for every lower-numbered process to finish its exit protocol.
+        waits += self.wait_until(|| (0..pid).all(|j| self.flag_of(j) < 2));
+
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, pid: usize) {
+        let n = self.capacity();
+        // Make sure every higher-numbered process in the doorway has noticed
+        // that the door is closed before reopening it.
+        let mut backoff = Backoff::new();
+        while !((pid + 1..n).all(|j| {
+            let f = self.flag_of(j);
+            f < 2 || f == 4
+        })) {
+            backoff.snooze();
+        }
+        self.flag[pid].store(0, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "szymanski"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        self.flag.len()
+    }
+}
+
+impl_mutex_facade!(SzymanskiLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = SzymanskiLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+    }
+
+    #[test]
+    fn state_transitions_visible() {
+        let lock = SzymanskiLock::new(2);
+        let slot = lock.register().unwrap();
+        assert_eq!(lock.state_of(0), 0);
+        let g = lock.lock(&slot);
+        assert_eq!(lock.state_of(0), 4, "holder has closed the door");
+        drop(g);
+        assert_eq!(lock.state_of(0), 0);
+    }
+
+    #[test]
+    fn metadata() {
+        let lock = SzymanskiLock::new(5);
+        assert_eq!(lock.capacity(), 5);
+        assert_eq!(lock.shared_word_count(), 5, "one flag word per process");
+        assert_eq!(lock.algorithm_name(), "szymanski");
+    }
+
+    #[test]
+    fn mutual_exclusion_four_threads() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(SzymanskiLock::new(4)), 4, 400);
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn mutual_exclusion_two_threads_long() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(SzymanskiLock::new(2)), 2, 2000);
+        assert_eq!(total, 4000);
+    }
+}

@@ -1,0 +1,144 @@
+//! A fetch-and-add ticket lock.
+//!
+//! The ticket lock is FIFO and compact (two shared words), but it is built on
+//! an atomic read-modify-write instruction, so in the paper's terminology it
+//! is *not* a true mutual exclusion algorithm — it assumes a lower-level
+//! mutual exclusion mechanism (the processor's locked fetch-and-add).  It is
+//! included as the "what you would use in practice if RMW is acceptable"
+//! baseline for the throughput and fairness experiments (**E7**, **E8**).
+//!
+//! It also overflows in exactly the way the paper worries about: the ticket
+//! counter increases forever.  Because both counters wrap consistently the
+//! lock happens to stay correct on wrap-around as long as fewer than 2^64
+//! acquisitions are in flight, but with a small simulated register width the
+//! same hazard as classic Bakery appears; the harness measures that in **E9**.
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicU64, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// FIFO ticket lock based on fetch-and-add.
+///
+/// ```
+/// use bakery_baselines::TicketLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = TicketLock::new(4);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct TicketLock {
+    next_ticket: CachePadded<AtomicU64>,
+    now_serving: CachePadded<AtomicU64>,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl TicketLock {
+    /// Creates a ticket lock usable by up to `n` registered processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            next_ticket: CachePadded::new(AtomicU64::new(0)),
+            now_serving: CachePadded::new(AtomicU64::new(0)),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The ticket that will be handed to the next arrival.
+    #[must_use]
+    pub fn next_ticket(&self) -> u64 {
+        self.next_ticket.load(Ordering::SeqCst)
+    }
+
+    /// The ticket currently being served.
+    #[must_use]
+    pub fn now_serving(&self) -> u64 {
+        self.now_serving.load(Ordering::SeqCst)
+    }
+}
+
+impl RawNProcessLock for TicketLock {
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        self.stats.record_ticket(ticket);
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        while self.now_serving.load(Ordering::SeqCst) != ticket {
+            waits += 1;
+            backoff.snooze();
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, _pid: usize) {
+        self.now_serving.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "ticket-lock"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        2
+    }
+}
+
+impl_mutex_facade!(TicketLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = TicketLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+        assert_eq!(lock.next_ticket(), 10);
+        assert_eq!(lock.now_serving(), 10);
+    }
+
+    #[test]
+    fn tickets_grow_monotonically_forever() {
+        // The behaviour the paper warns about: the counter never resets.
+        let lock = TicketLock::new(2);
+        let slot = lock.register().unwrap();
+        for i in 0..100 {
+            let _g = lock.lock(&slot);
+            assert_eq!(lock.next_ticket(), i + 1);
+        }
+        assert_eq!(lock.stats().max_ticket(), 99);
+    }
+
+    #[test]
+    fn metadata() {
+        let lock = TicketLock::new(8);
+        assert_eq!(lock.capacity(), 8);
+        assert_eq!(lock.shared_word_count(), 2);
+        assert_eq!(lock.algorithm_name(), "ticket-lock");
+    }
+
+    #[test]
+    fn mutual_exclusion_four_threads() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(TicketLock::new(4)), 4, 1000);
+        assert_eq!(total, 4000);
+    }
+}

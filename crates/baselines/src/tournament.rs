@@ -1,0 +1,200 @@
+//! A tournament tree of two-process Peterson locks.
+//!
+//! `N` processes are placed at the leaves of a complete binary tree whose
+//! internal nodes are independent two-process Peterson instances.  A process
+//! acquires every node on the path from its leaf to the root (playing side 0
+//! or 1 depending on which child it arrives from) and releases them in the
+//! opposite order.  Entry takes `O(log N)` node acquisitions regardless of
+//! contention — the classic trade-off against Bakery's `O(N)` scan, measured
+//! in experiments **E6**/**E7**.
+
+use std::sync::Arc;
+
+use bakery_core::slots::SlotAllocator;
+use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
+use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use crossbeam::utils::CachePadded;
+
+use crate::impl_mutex_facade;
+
+/// One internal node: an embedded two-process Peterson lock.
+#[derive(Debug)]
+struct Node {
+    flag: [CachePadded<AtomicBool>; 2],
+    turn: CachePadded<AtomicUsize>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self {
+            flag: [
+                CachePadded::new(AtomicBool::new(false)),
+                CachePadded::new(AtomicBool::new(false)),
+            ],
+            turn: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn acquire(&self, side: usize, stats: &LockStats) {
+        let other = 1 - side;
+        self.flag[side].store(true, Ordering::SeqCst);
+        self.turn.store(other, Ordering::SeqCst);
+        let mut backoff = Backoff::new();
+        let mut waits = 0u64;
+        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
+        {
+            waits += 1;
+            backoff.snooze();
+        }
+        stats.record_doorway_waits(waits);
+    }
+
+    fn release(&self, side: usize) {
+        self.flag[side].store(false, Ordering::SeqCst);
+    }
+}
+
+/// Tournament-tree lock for `N` processes (N rounded up to a power of two
+/// internally).
+///
+/// ```
+/// use bakery_baselines::TournamentLock;
+/// use bakery_core::NProcessMutex;
+///
+/// let lock = TournamentLock::new(6);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct TournamentLock {
+    /// Heap-layout tree: node 1 is the root, node `k` has children `2k`, `2k+1`.
+    nodes: Box<[Node]>,
+    /// Number of leaves (the padded, power-of-two capacity).
+    leaves: usize,
+    capacity: usize,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl TournamentLock {
+    /// Creates a tournament lock for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        let leaves = n.next_power_of_two().max(2);
+        // Internal nodes occupy indices 1..leaves in a heap layout.
+        let nodes = (0..leaves).map(|_| Node::new()).collect();
+        Self {
+            nodes,
+            leaves,
+            capacity: n,
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// Depth of the tree (number of node acquisitions per lock operation).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.leaves.trailing_zeros() as usize
+    }
+
+    /// The path of (node index, side) pairs from the leaf of `pid` to the root.
+    fn path(&self, pid: usize) -> Vec<(usize, usize)> {
+        let mut path = Vec::with_capacity(self.depth());
+        let mut node = self.leaves + pid; // virtual leaf index
+        while node > 1 {
+            let parent = node / 2;
+            let side = node % 2;
+            path.push((parent, side));
+            node = parent;
+        }
+        path
+    }
+}
+
+impl RawNProcessLock for TournamentLock {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < self.capacity, "pid {pid} out of range");
+        for (node, side) in self.path(pid) {
+            self.nodes[node].acquire(side, &self.stats);
+        }
+    }
+
+    fn release(&self, pid: usize) {
+        // Release from the root back down to the leaf (reverse acquisition
+        // order) so a descendant node is never exposed while an ancestor is
+        // still held.
+        for (node, side) in self.path(pid).into_iter().rev() {
+            self.nodes[node].release(side);
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "peterson-tournament"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // Each internal node holds two flags and a turn word.
+        (self.leaves - 1) * 3
+    }
+}
+
+impl_mutex_facade!(TournamentLock);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_mutual_exclusion;
+    use bakery_core::NProcessMutex;
+
+    #[test]
+    fn single_process_reenters() {
+        let lock = TournamentLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+    }
+
+    #[test]
+    fn capacity_and_depth() {
+        let lock = TournamentLock::new(6);
+        assert_eq!(lock.capacity(), 6);
+        assert_eq!(lock.depth(), 3, "6 leaves round up to 8 = 2^3");
+        let lock = TournamentLock::new(2);
+        assert_eq!(lock.depth(), 1);
+        assert_eq!(lock.shared_word_count(), 3);
+    }
+
+    #[test]
+    fn paths_are_disjoint_at_leaf_level() {
+        let lock = TournamentLock::new(4);
+        let p0 = lock.path(0);
+        let p1 = lock.path(1);
+        // Sibling leaves share their parent node but arrive on opposite sides.
+        assert_eq!(p0[0].0, p1[0].0);
+        assert_ne!(p0[0].1, p1[0].1);
+        // All paths end at the root (node 1).
+        assert_eq!(p0.last().unwrap().0, 1);
+        assert_eq!(lock.path(3).last().unwrap().0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pid_panics() {
+        let lock = TournamentLock::new(3);
+        lock.acquire(3);
+    }
+
+    #[test]
+    fn mutual_exclusion_five_threads() {
+        let total = assert_mutual_exclusion(std::sync::Arc::new(TournamentLock::new(5)), 5, 400);
+        assert_eq!(total, 2000);
+    }
+}

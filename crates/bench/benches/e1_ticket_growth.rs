@@ -1,0 +1,28 @@
+//! E1 — §3 alternation cost per round: classic Bakery (which overflows) vs
+//! Bakery++ (which caps and resets), across register bounds.
+
+use bakery_bench::quick_criterion;
+use bakery_harness::experiments::e1_overflow::{run_classic_alternation, run_pp_alternation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_alternation(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e1_alternation_rounds");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+    let rounds = 2_000u64;
+    for bound in [15u64, 255, 65_535] {
+        group.bench_with_input(BenchmarkId::new("bakery", bound), &bound, |b, &bound| {
+            b.iter(|| run_classic_alternation(bound, rounds));
+        });
+        group.bench_with_input(BenchmarkId::new("bakery_pp", bound), &bound, |b, &bound| {
+            b.iter(|| run_pp_alternation(bound, rounds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alternation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — exhaustive model-checking time for small (N, M) instances of the
+//! Bakery++ and classic Bakery specifications (the TLC stand-in cost).
+
+use bakery_bench::quick_criterion;
+use bakery_mc::ModelChecker;
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_model_check(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e2_model_check");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+    for bound in [2u64, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("bakery_pp_n2", bound),
+            &bound,
+            |b, &bound| {
+                b.iter(|| {
+                    let spec = BakeryPlusPlusSpec::new(2, bound);
+                    ModelChecker::new(&spec).with_paper_invariants().run()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bakery_n2", bound),
+            &bound,
+            |b, &bound| {
+                b.iter(|| {
+                    let spec = BakerySpec::new(2, bound);
+                    ModelChecker::new(&spec).with_paper_invariants().run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_check);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E6 — uncontended acquire/release cost of every real lock in the suite
+//! (the temporal-complexity claim: Bakery++ ≈ Bakery when no overflow occurs).
+
+use bakery_baselines::{all_algorithms, LockFactory};
+use bakery_bench::quick_criterion;
+use bakery_core::NProcessMutex;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_uncontended(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e6_uncontended_acquire_release");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+    let factory = LockFactory::new();
+    for (id, lock) in all_algorithms(4, &factory) {
+        let slot = lock.register().expect("slot");
+        group.bench_function(id.name(), |b| {
+            b.iter(|| {
+                let guard = lock.lock(&slot);
+                std::hint::black_box(&guard);
+                drop(guard);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bakery_scan_scaling(c: &mut Criterion) {
+    // The O(N) doorway scan: uncontended cost as the slot count grows.
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e6_scan_scaling_bakery_pp");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+    for n in [2usize, 8, 32, 128] {
+        let lock = bakery_core::BakeryPlusPlusLock::with_bound(n, 65_535);
+        let slot = lock.register().expect("slot");
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let guard = lock.lock(&slot);
+                std::hint::black_box(&guard);
+                drop(guard);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_bakery_scan_scaling);
+criterion_main!(benches);

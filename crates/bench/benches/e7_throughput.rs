@@ -1,0 +1,39 @@
+//! E7 — contended throughput of the headline locks and key baselines at 2 and
+//! 4 threads (the practicality claim).
+
+use bakery_baselines::AlgorithmId;
+use bakery_bench::quick_criterion;
+use bakery_harness::experiments::e7_throughput::measure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_throughput(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e7_contended_throughput");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+    let algorithms = [
+        AlgorithmId::Bakery,
+        AlgorithmId::BakeryPlusPlus,
+        AlgorithmId::BlackWhiteBakery,
+        AlgorithmId::TicketLock,
+        AlgorithmId::Ttas,
+    ];
+    for threads in [2usize, 4] {
+        for id in algorithms {
+            group.throughput(Throughput::Elements(500 * threads as u64));
+            group.bench_with_input(
+                BenchmarkId::new(id.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| measure(id, threads, true));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

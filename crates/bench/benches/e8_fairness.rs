@@ -1,0 +1,46 @@
+//! E8 — cost of generating an observable trace and analysing it for FIFO
+//! inversions (the fairness measurement pipeline itself).
+
+use bakery_bench::quick_criterion;
+use bakery_sim::trace::refinement::{check_fcfs_by_ticket, count_fifo_inversions};
+use bakery_sim::{RandomScheduler, RunConfig, Simulator};
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fairness_pipeline(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e8_fairness_pipeline");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+
+    group.bench_function("bakery_trace_and_inversions", |b| {
+        let spec = BakerySpec::new(3, u64::from(u32::MAX));
+        b.iter(|| {
+            let run = Simulator::new().run(
+                &spec,
+                &mut RandomScheduler::new(7),
+                &RunConfig::<BakerySpec>::checked(5_000),
+            );
+            count_fifo_inversions(&run.trace)
+        });
+    });
+
+    group.bench_function("bakery_pp_trace_and_discipline", |b| {
+        let spec = BakeryPlusPlusSpec::new(3, 4);
+        b.iter(|| {
+            let run = Simulator::new().run(
+                &spec,
+                &mut RandomScheduler::new(7),
+                &RunConfig::<BakeryPlusPlusSpec>::checked(5_000),
+            );
+            check_fcfs_by_ticket(&run.trace).holds()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairness_pipeline);
+criterion_main!(benches);

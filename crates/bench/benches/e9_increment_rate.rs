@@ -1,0 +1,50 @@
+//! E9 — ticket draw rate: how fast the classic Bakery's doorway can increment
+//! the shared ticket value, which feeds the time-to-overflow extrapolation.
+
+use bakery_bench::quick_criterion;
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, RawNProcessLock};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ticket_draw(c: &mut Criterion) {
+    let cfg = quick_criterion();
+    let mut group = c.benchmark_group("e9_ticket_draw");
+    group
+        .sample_size(cfg.sample_size)
+        .measurement_time(cfg.measurement)
+        .warm_up_time(cfg.warm_up);
+
+    group.bench_function("bakery_draw_release", |b| {
+        let lock = BakeryLock::new(2);
+        b.iter(|| {
+            let outcome = lock.try_doorway(0);
+            std::hint::black_box(outcome);
+            lock.release(0);
+        });
+    });
+
+    // The §3 scenario: the bakery never empties, so the ticket actually grows
+    // on every draw (the overflow-relevant rate).
+    group.bench_function("bakery_draw_with_standing_customer", |b| {
+        let lock = BakeryLock::new(2);
+        let _ = lock.try_doorway(1); // process 1 stays in the bakery
+        b.iter(|| {
+            let outcome = lock.try_doorway(0);
+            std::hint::black_box(outcome);
+            lock.release(0);
+        });
+    });
+
+    group.bench_function("bakery_pp_draw_release", |b| {
+        let lock = BakeryPlusPlusLock::with_bound(2, 65_535);
+        b.iter(|| {
+            let outcome = lock.try_doorway(0);
+            std::hint::black_box(outcome);
+            lock.release(0);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ticket_draw);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! # bakery-bench
+//!
+//! Criterion benchmark harness for the Bakery++ reproduction suite.  One
+//! bench target per experiment of EXPERIMENTS.md that has a timing component:
+//!
+//! | bench target | experiment | what it measures |
+//! |---|---|---|
+//! | `e1_ticket_growth` | E1 | cost of the §3 alternation per round, classic vs Bakery++ |
+//! | `e2_model_check` | E2 | exhaustive model-checking time for small (N, M) instances |
+//! | `e6_steps_per_acquisition` | E6 | uncontended acquire/release cost of every real lock |
+//! | `e7_throughput` | E7 | contended throughput of the main locks at 2 and 4 threads |
+//! | `e8_fairness` | E8 | trace generation + FIFO-inversion analysis cost |
+//! | `e9_increment_rate` | E9 | ticket draw rate feeding the time-to-overflow extrapolation |
+//! | `ablation` | DESIGN §7 | bound size and overflow-policy ablations |
+//!
+//! All groups use a reduced sample size and measurement time so
+//! `cargo bench --workspace` completes in a few minutes; the experiment
+//! binary (`bakery-experiments`) is the tool for full-sized runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Returns a Criterion configuration sized so the whole workspace bench run
+/// stays in the minutes range.
+#[must_use]
+pub fn quick_criterion() -> criterion_config::Config {
+    criterion_config::Config {
+        sample_size: 10,
+        measurement: Duration::from_millis(800),
+        warm_up: Duration::from_millis(300),
+    }
+}
+
+/// A tiny indirection so the library does not itself depend on criterion
+/// (criterion is a dev-dependency of the bench targets only).
+pub mod criterion_config {
+    use std::time::Duration;
+
+    /// Sample-size / timing knobs shared by every bench target.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Criterion sample size.
+        pub sample_size: usize,
+        /// Measurement time per benchmark.
+        pub measurement: Duration,
+        /// Warm-up time per benchmark.
+        pub warm_up: Duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_small() {
+        let c = quick_criterion();
+        assert_eq!(c.sample_size, 10);
+        assert!(c.measurement < Duration::from_secs(2));
+        assert!(c.warm_up < c.measurement);
+    }
+}

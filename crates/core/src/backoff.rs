@@ -1,0 +1,140 @@
+//! Spin/yield backoff used by the busy-wait loops of every lock in the suite.
+//!
+//! The Bakery family of algorithms is built entirely from busy-waiting on
+//! single-writer registers (the `L1`, `L2` and `L3` loops of the paper's
+//! Algorithms 1 and 2).  A naive `loop {}` around an atomic load saturates the
+//! memory subsystem and starves the writer whose store the reader is waiting
+//! for, so all waits in this crate go through [`Backoff`]: a short phase of
+//! `spin_loop` hints with exponentially increasing repetition, followed by OS
+//! `yield_now` calls once the spin budget is exhausted.
+//!
+//! The policy is deliberately identical across algorithms so that the
+//! throughput comparisons in experiment **E7** measure the protocols, not the
+//! waiting strategy.
+
+use crate::sync;
+
+/// Exponential spin-then-yield backoff.
+///
+/// ```
+/// use bakery_core::backoff::Backoff;
+///
+/// let mut waited = 0u32;
+/// let mut backoff = Backoff::new();
+/// while waited < 32 {
+///     waited += 1;
+///     backoff.snooze();
+/// }
+/// assert!(backoff.rounds() >= 32);
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    /// Exponent of the current spin batch (capped at [`Backoff::SPIN_LIMIT`]).
+    step: u32,
+    /// Total number of `snooze` calls since creation or the last `reset`.
+    rounds: u64,
+}
+
+impl Backoff {
+    /// Number of doubling steps spent purely spinning before yielding.
+    pub const SPIN_LIMIT: u32 = 6;
+    /// Hard cap on the exponent so the spin batch length stays bounded.
+    pub const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh backoff in the "not yet waited" state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { step: 0, rounds: 0 }
+    }
+
+    /// Number of times [`Backoff::snooze`] has been called.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// True once the backoff has escalated past pure spinning.
+    #[must_use]
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
+    /// Waits a little, escalating from spin hints to OS yields.
+    pub fn snooze(&mut self) {
+        self.rounds += 1;
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                sync::spin_hint();
+            }
+        } else {
+            sync::yield_now();
+        }
+        if self.step < Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Resets the escalation state (used when a wait condition makes progress).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_spinning() {
+        let b = Backoff::new();
+        assert_eq!(b.rounds(), 0);
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn escalates_to_yielding() {
+        let mut b = Backoff::new();
+        for _ in 0..=(Backoff::SPIN_LIMIT + 1) {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        assert_eq!(b.rounds(), u64::from(Backoff::SPIN_LIMIT) + 2);
+    }
+
+    #[test]
+    fn reset_returns_to_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.reset();
+        assert!(!b.is_yielding());
+        // rounds are cumulative and not reset
+        assert_eq!(b.rounds(), 20);
+    }
+
+    #[test]
+    fn step_saturates_at_yield_limit() {
+        let mut b = Backoff::new();
+        for _ in 0..1000 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        assert_eq!(b.rounds(), 1000);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        let a = Backoff::default();
+        let b = Backoff::new();
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.is_yielding(), b.is_yielding());
+    }
+}

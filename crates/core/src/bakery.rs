@@ -1,0 +1,391 @@
+//! Lamport's original Bakery algorithm (Algorithm 1 of the paper).
+//!
+//! ```text
+//! L1: choosing[i] := 1;
+//!     number[i]   := 1 + maximum(number[1], …, number[N]);
+//!     choosing[i] := 0;
+//!     for j = 1 .. N do
+//! L2:     if choosing[j] ≠ 0 then goto L2;
+//! L3:     if number[j] ≠ 0 and (number[j], j) < (number[i], i) then goto L3;
+//!     critical section;
+//!     number[i] := 0;
+//! ```
+//!
+//! The algorithm assumes *unbounded* registers.  [`BakeryLock`] makes the
+//! register bound explicit: with the default bound (`u64::MAX`) it behaves as
+//! the textbook algorithm, and with a small bound it exhibits exactly the
+//! failure the paper's Section 3 predicts — the ticket `1 + maximum(...)`
+//! eventually exceeds `M` and the configured [`OverflowPolicy`] (machine
+//! wrap-around by default) silently corrupts the ordering, which can violate
+//! mutual exclusion.  Experiments **E1** and **E2** demonstrate both halves.
+//!
+//! Besides the blocking [`RawNProcessLock::acquire`] path the lock exposes the
+//! two protocol phases separately — [`BakeryLock::try_doorway`] and
+//! [`BakeryLock::await_turn`] — so the experiment harness can replay the
+//! paper's prose scenarios deterministically without spawning threads.
+
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
+use crate::registers::{OverflowPolicy, RegisterFile};
+use crate::slots::SlotAllocator;
+use crate::stats::LockStats;
+use crate::ticket::{Ticket, TicketOrder};
+use crate::DEFAULT_BOUND;
+
+/// Lamport's Bakery lock for up to `N` processes.
+///
+/// ```
+/// use bakery_core::{BakeryLock, NProcessMutex};
+///
+/// let lock = BakeryLock::new(2);
+/// let slot = lock.register().unwrap();
+/// let _guard = lock.lock(&slot);
+/// ```
+#[derive(Debug)]
+pub struct BakeryLock {
+    file: RegisterFile,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl BakeryLock {
+    /// Creates a Bakery lock for `n` processes with effectively unbounded
+    /// (64-bit) ticket registers.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_bound_and_policy(n, DEFAULT_BOUND, OverflowPolicy::Wrap)
+    }
+
+    /// Creates a Bakery lock whose ticket registers are bounded by `bound`
+    /// and wrap on overflow — the behaviour of real machine registers.
+    #[must_use]
+    pub fn with_bound(n: usize, bound: u64) -> Self {
+        Self::with_bound_and_policy(n, bound, OverflowPolicy::Wrap)
+    }
+
+    /// Creates a Bakery lock with an explicit bound and overflow policy.
+    #[must_use]
+    pub fn with_bound_and_policy(n: usize, bound: u64, policy: OverflowPolicy) -> Self {
+        Self {
+            file: RegisterFile::new(n, bound, policy),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The shared register file (read-only view used by tests and experiments).
+    #[must_use]
+    pub fn registers(&self) -> &RegisterFile {
+        &self.file
+    }
+
+    /// The ticket this process currently holds (0 when idle).
+    #[must_use]
+    pub fn current_ticket(&self, pid: usize) -> Ticket {
+        Ticket::new(self.file.read_number(pid), pid)
+    }
+
+    /// Emulates a crash/restart of process `pid` outside its critical section
+    /// (paper assumptions 1.5–1.7): both of its registers are reset to zero.
+    pub fn crash_reset(&self, pid: usize) {
+        self.file.reset_process(pid);
+    }
+
+    /// One pass through the doorway: draw the ticket `1 + maximum(...)`.
+    ///
+    /// The classic algorithm has no guard, so this never blocks and never
+    /// resets; the only non-`Ticket` outcome is
+    /// [`DoorwayOutcome::Overflowed`] when the register bound is exceeded.
+    pub fn try_doorway(&self, pid: usize) -> DoorwayOutcome {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        self.file.write_choosing(pid, true);
+        let max = TicketOrder::maximum(&self.file.snapshot_numbers());
+        // `max + 1` may exceed the register bound; the register applies the
+        // configured policy and records the overflow.  This is the exact
+        // failure point the paper's Section 3 identifies.
+        let attempted = max.saturating_add(1);
+        let event = self.file.write_number(pid, attempted, &self.stats);
+        let stored = self.file.read_number(pid);
+        self.stats.record_ticket(stored);
+        self.file.write_choosing(pid, false);
+        match event {
+            Some(ev) => DoorwayOutcome::Overflowed {
+                attempted: ev.attempted,
+                stored: ev.stored,
+            },
+            None => DoorwayOutcome::Ticket(stored),
+        }
+    }
+
+    /// The scan (`L2`/`L3`): wait until every other process is done choosing
+    /// and no other process holds a smaller `(number, pid)` pair.
+    pub fn await_turn(&self, pid: usize) {
+        let n = self.file.len();
+        let mut waits = 0u64;
+        for j in 0..n {
+            if j == pid {
+                continue;
+            }
+            let mut backoff = Backoff::new();
+            // L2: wait while process j is choosing.
+            while self.file.read_choosing(j) {
+                waits += 1;
+                backoff.snooze();
+            }
+            backoff.reset();
+            // L3: wait while process j holds a smaller (number, pid) pair.
+            loop {
+                let me = Ticket::new(self.file.read_number(pid), pid);
+                let other = Ticket::new(self.file.read_number(j), j);
+                if !TicketOrder::must_wait_for(me, other) {
+                    break;
+                }
+                waits += 1;
+                backoff.snooze();
+            }
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    /// Non-blocking check of the scan condition: would process `pid` be
+    /// allowed into the critical section right now?
+    #[must_use]
+    pub fn may_enter(&self, pid: usize) -> bool {
+        let me = Ticket::new(self.file.read_number(pid), pid);
+        if me.is_idle() {
+            return false;
+        }
+        (0..self.file.len()).all(|j| {
+            if j == pid {
+                return true;
+            }
+            if self.file.read_choosing(j) {
+                return false;
+            }
+            let other = Ticket::new(self.file.read_number(j), j);
+            !TicketOrder::must_wait_for(me, other)
+        })
+    }
+}
+
+impl RawNProcessLock for BakeryLock {
+    fn capacity(&self) -> usize {
+        self.file.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let _ = self.try_doorway(pid);
+        self.await_turn(pid);
+    }
+
+    fn release(&self, pid: usize) {
+        self.file.write_number(pid, 0, &self.stats);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "bakery"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // choosing[1..N] and number[1..N]
+        2 * self.file.len()
+    }
+
+    fn register_bound(&self) -> Option<u64> {
+        Some(self.file.bound())
+    }
+}
+
+impl NProcessMutex for BakeryLock {
+    fn slot_allocator(&self) -> &Arc<SlotAllocator> {
+        &self.slots
+    }
+
+    fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn as_raw(&self) -> &dyn RawNProcessLock {
+        self
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_can_enter_repeatedly() {
+        let lock = BakeryLock::new(1);
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+    }
+
+    #[test]
+    fn lone_process_ticket_resets_to_one() {
+        let lock = BakeryLock::new(2);
+        let a = lock.register_exact(0).unwrap();
+        // With nobody else in the bakery the ticket is always 1.
+        for _ in 0..5 {
+            let g = lock.lock(&a);
+            assert_eq!(lock.current_ticket(0).number, 1);
+            drop(g);
+        }
+        assert_eq!(lock.stats().max_ticket(), 1);
+    }
+
+    /// The paper §3: two processes alternating their critical sections keep
+    /// at least one non-zero ticket in the bakery at all times, so the ticket
+    /// value grows without bound.  Replayed deterministically through the
+    /// split doorway/scan API.
+    #[test]
+    fn alternating_processes_grow_tickets_without_bound() {
+        let lock = BakeryLock::new(2);
+        let mut last = 0u64;
+        // A takes a ticket first.
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Ticket(1));
+        for round in 0..100 {
+            // The other process takes its ticket while the first still holds
+            // one, then the first releases and re-enters the bakery, and so on.
+            let (leaving, entering) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+            let outcome = lock.try_doorway(entering);
+            let DoorwayOutcome::Ticket(number) = outcome else {
+                panic!("unbounded bakery never overflows, got {outcome:?}");
+            };
+            assert!(number > last, "ticket values must keep growing");
+            last = number;
+            lock.await_turn(leaving);
+            lock.release(leaving);
+        }
+        assert!(lock.stats().max_ticket() >= 100);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    }
+
+    /// The same alternation on bounded registers overflows (§3): the classic
+    /// algorithm has no defence.
+    #[test]
+    fn alternating_processes_overflow_bounded_registers() {
+        let bound = 5;
+        let lock = BakeryLock::with_bound(2, bound);
+        assert!(lock.try_doorway(0).took_ticket());
+        let mut saw_overflow = false;
+        for round in 0..50 {
+            let (leaving, entering) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+            if let DoorwayOutcome::Overflowed { attempted, stored } = lock.try_doorway(entering) {
+                assert!(attempted > bound);
+                assert!(stored <= bound);
+                saw_overflow = true;
+                break;
+            }
+            lock.release(leaving);
+        }
+        assert!(saw_overflow, "bounded classic Bakery must overflow");
+        assert!(lock.stats().overflow_attempts() > 0);
+    }
+
+    /// After a wrap-around the overflowed process can overtake a process with
+    /// a (numerically larger) older ticket — the FIFO order the paper
+    /// advertises is broken, which is the root of the §3 malfunction.
+    #[test]
+    fn wrapped_ticket_overtakes_older_ticket() {
+        let lock = BakeryLock::with_bound(2, 3);
+        // Process 0 legitimately holds the maximum ticket value.
+        assert!(lock.try_doorway(0).took_ticket()); // ticket 1
+        lock.release(0);
+        lock.file.write_number(0, 3, &lock.stats); // simulate an old ticket at M
+        // Process 1 draws next: 1 + 3 = 4 > M, wraps to 0 or a small value.
+        let outcome = lock.try_doorway(1);
+        let DoorwayOutcome::Overflowed { stored, .. } = outcome else {
+            panic!("expected an overflow, got {outcome:?}");
+        };
+        // The wrapped value is smaller than the older ticket, so process 1 now
+        // (incorrectly) believes it has priority whenever stored is non-zero,
+        // or is treated as idle when stored == 0 — either way FCFS is lost.
+        assert!(stored < 3);
+        lock.crash_reset(0);
+        lock.crash_reset(1);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(BakeryLock::new(4));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let in_cs = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..500 {
+                        let _g = lock.lock(&slot);
+                        let inside = in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(inside, 0, "two processes inside the critical section");
+                        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2000);
+        assert_eq!(lock.stats().cs_entries(), 2000);
+    }
+
+    #[test]
+    fn crash_reset_unblocks_other_processes() {
+        let lock = BakeryLock::new(2);
+        let a = lock.register_exact(0).unwrap();
+        // Simulate process 1 crashing mid-doorway with choosing set: reads of
+        // a crashed process eventually return zero (assumption 1.7), which we
+        // model by resetting its registers.
+        lock.file.write_choosing(1, true);
+        lock.crash_reset(1);
+        let _g = lock.lock(&a); // must not hang on choosing[1]
+    }
+
+    #[test]
+    fn may_enter_reflects_ticket_priority() {
+        let lock = BakeryLock::new(2);
+        assert!(!lock.may_enter(0), "idle process may not enter");
+        assert!(lock.try_doorway(0).took_ticket());
+        assert!(lock.try_doorway(1).took_ticket());
+        assert!(lock.may_enter(0), "older ticket has priority");
+        assert!(!lock.may_enter(1), "younger ticket must wait");
+        lock.release(0);
+        assert!(lock.may_enter(1));
+        lock.release(1);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let lock = BakeryLock::with_bound(3, 7);
+        assert_eq!(lock.capacity(), 3);
+        assert_eq!(lock.algorithm_name(), "bakery");
+        assert_eq!(lock.shared_word_count(), 6);
+        assert_eq!(lock.register_bound(), Some(7));
+        assert_eq!(lock.registers().bound(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn acquire_rejects_out_of_range_pid() {
+        let lock = BakeryLock::new(2);
+        lock.acquire(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lock instance")]
+    fn foreign_slot_is_rejected() {
+        let lock_a = BakeryLock::new(2);
+        let lock_b = BakeryLock::new(2);
+        let slot_b = lock_b.register().unwrap();
+        let _ = lock_a.lock(&slot_b);
+    }
+}

@@ -1,0 +1,484 @@
+//! Bakery++ (Algorithm 2 of the paper) — the overflow-avoiding Bakery.
+//!
+//! ```text
+//! constant M;
+//! L1: if ∃ q : number[q] ≥ M then goto L1;
+//!     choosing[i] := 1;
+//!     number[i]   := maximum(number[1], …, number[N]);
+//!     if number[i] ≥ M then begin
+//!         number[i] := 0; choosing[i] := 0; goto L1;
+//!     end
+//!     else number[i] := number[i] + 1;
+//!     choosing[i] := 0;
+//!     for j = 1 .. N do
+//! L2:     if choosing[j] ≠ 0 then goto L2;
+//! L3:     if number[j] ≠ 0 and (number[j], j) < (number[i], i) then goto L3;
+//!     critical section;
+//!     number[i] := 0;
+//! ```
+//!
+//! The two additions over Algorithm 1 are kept structurally identical to the
+//! paper so the implementation can be audited line by line:
+//!
+//! 1. the **`L1` admission guard** — a process refuses to start choosing while
+//!    any register already holds a value `≥ M` (an *illegitimate situation* in
+//!    the paper's terminology), and
+//! 2. the **pre-increment check** — the observed maximum is written to
+//!    `number[i]` first (always `≤ M`, hence never an overflow), and only
+//!    incremented when doing so cannot exceed `M`; otherwise the process
+//!    resets its registers and retries from `L1`.
+//!
+//! Because the only stores are `0`, `maximum(...) ≤ M` and `maximum(...) + 1`
+//! guarded by `maximum(...) < M`, no store can ever exceed `M` — the paper's
+//! Theorem (§6.1), verified exhaustively by experiment **E2**, checked at
+//! runtime by the register file's `Panic` overflow policy, and visible as
+//! [`LockStats::overflow_attempts`] remaining zero.
+
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
+use crate::registers::{OverflowPolicy, RegisterFile};
+use crate::slots::SlotAllocator;
+use crate::stats::LockStats;
+use crate::ticket::{Ticket, TicketOrder};
+
+/// Default register bound used by [`BakeryPlusPlusLock::new`]: the largest
+/// value a 16-bit register can hold.  Small enough that the overflow-avoidance
+/// machinery is regularly exercised under heavy contention, large enough that
+/// the reset path stays rare (§7's "highly unlikely" case).
+pub const DEFAULT_PP_BOUND: u64 = u16::MAX as u64;
+
+/// The Bakery++ lock: first-come-first-served mutual exclusion for up to `N`
+/// processes with a hard guarantee that no register ever exceeds its bound.
+///
+/// ```
+/// use bakery_core::{BakeryPlusPlusLock, NProcessMutex};
+///
+/// let lock = BakeryPlusPlusLock::with_bound(3, 1000);
+/// let slot = lock.register().unwrap();
+/// for _ in 0..10 {
+///     let _guard = lock.lock(&slot);
+/// }
+/// assert_eq!(lock.stats().overflow_attempts(), 0);
+/// ```
+#[derive(Debug)]
+pub struct BakeryPlusPlusLock {
+    file: RegisterFile,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+    bound: u64,
+}
+
+impl BakeryPlusPlusLock {
+    /// Creates a Bakery++ lock for `n` processes with the default bound
+    /// [`DEFAULT_PP_BOUND`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_bound(n, DEFAULT_PP_BOUND)
+    }
+
+    /// Creates a Bakery++ lock for `n` processes whose registers are bounded
+    /// by `bound` (the paper's constant `M`).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`: with `M = 0` no process could ever take a
+    /// ticket, so the constant must be at least 1 (the paper implicitly
+    /// assumes `M ≥ 1` since tickets start at 1).
+    #[must_use]
+    pub fn with_bound(n: usize, bound: u64) -> Self {
+        assert!(bound >= 1, "the register bound M must be at least 1");
+        Self {
+            // The Panic policy documents the Theorem: if Bakery++ ever asked
+            // the register file to store a value above M, that would be a bug
+            // in this crate and we want the loudest possible failure.
+            file: RegisterFile::new(n, bound, OverflowPolicy::Panic),
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+            bound,
+        }
+    }
+
+    /// The register bound `M`.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The shared register file (read-only view used by tests and experiments).
+    #[must_use]
+    pub fn registers(&self) -> &RegisterFile {
+        &self.file
+    }
+
+    /// The ticket this process currently holds (0 when idle or resetting).
+    #[must_use]
+    pub fn current_ticket(&self, pid: usize) -> Ticket {
+        Ticket::new(self.file.read_number(pid), pid)
+    }
+
+    /// Emulates a crash/restart of process `pid` outside its critical section
+    /// (paper assumptions 1.5–1.7): both of its registers are reset to zero.
+    pub fn crash_reset(&self, pid: usize) {
+        self.file.reset_process(pid);
+    }
+
+    /// True when some register currently holds a value `≥ M` — the paper's
+    /// *illegitimate situation* that the `L1` guard waits out.
+    #[must_use]
+    pub fn situation_is_illegitimate(&self) -> bool {
+        (0..self.file.len()).any(|q| self.file.read_number(q) >= self.bound)
+    }
+
+    /// One non-blocking pass through Algorithm 2's doorway.
+    ///
+    /// Outcomes:
+    /// * [`DoorwayOutcome::Blocked`] — the `L1` guard saw a register `≥ M`;
+    /// * [`DoorwayOutcome::Reset`] — the observed maximum was `≥ M`, so the
+    ///   process reset its registers (`number[i] := 0; choosing[i] := 0`);
+    /// * [`DoorwayOutcome::Ticket`] — a ticket `maximum + 1 ≤ M` was stored.
+    ///
+    /// The blocking [`RawNProcessLock::acquire`] simply retries this until a
+    /// ticket is obtained; the harness records the intermediate outcomes for
+    /// experiments **E1** and **E6**.
+    pub fn try_doorway(&self, pid: usize) -> DoorwayOutcome {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        // L1: if ∃ q : number[q] >= M then retry later.
+        if self.situation_is_illegitimate() {
+            return DoorwayOutcome::Blocked;
+        }
+        self.file.write_choosing(pid, true);
+        let max = TicketOrder::maximum(&self.file.snapshot_numbers());
+        // Store the maximum first, exactly as Algorithm 2 does.  Every
+        // register individually holds a value <= M, so max <= M and this store
+        // can never overflow.
+        debug_assert!(max <= self.bound);
+        self.file.write_number(pid, max, &self.stats);
+
+        if max >= self.bound {
+            // Reset branch: number[i] := 0; choosing[i] := 0; goto L1.
+            self.file.write_number(pid, 0, &self.stats);
+            self.file.write_choosing(pid, false);
+            self.stats.record_reset();
+            return DoorwayOutcome::Reset;
+        }
+
+        // Safe to increment: max < M implies max + 1 <= M.
+        self.file.write_number(pid, max + 1, &self.stats);
+        self.stats.record_ticket(max + 1);
+        self.file.write_choosing(pid, false);
+        DoorwayOutcome::Ticket(max + 1)
+    }
+
+    /// The scan loops `L2`/`L3`, identical to the original Bakery.
+    pub fn await_turn(&self, pid: usize) {
+        let n = self.file.len();
+        let mut waits = 0u64;
+        for j in 0..n {
+            if j == pid {
+                continue;
+            }
+            let mut backoff = Backoff::new();
+            while self.file.read_choosing(j) {
+                waits += 1;
+                backoff.snooze();
+            }
+            backoff.reset();
+            loop {
+                let me = Ticket::new(self.file.read_number(pid), pid);
+                let other = Ticket::new(self.file.read_number(j), j);
+                if !TicketOrder::must_wait_for(me, other) {
+                    break;
+                }
+                waits += 1;
+                backoff.snooze();
+            }
+        }
+        self.stats.record_doorway_waits(waits);
+    }
+
+    /// Non-blocking check of the scan condition: would process `pid` be
+    /// allowed into the critical section right now?
+    #[must_use]
+    pub fn may_enter(&self, pid: usize) -> bool {
+        let me = Ticket::new(self.file.read_number(pid), pid);
+        if me.is_idle() {
+            return false;
+        }
+        (0..self.file.len()).all(|j| {
+            if j == pid {
+                return true;
+            }
+            if self.file.read_choosing(j) {
+                return false;
+            }
+            let other = Ticket::new(self.file.read_number(j), j);
+            !TicketOrder::must_wait_for(me, other)
+        })
+    }
+}
+
+impl RawNProcessLock for BakeryPlusPlusLock {
+    fn capacity(&self) -> usize {
+        self.file.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        let mut backoff = Backoff::new();
+        let mut l1_rounds = 0u64;
+        loop {
+            match self.try_doorway(pid) {
+                DoorwayOutcome::Ticket(_) => break,
+                DoorwayOutcome::Blocked => {
+                    l1_rounds += 1;
+                    backoff.snooze();
+                }
+                DoorwayOutcome::Reset => {
+                    backoff.snooze();
+                }
+                DoorwayOutcome::Overflowed { .. } => {
+                    unreachable!("Bakery++ never overflows (paper §6.1)")
+                }
+            }
+        }
+        self.stats.record_l1_waits(l1_rounds);
+        self.await_turn(pid);
+    }
+
+    fn release(&self, pid: usize) {
+        self.file.write_number(pid, 0, &self.stats);
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "bakery++"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // Identical shared footprint to the original Bakery: choosing[1..N]
+        // and number[1..N].  The constant M is not a shared variable.
+        2 * self.file.len()
+    }
+
+    fn register_bound(&self) -> Option<u64> {
+        Some(self.bound)
+    }
+}
+
+impl NProcessMutex for BakeryPlusPlusLock {
+    fn slot_allocator(&self) -> &Arc<SlotAllocator> {
+        &self.slots
+    }
+
+    fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn as_raw(&self) -> &dyn RawNProcessLock {
+        self
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_can_enter_repeatedly() {
+        let lock = BakeryPlusPlusLock::with_bound(1, 10);
+        let slot = lock.register().unwrap();
+        for _ in 0..25 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 25);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "M must be at least 1")]
+    fn zero_bound_is_rejected() {
+        let _ = BakeryPlusPlusLock::with_bound(2, 0);
+    }
+
+    #[test]
+    fn default_bound_is_sixteen_bit() {
+        let lock = BakeryPlusPlusLock::new(2);
+        assert_eq!(lock.bound(), u64::from(u16::MAX));
+        assert_eq!(lock.register_bound(), Some(u64::from(u16::MAX)));
+    }
+
+    /// The §3 alternation scenario that overflows the classic Bakery: with
+    /// Bakery++ the ticket is capped by M, the doorway reports `Reset` or
+    /// `Blocked` instead of overflowing, and after the bakery drains the
+    /// processes continue normally.
+    #[test]
+    fn alternation_never_exceeds_bound() {
+        let bound = 5;
+        let lock = BakeryPlusPlusLock::with_bound(2, bound);
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Ticket(1));
+        let mut capped = false;
+        let mut completed = 0u64;
+        let mut pending = 0usize; // process currently holding a ticket
+        for round in 0..200 {
+            let entering = 1 - pending;
+            match lock.try_doorway(entering) {
+                DoorwayOutcome::Ticket(number) => {
+                    assert!(number <= bound);
+                    // The process that was already in the bakery gets served.
+                    lock.await_turn(pending);
+                    lock.release(pending);
+                    completed += 1;
+                    pending = entering;
+                }
+                DoorwayOutcome::Reset | DoorwayOutcome::Blocked => {
+                    capped = true;
+                    // The entering process backs off; the pending process is
+                    // served, which drains the bakery and re-legitimises the
+                    // situation.
+                    lock.await_turn(pending);
+                    lock.release(pending);
+                    completed += 1;
+                    // Now the formerly blocked process can take ticket 1.
+                    let retry = lock.try_doorway(entering);
+                    assert!(retry.took_ticket(), "empty bakery must admit, got {retry:?} at round {round}");
+                    pending = entering;
+                }
+                DoorwayOutcome::Overflowed { .. } => panic!("Bakery++ must never overflow"),
+            }
+        }
+        assert!(capped, "with M = {bound} the cap must be hit");
+        assert!(completed >= 190);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+        assert!(lock.stats().max_ticket() <= bound);
+    }
+
+    #[test]
+    fn blocked_when_some_register_is_at_bound() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 4);
+        lock.file.write_number(1, 4, &lock.stats);
+        assert!(lock.situation_is_illegitimate());
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Blocked);
+        lock.crash_reset(1);
+        assert!(!lock.situation_is_illegitimate());
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Ticket(1));
+        lock.release(0);
+    }
+
+    #[test]
+    fn reset_branch_when_maximum_reaches_bound_after_admission() {
+        // The L1 guard uses >= M, but a register can reach M-1 legitimately;
+        // then maximum + 1 would be exactly M which is still storable, so the
+        // reset branch only triggers when maximum itself is >= M.  Construct
+        // that window explicitly: admit process 0 (all registers < M), then
+        // raise process 1's register to M before process 0 reads the maximum.
+        // With the single-pass API we emulate the interleaving by hand.
+        let lock = BakeryPlusPlusLock::with_bound(2, 4);
+        lock.file.write_number(1, 3, &lock.stats);
+        // Process 0 passes L1 (3 < 4) and draws max 3 -> ticket 4 == M: legal.
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Ticket(4));
+        lock.release(0);
+        // Now process 1's register is still 3 and process 0 re-tries while a
+        // register equal to M exists -> Blocked path already covered; the
+        // Reset branch itself requires observing max >= M after admission,
+        // which a sequential caller cannot produce (the L1 guard and the
+        // maximum read see the same values).  That interleaving is exercised
+        // by the model checker (experiment E2); here we simply document that
+        // the sequential API keeps the invariant.
+        assert!(lock.stats().max_ticket() <= 4);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+        lock.crash_reset(1);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(4, 1000));
+        let counter = Arc::new(AtomicU64::new(0));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..500 {
+                        let _g = lock.lock(&slot);
+                        let inside = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(inside, 0, "two processes inside the critical section");
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2000);
+        assert_eq!(lock.stats().cs_entries(), 2000);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    }
+
+    #[test]
+    fn mutual_exclusion_with_tiny_bound_forces_resets() {
+        // With M = 3 and four contending threads the reset/L1 machinery is
+        // exercised constantly; mutual exclusion and overflow freedom must
+        // still hold (the §7 "price of guaranteeing no overflows" case).
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(4, 3));
+        let in_cs = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..200 {
+                        let _g = lock.lock(&slot);
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.stats().cs_entries(), 800);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+        assert!(lock.stats().max_ticket() <= 3);
+    }
+
+    #[test]
+    fn shared_footprint_matches_original_bakery() {
+        use crate::bakery::BakeryLock;
+        let pp = BakeryPlusPlusLock::with_bound(6, 100);
+        let classic = BakeryLock::new(6);
+        assert_eq!(pp.shared_word_count(), classic.shared_word_count());
+    }
+
+    #[test]
+    fn may_enter_reflects_ticket_priority() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 100);
+        assert!(!lock.may_enter(0));
+        assert!(lock.try_doorway(0).took_ticket());
+        assert!(lock.try_doorway(1).took_ticket());
+        assert!(lock.may_enter(0));
+        assert!(!lock.may_enter(1));
+        lock.release(0);
+        assert!(lock.may_enter(1));
+        lock.release(1);
+    }
+
+    #[test]
+    fn crash_reset_unblocks_l1_guard() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 4);
+        let a = lock.register_exact(0).unwrap();
+        // Process 1 "crashes" with a register stuck at M; after reset the L1
+        // guard must admit process 0.
+        lock.file.write_number(1, 4, &lock.stats);
+        lock.crash_reset(1);
+        let _g = lock.lock(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn doorway_rejects_out_of_range_pid() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 4);
+        let _ = lock.try_doorway(7);
+    }
+}

@@ -1,0 +1,93 @@
+//! RAII critical-section guards.
+//!
+//! A [`CriticalSectionGuard`] represents "this thread is currently inside the
+//! critical section as process `pid`".  Dropping the guard executes the
+//! algorithm's exit protocol (`number[i] := 0` for the Bakery family), so the
+//! critical section can never be left open accidentally — including on panic
+//! unwinds, which matches the paper's assumption 1.5 that a process failing
+//! inside its critical section resets its shared registers.
+
+use std::fmt;
+
+use crate::raw::RawNProcessLock;
+
+/// A held critical section; releases the lock when dropped.
+pub struct CriticalSectionGuard<'a> {
+    lock: &'a dyn RawNProcessLock,
+    pid: usize,
+}
+
+impl<'a> CriticalSectionGuard<'a> {
+    /// Builds a guard for a critical section that has already been entered.
+    ///
+    /// This is only called from [`crate::raw::NProcessMutex::checked_lock`]
+    /// after a successful `acquire`.
+    #[must_use]
+    pub(crate) fn new(lock: &'a dyn RawNProcessLock, pid: usize) -> Self {
+        Self { lock, pid }
+    }
+
+    /// The process id holding the critical section.
+    #[must_use]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The algorithm name of the lock being held (for diagnostics).
+    #[must_use]
+    pub fn algorithm_name(&self) -> &'static str {
+        self.lock.algorithm_name()
+    }
+}
+
+impl fmt::Debug for CriticalSectionGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CriticalSectionGuard")
+            .field("pid", &self.pid)
+            .field("algorithm", &self.lock.algorithm_name())
+            .finish()
+    }
+}
+
+impl Drop for CriticalSectionGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.release(self.pid);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn guard_reports_pid_and_algorithm() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 100);
+        let slot = lock.register().unwrap();
+        let guard = lock.lock(&slot);
+        assert_eq!(guard.pid(), 0);
+        assert_eq!(guard.algorithm_name(), "bakery++");
+        assert!(format!("{guard:?}").contains("bakery++"));
+    }
+
+    #[test]
+    fn dropping_the_guard_releases_the_lock() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 100);
+        let slot = lock.register().unwrap();
+        drop(lock.lock(&slot));
+        // Re-acquiring immediately must not deadlock.
+        drop(lock.lock(&slot));
+    }
+
+    #[test]
+    fn guard_released_on_panic_unwind() {
+        let lock = BakeryPlusPlusLock::with_bound(2, 100);
+        let slot = lock.register().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock.lock(&slot);
+            panic!("simulated failure inside the critical section");
+        }));
+        assert!(result.is_err());
+        // The exit protocol ran during unwinding, so this does not deadlock.
+        drop(lock.lock(&slot));
+    }
+}

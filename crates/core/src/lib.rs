@@ -1,0 +1,105 @@
+//! # bakery-core
+//!
+//! Production-quality implementations of **Lamport's Bakery algorithm** and of
+//! **Bakery++**, the overflow-avoiding variant introduced in *"Avoiding
+//! Register Overflow in the Bakery Algorithm"* (Sayyadabdi & Sharifi, ICPP
+//! 2020).
+//!
+//! The crate models the paper's system faithfully:
+//!
+//! * every shared cell is a **single-writer multi-reader register** — process
+//!   *i* may only ever write `choosing[i]` and `number[i]`, which the API
+//!   enforces with [`Slot`] ownership tokens;
+//! * registers are **bounded**: a register created with bound `M` can never
+//!   hold a value above `M`, and any attempt to store a larger value is an
+//!   *overflow* which is either reported, saturated, wrapped or turned into a
+//!   panic depending on the configured [`OverflowPolicy`];
+//! * the classic [`BakeryLock`](bakery::BakeryLock) exhibits exactly the
+//!   failure mode the paper's Section 3 describes once its registers are
+//!   bounded, while [`BakeryPlusPlusLock`](bakery_pp::BakeryPlusPlusLock)
+//!   provably never attempts to store a value above its bound.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bakery_core::{BakeryPlusPlusLock, NProcessMutex};
+//!
+//! // A lock for up to 4 participating processes with register bound M = 255.
+//! let lock = BakeryPlusPlusLock::with_bound(4, 255);
+//! let slot = lock.register().expect("a free process slot");
+//!
+//! let mut shared = 0u64;
+//! for _ in 0..100 {
+//!     let _guard = lock.lock(&slot);
+//!     // critical section
+//!     shared += 1;
+//! }
+//! assert_eq!(shared, 100);
+//! assert_eq!(lock.stats().overflow_attempts(), 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`ticket`] | bounded ticket values and the paper's lexicographic `(number, pid)` order |
+//! | [`registers`] | bounded single-writer registers, register files, overflow accounting |
+//! | [`slots`] | process slot allocation (which thread plays which process id) |
+//! | [`raw`] | the [`RawNProcessLock`] / [`NProcessMutex`] traits |
+//! | [`guard`] | RAII critical-section guards |
+//! | [`bakery`] | Lamport's original Bakery algorithm (Algorithm 1 of the paper) |
+//! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
+//! | [`backoff`] | spin/yield backoff shared by the locks |
+//! | [`stats`] | lock statistics (overflows, resets, doorway waits, …) |
+//!
+//! ## Memory ordering
+//!
+//! The paper's model assumes registers that are at least *safe* and an
+//! interleaving semantics of whole read/write operations.  Rust's memory model
+//! is weaker, so the real locks in this crate use `SeqCst` loads and stores
+//! for every protocol register; the cost of that choice is measured by the
+//! `ablation` benchmark in the `bakery-bench` crate.  The abstract,
+//! paper-level semantics (including safe-register reads that may return
+//! arbitrary values) are model checked by the companion `bakery-spec` /
+//! `bakery-mc` crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backoff;
+pub mod bakery;
+pub mod bakery_pp;
+pub mod guard;
+pub mod raw;
+pub mod registers;
+pub mod slots;
+pub mod stats;
+pub mod sync;
+pub mod ticket;
+
+pub use bakery::BakeryLock;
+pub use bakery_pp::{BakeryPlusPlusLock, DEFAULT_PP_BOUND};
+pub use guard::CriticalSectionGuard;
+pub use raw::{DoorwayOutcome, LockError, NProcessMutex, RawNProcessLock};
+pub use registers::{BoundedRegister, OverflowEvent, OverflowPolicy, RegisterFile};
+pub use slots::{Slot, SlotError};
+pub use stats::LockStats;
+pub use ticket::{Ticket, TicketOrder};
+
+/// Convenience prelude importing the traits and the two headline locks.
+pub mod prelude {
+    pub use crate::bakery::BakeryLock;
+    pub use crate::bakery_pp::BakeryPlusPlusLock;
+    pub use crate::raw::{NProcessMutex, RawNProcessLock};
+    pub use crate::registers::OverflowPolicy;
+    pub use crate::slots::Slot;
+}
+
+/// The default register bound used when a caller does not specify `M`.
+///
+/// The paper leaves `M` abstract ("the maximum value storable in a register").
+/// `u64::MAX` reproduces the *unbounded* behaviour of the original algorithm
+/// for all practical purposes, while small values of `M` make the overflow
+/// machinery observable in tests and experiments.
+pub const DEFAULT_BOUND: u64 = u64::MAX;

@@ -1,0 +1,178 @@
+//! Lock traits: the low-level pid-based protocol and the slot-based facade.
+//!
+//! Two layers mirror how the paper talks about the algorithm:
+//!
+//! * [`RawNProcessLock`] is the algorithm itself — "the procedure for process
+//!   numbered *i*" — parameterised only by the process id.  Everything in the
+//!   `bakery-baselines` crate and the benchmark harness works against this
+//!   trait so all algorithms are interchangeable.
+//! * [`NProcessMutex`] is the user-facing facade: it allocates process ids as
+//!   [`Slot`]s, hands out RAII [`CriticalSectionGuard`]s and exposes the
+//!   lock's [`LockStats`].  It has blanket default methods, so a lock only
+//!   implements the three accessor methods plus `RawNProcessLock`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::guard::CriticalSectionGuard;
+use crate::slots::{Slot, SlotAllocator, SlotError};
+use crate::stats::LockStats;
+
+/// Errors surfaced by the checked locking entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The supplied [`Slot`] was allocated by a different lock instance.
+    ForeignSlot {
+        /// The pid carried by the foreign slot.
+        pid: usize,
+    },
+    /// Slot allocation failed.
+    Slot(SlotError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::ForeignSlot { pid } => {
+                write!(f, "slot p{pid} belongs to a different lock instance")
+            }
+            LockError::Slot(err) => write!(f, "slot allocation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<SlotError> for LockError {
+    fn from(err: SlotError) -> Self {
+        LockError::Slot(err)
+    }
+}
+
+/// Result of one non-blocking pass through a lock's doorway (ticket drawing)
+/// code.
+///
+/// The blocking `acquire` path simply retries until it obtains
+/// [`DoorwayOutcome::Ticket`]; the experiment harness instead records the
+/// outcomes to reproduce the paper's Section 3 scenario and the Bakery++ reset
+/// behaviour deterministically, without real threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoorwayOutcome {
+    /// A ticket with the given number was stored in `number[pid]`.
+    Ticket(u64),
+    /// The ticket computation exceeded the register bound and the configured
+    /// overflow policy was applied (classic Bakery on bounded registers only).
+    Overflowed {
+        /// The value `1 + maximum(...)` the algorithm tried to store.
+        attempted: u64,
+        /// The value actually stored after the policy was applied.
+        stored: u64,
+    },
+    /// Bakery++'s `L1` admission guard refused entry because some register
+    /// already holds a value `≥ M` (the *illegitimate situation*).
+    Blocked,
+    /// Bakery++ took the reset branch: the observed maximum was `≥ M`, so
+    /// `number[pid]` and `choosing[pid]` were reset to zero.
+    Reset,
+}
+
+impl DoorwayOutcome {
+    /// True when a usable ticket was obtained (including an overflowed one —
+    /// the classic algorithm proceeds obliviously after an overflow).
+    #[must_use]
+    pub fn took_ticket(&self) -> bool {
+        matches!(self, DoorwayOutcome::Ticket(_) | DoorwayOutcome::Overflowed { .. })
+    }
+}
+
+/// The low-level N-process mutual exclusion protocol.
+///
+/// Implementations must guarantee mutual exclusion between distinct process
+/// ids when `acquire`/`release` are called in the usual bracketed fashion, and
+/// must tolerate a process id never being used.  The trait is object safe so
+/// the experiment harness can treat every algorithm uniformly.
+pub trait RawNProcessLock: Send + Sync {
+    /// Maximum number of participating processes (the paper's `N`).
+    fn capacity(&self) -> usize;
+
+    /// Enters the critical section as process `pid`, blocking until granted.
+    ///
+    /// # Panics
+    /// Implementations may panic if `pid >= capacity()` or if the same pid is
+    /// acquired re-entrantly.
+    fn acquire(&self, pid: usize);
+
+    /// Leaves the critical section as process `pid`.
+    fn release(&self, pid: usize);
+
+    /// A short human-readable algorithm name used in reports.
+    fn algorithm_name(&self) -> &'static str;
+
+    /// Number of shared memory words the protocol uses (experiment **E6**,
+    /// the paper's O(N) spatial-complexity claim).
+    fn shared_word_count(&self) -> usize;
+
+    /// The ticket register bound `M`, if the algorithm bounds its registers.
+    fn register_bound(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// User-facing facade: slot allocation, RAII guards and statistics.
+pub trait NProcessMutex: RawNProcessLock {
+    /// The lock's slot allocator.
+    fn slot_allocator(&self) -> &Arc<SlotAllocator>;
+
+    /// The lock's statistics block.
+    fn stats(&self) -> &LockStats;
+
+    /// Claims the lowest free process slot.
+    fn register(&self) -> Result<Slot, SlotError> {
+        self.slot_allocator().claim()
+    }
+
+    /// Claims a specific process slot (useful for deterministic experiments).
+    fn register_exact(&self, pid: usize) -> Result<Slot, SlotError> {
+        self.slot_allocator().claim_exact(pid)
+    }
+
+    /// Enters the critical section, returning a guard that releases on drop.
+    ///
+    /// # Panics
+    /// Panics if `slot` was allocated by a different lock instance.
+    fn lock<'a>(&'a self, slot: &'a Slot) -> CriticalSectionGuard<'a> {
+        match self.checked_lock(slot) {
+            Ok(guard) => guard,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Like [`NProcessMutex::lock`] but reports a foreign slot as an error.
+    fn checked_lock<'a>(&'a self, slot: &'a Slot) -> Result<CriticalSectionGuard<'a>, LockError> {
+        if !slot.belongs_to(self.slot_allocator()) {
+            return Err(LockError::ForeignSlot { pid: slot.pid() });
+        }
+        self.acquire(slot.pid());
+        self.stats().record_cs_entry();
+        Ok(CriticalSectionGuard::new(
+            self.as_raw(),
+            slot.pid(),
+        ))
+    }
+
+    /// Upcast helper so default methods can build guards over `dyn` locks.
+    fn as_raw(&self) -> &dyn RawNProcessLock;
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_error_display() {
+        let e = LockError::ForeignSlot { pid: 3 };
+        assert!(e.to_string().contains("different lock instance"));
+        let e: LockError = SlotError::Exhausted { capacity: 2 }.into();
+        assert!(e.to_string().contains("slot allocation failed"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Bounded single-writer multi-reader registers.
+//!
+//! The paper's Section 3 defines an *overflow* as the attempt to store a value
+//! `v > M` in a register of a machine whose registers can hold at most `M`.
+//! [`BoundedRegister`] makes that machine limit explicit: every store goes
+//! through a bound check, and what happens on overflow is decided by an
+//! [`OverflowPolicy`].  The classic Bakery lock uses the policy to *emulate*
+//! what a real machine would do (wrap or saturate), which is exactly how the
+//! Section 3 failure scenario is reproduced; Bakery++ never triggers the
+//! policy at all, which experiment **E1/E2** verify.
+//!
+//! [`RegisterFile`] groups the `choosing[1..N]` and `number[1..N]` arrays and
+//! enforces the paper's single-writer discipline: writes require the process
+//! id and only touch that process's own cells.  The type is deliberately the
+//! only way the lock implementations can reach the shared memory, so "no
+//! process writes into another process's memory" holds by construction.
+
+use std::fmt;
+
+use crossbeam::utils::CachePadded;
+
+use crate::stats::LockStats;
+use crate::sync::{AtomicU64, Ordering};
+
+/// What a bounded register does when asked to store a value above its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Store `value mod (M + 1)` — what fixed-width machine arithmetic does.
+    ///
+    /// This is the behaviour that breaks the classic Bakery algorithm: a
+    /// wrapped ticket is *smaller* than the tickets of processes already
+    /// waiting, so the wrapping process overtakes them and mutual exclusion
+    /// is violated (experiment **E1**).
+    #[default]
+    Wrap,
+    /// Clamp the stored value to `M`.
+    Saturate,
+    /// Panic immediately.  Useful in tests that assert overflow freedom.
+    Panic,
+    /// Store `value mod (M + 1)` but keep counting the events; identical to
+    /// [`OverflowPolicy::Wrap`] at the register level, separated so reports
+    /// can distinguish "we knew and accepted" from "silent wrap".
+    Report,
+}
+
+impl OverflowPolicy {
+    /// Applies the policy to an out-of-range value, returning what is stored.
+    ///
+    /// Panics if the policy is [`OverflowPolicy::Panic`].
+    #[must_use]
+    pub fn resolve(self, value: u64, bound: u64) -> u64 {
+        debug_assert!(value > bound);
+        match self {
+            OverflowPolicy::Wrap | OverflowPolicy::Report => {
+                if bound == u64::MAX {
+                    value
+                } else {
+                    value % (bound + 1)
+                }
+            }
+            OverflowPolicy::Saturate => bound,
+            OverflowPolicy::Panic => panic!(
+                "register overflow: attempted to store {value} in a register bounded by {bound}"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OverflowPolicy::Wrap => "wrap",
+            OverflowPolicy::Saturate => "saturate",
+            OverflowPolicy::Panic => "panic",
+            OverflowPolicy::Report => "report",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A record of one overflow attempt on a bounded register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowEvent {
+    /// Index of the register within its register file (the owning pid).
+    pub register: usize,
+    /// The value the algorithm attempted to store.
+    pub attempted: u64,
+    /// The register bound `M`.
+    pub bound: u64,
+    /// The value actually stored after applying the policy.
+    pub stored: u64,
+}
+
+impl fmt::Display for OverflowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overflow on register {}: attempted {} > M={} (stored {})",
+            self.register, self.attempted, self.bound, self.stored
+        )
+    }
+}
+
+/// A single bounded register backed by an atomic word.
+///
+/// The register itself is multi-reader; write discipline (single writer) is
+/// enforced one level up by [`RegisterFile`].
+#[derive(Debug)]
+pub struct BoundedRegister {
+    cell: CachePadded<AtomicU64>,
+    bound: u64,
+    policy: OverflowPolicy,
+}
+
+impl BoundedRegister {
+    /// Creates a register holding 0 with the given bound and policy.
+    #[must_use]
+    pub fn new(bound: u64, policy: OverflowPolicy) -> Self {
+        Self {
+            cell: CachePadded::new(AtomicU64::new(0)),
+            bound,
+            policy,
+        }
+    }
+
+    /// The bound `M` of this register.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The configured overflow policy.
+    #[must_use]
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Reads the register (SeqCst).
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Stores a value known to be within bounds.
+    ///
+    /// Returns an [`OverflowEvent`] if the value was actually out of range and
+    /// the policy had to be applied — callers that believe they never overflow
+    /// (Bakery++) treat `Some` as a bug.
+    pub fn write(&self, index: usize, value: u64) -> Option<OverflowEvent> {
+        if value <= self.bound {
+            self.cell.store(value, Ordering::SeqCst);
+            None
+        } else {
+            let stored = self.policy.resolve(value, self.bound);
+            self.cell.store(stored, Ordering::SeqCst);
+            Some(OverflowEvent {
+                register: index,
+                attempted: value,
+                bound: self.bound,
+                stored,
+            })
+        }
+    }
+
+    /// Resets the register to 0 (crash/restart semantics, assumption 1.5).
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::SeqCst);
+    }
+}
+
+/// The shared memory of one lock instance: `choosing[0..n]` and `number[0..n]`.
+///
+/// All cells start at 0 as the paper requires.  Writes take the writing
+/// process's id and are only applied to that process's own cells; reads may
+/// target any cell.
+#[derive(Debug)]
+pub struct RegisterFile {
+    choosing: Box<[BoundedRegister]>,
+    number: Box<[BoundedRegister]>,
+    bound: u64,
+    policy: OverflowPolicy,
+}
+
+impl RegisterFile {
+    /// Creates a register file for `n` processes with ticket bound `M` and the
+    /// given overflow policy for the `number` registers.
+    ///
+    /// The `choosing` registers are boolean-valued, so their bound is 1 and
+    /// they can never overflow regardless of policy.
+    #[must_use]
+    pub fn new(n: usize, bound: u64, policy: OverflowPolicy) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        let choosing = (0..n)
+            .map(|_| BoundedRegister::new(1, OverflowPolicy::Panic))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let number = (0..n)
+            .map(|_| BoundedRegister::new(bound, policy))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            choosing,
+            number,
+            bound,
+            policy,
+        }
+    }
+
+    /// Number of process slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.number.len()
+    }
+
+    /// True when the file has no slots (never the case for a constructed file).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.number.is_empty()
+    }
+
+    /// The ticket bound `M`.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The overflow policy applied to the `number` registers.
+    #[must_use]
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Reads `choosing[j]`.
+    #[must_use]
+    pub fn read_choosing(&self, j: usize) -> bool {
+        self.choosing[j].read() != 0
+    }
+
+    /// Reads `number[j]`.
+    #[must_use]
+    pub fn read_number(&self, j: usize) -> u64 {
+        self.number[j].read()
+    }
+
+    /// Snapshot of all `number` registers (one non-atomic read per register,
+    /// exactly like the algorithm's `maximum(number[1], …, number[N])` scan).
+    #[must_use]
+    pub fn snapshot_numbers(&self) -> Vec<u64> {
+        self.number.iter().map(BoundedRegister::read).collect()
+    }
+
+    /// Writes `choosing[pid]`; only the owning process may call this.
+    pub fn write_choosing(&self, pid: usize, value: bool) {
+        // `choosing` is 0/1-valued; the bound-1 register cannot overflow.
+        let _ = self.choosing[pid].write(pid, u64::from(value));
+    }
+
+    /// Writes `number[pid]`, recording any overflow in `stats` and returning
+    /// the event if one occurred.
+    pub fn write_number(
+        &self,
+        pid: usize,
+        value: u64,
+        stats: &LockStats,
+    ) -> Option<OverflowEvent> {
+        let event = self.number[pid].write(pid, value);
+        if let Some(ev) = event {
+            stats.record_overflow(ev.attempted);
+        }
+        event
+    }
+
+    /// Resets both of `pid`'s registers to 0 (crash/restart, assumption 1.5).
+    pub fn reset_process(&self, pid: usize) {
+        self.number[pid].reset();
+        self.choosing[pid].reset();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn policy_wrap_matches_machine_arithmetic() {
+        assert_eq!(OverflowPolicy::Wrap.resolve(256, 255), 0);
+        assert_eq!(OverflowPolicy::Wrap.resolve(257, 255), 1);
+        assert_eq!(OverflowPolicy::Report.resolve(300, 255), 44);
+    }
+
+    #[test]
+    fn policy_saturate_clamps() {
+        assert_eq!(OverflowPolicy::Saturate.resolve(1000, 255), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "register overflow")]
+    fn policy_panic_panics() {
+        let _ = OverflowPolicy::Panic.resolve(256, 255);
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(OverflowPolicy::Wrap.to_string(), "wrap");
+        assert_eq!(OverflowPolicy::Saturate.to_string(), "saturate");
+        assert_eq!(OverflowPolicy::Panic.to_string(), "panic");
+        assert_eq!(OverflowPolicy::Report.to_string(), "report");
+    }
+
+    #[test]
+    fn register_starts_at_zero() {
+        let r = BoundedRegister::new(255, OverflowPolicy::Wrap);
+        assert_eq!(r.read(), 0);
+        assert_eq!(r.bound(), 255);
+        assert_eq!(r.policy(), OverflowPolicy::Wrap);
+    }
+
+    #[test]
+    fn in_range_write_returns_no_event() {
+        let r = BoundedRegister::new(255, OverflowPolicy::Wrap);
+        assert!(r.write(0, 255).is_none());
+        assert_eq!(r.read(), 255);
+    }
+
+    #[test]
+    fn out_of_range_write_reports_event() {
+        let r = BoundedRegister::new(255, OverflowPolicy::Wrap);
+        let ev = r.write(3, 256).expect("overflow event");
+        assert_eq!(ev.register, 3);
+        assert_eq!(ev.attempted, 256);
+        assert_eq!(ev.bound, 255);
+        assert_eq!(ev.stored, 0);
+        assert_eq!(r.read(), 0);
+        assert!(ev.to_string().contains("overflow on register 3"));
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let r = BoundedRegister::new(10, OverflowPolicy::Saturate);
+        r.write(0, 7);
+        r.reset();
+        assert_eq!(r.read(), 0);
+    }
+
+    #[test]
+    fn register_file_initial_state_is_all_zero() {
+        let file = RegisterFile::new(4, 255, OverflowPolicy::Wrap);
+        assert_eq!(file.len(), 4);
+        assert!(!file.is_empty());
+        for j in 0..4 {
+            assert_eq!(file.read_number(j), 0);
+            assert!(!file.read_choosing(j));
+        }
+        assert_eq!(file.snapshot_numbers(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn register_file_rejects_zero_processes() {
+        let _ = RegisterFile::new(0, 255, OverflowPolicy::Wrap);
+    }
+
+    #[test]
+    fn write_number_records_overflow_in_stats() {
+        let file = RegisterFile::new(2, 3, OverflowPolicy::Wrap);
+        let stats = LockStats::new();
+        assert!(file.write_number(0, 3, &stats).is_none());
+        assert_eq!(stats.overflow_attempts(), 0);
+        let ev = file.write_number(0, 4, &stats).expect("overflow");
+        assert_eq!(ev.stored, 0);
+        assert_eq!(stats.overflow_attempts(), 1);
+    }
+
+    #[test]
+    fn reset_process_clears_both_registers() {
+        let file = RegisterFile::new(2, 255, OverflowPolicy::Wrap);
+        let stats = LockStats::new();
+        file.write_choosing(1, true);
+        file.write_number(1, 9, &stats);
+        file.reset_process(1);
+        assert_eq!(file.read_number(1), 0);
+        assert!(!file.read_choosing(1));
+        // process 0 untouched
+        file.write_number(0, 5, &stats);
+        file.reset_process(1);
+        assert_eq!(file.read_number(0), 5);
+    }
+
+    proptest! {
+        /// Regardless of the (non-panicking) policy, the stored value never
+        /// exceeds the bound: the register is genuinely bounded hardware.
+        #[test]
+        fn stored_value_never_exceeds_bound(
+            bound in 1u64..1000,
+            value in 0u64..100_000,
+            policy_idx in 0usize..3,
+        ) {
+            let policy = [OverflowPolicy::Wrap, OverflowPolicy::Saturate, OverflowPolicy::Report][policy_idx];
+            let r = BoundedRegister::new(bound, policy);
+            let _ = r.write(0, value);
+            prop_assert!(r.read() <= bound);
+        }
+
+        /// Wrap really is modulo arithmetic, i.e. what an (M+1)-state machine
+        /// register would hold.
+        #[test]
+        fn wrap_is_modulo(bound in 1u64..1_000, value in 0u64..1_000_000) {
+            let r = BoundedRegister::new(bound, OverflowPolicy::Wrap);
+            let _ = r.write(0, value);
+            prop_assert_eq!(r.read(), value % (bound + 1));
+        }
+
+        /// The single-writer file only changes the targeted process's cells.
+        #[test]
+        fn writes_are_confined_to_owner(
+            n in 2usize..8,
+            writer in 0usize..8,
+            value in 0u64..100,
+        ) {
+            let writer = writer % n;
+            let file = RegisterFile::new(n, 255, OverflowPolicy::Wrap);
+            let stats = LockStats::new();
+            file.write_number(writer, value, &stats);
+            file.write_choosing(writer, true);
+            for j in 0..n {
+                if j != writer {
+                    prop_assert_eq!(file.read_number(j), 0);
+                    prop_assert!(!file.read_choosing(j));
+                }
+            }
+            prop_assert_eq!(file.read_number(writer), value);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Process slot allocation.
+//!
+//! The Bakery family identifies participants by a small integer id `i ∈
+//! {0, …, N-1}` that indexes the `choosing` and `number` arrays.  A real
+//! program has threads, not pre-numbered processes, so each lock owns a
+//! [`SlotAllocator`] that hands out ids as [`Slot`] tokens.  Holding the token
+//! is the *only* way to call the lock's acquire/release path for that id,
+//! which gives two guarantees the paper relies on:
+//!
+//! * a given process id is driven by at most one thread at a time, and
+//! * a thread can only ever write the registers belonging to its own id
+//!   (the "no process writes into another process's memory" property).
+//!
+//! Dropping a `Slot` releases the id after resetting its registers to zero,
+//! which is exactly the paper's crash/restart rule (assumptions 1.5–1.7): a
+//! departing process looks to everyone else like a process that crashed in its
+//! noncritical section.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::sync::{AtomicBool, Ordering};
+
+/// Errors returned by [`SlotAllocator::claim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotError {
+    /// All `N` process slots are currently claimed.
+    Exhausted {
+        /// The capacity of the lock that rejected the claim.
+        capacity: usize,
+    },
+    /// The requested slot index is outside `0..capacity`.
+    OutOfRange {
+        /// The requested index.
+        requested: usize,
+        /// The capacity of the lock.
+        capacity: usize,
+    },
+    /// The requested slot index is already claimed by another thread.
+    AlreadyClaimed {
+        /// The requested index.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotError::Exhausted { capacity } => {
+                write!(f, "all {capacity} process slots are claimed")
+            }
+            SlotError::OutOfRange {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "slot {requested} is out of range for a lock with {capacity} slots"
+            ),
+            SlotError::AlreadyClaimed { requested } => {
+                write!(f, "slot {requested} is already claimed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// Shared bookkeeping of which process ids are currently claimed.
+#[derive(Debug)]
+pub struct SlotAllocator {
+    claimed: Box<[AtomicBool]>,
+}
+
+impl SlotAllocator {
+    /// Creates an allocator with `n` free slots.
+    #[must_use]
+    pub fn new(n: usize) -> Arc<Self> {
+        assert!(n > 0, "a lock needs at least one process slot");
+        Arc::new(Self {
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// Total number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.claimed.len()
+    }
+
+    /// Number of currently claimed slots.
+    #[must_use]
+    pub fn claimed_count(&self) -> usize {
+        self.claimed
+            .iter()
+            .filter(|c| c.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Claims the lowest free slot.
+    pub fn claim(self: &Arc<Self>) -> Result<Slot, SlotError> {
+        for pid in 0..self.capacity() {
+            if self.try_claim_index(pid) {
+                return Ok(Slot {
+                    pid,
+                    allocator: Arc::clone(self),
+                });
+            }
+        }
+        Err(SlotError::Exhausted {
+            capacity: self.capacity(),
+        })
+    }
+
+    /// Claims a specific slot index.
+    pub fn claim_exact(self: &Arc<Self>, pid: usize) -> Result<Slot, SlotError> {
+        if pid >= self.capacity() {
+            return Err(SlotError::OutOfRange {
+                requested: pid,
+                capacity: self.capacity(),
+            });
+        }
+        if self.try_claim_index(pid) {
+            Ok(Slot {
+                pid,
+                allocator: Arc::clone(self),
+            })
+        } else {
+            Err(SlotError::AlreadyClaimed { requested: pid })
+        }
+    }
+
+    fn try_claim_index(&self, pid: usize) -> bool {
+        self.claimed[pid]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn release_index(&self, pid: usize) {
+        self.claimed[pid].store(false, Ordering::SeqCst);
+    }
+}
+
+/// An owned process id for one lock instance.
+///
+/// The slot is released (and becomes claimable again) when dropped.
+#[derive(Debug)]
+pub struct Slot {
+    pid: usize,
+    allocator: Arc<SlotAllocator>,
+}
+
+impl Slot {
+    /// The process id this slot represents.
+    #[must_use]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// True when this slot was handed out by `allocator`.
+    ///
+    /// Used by the locking facade to reject slots that belong to a different
+    /// lock instance, which would otherwise silently break the single-writer
+    /// register discipline.
+    #[must_use]
+    pub fn belongs_to(&self, allocator: &Arc<SlotAllocator>) -> bool {
+        Arc::ptr_eq(&self.allocator, allocator)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot p{}", self.pid)
+    }
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        self.allocator.release_index(self.pid);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_lowest_free_slot_first() {
+        let alloc = SlotAllocator::new(3);
+        let a = alloc.claim().unwrap();
+        let b = alloc.claim().unwrap();
+        assert_eq!(a.pid(), 0);
+        assert_eq!(b.pid(), 1);
+        assert_eq!(alloc.claimed_count(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let alloc = SlotAllocator::new(1);
+        let _a = alloc.claim().unwrap();
+        let err = alloc.claim().unwrap_err();
+        assert_eq!(err, SlotError::Exhausted { capacity: 1 });
+        assert!(err.to_string().contains("all 1 process slots"));
+    }
+
+    #[test]
+    fn dropping_a_slot_frees_it() {
+        let alloc = SlotAllocator::new(1);
+        {
+            let _a = alloc.claim().unwrap();
+            assert_eq!(alloc.claimed_count(), 1);
+        }
+        assert_eq!(alloc.claimed_count(), 0);
+        let again = alloc.claim().unwrap();
+        assert_eq!(again.pid(), 0);
+    }
+
+    #[test]
+    fn claim_exact_respects_range_and_conflicts() {
+        let alloc = SlotAllocator::new(2);
+        let err = alloc.claim_exact(5).unwrap_err();
+        assert_eq!(
+            err,
+            SlotError::OutOfRange {
+                requested: 5,
+                capacity: 2
+            }
+        );
+        let one = alloc.claim_exact(1).unwrap();
+        assert_eq!(one.pid(), 1);
+        let err = alloc.claim_exact(1).unwrap_err();
+        assert_eq!(err, SlotError::AlreadyClaimed { requested: 1 });
+        assert!(err.to_string().contains("already claimed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_capacity_is_rejected() {
+        let _ = SlotAllocator::new(0);
+    }
+
+    #[test]
+    fn slot_display_mentions_pid() {
+        let alloc = SlotAllocator::new(2);
+        let s = alloc.claim().unwrap();
+        assert_eq!(s.to_string(), "slot p0");
+    }
+
+    #[test]
+    fn concurrent_claims_never_alias() {
+        use std::collections::HashSet;
+        use std::sync::{Barrier, Mutex};
+        let alloc = SlotAllocator::new(8);
+        let seen = Mutex::new(HashSet::new());
+        // The barrier keeps every slot alive until all eight threads have
+        // claimed one, so the pids observed while all are held must be the
+        // full distinct set 0..8.
+        let all_claimed = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let slot = alloc.claim().unwrap();
+                    let fresh = seen.lock().unwrap().insert(slot.pid());
+                    assert!(fresh, "two threads claimed pid {}", slot.pid());
+                    all_claimed.wait();
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 8);
+    }
+}

@@ -1,0 +1,233 @@
+//! Lock statistics counters.
+//!
+//! Every lock in the suite exposes a [`LockStats`] describing what happened
+//! since construction: critical-section entries, overflow attempts, Bakery++
+//! reset branches, `L1` admission waits and doorway (`L2`/`L3`) wait
+//! iterations, plus the largest ticket value ever stored.  The experiment
+//! harness (crate `bakery-harness`) aggregates these counters into the tables
+//! of EXPERIMENTS.md, so they are cheap, always-on relaxed atomics rather than
+//! an optional feature.
+
+use std::fmt;
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Monotonic counters describing a lock's lifetime behaviour.
+///
+/// All counters use relaxed atomics: they are diagnostics, not part of the
+/// mutual-exclusion protocol, and must never introduce synchronization that
+/// could mask protocol bugs.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    cs_entries: AtomicU64,
+    overflow_attempts: AtomicU64,
+    resets: AtomicU64,
+    l1_waits: AtomicU64,
+    doorway_waits: AtomicU64,
+    max_ticket: AtomicU64,
+}
+
+impl LockStats {
+    /// Creates a zeroed statistics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of completed critical-section entries.
+    #[must_use]
+    pub fn cs_entries(&self) -> u64 {
+        self.cs_entries.load(Ordering::Relaxed)
+    }
+
+    /// Number of attempts to store a ticket above the register bound.
+    ///
+    /// For [`crate::BakeryPlusPlusLock`] this is zero by construction
+    /// (Theorem, paper §6.1); for the bounded classic Bakery it counts the
+    /// Section 3 failures.
+    #[must_use]
+    pub fn overflow_attempts(&self) -> u64 {
+        self.overflow_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Number of times the Bakery++ reset branch (`number[i] := 0; goto L1`)
+    /// was taken.
+    #[must_use]
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// Number of wait iterations spent at Bakery++'s `L1` admission guard.
+    #[must_use]
+    pub fn l1_waits(&self) -> u64 {
+        self.l1_waits.load(Ordering::Relaxed)
+    }
+
+    /// Number of wait iterations spent in the `L2`/`L3` scan loops.
+    #[must_use]
+    pub fn doorway_waits(&self) -> u64 {
+        self.doorway_waits.load(Ordering::Relaxed)
+    }
+
+    /// The largest ticket value this lock ever stored in a `number` register.
+    #[must_use]
+    pub fn max_ticket(&self) -> u64 {
+        self.max_ticket.load(Ordering::Relaxed)
+    }
+
+    /// Records a completed critical-section entry.
+    pub fn record_cs_entry(&self) {
+        self.cs_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an attempt to store `attempted` above the bound.
+    pub fn record_overflow(&self, attempted: u64) {
+        self.overflow_attempts.fetch_add(1, Ordering::Relaxed);
+        self.record_ticket(attempted);
+    }
+
+    /// Records one Bakery++ reset branch.
+    pub fn record_reset(&self) {
+        self.resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `iterations` wait rounds at the `L1` admission guard.
+    pub fn record_l1_waits(&self, iterations: u64) {
+        if iterations > 0 {
+            self.l1_waits.fetch_add(iterations, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `iterations` wait rounds in the `L2`/`L3` loops.
+    pub fn record_doorway_waits(&self, iterations: u64) {
+        if iterations > 0 {
+            self.doorway_waits.fetch_add(iterations, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a stored (or attempted) ticket value for the high-water mark.
+    pub fn record_ticket(&self, value: u64) {
+        self.max_ticket.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies the counters into a plain snapshot struct.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cs_entries: self.cs_entries(),
+            overflow_attempts: self.overflow_attempts(),
+            resets: self.resets(),
+            l1_waits: self.l1_waits(),
+            doorway_waits: self.doorway_waits(),
+            max_ticket: self.max_ticket(),
+        }
+    }
+}
+
+/// A plain-data copy of [`LockStats`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`LockStats::cs_entries`].
+    pub cs_entries: u64,
+    /// See [`LockStats::overflow_attempts`].
+    pub overflow_attempts: u64,
+    /// See [`LockStats::resets`].
+    pub resets: u64,
+    /// See [`LockStats::l1_waits`].
+    pub l1_waits: u64,
+    /// See [`LockStats::doorway_waits`].
+    pub doorway_waits: u64,
+    /// See [`LockStats::max_ticket`].
+    pub max_ticket: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={}",
+            self.cs_entries,
+            self.overflow_attempts,
+            self.resets,
+            self.l1_waits,
+            self.doorway_waits,
+            self.max_ticket
+        )
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_stats_are_zero() {
+        let s = LockStats::new();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LockStats::new();
+        s.record_cs_entry();
+        s.record_cs_entry();
+        s.record_reset();
+        s.record_l1_waits(3);
+        s.record_doorway_waits(5);
+        s.record_ticket(42);
+        assert_eq!(s.cs_entries(), 2);
+        assert_eq!(s.resets(), 1);
+        assert_eq!(s.l1_waits(), 3);
+        assert_eq!(s.doorway_waits(), 5);
+        assert_eq!(s.max_ticket(), 42);
+    }
+
+    #[test]
+    fn zero_wait_records_are_ignored() {
+        let s = LockStats::new();
+        s.record_l1_waits(0);
+        s.record_doorway_waits(0);
+        assert_eq!(s.l1_waits(), 0);
+        assert_eq!(s.doorway_waits(), 0);
+    }
+
+    #[test]
+    fn overflow_updates_high_water_mark() {
+        let s = LockStats::new();
+        s.record_overflow(300);
+        assert_eq!(s.overflow_attempts(), 1);
+        assert_eq!(s.max_ticket(), 300);
+        s.record_ticket(10);
+        assert_eq!(s.max_ticket(), 300, "max is monotone");
+    }
+
+    #[test]
+    fn snapshot_displays_all_fields() {
+        let s = LockStats::new();
+        s.record_cs_entry();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("cs=1"));
+        assert!(text.contains("overflows=0"));
+        assert!(text.contains("max_ticket=0"));
+    }
+
+    #[test]
+    fn stats_are_shareable_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(LockStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_cs_entry();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.cs_entries(), 4000);
+    }
+}

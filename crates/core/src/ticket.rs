@@ -1,0 +1,266 @@
+//! Ticket values and the Bakery ordering relation.
+//!
+//! The Bakery algorithm orders waiting processes by the pair
+//! `(number[i], i)` using the lexicographic relation the paper defines for its
+//! `<` operator: `(a, b) < (c, d)` iff `a < c`, or `a = c` and `b < d`.
+//! This module provides that ordering as a first-class type so the real locks,
+//! the model-checkable specifications and the experiment harness all share a
+//! single, well-tested definition.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+
+/// A ticket drawn in the doorway: the pair `(number, pid)`.
+///
+/// `number == 0` means "no ticket held" exactly as in the paper; the pid is
+/// carried along so ties between equal numbers are broken deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    /// The value read from / written to `number[pid]`.
+    pub number: u64,
+    /// The process id owning the ticket (index into the register arrays).
+    pub pid: usize,
+}
+
+impl Ticket {
+    /// Creates a ticket for process `pid` with the given `number`.
+    #[must_use]
+    pub fn new(number: u64, pid: usize) -> Self {
+        Self { number, pid }
+    }
+
+    /// The "no ticket" value for process `pid` (`number == 0`).
+    #[must_use]
+    pub fn idle(pid: usize) -> Self {
+        Self { number: 0, pid }
+    }
+
+    /// True when the process holds no ticket (`number == 0`).
+    ///
+    /// Note the paper's caveat (Section 5): in Bakery++ a zero number does
+    /// *not* imply the process is uninterested in the critical section — it
+    /// may be waiting at `L1` or about to retry after a reset.  This predicate
+    /// therefore only describes the register contents, not intent.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.number == 0
+    }
+
+    /// The paper's `(a, b) < (c, d)` relation.
+    ///
+    /// Returns `true` when `self` has priority over `other` — i.e. `self`
+    /// should enter the critical section first.
+    #[must_use]
+    pub fn precedes(&self, other: &Ticket) -> bool {
+        TicketOrder::compare(*self, *other) == CmpOrdering::Less
+    }
+}
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, p{})", self.number, self.pid)
+    }
+}
+
+/// The total order on tickets used by the `L3` wait loop.
+///
+/// This is kept separate from an `Ord` impl on [`Ticket`] on purpose: the
+/// algorithmic comparison is only meaningful between two *held* tickets
+/// (non-zero numbers); the `L3` guard additionally checks `number[j] != 0`
+/// before consulting the order, and the helper
+/// [`TicketOrder::must_wait_for`] mirrors that guard exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TicketOrder;
+
+impl TicketOrder {
+    /// Lexicographic comparison of `(number, pid)` pairs.
+    #[must_use]
+    pub fn compare(a: Ticket, b: Ticket) -> CmpOrdering {
+        match a.number.cmp(&b.number) {
+            CmpOrdering::Equal => a.pid.cmp(&b.pid),
+            other => other,
+        }
+    }
+
+    /// The guard of the paper's `L3` loop for process `me` observing `other`:
+    /// `number[j] != 0 and (number[j], j) < (number[i], i)`.
+    ///
+    /// Returns `true` when `me` must keep waiting because `other` has
+    /// priority.
+    #[must_use]
+    pub fn must_wait_for(me: Ticket, other: Ticket) -> bool {
+        other.number != 0 && Self::compare(other, me) == CmpOrdering::Less
+    }
+
+    /// The maximum ticket number among a set of observed numbers.
+    ///
+    /// This is the paper's `maximum(number[1], …, number[N])` function; the
+    /// argument order is irrelevant, as the paper notes.
+    #[must_use]
+    pub fn maximum(numbers: &[u64]) -> u64 {
+        numbers.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Convenience: sort tickets into service order (the order the bakery serves
+/// customers).  Idle tickets (`number == 0`) are placed last.
+#[must_use]
+pub fn service_order(mut tickets: Vec<Ticket>) -> Vec<Ticket> {
+    tickets.sort_by(|a, b| match (a.is_idle(), b.is_idle()) {
+        (true, true) => a.pid.cmp(&b.pid),
+        (true, false) => CmpOrdering::Greater,
+        (false, true) => CmpOrdering::Less,
+        (false, false) => TicketOrder::compare(*a, *b),
+    });
+    tickets
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Ticket::new(5, 2).to_string(), "(5, p2)");
+    }
+
+    #[test]
+    fn idle_ticket_has_zero_number() {
+        let t = Ticket::idle(3);
+        assert!(t.is_idle());
+        assert_eq!(t.number, 0);
+        assert_eq!(t.pid, 3);
+    }
+
+    #[test]
+    fn smaller_number_wins() {
+        let a = Ticket::new(1, 9);
+        let b = Ticket::new(2, 0);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+    }
+
+    #[test]
+    fn equal_numbers_tie_broken_by_pid() {
+        let a = Ticket::new(4, 1);
+        let b = Ticket::new(4, 2);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+    }
+
+    #[test]
+    fn must_wait_requires_nonzero_number() {
+        let me = Ticket::new(3, 1);
+        let idle = Ticket::idle(0);
+        assert!(!TicketOrder::must_wait_for(me, idle));
+        let holder = Ticket::new(1, 0);
+        assert!(TicketOrder::must_wait_for(me, holder));
+    }
+
+    #[test]
+    fn a_process_never_waits_for_itself() {
+        let me = Ticket::new(3, 1);
+        assert!(!TicketOrder::must_wait_for(me, me));
+    }
+
+    #[test]
+    fn maximum_of_empty_is_zero() {
+        assert_eq!(TicketOrder::maximum(&[]), 0);
+    }
+
+    #[test]
+    fn maximum_is_order_insensitive() {
+        assert_eq!(TicketOrder::maximum(&[3, 1, 7, 2]), 7);
+        assert_eq!(TicketOrder::maximum(&[7, 3, 2, 1]), 7);
+    }
+
+    #[test]
+    fn service_order_places_idle_last() {
+        let order = service_order(vec![
+            Ticket::idle(0),
+            Ticket::new(2, 1),
+            Ticket::new(1, 2),
+            Ticket::idle(3),
+        ]);
+        assert_eq!(order[0], Ticket::new(1, 2));
+        assert_eq!(order[1], Ticket::new(2, 1));
+        assert!(order[2].is_idle());
+        assert!(order[3].is_idle());
+    }
+
+    proptest! {
+        /// The comparison is a strict total order on (number, pid) pairs:
+        /// antisymmetric, transitive, and total.
+        #[test]
+        fn order_is_total_and_antisymmetric(
+            a_num in 0u64..100, a_pid in 0usize..16,
+            b_num in 0u64..100, b_pid in 0usize..16,
+        ) {
+            let a = Ticket::new(a_num, a_pid);
+            let b = Ticket::new(b_num, b_pid);
+            let ab = TicketOrder::compare(a, b);
+            let ba = TicketOrder::compare(b, a);
+            prop_assert_eq!(ab, ba.reverse());
+            if a == b {
+                prop_assert_eq!(ab, CmpOrdering::Equal);
+            } else {
+                prop_assert_ne!(ab, CmpOrdering::Equal);
+            }
+        }
+
+        #[test]
+        fn order_is_transitive(
+            nums in proptest::collection::vec((0u64..50, 0usize..8), 3)
+        ) {
+            let a = Ticket::new(nums[0].0, nums[0].1);
+            let b = Ticket::new(nums[1].0, nums[1].1);
+            let c = Ticket::new(nums[2].0, nums[2].1);
+            if TicketOrder::compare(a, b) == CmpOrdering::Less
+                && TicketOrder::compare(b, c) == CmpOrdering::Less
+            {
+                prop_assert_eq!(TicketOrder::compare(a, c), CmpOrdering::Less);
+            }
+        }
+
+        /// Two distinct waiting processes can never both have priority over
+        /// each other — the core of the mutual exclusion argument.
+        #[test]
+        fn no_mutual_priority(
+            a_num in 1u64..100, b_num in 1u64..100,
+            a_pid in 0usize..16, b_pid in 0usize..16,
+        ) {
+            prop_assume!(a_pid != b_pid);
+            let a = Ticket::new(a_num, a_pid);
+            let b = Ticket::new(b_num, b_pid);
+            let a_waits = TicketOrder::must_wait_for(a, b);
+            let b_waits = TicketOrder::must_wait_for(b, a);
+            prop_assert!(a_waits != b_waits, "exactly one of two ticket holders waits");
+        }
+
+        #[test]
+        fn maximum_matches_iterator_max(values in proptest::collection::vec(0u64..1000, 0..32)) {
+            let expected = values.iter().copied().max().unwrap_or(0);
+            prop_assert_eq!(TicketOrder::maximum(&values), expected);
+        }
+
+        #[test]
+        fn service_order_is_sorted(values in proptest::collection::vec((0u64..20, 0usize..8), 0..16)) {
+            let tickets: Vec<Ticket> = values
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _))| Ticket::new(*n, i))
+                .collect();
+            let ordered = service_order(tickets);
+            for pair in ordered.windows(2) {
+                let (x, y) = (pair[0], pair[1]);
+                if !x.is_idle() && !y.is_idle() {
+                    prop_assert!(TicketOrder::compare(x, y) != CmpOrdering::Greater);
+                }
+                if x.is_idle() {
+                    prop_assert!(y.is_idle());
+                }
+            }
+        }
+    }
+}

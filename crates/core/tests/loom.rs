@@ -1,0 +1,73 @@
+//! loom model-checking of the real atomics-based locks.
+//!
+//! These tests only compile and run under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p bakery-core --test loom --release
+//! ```
+//!
+//! They complement the `bakery-mc` explicit-state checker: `bakery-mc`
+//! verifies the *abstract algorithm* under the paper's register model, while
+//! loom verifies this crate's *implementation* (SeqCst atomics) under the C11
+//! memory model for two threads.
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, RawNProcessLock};
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::thread;
+
+fn check_two_thread_mutex<L, F>(make: F)
+where
+    L: RawNProcessLock + 'static,
+    F: Fn() -> L + Sync + Send + 'static,
+{
+    loom::model(move || {
+        let lock = Arc::new(make());
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for pid in 0..2 {
+            let lock = Arc::clone(&lock);
+            let in_cs = Arc::clone(&in_cs);
+            handles.push(thread::spawn(move || {
+                lock.acquire(pid);
+                assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                lock.release(pid);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn loom_bakery_two_threads() {
+    check_two_thread_mutex(|| BakeryLock::new(2));
+}
+
+#[test]
+fn loom_bakery_pp_two_threads() {
+    check_two_thread_mutex(|| BakeryPlusPlusLock::with_bound(2, 8));
+}
+
+#[test]
+fn loom_bakery_pp_tiny_bound_never_overflows() {
+    loom::model(|| {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, 2));
+        let mut handles = Vec::new();
+        for pid in 0..2 {
+            let lock = Arc::clone(&lock);
+            handles.push(thread::spawn(move || {
+                lock.acquire(pid);
+                lock.release(pid);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    });
+}

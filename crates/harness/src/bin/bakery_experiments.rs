@@ -1,0 +1,88 @@
+//! `bakery-experiments` — command-line experiment runner.
+//!
+//! Regenerates the paper's claims as Markdown tables (and optionally JSON):
+//!
+//! ```text
+//! bakery-experiments                # run every experiment (full size)
+//! bakery-experiments --quick        # CI-sized runs
+//! bakery-experiments --quick e1 e2  # run a subset
+//! bakery-experiments --json out.json
+//! bakery-experiments --list
+//! ```
+
+use std::process::ExitCode;
+
+use bakery_harness::experiments::{run_experiments, ExperimentId};
+
+fn print_usage() {
+    println!(
+        "usage: bakery-experiments [--quick] [--json FILE] [--list] [E1 E2 ...]\n\n\
+         Runs the Bakery++ reproduction experiments and prints Markdown tables.\n\
+         With no experiment arguments, all of E1..E9 are run."
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("--json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for id in ExperimentId::all() {
+                    println!("{}  {}", id, id.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => match ExperimentId::parse(other) {
+                Some(id) => selected.push(id),
+                None => {
+                    eprintln!("unknown argument: {other}");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+
+    let ids: Vec<ExperimentId> = if selected.is_empty() {
+        ExperimentId::all().to_vec()
+    } else {
+        selected
+    };
+
+    eprintln!(
+        "running {} experiment(s){}...",
+        ids.len(),
+        if quick { " (quick mode)" } else { "" }
+    );
+    for id in &ids {
+        eprintln!("  {}", id.description());
+    }
+
+    let report = run_experiments(&ids, quick);
+    println!("{}", report.to_markdown());
+
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,156 @@
+//! **E2 — §6.1 + TLC result: exhaustive model checking.**
+//!
+//! Reproduces the paper's verification: for small instances (N processes,
+//! register bound M) the entire state space is explored and the two invariants
+//! *NoOverflow* and *MutualExclusion* are checked on every reachable state.
+//! Bakery++ satisfies both; the classic Bakery on the same bounded registers
+//! reaches an overflow state.
+
+use bakery_mc::ModelChecker;
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
+
+use crate::report::Table;
+
+/// One model-checking configuration and its outcome.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Register bound M.
+    pub bound: u64,
+    /// Distinct states explored.
+    pub states: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+    /// Whether exploration covered the full state space.
+    pub complete: bool,
+    /// Violated invariants (empty = all hold).
+    pub violated: Vec<String>,
+    /// Depth of the first violation, if any.
+    pub violation_depth: Option<usize>,
+}
+
+/// Model checks one Bakery-family configuration.
+#[must_use]
+pub fn check_bakery_pp(n: usize, bound: u64, max_states: usize) -> CheckOutcome {
+    let spec = BakeryPlusPlusSpec::new(n, bound);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_max_states(max_states)
+        .run();
+    CheckOutcome {
+        algorithm: "bakery++".into(),
+        n,
+        bound,
+        states: report.states,
+        transitions: report.transitions,
+        complete: !report.truncated,
+        violation_depth: report.violations.first().map(|v| v.depth),
+        violated: report.violated_invariants(),
+    }
+}
+
+/// Model checks the bounded classic Bakery.
+#[must_use]
+pub fn check_classic_bakery(n: usize, bound: u64, max_states: usize) -> CheckOutcome {
+    let spec = BakerySpec::new(n, bound);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_max_states(max_states)
+        .run();
+    CheckOutcome {
+        algorithm: "bakery".into(),
+        n,
+        bound,
+        states: report.states,
+        transitions: report.transitions,
+        complete: !report.truncated,
+        violation_depth: report.violations.first().map(|v| v.depth),
+        violated: report.violated_invariants(),
+    }
+}
+
+fn push_outcome(table: &mut Table, outcome: &CheckOutcome) {
+    table.push_row(vec![
+        outcome.algorithm.clone(),
+        outcome.n.to_string(),
+        outcome.bound.to_string(),
+        outcome.states.to_string(),
+        outcome.transitions.to_string(),
+        if outcome.complete { "yes" } else { "no (bounded)" }.to_string(),
+        if outcome.violated.is_empty() {
+            "holds".to_string()
+        } else {
+            format!(
+                "VIOLATED: {} (depth {})",
+                outcome.violated.join(", "),
+                outcome.violation_depth.unwrap_or(0)
+            )
+        },
+    ]);
+}
+
+/// Runs E2 and renders its table.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let max_states = if quick { 300_000 } else { 3_000_000 };
+    let mut table = Table::new(
+        "E2 — exhaustive model checking (NoOverflow ∧ MutualExclusion)",
+        &[
+            "algorithm",
+            "N",
+            "M",
+            "states",
+            "transitions",
+            "complete",
+            "verdict",
+        ],
+    );
+
+    let mut configs: Vec<(usize, u64)> = vec![(2, 2), (2, 3), (2, 4)];
+    if !quick {
+        configs.push((3, 2));
+        configs.push((3, 3));
+    }
+    for &(n, bound) in &configs {
+        push_outcome(&mut table, &check_bakery_pp(n, bound, max_states));
+        push_outcome(&mut table, &check_classic_bakery(n, bound, max_states));
+    }
+    table.push_note(
+        "Bakery++ satisfies both invariants on every reachable state (the paper's Theorem, §6.1); \
+         the classic Bakery on the same bounded registers reaches an overflow state.",
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_holds_exhaustively_for_two_processes() {
+        let outcome = check_bakery_pp(2, 3, 1_000_000);
+        assert!(outcome.violated.is_empty());
+        assert!(outcome.complete);
+        assert!(outcome.states > 100);
+    }
+
+    #[test]
+    fn classic_violates_no_overflow() {
+        let outcome = check_classic_bakery(2, 3, 1_000_000);
+        assert_eq!(outcome.violated, vec!["NoOverflow".to_string()]);
+        assert!(outcome.violation_depth.unwrap() > 0);
+    }
+
+    #[test]
+    fn quick_table_has_both_algorithms() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 6);
+        let md = tables[0].to_markdown();
+        assert!(md.contains("bakery++"));
+        assert!(md.contains("VIOLATED: NoOverflow"));
+    }
+}

@@ -1,0 +1,214 @@
+//! **E6 — §7: spatial and temporal complexity.**
+//!
+//! The paper claims Bakery++ has the same O(N) spatial complexity as Bakery
+//! (two arrays of size N, no new shared variables) and the same temporal
+//! complexity whenever the overflow machinery does not fire, with extra cost
+//! only when resets happen.  Three tables:
+//!
+//! * **E6a** — shared memory words per algorithm as N grows (the O(N) claim,
+//!   with Bakery and Bakery++ identical and the related algorithms shown for
+//!   context);
+//! * **E6b** — simulator steps per critical-section entry for Bakery vs
+//!   Bakery++ with a large bound (no resets) and a tiny bound (constant
+//!   resets): the price of the guarantee;
+//! * **E6c** — per-acquisition protocol steps of the real locks measured via
+//!   the doorway/scan counters.
+
+use std::sync::Arc;
+
+use bakery_baselines::{all_algorithms, LockFactory};
+use bakery_core::NProcessMutex;
+use bakery_sim::{RandomScheduler, RunConfig, Simulator};
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
+
+use crate::report::Table;
+use crate::workload::{run_workload, Workload};
+
+/// Shared-word counts per algorithm for a given process count.
+#[must_use]
+pub fn spatial_table(process_counts: &[usize]) -> Table {
+    let mut headers: Vec<String> = vec!["algorithm".into()];
+    headers.extend(process_counts.iter().map(|n| format!("N={n}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("E6a — shared memory words vs process count (O(N) claim)", &header_refs);
+
+    let factory = LockFactory::new();
+    let max_n = *process_counts.iter().max().unwrap_or(&2);
+    for (id, _) in all_algorithms(max_n, &factory) {
+        let mut row = vec![id.name().to_string()];
+        for &n in process_counts {
+            if id.supports(n) {
+                let lock = factory.build(id, n);
+                row.push(lock.shared_word_count().to_string());
+            } else {
+                row.push("-".into());
+            }
+        }
+        table.push_row(row);
+    }
+    table.push_note(
+        "Bakery and Bakery++ report identical footprints (2N words): the bound M is a constant, \
+         not a shared variable.  The Black-White Bakery pays one extra shared word (the colour \
+         bit) plus a colour per process; Peterson-style locks use multi-writer words.",
+    );
+    table
+}
+
+/// Steps per CS entry of the specifications (simulator-level temporal cost).
+#[must_use]
+pub fn temporal_spec_table(quick: bool) -> Table {
+    let steps = if quick { 40_000 } else { 400_000 };
+    let mut table = Table::new(
+        "E6b — specification steps per critical-section entry (N=2, random schedule)",
+        &["algorithm", "M", "steps", "CS entries", "steps / entry", "resets"],
+    );
+    let sim = Simulator::new();
+
+    let classic = BakerySpec::new(2, u64::from(u32::MAX));
+    let run = sim.run(
+        &classic,
+        &mut RandomScheduler::new(1),
+        &RunConfig::<BakerySpec>::checked(steps),
+    );
+    let entries = run.report.total_cs_entries().max(1);
+    table.push_row(vec![
+        "bakery".into(),
+        "unbounded".into(),
+        run.report.steps.to_string(),
+        entries.to_string(),
+        format!("{:.1}", run.report.steps as f64 / entries as f64),
+        "-".into(),
+    ]);
+
+    for &bound in &[u64::from(u32::MAX), 8, 2] {
+        let pp = BakeryPlusPlusSpec::new(2, bound);
+        let run = sim.run(
+            &pp,
+            &mut RandomScheduler::new(1),
+            &RunConfig::<BakeryPlusPlusSpec>::checked(steps),
+        );
+        let entries = run.report.total_cs_entries().max(1);
+        table.push_row(vec![
+            "bakery++".into(),
+            if bound == u64::from(u32::MAX) {
+                "unbounded".into()
+            } else {
+                bound.to_string()
+            },
+            run.report.steps.to_string(),
+            entries.to_string(),
+            format!("{:.1}", run.report.steps as f64 / entries as f64),
+            run.report.overflow_avoidance_resets.to_string(),
+        ]);
+    }
+    table.push_note(
+        "With a large M, Bakery++ costs the same order of steps per entry as Bakery (the L1 \
+         scan adds a few local reads).  Only a pathologically small M makes the reset path \
+         visible — the paper's \"price of guaranteeing that no overflows ever occur\".",
+    );
+    table
+}
+
+/// Doorway/scan wait counters of the real locks under a small workload.
+#[must_use]
+pub fn temporal_lock_table(quick: bool) -> Table {
+    let iterations = if quick { 2_000 } else { 20_000 };
+    let threads = 4;
+    let mut table = Table::new(
+        "E6c — real-lock protocol effort per acquisition (4 threads)",
+        &[
+            "algorithm",
+            "acquisitions",
+            "doorway/scan wait rounds per acquisition",
+            "L1 waits per acquisition",
+            "resets per acquisition",
+        ],
+    );
+    for (name, lock) in [
+        (
+            "bakery",
+            Arc::new(bakery_core::BakeryLock::new(threads)) as Arc<dyn NProcessMutex + Send + Sync>,
+        ),
+        (
+            "bakery++ (M=65535)",
+            Arc::new(bakery_core::BakeryPlusPlusLock::with_bound(threads, 65_535)),
+        ),
+        (
+            "bakery++ (M=7)",
+            Arc::new(bakery_core::BakeryPlusPlusLock::with_bound(threads, 7)),
+        ),
+    ] {
+        let workload = Workload {
+            threads,
+            iterations_per_thread: iterations,
+            critical_section_work: 8,
+            think_work: 8,
+        };
+        let result = run_workload(Arc::clone(&lock), &workload);
+        let stats = lock.stats().snapshot();
+        let acqs = result.total_acquisitions.max(1);
+        table.push_row(vec![
+            name.to_string(),
+            result.total_acquisitions.to_string(),
+            format!("{:.2}", stats.doorway_waits as f64 / acqs as f64),
+            format!("{:.2}", stats.l1_waits as f64 / acqs as f64),
+            format!("{:.3}", stats.resets as f64 / acqs as f64),
+        ]);
+    }
+    table
+}
+
+/// Runs E6 and renders its tables.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![
+        spatial_table(&[2, 4, 8, 16, 32]),
+        temporal_spec_table(quick),
+        temporal_lock_table(quick),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_table_shows_equal_footprint_for_bakery_and_pp() {
+        let table = spatial_table(&[2, 8]);
+        let bakery: Vec<&Vec<String>> = table.rows.iter().filter(|r| r[0] == "bakery").collect();
+        let pp: Vec<&Vec<String>> = table.rows.iter().filter(|r| r[0] == "bakery++").collect();
+        assert_eq!(bakery.len(), 1);
+        assert_eq!(pp.len(), 1);
+        assert_eq!(bakery[0][1..], pp[0][1..], "identical shared footprint");
+        assert_eq!(bakery[0][1], "4");
+        assert_eq!(bakery[0][2], "16");
+    }
+
+    #[test]
+    fn spatial_footprint_scales_linearly() {
+        let table = spatial_table(&[2, 4, 8]);
+        let row = table.rows.iter().find(|r| r[0] == "bakery++").unwrap();
+        let values: Vec<u64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+        assert_eq!(values, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn temporal_spec_table_reports_comparable_costs() {
+        let table = temporal_spec_table(true);
+        assert_eq!(table.len(), 4);
+        let classic: f64 = table.rows[0][4].parse().unwrap();
+        let pp_large: f64 = table.rows[1][4].parse().unwrap();
+        assert!(classic > 0.0 && pp_large > 0.0);
+        assert!(
+            pp_large / classic < 3.0,
+            "with a large bound Bakery++ must stay within a small constant factor \
+             (classic {classic}, pp {pp_large})"
+        );
+    }
+
+    #[test]
+    fn temporal_lock_table_shape() {
+        let table = temporal_lock_table(true);
+        assert_eq!(table.len(), 3);
+    }
+}

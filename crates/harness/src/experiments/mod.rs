@@ -1,0 +1,130 @@
+//! One module per experiment (E1–E9).  Each exposes a `run(quick: bool)`
+//! function returning the [`crate::report::Table`]s that regenerate the
+//! corresponding claim of the paper; `quick` shrinks iteration counts so the
+//! full suite stays CI-friendly.
+
+pub mod e1_overflow;
+pub mod e2_model_check;
+pub mod e3_safety;
+pub mod e4_refinement;
+pub mod e5_liveness;
+pub mod e6_complexity;
+pub mod e7_throughput;
+pub mod e8_fairness;
+pub mod e9_overflow_time;
+
+use crate::report::Report;
+
+/// Identifier of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ExperimentId {
+    E1,
+    E2,
+    E3,
+    E4,
+    E5,
+    E6,
+    E7,
+    E8,
+    E9,
+}
+
+impl ExperimentId {
+    /// All experiments in order.
+    #[must_use]
+    pub fn all() -> &'static [ExperimentId] {
+        use ExperimentId::*;
+        &[E1, E2, E3, E4, E5, E6, E7, E8, E9]
+    }
+
+    /// Parses an experiment id such as `"e4"` / `"E4"` / `"4"`.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<ExperimentId> {
+        use ExperimentId::*;
+        match text.trim().to_ascii_lowercase().trim_start_matches('e') {
+            "1" => Some(E1),
+            "2" => Some(E2),
+            "3" => Some(E3),
+            "4" => Some(E4),
+            "5" => Some(E5),
+            "6" => Some(E6),
+            "7" => Some(E7),
+            "8" => Some(E8),
+            "9" => Some(E9),
+            _ => None,
+        }
+    }
+
+    /// One-line description shown by the runner.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        match self {
+            ExperimentId::E1 => "E1 §3: ticket growth and register overflow under alternation",
+            ExperimentId::E2 => "E2 §6.1: exhaustive model checking of NoOverflow / MutualExclusion",
+            ExperimentId::E3 => "E3 §6.2: safety under crash faults and safe-register reads",
+            ExperimentId::E4 => "E4 §6.2: Bakery++ traces are observably valid Bakery executions",
+            ExperimentId::E5 => "E5 §6.3: L1 starvation scenario (liveness)",
+            ExperimentId::E6 => "E6 §7: spatial and temporal complexity",
+            ExperimentId::E7 => "E7 §7: real-thread throughput and latency",
+            ExperimentId::E8 => "E8 §1.2/§8.2: first-come-first-served fairness",
+            ExperimentId::E9 => "E9 §4: time to overflow per register width",
+        }
+    }
+
+    /// Runs the experiment and returns its tables.
+    #[must_use]
+    pub fn run(&self, quick: bool) -> Vec<crate::report::Table> {
+        match self {
+            ExperimentId::E1 => e1_overflow::run(quick),
+            ExperimentId::E2 => e2_model_check::run(quick),
+            ExperimentId::E3 => e3_safety::run(quick),
+            ExperimentId::E4 => e4_refinement::run(quick),
+            ExperimentId::E5 => e5_liveness::run(quick),
+            ExperimentId::E6 => e6_complexity::run(quick),
+            ExperimentId::E7 => e7_throughput::run(quick),
+            ExperimentId::E8 => e8_fairness::run(quick),
+            ExperimentId::E9 => e9_overflow_time::run(quick),
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "E{}", *self as u8 + 1)
+    }
+}
+
+/// Runs the selected experiments (or all of them) and collects one report.
+#[must_use]
+pub fn run_experiments(ids: &[ExperimentId], quick: bool) -> Report {
+    let mut report = Report::new();
+    for id in ids {
+        for table in id.run(quick) {
+            report.push(table);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(ExperimentId::parse("e4"), Some(ExperimentId::E4));
+        assert_eq!(ExperimentId::parse("E9"), Some(ExperimentId::E9));
+        assert_eq!(ExperimentId::parse("2"), Some(ExperimentId::E2));
+        assert_eq!(ExperimentId::parse("e42"), None);
+        assert_eq!(ExperimentId::parse("bogus"), None);
+    }
+
+    #[test]
+    fn all_experiments_have_descriptions_and_display() {
+        for (i, id) in ExperimentId::all().iter().enumerate() {
+            assert!(id.description().starts_with(&format!("E{}", i + 1)));
+            assert_eq!(id.to_string(), format!("E{}", i + 1));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # bakery-harness
+//!
+//! Workload generation, metrics and the experiment runner that regenerates
+//! every quantitative claim of *"Avoiding Register Overflow in the Bakery
+//! Algorithm"*.  The paper contains no numbered tables or figures; instead,
+//! each of its verifiable claims is mapped to an experiment **E1–E9** (see
+//! `EXPERIMENTS.md` at the repository root).  Each experiment module produces
+//! one or more [`report::Table`]s that can be printed as Markdown or exported
+//! as JSON by the `bakery-experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p bakery-harness --bin bakery-experiments -- --quick
+//! ```
+//!
+//! | experiment | paper claim |
+//! |---|---|
+//! | [`experiments::e1_overflow`] | §3 — alternating processes grow tickets without bound; bounded registers overflow; Bakery++ caps at `M` |
+//! | [`experiments::e2_model_check`] | §6.1 + TLC — exhaustive NoOverflow / MutualExclusion checking |
+//! | [`experiments::e3_safety`] | §6.2 — safety under crashes and safe-register reads |
+//! | [`experiments::e4_refinement`] | §6.2 — Bakery++ traces are observably valid Bakery executions |
+//! | [`experiments::e5_liveness`] | §6.3 — the slow-process L1 starvation scenario |
+//! | [`experiments::e6_complexity`] | §7 — O(N) space, steps per acquisition, reset overhead |
+//! | [`experiments::e7_throughput`] | §7 — practicality: real-thread throughput/latency |
+//! | [`experiments::e8_fairness`] | §1.2/§8.2 — first-come-first-served service |
+//! | [`experiments::e9_overflow_time`] | §4 — measured time-to-overflow per register width |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod histogram;
+pub mod report;
+pub mod workload;
+
+pub use histogram::LatencyHistogram;
+pub use report::{Report, Table};
+pub use workload::{Workload, WorkloadResult};

@@ -1,0 +1,180 @@
+//! Plain-text / Markdown tables and JSON export for experiment results.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// One result table: a title, a header row and data rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "E1 — ticket growth and overflow").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes displayed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note rendered under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("### {}\n\n", self.title);
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&render_row(&self.headers));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// A collection of tables produced by one experiment run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Report {
+    /// Tables in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Renders every table as Markdown separated by blank lines.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        self.tables
+            .iter()
+            .map(Table::to_markdown)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown_with_alignment() {
+        let mut t = Table::new("Demo", &["algorithm", "value"]);
+        t.push_row(vec!["bakery".into(), "1".into()]);
+        t.push_row(vec!["bakery++".into(), "22".into()]);
+        t.push_note("a note");
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| algorithm | value |"));
+        assert!(md.contains("| bakery++  | 22    |"));
+        assert!(md.contains("> a note"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_is_rejected() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_combines_tables_and_exports_json() {
+        let mut report = Report::new();
+        let mut t = Table::new("T1", &["x"]);
+        t.push_row(vec!["1".into()]);
+        report.push(t);
+        report.push(Table::new("T2", &["y"]));
+        let md = report.to_markdown();
+        assert!(md.contains("### T1"));
+        assert!(md.contains("### T2"));
+        let json = report.to_json();
+        assert!(json.contains("\"title\": \"T1\""));
+    }
+}

@@ -1,0 +1,485 @@
+//! Breadth-first explicit-state exploration with invariant checking.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use serde::Serialize;
+
+use bakery_sim::{Algorithm, Invariant, ProgState, RegisterSpec};
+
+/// One step of a counterexample trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceStep {
+    /// The process that moved to reach this state (`None` for the initial
+    /// state).
+    pub pid: Option<usize>,
+    /// `true` when the step was an injected crash rather than a program step.
+    pub crash: bool,
+    /// Program-counter label of the moving process after the step.
+    pub label: String,
+    /// Rendering of the state after the step.
+    pub state: String,
+}
+
+/// An invariant violation together with its shortest counterexample.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// Depth (number of steps from the initial state) of the violating state.
+    pub depth: usize,
+    /// Shortest trace from the initial state to the violation.
+    pub trace: Vec<TraceStep>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariant {} violated at depth {}:",
+            self.invariant, self.depth
+        )?;
+        for (i, step) in self.trace.iter().enumerate() {
+            let actor = match (step.pid, step.crash) {
+                (Some(pid), true) => format!("crash p{pid}"),
+                (Some(pid), false) => format!("p{pid} -> {}", step.label),
+                (None, _) => "initial".to_string(),
+            };
+            writeln!(f, "  {i:>3}: {actor:<28} {}", step.state)?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics and findings of one exhaustive exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplorationReport {
+    /// Name of the checked algorithm.
+    pub algorithm: String,
+    /// Number of distinct reachable states visited.
+    pub states: usize,
+    /// Number of transitions examined.
+    pub transitions: usize,
+    /// Depth of the deepest visited state (BFS level).
+    pub max_depth: usize,
+    /// True when exploration stopped early because `max_states` was reached.
+    pub truncated: bool,
+    /// Renderings of reachable deadlock states (no process enabled).
+    pub deadlocks: Vec<String>,
+    /// Invariant violations with shortest counterexamples.
+    pub violations: Vec<Violation>,
+}
+
+impl ExplorationReport {
+    /// True when no invariant violation and no deadlock was found.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks.is_empty()
+    }
+
+    /// Names of the violated invariants (deduplicated, in discovery order).
+    #[must_use]
+    pub fn violated_invariants(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for v in &self.violations {
+            if !names.contains(&v.invariant) {
+                names.push(v.invariant.clone());
+            }
+        }
+        names
+    }
+}
+
+impl fmt::Display for ExplorationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} states, {} transitions, depth {}{}",
+            self.algorithm,
+            self.states,
+            self.transitions,
+            self.max_depth,
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        if self.deadlocks.is_empty() && self.violations.is_empty() {
+            writeln!(f, "  all invariants hold; no deadlock")?;
+        }
+        for d in &self.deadlocks {
+            writeln!(f, "  deadlock: {d}")?;
+        }
+        for v in &self.violations {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Breadth-first model checker over an [`Algorithm`] specification.
+pub struct ModelChecker<'a, A: Algorithm + ?Sized> {
+    algorithm: &'a A,
+    invariants: Vec<Invariant<A>>,
+    max_states: usize,
+    enable_crashes: bool,
+    stop_at_first_violation: bool,
+    check_deadlock: bool,
+}
+
+impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
+    /// Creates a checker for `algorithm` with no invariants installed and a
+    /// default budget of one million states.
+    #[must_use]
+    pub fn new(algorithm: &'a A) -> Self {
+        Self {
+            algorithm,
+            invariants: Vec::new(),
+            max_states: 1_000_000,
+            enable_crashes: false,
+            stop_at_first_violation: true,
+            check_deadlock: true,
+        }
+    }
+
+    /// Installs an invariant to check on every reachable state.
+    #[must_use]
+    pub fn with_invariant(mut self, invariant: Invariant<A>) -> Self {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Installs the two invariants the paper model checks: mutual exclusion
+    /// and overflow freedom.
+    #[must_use]
+    pub fn with_paper_invariants(self) -> Self {
+        self.with_invariant(Invariant::mutual_exclusion())
+            .with_invariant(Invariant::register_bounds())
+    }
+
+    /// Caps the number of distinct states explored.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Also explores crash/restart transitions (paper assumptions 1.5–1.7).
+    #[must_use]
+    pub fn with_crashes(mut self, enabled: bool) -> Self {
+        self.enable_crashes = enabled;
+        self
+    }
+
+    /// Keep exploring after the first violation (collect all of them).
+    #[must_use]
+    pub fn collect_all_violations(mut self) -> Self {
+        self.stop_at_first_violation = false;
+        self
+    }
+
+    /// Disables deadlock reporting (useful for specs whose processes may
+    /// legitimately all block, which none of the shipped specs do).
+    #[must_use]
+    pub fn without_deadlock_check(mut self) -> Self {
+        self.check_deadlock = false;
+        self
+    }
+
+    /// Runs the exhaustive exploration.
+    #[must_use]
+    pub fn run(self) -> ExplorationReport {
+        let alg = self.algorithm;
+        let n = alg.processes();
+        let registers: Vec<RegisterSpec> = alg.registers();
+
+        // State store: index -> state, plus dedup map and BFS bookkeeping.
+        let mut states: Vec<ProgState> = Vec::new();
+        let mut index: HashMap<ProgState, usize> = HashMap::new();
+        // parent[i] = (parent index, pid, was_crash)
+        let mut parent: Vec<Option<(usize, usize, bool)>> = Vec::new();
+        let mut depth: Vec<usize> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let mut report = ExplorationReport {
+            algorithm: alg.name().to_string(),
+            states: 0,
+            transitions: 0,
+            max_depth: 0,
+            truncated: false,
+            deadlocks: Vec::new(),
+            violations: Vec::new(),
+        };
+
+        let initial = alg.initial_state();
+        states.push(initial.clone());
+        index.insert(initial, 0);
+        parent.push(None);
+        depth.push(0);
+        queue.push_back(0);
+
+        // Check invariants on the initial state too.
+        self.check_state(&states, &parent, &depth, 0, &registers, &mut report);
+        if !report.violations.is_empty() && self.stop_at_first_violation {
+            report.states = 1;
+            return report;
+        }
+
+        let mut successors = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            let state = states[current].clone();
+            let current_depth = depth[current];
+            report.max_depth = report.max_depth.max(current_depth);
+
+            let mut any_enabled = false;
+            for pid in 0..n {
+                successors.clear();
+                alg.successors(&state, pid, &mut successors);
+                if !successors.is_empty() {
+                    any_enabled = true;
+                }
+                let crash_succ = if self.enable_crashes {
+                    alg.crash(&state, pid)
+                } else {
+                    None
+                };
+                for (is_crash, next) in successors
+                    .drain(..)
+                    .map(|s| (false, s))
+                    .chain(crash_succ.into_iter().map(|s| (true, s)))
+                {
+                    report.transitions += 1;
+                    let next_index = match index.get(&next) {
+                        Some(&existing) => existing,
+                        None => {
+                            let new_index = states.len();
+                            states.push(next.clone());
+                            index.insert(next, new_index);
+                            parent.push(Some((current, pid, is_crash)));
+                            depth.push(current_depth + 1);
+                            queue.push_back(new_index);
+                            let violated = self.check_state(
+                                &states,
+                                &parent,
+                                &depth,
+                                new_index,
+                                &registers,
+                                &mut report,
+                            );
+                            if violated && self.stop_at_first_violation {
+                                report.states = states.len();
+                                return report;
+                            }
+                            new_index
+                        }
+                    };
+                    let _ = next_index;
+                }
+            }
+
+            if self.check_deadlock && !any_enabled {
+                report
+                    .deadlocks
+                    .push(states[current].render(&registers));
+                if self.stop_at_first_violation {
+                    report.states = states.len();
+                    return report;
+                }
+            }
+
+            if states.len() >= self.max_states {
+                report.truncated = true;
+                break;
+            }
+        }
+
+        report.states = states.len();
+        report
+    }
+
+    /// Evaluates every invariant on state `idx`; returns true when at least
+    /// one was violated (and records the counterexample).
+    fn check_state(
+        &self,
+        states: &[ProgState],
+        parent: &[Option<(usize, usize, bool)>],
+        depth: &[usize],
+        idx: usize,
+        registers: &[RegisterSpec],
+        report: &mut ExplorationReport,
+    ) -> bool {
+        let mut violated = false;
+        for invariant in &self.invariants {
+            if !invariant.holds(self.algorithm, &states[idx]) {
+                violated = true;
+                report.violations.push(Violation {
+                    invariant: invariant.name().to_string(),
+                    depth: depth[idx],
+                    trace: self.rebuild_trace(states, parent, idx, registers),
+                });
+            }
+        }
+        violated
+    }
+
+    /// Rebuilds the path from the initial state to `idx`.
+    fn rebuild_trace(
+        &self,
+        states: &[ProgState],
+        parent: &[Option<(usize, usize, bool)>],
+        idx: usize,
+        registers: &[RegisterSpec],
+    ) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        let mut cursor = Some(idx);
+        while let Some(i) = cursor {
+            let (pid, crash) = match parent[i] {
+                Some((_, pid, crash)) => (Some(pid), crash),
+                None => (None, false),
+            };
+            let label = pid
+                .map(|p| self.algorithm.pc_label(states[i].pc(p)).to_string())
+                .unwrap_or_else(|| "init".to_string());
+            steps.push(TraceStep {
+                pid,
+                crash,
+                label,
+                state: states[i].render(registers),
+            });
+            cursor = parent[i].map(|(parent_idx, _, _)| parent_idx);
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, PetersonSpec, SafeReadMode, TicketSpec};
+
+    #[test]
+    fn peterson_satisfies_mutual_exclusion_exhaustively() {
+        let spec = PetersonSpec::new();
+        let report = ModelChecker::new(&spec).with_paper_invariants().run();
+        assert!(report.holds(), "{report}");
+        assert!(report.states > 10);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn bakery_pp_theorem_no_overflow_and_mutual_exclusion() {
+        // Experiment E2, the paper's TLC result: exhaustive for N=2, M=3.
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let report = ModelChecker::new(&spec).with_paper_invariants().run();
+        assert!(report.holds(), "{report}");
+        assert!(!report.truncated, "state space must be finite and fully explored");
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn bakery_pp_holds_under_flicker_reads() {
+        let spec = BakeryPlusPlusSpec::new(2, 2).with_read_mode(SafeReadMode::Flicker);
+        let report = ModelChecker::new(&spec).with_paper_invariants().run();
+        assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn bakery_pp_holds_with_crash_faults() {
+        let spec = BakeryPlusPlusSpec::new(2, 2);
+        let report = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_crashes(true)
+            .run();
+        assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn bounded_classic_bakery_overflow_is_reachable() {
+        // The other half of E2: with the same bound, the classic Bakery can
+        // reach a state that stores a value above M.
+        // Both paper invariants are installed; breadth-first search finds the
+        // shallowest violation first, so the assertion below also shows that
+        // the *first* thing to go wrong in a bounded classic Bakery is the
+        // overflow — mutual exclusion only breaks downstream of it.
+        let spec = BakerySpec::new(2, 3);
+        let report = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_max_states(2_000_000)
+            .run();
+        assert!(!report.holds(), "classic Bakery must overflow: {report}");
+        assert_eq!(report.violated_invariants(), vec!["NoOverflow".to_string()]);
+        let violation = &report.violations[0];
+        assert!(violation.depth > 0);
+        assert!(!violation.trace.is_empty());
+        assert!(violation.to_string().contains("NoOverflow"));
+    }
+
+    #[test]
+    fn corrupted_registers_break_classic_bakery_mutual_exclusion() {
+        // Continue exploring *past* the overflow: once a register has been
+        // corrupted by the bound, the classic Bakery really does admit two
+        // processes to the critical section — the §3 malfunction end to end.
+        let spec = BakerySpec::new(2, 3);
+        let report = ModelChecker::new(&spec)
+            .with_invariant(Invariant::mutual_exclusion())
+            .with_max_states(500_000)
+            .run();
+        assert!(
+            report
+                .violated_invariants()
+                .contains(&"MutualExclusion".to_string()),
+            "expected a downstream mutual exclusion violation: {report}"
+        );
+    }
+
+    #[test]
+    fn classic_bakery_mutual_exclusion_holds_while_registers_suffice() {
+        // With a bound far larger than anything reachable in the explored
+        // region, the original algorithm is correct (Lamport 1974): no mutual
+        // exclusion violation exists anywhere in the explored state space.
+        let spec = BakerySpec::new(2, 1_000_000);
+        let report = ModelChecker::new(&spec)
+            .with_invariant(Invariant::mutual_exclusion())
+            .with_max_states(150_000)
+            .run();
+        assert!(
+            report.violations.is_empty(),
+            "mutual exclusion must hold: {report}"
+        );
+        assert!(report.truncated, "the unbounded-ticket space is infinite");
+    }
+
+    #[test]
+    fn ticket_lock_first_failure_is_the_overflow() {
+        // The counter-based lock inherits the unbounded-growth problem: the
+        // first invariant to fail (shallowest violation, BFS order) is
+        // NoOverflow.  Mutual exclusion holds up to that point.
+        let spec = TicketSpec::new(2, 4);
+        let report = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_max_states(200_000)
+            .run();
+        assert!(!report.holds());
+        assert_eq!(report.violated_invariants(), vec!["NoOverflow".to_string()]);
+    }
+
+    #[test]
+    fn max_states_truncation_is_reported() {
+        let spec = BakeryPlusPlusSpec::new(3, 3);
+        let report = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_max_states(500)
+            .run();
+        assert!(report.truncated);
+        assert!(report.states >= 500);
+    }
+
+    #[test]
+    fn report_renders_summary() {
+        let spec = PetersonSpec::new();
+        let report = ModelChecker::new(&spec).with_paper_invariants().run();
+        let text = report.to_string();
+        assert!(text.contains("peterson"));
+        assert!(text.contains("all invariants hold"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"states\""));
+    }
+}

@@ -1,0 +1,270 @@
+//! Starvation-cycle search: the liveness side of the paper's Section 6.3.
+//!
+//! The paper argues that a process can in principle be parked forever at
+//! Bakery++'s `L1` guard: two fast processes keep driving the ticket values up
+//! to `M`, reset, and climb again, while an "incredibly slow" process never
+//! observes a legitimate situation.  In model-checking terms that scenario is
+//! a **cycle in the reachable state graph in which the victim satisfies some
+//! "still waiting" predicate throughout and only the other processes move** —
+//! reachable under an unfair scheduler, impossible to escape without a
+//! fairness assumption.
+//!
+//! [`find_starvation_cycle_where`] searches for exactly that witness under an
+//! arbitrary predicate; [`find_starvation_cycle`] uses the algorithm's own
+//! trying-region predicate.  Finding a witness does not contradict the paper —
+//! Bakery itself already lacks a liveness guarantee, as Section 6.3 notes.
+//! The interesting contrast (experiment **E5**) is *which* waiting positions
+//! are protected: a Bakery/Bakery++ process that has **completed its doorway**
+//! can never be overtaken forever (FCFS), whereas a process parked at `L1`
+//! before announcing itself can be.
+
+use std::collections::{HashMap, VecDeque};
+
+use bakery_sim::{Algorithm, ProgState};
+
+/// A starvation witness: a reachable cycle during which the victim process
+/// satisfies the waiting predicate and never takes a step.
+#[derive(Debug, Clone)]
+pub struct StarvationWitness {
+    /// The starved process.
+    pub victim: usize,
+    /// BFS depth of the state where the cycle was entered.
+    pub prefix_length: usize,
+    /// Renderings of the states on the cycle.
+    pub cycle: Vec<String>,
+}
+
+impl StarvationWitness {
+    /// Number of states on the cycle.
+    #[must_use]
+    pub fn cycle_length(&self) -> usize {
+        self.cycle.len()
+    }
+}
+
+/// Searches for a reachable cycle in which process `victim` continuously
+/// satisfies its trying-region predicate ([`Algorithm::is_trying`]) while only
+/// other processes take steps.
+#[must_use]
+pub fn find_starvation_cycle<A: Algorithm + ?Sized>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+) -> Option<StarvationWitness> {
+    find_starvation_cycle_where(algorithm, victim, max_states, |alg, state| {
+        alg.is_trying(state, victim)
+    })
+}
+
+/// Like [`find_starvation_cycle`] but with a caller-supplied predicate that
+/// defines which states count as "the victim is still waiting".
+///
+/// Returns `None` if no such cycle exists within the explored portion of the
+/// state space (bounded by `max_states`).
+#[must_use]
+pub fn find_starvation_cycle_where<A, F>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+    waiting: F,
+) -> Option<StarvationWitness>
+where
+    A: Algorithm + ?Sized,
+    F: Fn(&A, &ProgState) -> bool,
+{
+    let n = algorithm.processes();
+    assert!(victim < n, "victim {victim} out of range");
+
+    // Phase 1: build the reachable graph (bounded), remembering depth.
+    let mut states: Vec<ProgState> = Vec::new();
+    let mut index: HashMap<ProgState, usize> = HashMap::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut edges: Vec<Vec<(usize, usize)>> = Vec::new(); // (pid, target)
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let initial = algorithm.initial_state();
+    index.insert(initial.clone(), 0);
+    states.push(initial);
+    depth.push(0);
+    edges.push(Vec::new());
+    queue.push_back(0);
+
+    let mut successors = Vec::new();
+    while let Some(current) = queue.pop_front() {
+        if states.len() >= max_states {
+            break;
+        }
+        let state = states[current].clone();
+        for pid in 0..n {
+            successors.clear();
+            algorithm.successors(&state, pid, &mut successors);
+            for next in successors.drain(..) {
+                let target = match index.get(&next) {
+                    Some(&existing) => existing,
+                    None => {
+                        let new_index = states.len();
+                        index.insert(next.clone(), new_index);
+                        states.push(next);
+                        depth.push(depth[current] + 1);
+                        edges.push(Vec::new());
+                        queue.push_back(new_index);
+                        new_index
+                    }
+                };
+                edges[current].push((pid, target));
+            }
+        }
+    }
+
+    // Phase 2: restrict to states where the victim is waiting and to edges
+    // taken by other processes, then look for a cycle with an iterative DFS.
+    let eligible: Vec<bool> = states
+        .iter()
+        .map(|s| waiting(algorithm, s))
+        .collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; states.len()];
+    let registers = algorithm.registers();
+
+    for start in 0..states.len() {
+        if !eligible[start] || color[start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Grey;
+        let mut path: Vec<usize> = vec![start];
+        while let Some(&mut (node, ref mut edge_idx)) = stack.last_mut() {
+            let restricted: Vec<usize> = edges[node]
+                .iter()
+                .filter(|(pid, target)| *pid != victim && eligible[*target])
+                .map(|(_, target)| *target)
+                .collect();
+            if *edge_idx < restricted.len() {
+                let target = restricted[*edge_idx];
+                *edge_idx += 1;
+                match color[target] {
+                    Color::Grey => {
+                        // Found a cycle: extract it from the current DFS path.
+                        let cycle_start = path.iter().position(|&s| s == target).unwrap_or(0);
+                        let cycle: Vec<String> = path[cycle_start..]
+                            .iter()
+                            .map(|&s| states[s].render(&registers))
+                            .collect();
+                        return Some(StarvationWitness {
+                            victim,
+                            prefix_length: depth[target],
+                            cycle,
+                        });
+                    }
+                    Color::White => {
+                        color[target] = Color::Grey;
+                        stack.push((target, 0));
+                        path.push(target);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_spec::{pc, BakeryPlusPlusSpec, BakerySpec, PetersonSpec};
+
+    #[test]
+    fn bakery_pp_slow_process_can_be_starved_at_l1() {
+        // The §6.3 scenario: two fast processes (0 and 1) can keep the slow
+        // process 2 parked at L1 forever under an unfair scheduler.
+        let spec = BakeryPlusPlusSpec::new(3, 2);
+        let witness = find_starvation_cycle_where(&spec, 2, 150_000, |_, state| {
+            state.pc(2) == pc::L1_SCAN
+        });
+        let witness = witness.expect("a starvation cycle at L1 should exist for M = 2");
+        assert_eq!(witness.victim, 2);
+        assert!(witness.cycle_length() >= 2);
+    }
+
+    #[test]
+    fn any_trying_process_can_be_starved_by_an_unfair_scheduler() {
+        // Even with a large bound, a process that has not yet announced itself
+        // can be ignored forever — this is a property of unfair scheduling,
+        // not of Bakery++ (Bakery behaves the same, §6.3).
+        let spec = BakeryPlusPlusSpec::new(2, 10);
+        let witness = find_starvation_cycle(&spec, 1, 100_000);
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn bakery_ticket_holder_is_never_starved() {
+        // FCFS at work: once the victim holds a ticket (doorway completed),
+        // the other process cannot complete rounds forever — it must wait for
+        // the victim at L3, so no cycle exists in the restricted graph.
+        let n = 2;
+        let spec = BakerySpec::new(n, 1_000_000);
+        let number_idx_victim = n + 1; // number[1]
+        let witness = find_starvation_cycle_where(&spec, 1, 120_000, |alg, state| {
+            alg.is_trying(state, 1) && state.read(number_idx_victim) != 0
+        });
+        assert!(
+            witness.is_none(),
+            "a Bakery ticket holder must not be starvable: {witness:?}"
+        );
+    }
+
+    #[test]
+    fn bakery_pp_ticket_holder_below_the_bound_is_never_starved() {
+        // The same FCFS protection carries over to Bakery++ once the doorway
+        // is complete, as long as the held ticket is below M (a ticket equal
+        // to M parks *other* processes at L1 instead, which is the situation
+        // the admission guard exists to resolve).
+        let n = 2;
+        let bound = 4;
+        let spec = BakeryPlusPlusSpec::new(n, bound);
+        let number_idx_victim = n + 1; // number[1]
+        let witness = find_starvation_cycle_where(&spec, 1, 150_000, |alg, state| {
+            let ticket = state.read(number_idx_victim);
+            alg.is_trying(state, 1)
+                && ticket != 0
+                && ticket < bound
+                && state.pc(1) != pc::RESET_NUMBER
+                && state.pc(1) != pc::WRITE_MAX
+                && state.pc(1) != pc::CHECK_BOUND
+        });
+        assert!(
+            witness.is_none(),
+            "a Bakery++ ticket holder below M must not be starvable: {witness:?}"
+        );
+    }
+
+    #[test]
+    fn peterson_waiter_with_flag_raised_is_never_starved() {
+        // Peterson's algorithm is starvation-free once the flag is raised: the
+        // other process hands over the turn on its next attempt.
+        let spec = PetersonSpec::new();
+        let witness = find_starvation_cycle_where(&spec, 1, 50_000, |alg, state| {
+            alg.is_trying(state, 1) && state.read(1) == 1 // flag[1] == 1
+        });
+        assert!(witness.is_none(), "{witness:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn victim_must_be_a_valid_process() {
+        let spec = BakeryPlusPlusSpec::new(2, 2);
+        let _ = find_starvation_cycle(&spec, 5, 1_000);
+    }
+}

@@ -1,0 +1,180 @@
+//! Crash/restart fault injection.
+//!
+//! The paper's correctness conditions 3 and 4 (Section 1.2) and the proof
+//! assumptions 1.5–1.7 (Section 6.1) require the algorithms to tolerate a
+//! process failing at any instant, restarting in its noncritical section, and
+//! having its shared registers read as zero afterwards.  [`FaultPlan`]
+//! describes *when* the simulator should inject such crashes; the actual state
+//! change is produced by [`crate::Algorithm::crash`], so each specification
+//! controls which registers it owns and therefore resets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized crash-injection plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability (per simulation step) that some process crashes.
+    pub crash_probability: f64,
+    /// Upper bound on the total number of injected crashes.
+    pub max_crashes: u64,
+    /// Processes eligible for crashing (empty = all).
+    pub victims: Vec<usize>,
+    /// RNG seed so fault schedules are reproducible.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects any fault.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            crash_probability: 0.0,
+            max_crashes: 0,
+            victims: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// A plan that crashes random processes with probability `p` per step, at
+    /// most `max_crashes` times.
+    #[must_use]
+    pub fn random(p: f64, max_crashes: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        Self {
+            crash_probability: p,
+            max_crashes,
+            victims: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Restricts crashes to the given processes.
+    #[must_use]
+    pub fn with_victims(mut self, victims: Vec<usize>) -> Self {
+        self.victims = victims;
+        self
+    }
+
+    /// True when the plan can never produce a crash.
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.crash_probability <= 0.0 || self.max_crashes == 0
+    }
+
+    /// Builds the runtime injector for this plan over `processes` processes.
+    #[must_use]
+    pub fn injector(&self, processes: usize) -> FaultInjector {
+        let victims = if self.victims.is_empty() {
+            (0..processes).collect()
+        } else {
+            self.victims.clone()
+        };
+        FaultInjector {
+            plan: self.clone(),
+            victims,
+            injected: 0,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Stateful fault injector produced by [`FaultPlan::injector`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    victims: Vec<usize>,
+    injected: u64,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Decides whether to crash a process at this step; returns the victim.
+    pub fn maybe_crash(&mut self) -> Option<usize> {
+        if self.plan.is_disabled() || self.injected >= self.plan.max_crashes {
+            return None;
+        }
+        if self.victims.is_empty() {
+            return None;
+        }
+        if self.rng.gen_bool(self.plan.crash_probability) {
+            self.injected += 1;
+            let victim = self.victims[self.rng.gen_range(0..self.victims.len())];
+            Some(victim)
+        } else {
+            None
+        }
+    }
+
+    /// Number of crashes injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_disabled() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_disabled());
+        let mut injector = plan.injector(4);
+        for _ in 0..100 {
+            assert_eq!(injector.maybe_crash(), None);
+        }
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert!(FaultPlan::default().is_disabled());
+    }
+
+    #[test]
+    fn random_plan_injects_up_to_budget() {
+        let plan = FaultPlan::random(1.0, 3, 42);
+        let mut injector = plan.injector(2);
+        let crashes: Vec<Option<usize>> = (0..10).map(|_| injector.maybe_crash()).collect();
+        let count = crashes.iter().filter(|c| c.is_some()).count();
+        assert_eq!(count, 3, "budget caps the number of crashes");
+        assert_eq!(injector.injected(), 3);
+        for victim in crashes.into_iter().flatten() {
+            assert!(victim < 2);
+        }
+    }
+
+    #[test]
+    fn victims_are_respected() {
+        let plan = FaultPlan::random(1.0, 100, 7).with_victims(vec![3]);
+        let mut injector = plan.injector(8);
+        for _ in 0..50 {
+            if let Some(victim) = injector.maybe_crash() {
+                assert_eq!(victim, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let collect = || {
+            let mut injector = FaultPlan::random(0.3, 100, 99).injector(4);
+            (0..64).map(|_| injector.maybe_crash()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn out_of_range_probability_rejected() {
+        let _ = FaultPlan::random(1.5, 1, 0);
+    }
+}

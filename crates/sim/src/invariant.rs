@@ -1,0 +1,170 @@
+//! Invariants: state predicates checked after every step / on every state.
+//!
+//! The two invariants the paper model checks are provided ready-made —
+//! **mutual exclusion** ([`Invariant::mutual_exclusion`]) and **no overflow**
+//! ([`Invariant::register_bounds`]) — plus a generic constructor for custom
+//! predicates.  Invariants are deliberately simple `Fn(&A, &ProgState) ->
+//! bool` closures so the simulator and the model checker can share them.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::algorithm::Algorithm;
+use crate::state::ProgState;
+
+/// A named state predicate over an algorithm `A`.
+pub struct Invariant<A: ?Sized> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    check: Arc<dyn Fn(&A, &ProgState) -> bool + Send + Sync>,
+}
+
+impl<A: ?Sized> Clone for Invariant<A> {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            check: Arc::clone(&self.check),
+        }
+    }
+}
+
+impl<A: ?Sized> fmt::Debug for Invariant<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Invariant").field("name", &self.name).finish()
+    }
+}
+
+impl<A: Algorithm + ?Sized> Invariant<A> {
+    /// Creates a named invariant from a predicate.
+    pub fn new(
+        name: impl Into<String>,
+        check: impl Fn(&A, &ProgState) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            check: Arc::new(check),
+        }
+    }
+
+    /// The invariant's name (used in violation reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the invariant on `state`.
+    #[must_use]
+    pub fn holds(&self, algorithm: &A, state: &ProgState) -> bool {
+        (self.check)(algorithm, state)
+    }
+
+    /// *MutualExclusion*: at most one process is in its critical section.
+    #[must_use]
+    pub fn mutual_exclusion() -> Self {
+        Self::new("MutualExclusion", |alg: &A, state: &ProgState| {
+            alg.processes_in_cs(state) <= 1
+        })
+    }
+
+    /// *NoOverflow*: every shared register holds a value within its bound.
+    ///
+    /// This is the invariant the paper's Theorem (§6.1) establishes for
+    /// Bakery++ and which the bounded classic Bakery violates.
+    #[must_use]
+    pub fn register_bounds() -> Self {
+        Self::new("NoOverflow", |alg: &A, state: &ProgState| {
+            let specs = alg.registers();
+            state
+                .shared
+                .iter()
+                .zip(specs.iter())
+                .all(|(value, spec)| *value <= spec.bound)
+        })
+    }
+
+    /// *SingleWriterZeroWhenCrashed*: a crashed process's own registers read
+    /// as zero (paper assumption 1.7, checked after the crash transition).
+    #[must_use]
+    pub fn crashed_registers_are_zero() -> Self {
+        Self::new("CrashedRegistersZero", |alg: &A, state: &ProgState| {
+            let specs = alg.registers();
+            (0..alg.processes()).all(|pid| {
+                if !state.is_crashed(pid) {
+                    return true;
+                }
+                specs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, spec)| spec.owner == Some(pid))
+                    .all(|(idx, _)| state.read(idx) == 0)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_support::BrokenLock;
+
+    #[test]
+    fn mutual_exclusion_detects_double_entry() {
+        let alg = BrokenLock {
+            processes: 2,
+            bound: 10,
+        };
+        let inv = Invariant::<BrokenLock>::mutual_exclusion();
+        assert_eq!(inv.name(), "MutualExclusion");
+        let mut state = alg.initial_state();
+        assert!(inv.holds(&alg, &state));
+        state.set_pc(0, 2);
+        assert!(inv.holds(&alg, &state));
+        state.set_pc(1, 2);
+        assert!(!inv.holds(&alg, &state));
+    }
+
+    #[test]
+    fn register_bounds_detects_overflowed_register() {
+        let alg = BrokenLock {
+            processes: 1,
+            bound: 3,
+        };
+        let inv = Invariant::<BrokenLock>::register_bounds();
+        let mut state = alg.initial_state();
+        state.set_shared(0, 3);
+        assert!(inv.holds(&alg, &state));
+        state.set_shared(0, 4);
+        assert!(!inv.holds(&alg, &state));
+    }
+
+    #[test]
+    fn custom_invariant_and_clone() {
+        let alg = BrokenLock {
+            processes: 2,
+            bound: 10,
+        };
+        let inv = Invariant::<BrokenLock>::new("EntriesEven", |_, s| s.read(0) % 2 == 0);
+        let copy = inv.clone();
+        let state = alg.initial_state();
+        assert!(inv.holds(&alg, &state));
+        assert!(copy.holds(&alg, &state));
+        let odd = state.with_write(0, 1);
+        assert!(!copy.holds(&alg, &odd));
+        assert!(format!("{inv:?}").contains("EntriesEven"));
+    }
+
+    #[test]
+    fn crashed_register_invariant_checks_only_owned_registers() {
+        let alg = BrokenLock {
+            processes: 1,
+            bound: 10,
+        };
+        // BrokenLock's register is shared (no owner), so the invariant holds
+        // trivially even when the process is crashed with a non-zero value.
+        let inv = Invariant::<BrokenLock>::crashed_registers_are_zero();
+        let mut state = alg.initial_state();
+        state.set_shared(0, 5);
+        state.procs[0].crashed = true;
+        assert!(inv.holds(&alg, &state));
+    }
+}

@@ -1,0 +1,275 @@
+//! Global program states for step-machine algorithms.
+//!
+//! A [`ProgState`] is the complete instantaneous description of a run: the
+//! contents of every shared register plus, for each process, its program
+//! counter, its local variables and whether it is currently crashed.  States
+//! are plain data — `Clone + Eq + Hash` — so the model checker can store and
+//! deduplicate millions of them, and `serde`-serialisable so counterexample
+//! traces can be exported as JSON.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Description of one shared register: its name (for traces and reports) and
+/// its bound `M` (the largest value it may legally hold).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegisterSpec {
+    /// Human-readable name, e.g. `"number[1]"`.
+    pub name: String,
+    /// The register bound; storing a value above this is an overflow.
+    pub bound: u64,
+    /// Index of the owning process, if the register is single-writer.
+    pub owner: Option<usize>,
+}
+
+impl RegisterSpec {
+    /// Creates a register spec owned by process `owner`.
+    #[must_use]
+    pub fn owned(name: impl Into<String>, bound: u64, owner: usize) -> Self {
+        Self {
+            name: name.into(),
+            bound,
+            owner: Some(owner),
+        }
+    }
+
+    /// Creates a multi-writer register spec (no single owner).
+    #[must_use]
+    pub fn shared(name: impl Into<String>, bound: u64) -> Self {
+        Self {
+            name: name.into(),
+            bound,
+            owner: None,
+        }
+    }
+}
+
+/// Per-process component of a [`ProgState`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcState {
+    /// Program counter; the meaning of each value is algorithm-specific
+    /// (see [`crate::Algorithm::pc_label`]).
+    pub pc: u32,
+    /// Local (unshared) variables, e.g. the loop index `j` or a saved maximum.
+    pub locals: Vec<u64>,
+    /// True while the process is crashed (it takes no steps until restarted).
+    pub crashed: bool,
+}
+
+impl ProcState {
+    /// Creates a process state at program counter `pc` with the given locals.
+    #[must_use]
+    pub fn new(pc: u32, locals: Vec<u64>) -> Self {
+        Self {
+            pc,
+            locals,
+            crashed: false,
+        }
+    }
+}
+
+/// A complete global state: shared registers plus every process's state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProgState {
+    /// Shared register values, indexed consistently with the algorithm's
+    /// [`crate::Algorithm::registers`] list.
+    pub shared: Vec<u64>,
+    /// Per-process program counters and locals.
+    pub procs: Vec<ProcState>,
+}
+
+impl ProgState {
+    /// Creates a state with `registers` shared cells (all zero, as the paper
+    /// requires) and the given per-process initial states.
+    #[must_use]
+    pub fn new(registers: usize, procs: Vec<ProcState>) -> Self {
+        Self {
+            shared: vec![0; registers],
+            procs,
+        }
+    }
+
+    /// Number of participating processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Reads shared register `idx`.
+    #[must_use]
+    pub fn read(&self, idx: usize) -> u64 {
+        self.shared[idx]
+    }
+
+    /// Returns a copy of this state with register `idx` set to `value`.
+    #[must_use]
+    pub fn with_write(&self, idx: usize, value: u64) -> Self {
+        let mut next = self.clone();
+        next.shared[idx] = value;
+        next
+    }
+
+    /// Returns a copy of this state with process `pid` moved to `pc`.
+    #[must_use]
+    pub fn with_pc(&self, pid: usize, pc: u32) -> Self {
+        let mut next = self.clone();
+        next.procs[pid].pc = pc;
+        next
+    }
+
+    /// Returns a copy with process `pid` moved to `pc` and local `slot`
+    /// updated to `value`.
+    #[must_use]
+    pub fn with_pc_and_local(&self, pid: usize, pc: u32, slot: usize, value: u64) -> Self {
+        let mut next = self.clone();
+        next.procs[pid].pc = pc;
+        next.procs[pid].locals[slot] = value;
+        next
+    }
+
+    /// In-place mutators used by builders that construct successors piecemeal.
+    pub fn set_pc(&mut self, pid: usize, pc: u32) {
+        self.procs[pid].pc = pc;
+    }
+
+    /// Sets local variable `slot` of process `pid`.
+    pub fn set_local(&mut self, pid: usize, slot: usize, value: u64) {
+        self.procs[pid].locals[slot] = value;
+    }
+
+    /// Sets shared register `idx`.
+    pub fn set_shared(&mut self, idx: usize, value: u64) {
+        self.shared[idx] = value;
+    }
+
+    /// Local variable `slot` of process `pid`.
+    #[must_use]
+    pub fn local(&self, pid: usize, slot: usize) -> u64 {
+        self.procs[pid].locals[slot]
+    }
+
+    /// Program counter of process `pid`.
+    #[must_use]
+    pub fn pc(&self, pid: usize) -> u32 {
+        self.procs[pid].pc
+    }
+
+    /// True when process `pid` is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, pid: usize) -> bool {
+        self.procs[pid].crashed
+    }
+
+    /// Compact single-line rendering used in counterexample traces.
+    #[must_use]
+    pub fn render(&self, registers: &[RegisterSpec]) -> String {
+        let shared: Vec<String> = self
+            .shared
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let name = registers
+                    .get(i)
+                    .map_or_else(|| format!("r{i}"), |r| r.name.clone());
+                format!("{name}={v}")
+            })
+            .collect();
+        let procs: Vec<String> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let crash = if p.crashed { "!" } else { "" };
+                format!("p{i}{crash}@{}", p.pc)
+            })
+            .collect();
+        format!("[{}] [{}]", shared.join(" "), procs.join(" "))
+    }
+}
+
+impl fmt::Display for ProgState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn two_proc_state() -> ProgState {
+        ProgState::new(
+            4,
+            vec![ProcState::new(0, vec![0, 0]), ProcState::new(0, vec![0, 0])],
+        )
+    }
+
+    #[test]
+    fn new_state_is_all_zero() {
+        let s = two_proc_state();
+        assert_eq!(s.shared, vec![0, 0, 0, 0]);
+        assert_eq!(s.process_count(), 2);
+        assert_eq!(s.pc(0), 0);
+        assert!(!s.is_crashed(1));
+    }
+
+    #[test]
+    fn with_write_is_persistent() {
+        let s = two_proc_state();
+        let t = s.with_write(2, 9);
+        assert_eq!(s.read(2), 0, "original untouched");
+        assert_eq!(t.read(2), 9);
+    }
+
+    #[test]
+    fn with_pc_and_local_updates_only_target() {
+        let s = two_proc_state();
+        let t = s.with_pc_and_local(1, 7, 0, 3);
+        assert_eq!(t.pc(1), 7);
+        assert_eq!(t.local(1, 0), 3);
+        assert_eq!(t.pc(0), 0);
+        assert_eq!(t.local(0, 0), 0);
+    }
+
+    #[test]
+    fn states_hash_and_compare_structurally() {
+        let a = two_proc_state().with_write(0, 1);
+        let b = two_proc_state().with_write(0, 1);
+        let c = two_proc_state().with_write(0, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<ProgState> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn render_names_registers() {
+        let regs = vec![
+            RegisterSpec::owned("number[0]", 5, 0),
+            RegisterSpec::owned("number[1]", 5, 1),
+        ];
+        let s = ProgState::new(2, vec![ProcState::new(3, vec![])]).with_write(1, 4);
+        let text = s.render(&regs);
+        assert!(text.contains("number[1]=4"));
+        assert!(text.contains("p0@3"));
+    }
+
+    #[test]
+    fn register_spec_constructors() {
+        let owned = RegisterSpec::owned("choosing[2]", 1, 2);
+        assert_eq!(owned.owner, Some(2));
+        let shared = RegisterSpec::shared("color", 1);
+        assert_eq!(shared.owner, None);
+        assert_eq!(shared.bound, 1);
+    }
+
+    #[test]
+    fn states_serialize_round_trip() {
+        let s = two_proc_state().with_write(3, 7).with_pc(0, 5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ProgState = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

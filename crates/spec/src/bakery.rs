@@ -1,0 +1,364 @@
+//! Step-machine specification of Lamport's original Bakery (Algorithm 1),
+//! with an explicit register bound `M`.
+//!
+//! The ticket store at [`pc::WRITE_TICKET`] writes the computed value
+//! `1 + maximum`, capped at `M + 1`: one above the bound.  Values above `M`
+//! therefore appear in the state exactly when the algorithm *would have
+//! overflowed a real register*, which is what the `NoOverflow` invariant
+//! detects, while the cap keeps the reachable state space finite.
+
+use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+
+use crate::layout::{choosing_idx, number_idx, read_number, ticket_precedes};
+use crate::{pc, SafeReadMode};
+
+/// Local-variable slots used by the Bakery-family specs.
+pub(crate) const LOCAL_J: usize = 0;
+pub(crate) const LOCAL_MAX: usize = 1;
+
+/// Lamport's Bakery algorithm as a checkable specification.
+#[derive(Debug, Clone)]
+pub struct BakerySpec {
+    n: usize,
+    bound: u64,
+    read_mode: SafeReadMode,
+}
+
+impl BakerySpec {
+    /// Creates a Bakery spec for `n` processes with register bound `bound`.
+    #[must_use]
+    pub fn new(n: usize, bound: u64) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(bound >= 1, "the register bound must be at least 1");
+        Self {
+            n,
+            bound,
+            read_mode: SafeReadMode::Atomic,
+        }
+    }
+
+    /// Enables or disables safe-register flicker on doorway reads.
+    #[must_use]
+    pub fn with_read_mode(mut self, mode: SafeReadMode) -> Self {
+        self.read_mode = mode;
+        self
+    }
+
+    /// The register bound `M`.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    fn flicker(&self) -> bool {
+        self.read_mode == SafeReadMode::Flicker
+    }
+
+    /// The value physically stored for an attempted ticket `attempted`
+    /// (capped at the overflow sentinel `M + 1`).
+    fn store_value(&self, attempted: u64) -> u64 {
+        attempted.min(self.bound + 1)
+    }
+}
+
+impl Algorithm for BakerySpec {
+    fn name(&self) -> &str {
+        "bakery"
+    }
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> Vec<RegisterSpec> {
+        crate::layout::registers(self.n, self.bound, true)
+    }
+
+    fn initial_state(&self) -> ProgState {
+        ProgState::new(
+            2 * self.n,
+            (0..self.n)
+                .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
+                .collect(),
+        )
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn successors(&self, state: &ProgState, pid: usize, out: &mut Vec<ProgState>) {
+        if state.is_crashed(pid) {
+            return;
+        }
+        let n = self.n;
+        let j = state.local(pid, LOCAL_J) as usize;
+        let max = state.local(pid, LOCAL_MAX);
+        match state.pc(pid) {
+            pc::NCS => {
+                // Enter the doorway: choosing[i] := 1.
+                let mut next = state.clone();
+                next.set_shared(choosing_idx(pid), 1);
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_local(pid, LOCAL_MAX, 0);
+                next.set_pc(pid, pc::COMPUTE_MAX);
+                out.push(next);
+            }
+            pc::COMPUTE_MAX => {
+                if j < n {
+                    // Fold number[j] into the running maximum (one read per step).
+                    for value in read_number(state, n, j, self.bound, self.flicker()) {
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_MAX, max.max(value));
+                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                        out.push(next);
+                    }
+                } else {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::WRITE_TICKET);
+                    out.push(next);
+                }
+            }
+            pc::WRITE_TICKET => {
+                // number[i] := 1 + maximum — the store that can overflow.
+                let attempted = max + 1;
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), self.store_value(attempted));
+                next.set_pc(pid, pc::CLEAR_CHOOSING);
+                out.push(next);
+            }
+            pc::CLEAR_CHOOSING => {
+                let mut next = state.clone();
+                next.set_shared(choosing_idx(pid), 0);
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_pc(pid, pc::SCAN_CHOOSING);
+                out.push(next);
+            }
+            pc::SCAN_CHOOSING => {
+                if j == pid {
+                    let mut next = state.clone();
+                    next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                    out.push(next);
+                } else if j >= n {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::CS);
+                    out.push(next);
+                } else if state.read(choosing_idx(j)) == 0 {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::SCAN_NUMBER);
+                    out.push(next);
+                }
+                // else: blocked at L2.
+            }
+            pc::SCAN_NUMBER => {
+                let my_number = state.read(number_idx(n, pid));
+                for other in read_number(state, n, j, self.bound, self.flicker()) {
+                    if other == 0 || !ticket_precedes(other, j, my_number, pid) {
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                        next.set_pc(pid, pc::SCAN_CHOOSING);
+                        out.push(next);
+                    }
+                    // else: this read keeps us blocked at L3.
+                }
+            }
+            pc::CS => {
+                // Leave: number[i] := 0.
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), 0);
+                next.set_pc(pid, pc::NCS);
+                out.push(next);
+            }
+            _ => {}
+        }
+    }
+
+    fn in_critical_section(&self, state: &ProgState, pid: usize) -> bool {
+        state.pc(pid) == pc::CS
+    }
+
+    fn is_trying(&self, state: &ProgState, pid: usize) -> bool {
+        let p = state.pc(pid);
+        p != pc::NCS && p != pc::CS
+    }
+
+    fn crash(&self, state: &ProgState, pid: usize) -> Option<ProgState> {
+        if state.pc(pid) == pc::NCS
+            && state.read(choosing_idx(pid)) == 0
+            && state.read(number_idx(self.n, pid)) == 0
+        {
+            return None;
+        }
+        let mut next = state.clone();
+        next.set_shared(choosing_idx(pid), 0);
+        next.set_shared(number_idx(self.n, pid), 0);
+        next.set_local(pid, LOCAL_J, 0);
+        next.set_local(pid, LOCAL_MAX, 0);
+        next.set_pc(pid, pc::NCS);
+        Some(next)
+    }
+
+    fn pc_label(&self, pc_value: u32) -> &'static str {
+        pc::label(pc_value)
+    }
+
+    fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {
+        let (before, after) = (prev.pc(pid), next.pc(pid));
+        if before == pc::WRITE_TICKET && after == pc::CLEAR_CHOOSING {
+            let stored = next.read(number_idx(self.n, pid));
+            if stored > self.bound {
+                return Some(Observation::Overflowed {
+                    pid,
+                    attempted: prev.local(pid, LOCAL_MAX) + 1,
+                });
+            }
+            return Some(Observation::TicketTaken {
+                pid,
+                number: stored,
+            });
+        }
+        if before != pc::CS && after == pc::CS {
+            return Some(Observation::EnterCs { pid });
+        }
+        if before == pc::CS && after == pc::NCS {
+            return Some(Observation::ExitCs { pid });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_sim::{Invariant, RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
+
+    #[test]
+    fn single_process_cycles_cleanly() {
+        let spec = BakerySpec::new(1, 10);
+        let config = RunConfig::<BakerySpec>::checked(200);
+        let outcome = Simulator::new().run(&spec, &mut RoundRobinScheduler::new(), &config);
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.violations);
+        assert!(outcome.report.total_cs_entries() >= 20);
+    }
+
+    #[test]
+    fn two_processes_preserve_mutual_exclusion_under_random_schedules() {
+        let spec = BakerySpec::new(2, 1_000);
+        for seed in 0..20 {
+            let config = RunConfig::<BakerySpec>::checked(2_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            let mutex_violations: Vec<_> = outcome
+                .report
+                .violations
+                .iter()
+                .filter(|v| v.invariant == "MutualExclusion")
+                .collect();
+            assert!(
+                mutex_violations.is_empty(),
+                "seed {seed}: {mutex_violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flicker_reads_do_not_break_mutual_exclusion() {
+        let spec = BakerySpec::new(2, 1_000).with_read_mode(SafeReadMode::Flicker);
+        for seed in 0..10 {
+            let config = RunConfig::<BakerySpec>::checked(2_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            assert!(
+                !outcome
+                    .report
+                    .violations
+                    .iter()
+                    .any(|v| v.invariant == "MutualExclusion"),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_bakery_eventually_overflows_under_alternation() {
+        // Random schedules over a tiny bound: the NoOverflow invariant must
+        // eventually fail — this is the §3 malfunction.
+        let spec = BakerySpec::new(2, 3);
+        let mut saw_overflow = false;
+        for seed in 0..50 {
+            let config = RunConfig::<BakerySpec>::checked(5_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            if outcome
+                .report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "NoOverflow")
+            {
+                saw_overflow = true;
+                break;
+            }
+        }
+        assert!(saw_overflow, "bounded classic Bakery must overflow");
+    }
+
+    #[test]
+    fn tickets_grow_when_the_bakery_never_empties() {
+        let spec = BakerySpec::new(2, 1_000_000);
+        let config = RunConfig::<BakerySpec>::checked(20_000);
+        let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(7), &config);
+        assert!(outcome.report.is_clean());
+        assert!(
+            outcome.report.max_register_value > 2,
+            "under contention tickets should exceed the single-process value"
+        );
+    }
+
+    #[test]
+    fn crash_transition_resets_owned_registers() {
+        let spec = BakerySpec::new(2, 10);
+        let s0 = spec.initial_state();
+        // Advance process 0 into its doorway.
+        let s1 = spec.successors_vec(&s0, 0)[0].clone();
+        assert_eq!(s1.read(choosing_idx(0)), 1);
+        let crashed = spec.crash(&s1, 0).expect("crash transition");
+        assert_eq!(crashed.read(choosing_idx(0)), 0);
+        assert_eq!(crashed.read(number_idx(2, 0)), 0);
+        assert_eq!(crashed.pc(0), pc::NCS);
+        // Crashing an idle process is a no-op.
+        assert!(spec.crash(&s0, 1).is_none());
+    }
+
+    #[test]
+    fn observations_include_tickets_and_cs_boundaries() {
+        let spec = BakerySpec::new(1, 10);
+        let config = RunConfig::<BakerySpec>::checked(40);
+        let outcome = Simulator::new().run(&spec, &mut RoundRobinScheduler::new(), &config);
+        let tickets = outcome.trace.ticket_order();
+        assert!(!tickets.is_empty());
+        assert!(tickets.iter().all(|&(p, number)| p == 0 && number == 1));
+        assert_eq!(
+            outcome.trace.cs_entries(),
+            outcome.report.total_cs_entries()
+        );
+    }
+
+    #[test]
+    fn trying_and_cs_predicates() {
+        let spec = BakerySpec::new(2, 10);
+        let s0 = spec.initial_state();
+        assert!(!spec.is_trying(&s0, 0));
+        assert!(!spec.in_critical_section(&s0, 0));
+        let s1 = spec.successors_vec(&s0, 0)[0].clone();
+        assert!(spec.is_trying(&s1, 0));
+        assert_eq!(spec.pc_label(pc::SCAN_NUMBER), "L3-scan-number");
+    }
+
+    #[test]
+    fn custom_invariant_can_observe_bakery_registers() {
+        // Sanity check that the spec's registers() names line up with state
+        // indices: choosing first, then number.
+        let spec = BakerySpec::new(3, 9);
+        let regs = spec.registers();
+        assert_eq!(regs.len(), 6);
+        assert_eq!(regs[0].name, "choosing[0]");
+        assert_eq!(regs[3].name, "number[0]");
+        assert_eq!(regs[5].bound, 9);
+        let inv = Invariant::<BakerySpec>::register_bounds();
+        assert!(inv.holds(&spec, &spec.initial_state()));
+    }
+}

@@ -1,0 +1,422 @@
+//! Step-machine specification of Bakery++ (Algorithm 2).
+//!
+//! Structurally identical to [`crate::BakerySpec`] plus the two additions the
+//! paper makes: the `L1` admission scan and the pre-increment bound check with
+//! its reset path.  The specification never stores a value above `M` — the
+//! model checker verifies that exhaustively in experiment **E2**.
+
+use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+
+use crate::bakery::{LOCAL_J, LOCAL_MAX};
+use crate::layout::{choosing_idx, number_idx, read_number, ticket_precedes};
+use crate::{pc, SafeReadMode};
+
+/// Bakery++ as a checkable specification.
+#[derive(Debug, Clone)]
+pub struct BakeryPlusPlusSpec {
+    n: usize,
+    bound: u64,
+    read_mode: SafeReadMode,
+}
+
+impl BakeryPlusPlusSpec {
+    /// Creates a Bakery++ spec for `n` processes with register bound `M = bound`.
+    #[must_use]
+    pub fn new(n: usize, bound: u64) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(bound >= 1, "the register bound M must be at least 1");
+        Self {
+            n,
+            bound,
+            read_mode: SafeReadMode::Atomic,
+        }
+    }
+
+    /// Enables or disables safe-register flicker on doorway reads.
+    #[must_use]
+    pub fn with_read_mode(mut self, mode: SafeReadMode) -> Self {
+        self.read_mode = mode;
+        self
+    }
+
+    /// The register bound `M`.
+    #[must_use]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    fn flicker(&self) -> bool {
+        self.read_mode == SafeReadMode::Flicker
+    }
+}
+
+impl Algorithm for BakeryPlusPlusSpec {
+    fn name(&self) -> &str {
+        "bakery++"
+    }
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn registers(&self) -> Vec<RegisterSpec> {
+        crate::layout::registers(self.n, self.bound, false)
+    }
+
+    fn initial_state(&self) -> ProgState {
+        ProgState::new(
+            2 * self.n,
+            (0..self.n)
+                .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
+                .collect(),
+        )
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn successors(&self, state: &ProgState, pid: usize, out: &mut Vec<ProgState>) {
+        if state.is_crashed(pid) {
+            return;
+        }
+        let n = self.n;
+        let j = state.local(pid, LOCAL_J) as usize;
+        let max = state.local(pid, LOCAL_MAX);
+        match state.pc(pid) {
+            pc::NCS => {
+                // Start the L1 admission scan.
+                let mut next = state.clone();
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_local(pid, LOCAL_MAX, 0);
+                next.set_pc(pid, pc::L1_SCAN);
+                out.push(next);
+            }
+            pc::L1_SCAN => {
+                if j >= n {
+                    // All registers observed below M: proceed to the doorway.
+                    let mut next = state.clone();
+                    next.set_local(pid, LOCAL_J, 0);
+                    next.set_pc(pid, pc::SET_CHOOSING);
+                    out.push(next);
+                } else {
+                    for value in read_number(state, n, j, self.bound, self.flicker()) {
+                        if value >= self.bound {
+                            // Illegitimate situation: restart the scan (goto L1).
+                            let mut next = state.clone();
+                            next.set_local(pid, LOCAL_J, 0);
+                            out.push(next);
+                        } else {
+                            let mut next = state.clone();
+                            next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                            out.push(next);
+                        }
+                    }
+                }
+            }
+            pc::SET_CHOOSING => {
+                let mut next = state.clone();
+                next.set_shared(choosing_idx(pid), 1);
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_local(pid, LOCAL_MAX, 0);
+                next.set_pc(pid, pc::COMPUTE_MAX);
+                out.push(next);
+            }
+            pc::COMPUTE_MAX => {
+                if j < n {
+                    for value in read_number(state, n, j, self.bound, self.flicker()) {
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_MAX, max.max(value));
+                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                        out.push(next);
+                    }
+                } else {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::WRITE_MAX);
+                    out.push(next);
+                }
+            }
+            pc::WRITE_MAX => {
+                // number[i] := maximum(...).  Always <= M: each register is <= M
+                // individually (flicker reads are also capped at the bound).
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), max.min(self.bound));
+                next.set_pc(pid, pc::CHECK_BOUND);
+                out.push(next);
+            }
+            pc::CHECK_BOUND => {
+                let mut next = state.clone();
+                if max >= self.bound {
+                    next.set_pc(pid, pc::RESET_NUMBER);
+                } else {
+                    next.set_pc(pid, pc::WRITE_TICKET);
+                }
+                out.push(next);
+            }
+            pc::RESET_NUMBER => {
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), 0);
+                next.set_pc(pid, pc::RESET_CHOOSING);
+                out.push(next);
+            }
+            pc::RESET_CHOOSING => {
+                let mut next = state.clone();
+                next.set_shared(choosing_idx(pid), 0);
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_pc(pid, pc::L1_SCAN);
+                out.push(next);
+            }
+            pc::WRITE_TICKET => {
+                // number[i] := max + 1, guarded by max < M so the store is <= M.
+                debug_assert!(max < self.bound);
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), max + 1);
+                next.set_pc(pid, pc::CLEAR_CHOOSING);
+                out.push(next);
+            }
+            pc::CLEAR_CHOOSING => {
+                let mut next = state.clone();
+                next.set_shared(choosing_idx(pid), 0);
+                next.set_local(pid, LOCAL_J, 0);
+                next.set_pc(pid, pc::SCAN_CHOOSING);
+                out.push(next);
+            }
+            pc::SCAN_CHOOSING => {
+                if j == pid {
+                    let mut next = state.clone();
+                    next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                    out.push(next);
+                } else if j >= n {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::CS);
+                    out.push(next);
+                } else if state.read(choosing_idx(j)) == 0 {
+                    let mut next = state.clone();
+                    next.set_pc(pid, pc::SCAN_NUMBER);
+                    out.push(next);
+                }
+            }
+            pc::SCAN_NUMBER => {
+                let my_number = state.read(number_idx(n, pid));
+                for other in read_number(state, n, j, self.bound, self.flicker()) {
+                    if other == 0 || !ticket_precedes(other, j, my_number, pid) {
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                        next.set_pc(pid, pc::SCAN_CHOOSING);
+                        out.push(next);
+                    }
+                }
+            }
+            pc::CS => {
+                let mut next = state.clone();
+                next.set_shared(number_idx(n, pid), 0);
+                next.set_pc(pid, pc::NCS);
+                out.push(next);
+            }
+            _ => {}
+        }
+    }
+
+    fn in_critical_section(&self, state: &ProgState, pid: usize) -> bool {
+        state.pc(pid) == pc::CS
+    }
+
+    fn is_trying(&self, state: &ProgState, pid: usize) -> bool {
+        let p = state.pc(pid);
+        p != pc::NCS && p != pc::CS
+    }
+
+    fn crash(&self, state: &ProgState, pid: usize) -> Option<ProgState> {
+        if state.pc(pid) == pc::NCS
+            && state.read(choosing_idx(pid)) == 0
+            && state.read(number_idx(self.n, pid)) == 0
+        {
+            return None;
+        }
+        let mut next = state.clone();
+        next.set_shared(choosing_idx(pid), 0);
+        next.set_shared(number_idx(self.n, pid), 0);
+        next.set_local(pid, LOCAL_J, 0);
+        next.set_local(pid, LOCAL_MAX, 0);
+        next.set_pc(pid, pc::NCS);
+        Some(next)
+    }
+
+    fn pc_label(&self, pc_value: u32) -> &'static str {
+        pc::label(pc_value)
+    }
+
+    fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {
+        let (before, after) = (prev.pc(pid), next.pc(pid));
+        if before == pc::WRITE_TICKET && after == pc::CLEAR_CHOOSING {
+            return Some(Observation::TicketTaken {
+                pid,
+                number: next.read(number_idx(self.n, pid)),
+            });
+        }
+        if before == pc::RESET_CHOOSING && after == pc::L1_SCAN {
+            return Some(Observation::OverflowAvoided { pid });
+        }
+        if before != pc::CS && after == pc::CS {
+            return Some(Observation::EnterCs { pid });
+        }
+        if before == pc::CS && after == pc::NCS {
+            return Some(Observation::ExitCs { pid });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_sim::{RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
+
+    #[test]
+    fn single_process_cycles_cleanly() {
+        let spec = BakeryPlusPlusSpec::new(1, 4);
+        let config = RunConfig::<BakeryPlusPlusSpec>::checked(300);
+        let outcome = Simulator::new().run(&spec, &mut RoundRobinScheduler::new(), &config);
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.violations);
+        assert!(outcome.report.total_cs_entries() >= 20);
+        assert!(outcome.report.max_register_value <= 4);
+    }
+
+    #[test]
+    fn never_overflows_even_with_tiny_bound() {
+        // The headline claim (§6.1): with M = 2 and heavy interleaving the
+        // NoOverflow invariant holds on every sampled schedule.
+        let spec = BakeryPlusPlusSpec::new(3, 2);
+        for seed in 0..30 {
+            let config = RunConfig::<BakeryPlusPlusSpec>::checked(5_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            assert!(
+                !outcome
+                    .report
+                    .violations
+                    .iter()
+                    .any(|v| v.invariant == "NoOverflow"),
+                "seed {seed}: Bakery++ must never overflow"
+            );
+            assert!(outcome.report.max_register_value <= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_under_random_schedules() {
+        let spec = BakeryPlusPlusSpec::new(2, 5);
+        for seed in 0..20 {
+            let config = RunConfig::<BakeryPlusPlusSpec>::checked(3_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            assert!(
+                !outcome
+                    .report
+                    .violations
+                    .iter()
+                    .any(|v| v.invariant == "MutualExclusion"),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn flicker_reads_preserve_both_invariants() {
+        let spec = BakeryPlusPlusSpec::new(2, 4).with_read_mode(SafeReadMode::Flicker);
+        for seed in 0..10 {
+            let config = RunConfig::<BakeryPlusPlusSpec>::checked(3_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            assert!(
+                outcome.report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn reset_branch_is_reachable_under_contention() {
+        // With a tiny bound the overflow-avoidance path must actually fire —
+        // otherwise the spec would not be exercising the paper's new code.
+        let spec = BakeryPlusPlusSpec::new(3, 2);
+        let mut saw_reset = false;
+        for seed in 0..30 {
+            let config = RunConfig::<BakeryPlusPlusSpec>::checked(5_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            if outcome.report.overflow_avoidance_resets > 0 {
+                saw_reset = true;
+                break;
+            }
+        }
+        assert!(saw_reset, "the reset branch should fire for M = 2");
+    }
+
+    #[test]
+    fn progress_is_comparable_to_classic_bakery_for_large_bounds() {
+        // §7: when no overflow machinery triggers, Bakery++ should take about
+        // as many steps per CS entry as Bakery (it executes a handful more
+        // local steps for the L1 scan).
+        use crate::BakerySpec;
+        let steps = 20_000;
+        let classic = {
+            let spec = BakerySpec::new(2, 1_000_000);
+            let config = RunConfig::<BakerySpec>::checked(steps);
+            Simulator::new()
+                .run(&spec, &mut RandomScheduler::new(3), &config)
+                .report
+                .total_cs_entries()
+        };
+        let pp = {
+            let spec = BakeryPlusPlusSpec::new(2, 1_000_000);
+            let config = RunConfig::<BakeryPlusPlusSpec>::checked(steps);
+            Simulator::new()
+                .run(&spec, &mut RandomScheduler::new(3), &config)
+                .report
+                .total_cs_entries()
+        };
+        assert!(pp > 0 && classic > 0);
+        let ratio = classic as f64 / pp as f64;
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "throughput ratio {ratio} out of expected band (classic {classic}, pp {pp})"
+        );
+    }
+
+    #[test]
+    fn crash_resets_registers_and_restarts() {
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let s0 = spec.initial_state();
+        let mut s = s0.clone();
+        // Drive process 0 to the point where it holds a ticket.
+        for _ in 0..40 {
+            let succ = spec.successors_vec(&s, 0);
+            if succ.is_empty() || spec.in_critical_section(&s, 0) {
+                break;
+            }
+            s = succ[0].clone();
+        }
+        assert!(spec.in_critical_section(&s, 0));
+        let crashed = spec.crash(&s, 0).expect("crash");
+        assert_eq!(crashed.read(number_idx(2, 0)), 0);
+        assert_eq!(crashed.pc(0), pc::NCS);
+        assert!(spec.crash(&s0, 0).is_none());
+    }
+
+    #[test]
+    fn observations_report_resets_and_tickets() {
+        let spec = BakeryPlusPlusSpec::new(2, 2);
+        let config = RunConfig::<BakeryPlusPlusSpec>::checked(5_000);
+        let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(11), &config);
+        let tickets = outcome.trace.ticket_order();
+        assert!(!tickets.is_empty());
+        assert!(tickets.iter().all(|&(_, number)| number <= 2));
+        assert_eq!(
+            outcome.report.overflow_attempts, 0,
+            "Bakery++ never emits an Overflowed observation"
+        );
+    }
+
+    #[test]
+    fn bound_accessor_and_labels() {
+        let spec = BakeryPlusPlusSpec::new(2, 9);
+        assert_eq!(spec.bound(), 9);
+        assert_eq!(spec.pc_label(pc::L1_SCAN), "L1-scan");
+        assert_eq!(spec.registers().len(), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! # bakery-spec
+//!
+//! Model-checkable specifications of Bakery, Bakery++ and reference
+//! algorithms, written against the [`bakery_sim::Algorithm`] step-machine
+//! trait.  These play the role of the paper's PlusCal specification: the same
+//! description is explored exhaustively by the `bakery-mc` model checker
+//! (experiments **E2**, **E3**, **E5**) and sampled at scale by the
+//! `bakery-sim` simulator (experiments **E1**, **E4**, **E6**, **E8**).
+//!
+//! ## Atomicity granularity
+//!
+//! Each specification step performs **at most one shared-register access**,
+//! which is the granularity Lamport's correctness argument assumes (and finer
+//! than a typical PlusCal label).  Reads that overlap a concurrent write are
+//! modelled by the optional [`SafeReadMode::Flicker`]: while the owner of a
+//! `number` register is inside its doorway (its `choosing` flag is set), a
+//! read of that register may nondeterministically return the written value,
+//! zero, or the register bound — an approximation of the paper's "a read that
+//! overlaps a write may return any value".  The default
+//! ([`SafeReadMode::Atomic`]) matches what TLC checks for the paper's own
+//! PlusCal specification.
+//!
+//! ## Register bounds and the overflow sentinel
+//!
+//! The classic Bakery specification stores ticket values *as computed*, capped
+//! at `M + 1` (one above the declared register bound) so the state space stays
+//! finite while the model checker can still reach — and report — the overflow
+//! state.  Bakery++ never attempts such a store, which is precisely the
+//! theorem the checker verifies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bakery;
+pub mod bakery_pp;
+pub mod peterson;
+pub mod ticket;
+
+pub use bakery::BakerySpec;
+pub use bakery_pp::BakeryPlusPlusSpec;
+pub use peterson::PetersonSpec;
+pub use ticket::TicketSpec;
+
+/// How reads of another process's `number` register behave while its owner is
+/// inside the doorway (writing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SafeReadMode {
+    /// Reads always return the current value (atomic registers — what the
+    /// paper's PlusCal/TLC verification models).
+    #[default]
+    Atomic,
+    /// Reads of a register whose owner is currently choosing may return the
+    /// current value, `0`, or the register bound (safe-register
+    /// approximation).
+    Flicker,
+}
+
+/// Program-counter labels shared by the Bakery-family specifications.
+///
+/// Keeping the numbering identical between [`BakerySpec`] and
+/// [`BakeryPlusPlusSpec`] makes refinement comparisons and trace reading
+/// straightforward: Bakery simply never occupies the Bakery++-only labels.
+pub mod pc {
+    /// Noncritical section.
+    pub const NCS: u32 = 0;
+    /// Bakery++ only: the `L1` admission scan over the `number` registers.
+    pub const L1_SCAN: u32 = 1;
+    /// Doorway: set `choosing[i] := 1`.
+    pub const SET_CHOOSING: u32 = 2;
+    /// Doorway: fold one `number[j]` into the running maximum.
+    pub const COMPUTE_MAX: u32 = 3;
+    /// Bakery++ only: write the observed maximum into `number[i]`.
+    pub const WRITE_MAX: u32 = 4;
+    /// Bakery++ only: branch on `maximum ≥ M`.
+    pub const CHECK_BOUND: u32 = 5;
+    /// Bakery++ only: reset path, `number[i] := 0`.
+    pub const RESET_NUMBER: u32 = 6;
+    /// Bakery++ only: reset path, `choosing[i] := 0`, back to `L1`.
+    pub const RESET_CHOOSING: u32 = 7;
+    /// Store the ticket (`1 + max` for Bakery, `max + 1` for Bakery++).
+    pub const WRITE_TICKET: u32 = 8;
+    /// Doorway: clear `choosing[i]`.
+    pub const CLEAR_CHOOSING: u32 = 9;
+    /// Scan loop `L2`: wait for `choosing[j] == 0`.
+    pub const SCAN_CHOOSING: u32 = 10;
+    /// Scan loop `L3`: wait until `j` does not precede us.
+    pub const SCAN_NUMBER: u32 = 11;
+    /// Critical section.
+    pub const CS: u32 = 12;
+
+    /// Human-readable label for a Bakery-family program counter.
+    #[must_use]
+    pub fn label(pc: u32) -> &'static str {
+        match pc {
+            NCS => "ncs",
+            L1_SCAN => "L1-scan",
+            SET_CHOOSING => "set-choosing",
+            COMPUTE_MAX => "compute-max",
+            WRITE_MAX => "write-max",
+            CHECK_BOUND => "check-bound",
+            RESET_NUMBER => "reset-number",
+            RESET_CHOOSING => "reset-choosing",
+            WRITE_TICKET => "write-ticket",
+            CLEAR_CHOOSING => "clear-choosing",
+            SCAN_CHOOSING => "L2-scan-choosing",
+            SCAN_NUMBER => "L3-scan-number",
+            CS => "critical-section",
+            _ => "?",
+        }
+    }
+}
+
+/// Shared helpers for the Bakery-family specifications.
+pub(crate) mod layout {
+    use bakery_sim::{ProgState, RegisterSpec};
+
+    /// Index of `choosing[pid]` in the shared vector.
+    pub fn choosing_idx(pid: usize) -> usize {
+        pid
+    }
+
+    /// Index of `number[pid]` in the shared vector for `n` processes.
+    pub fn number_idx(n: usize, pid: usize) -> usize {
+        n + pid
+    }
+
+    /// The register layout shared by Bakery and Bakery++: `choosing[0..n]`
+    /// followed by `number[0..n]`.
+    pub fn registers(n: usize, bound: u64, sentinel: bool) -> Vec<RegisterSpec> {
+        let mut regs = Vec::with_capacity(2 * n);
+        for pid in 0..n {
+            regs.push(RegisterSpec::owned(format!("choosing[{pid}]"), 1, pid));
+        }
+        for pid in 0..n {
+            // The declared bound is M; the classic Bakery may physically hold
+            // the sentinel M+1 which is exactly the overflow the invariant
+            // reports.  The spec's own bound field stays M in both cases.
+            let _ = sentinel;
+            regs.push(RegisterSpec::owned(format!("number[{pid}]"), bound, pid));
+        }
+        regs
+    }
+
+    /// Reads `number[j]` with optional safe-register flicker.
+    ///
+    /// Returns the set of values the read may yield.
+    pub fn read_number(
+        state: &ProgState,
+        n: usize,
+        j: usize,
+        bound: u64,
+        flicker: bool,
+    ) -> Vec<u64> {
+        let actual = state.read(number_idx(n, j));
+        if flicker && state.read(choosing_idx(j)) == 1 {
+            let mut values = vec![actual, 0, bound];
+            values.sort_unstable();
+            values.dedup();
+            values
+        } else {
+            vec![actual]
+        }
+    }
+
+    /// The paper's `(a, b) < (c, d)` comparison on `(number, pid)` pairs.
+    pub fn ticket_precedes(a_num: u64, a_pid: usize, b_num: u64, b_pid: usize) -> bool {
+        a_num < b_num || (a_num == b_num && a_pid < b_pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_labels_cover_all_states() {
+        for pc in 0..=12 {
+            assert_ne!(pc::label(pc), "?", "pc {pc} must have a label");
+        }
+        assert_eq!(pc::label(99), "?");
+    }
+
+    #[test]
+    fn layout_indices_do_not_collide() {
+        let n = 4;
+        let mut seen = std::collections::HashSet::new();
+        for pid in 0..n {
+            assert!(seen.insert(layout::choosing_idx(pid)));
+        }
+        for pid in 0..n {
+            assert!(seen.insert(layout::number_idx(n, pid)));
+        }
+        assert_eq!(seen.len(), 2 * n);
+    }
+
+    #[test]
+    fn ticket_precedes_matches_paper_definition() {
+        assert!(layout::ticket_precedes(1, 5, 2, 0));
+        assert!(layout::ticket_precedes(2, 0, 2, 1));
+        assert!(!layout::ticket_precedes(2, 1, 2, 0));
+        assert!(!layout::ticket_precedes(3, 0, 2, 5));
+    }
+
+    #[test]
+    fn default_safe_read_mode_is_atomic() {
+        assert_eq!(SafeReadMode::default(), SafeReadMode::Atomic);
+    }
+}

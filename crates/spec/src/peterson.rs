@@ -1,0 +1,194 @@
+//! Step-machine specification of Peterson's two-process algorithm.
+//!
+//! Included to demonstrate that the model checker is algorithm-agnostic and to
+//! give the comparison experiments a specification-level baseline that uses a
+//! multi-writer shared variable (`turn`) — the design choice the paper
+//! contrasts Bakery/Bakery++ against.
+
+use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+
+/// Shared register indices.
+const FLAG0: usize = 0;
+const FLAG1: usize = 1;
+const TURN: usize = 2;
+
+/// Program counters.
+mod pc {
+    pub const NCS: u32 = 0;
+    pub const SET_FLAG: u32 = 1;
+    pub const SET_TURN: u32 = 2;
+    pub const WAIT: u32 = 3;
+    pub const CS: u32 = 4;
+}
+
+/// Peterson's algorithm for two processes as a checkable specification.
+#[derive(Debug, Clone, Default)]
+pub struct PetersonSpec;
+
+impl PetersonSpec {
+    /// Creates the two-process Peterson specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn flag_idx(pid: usize) -> usize {
+        if pid == 0 {
+            FLAG0
+        } else {
+            FLAG1
+        }
+    }
+}
+
+impl Algorithm for PetersonSpec {
+    fn name(&self) -> &str {
+        "peterson"
+    }
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn registers(&self) -> Vec<RegisterSpec> {
+        vec![
+            RegisterSpec::owned("flag[0]", 1, 0),
+            RegisterSpec::owned("flag[1]", 1, 1),
+            RegisterSpec::shared("turn", 1),
+        ]
+    }
+
+    fn initial_state(&self) -> ProgState {
+        ProgState::new(
+            3,
+            vec![ProcState::new(pc::NCS, vec![]), ProcState::new(pc::NCS, vec![])],
+        )
+    }
+
+    fn successors(&self, state: &ProgState, pid: usize, out: &mut Vec<ProgState>) {
+        if state.is_crashed(pid) {
+            return;
+        }
+        let other = 1 - pid;
+        match state.pc(pid) {
+            pc::NCS => out.push(state.with_pc(pid, pc::SET_FLAG)),
+            pc::SET_FLAG => {
+                let mut next = state.with_pc(pid, pc::SET_TURN);
+                next.set_shared(Self::flag_idx(pid), 1);
+                out.push(next);
+            }
+            pc::SET_TURN => {
+                let mut next = state.with_pc(pid, pc::WAIT);
+                next.set_shared(TURN, other as u64);
+                out.push(next);
+            }
+            pc::WAIT => {
+                let other_flag = state.read(Self::flag_idx(other));
+                let turn = state.read(TURN);
+                if other_flag == 0 || turn != other as u64 {
+                    out.push(state.with_pc(pid, pc::CS));
+                }
+                // else blocked.
+            }
+            pc::CS => {
+                let mut next = state.with_pc(pid, pc::NCS);
+                next.set_shared(Self::flag_idx(pid), 0);
+                out.push(next);
+            }
+            _ => {}
+        }
+    }
+
+    fn in_critical_section(&self, state: &ProgState, pid: usize) -> bool {
+        state.pc(pid) == pc::CS
+    }
+
+    fn is_trying(&self, state: &ProgState, pid: usize) -> bool {
+        let p = state.pc(pid);
+        p != pc::NCS && p != pc::CS
+    }
+
+    fn crash(&self, state: &ProgState, pid: usize) -> Option<ProgState> {
+        if state.pc(pid) == pc::NCS && state.read(Self::flag_idx(pid)) == 0 {
+            return None;
+        }
+        let mut next = state.with_pc(pid, pc::NCS);
+        next.set_shared(Self::flag_idx(pid), 0);
+        Some(next)
+    }
+
+    fn pc_label(&self, pc_value: u32) -> &'static str {
+        match pc_value {
+            pc::NCS => "ncs",
+            pc::SET_FLAG => "set-flag",
+            pc::SET_TURN => "set-turn",
+            pc::WAIT => "wait",
+            pc::CS => "critical-section",
+            _ => "?",
+        }
+    }
+
+    fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {
+        match (prev.pc(pid), next.pc(pid)) {
+            (pc::SET_TURN, pc::WAIT) => Some(Observation::TicketTaken { pid, number: 1 }),
+            (pc::WAIT, pc::CS) => Some(Observation::EnterCs { pid }),
+            (pc::CS, pc::NCS) => Some(Observation::ExitCs { pid }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_sim::{RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
+
+    #[test]
+    fn single_process_progress() {
+        let spec = PetersonSpec::new();
+        let config = RunConfig::<PetersonSpec>::checked(100);
+        let outcome = Simulator::new().run(&spec, &mut RoundRobinScheduler::new(), &config);
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.violations);
+        assert!(outcome.report.total_cs_entries() > 5);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_random_schedules() {
+        let spec = PetersonSpec::new();
+        for seed in 0..25 {
+            let config = RunConfig::<PetersonSpec>::checked(2_000);
+            let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+            assert!(outcome.report.is_clean(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn turn_register_is_multi_writer() {
+        let spec = PetersonSpec::new();
+        let regs = spec.registers();
+        assert_eq!(regs[2].name, "turn");
+        assert_eq!(regs[2].owner, None, "turn has no single owner");
+        assert_eq!(regs[0].owner, Some(0));
+    }
+
+    #[test]
+    fn crash_clears_flag() {
+        let spec = PetersonSpec::new();
+        let s0 = spec.initial_state();
+        let s1 = spec.successors_vec(&s0, 0)[0].clone();
+        let s2 = spec.successors_vec(&s1, 0)[0].clone();
+        assert_eq!(s2.read(FLAG0), 1);
+        let crashed = spec.crash(&s2, 0).unwrap();
+        assert_eq!(crashed.read(FLAG0), 0);
+        assert!(spec.crash(&s0, 0).is_none());
+    }
+
+    #[test]
+    fn labels_and_predicates() {
+        let spec = PetersonSpec::new();
+        assert_eq!(spec.pc_label(3), "wait");
+        assert_eq!(spec.processes(), 2);
+        let s = spec.initial_state();
+        assert!(!spec.is_trying(&s, 0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Runs the full E1–E9 experiment suite in quick mode and prints the Markdown
+//! report — the same output as `bakery-experiments --quick`, reachable without
+//! installing the binary.
+//!
+//! ```text
+//! cargo run --release --example experiment_report
+//! ```
+
+use bakery_suite::harness::experiments::{run_experiments, ExperimentId};
+
+fn main() {
+    let quick = std::env::args().all(|arg| arg != "--full");
+    eprintln!(
+        "running all experiments in {} mode (pass --full for paper-sized runs)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_experiments(ExperimentId::all(), quick);
+    println!("{}", report.to_markdown());
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration test: every real lock in the suite provides mutual
+//! exclusion under genuine thread contention, and the bounded locks respect
+//! their declared register bounds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bakery_suite::baselines::{all_algorithms, AlgorithmId, LockFactory};
+use bakery_suite::locks::{BakeryPlusPlusLock, NProcessMutex};
+
+fn stress(lock: Arc<dyn NProcessMutex + Send + Sync>, threads: usize, iterations: u64) -> u64 {
+    let counter = Arc::new(AtomicU64::new(0));
+    let in_cs = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            let in_cs = Arc::clone(&in_cs);
+            scope.spawn(move || {
+                let slot = lock.register().expect("a free slot");
+                for _ in 0..iterations {
+                    let _guard = lock.lock(&slot);
+                    assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0, "mutex violated");
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    counter.load(Ordering::SeqCst)
+}
+
+#[test]
+fn every_algorithm_excludes_under_contention() {
+    let threads = 4;
+    let factory = LockFactory::new().with_bound(1_000);
+    for (id, lock) in all_algorithms(threads, &factory) {
+        let total = stress(lock, threads, 300);
+        assert_eq!(total, 1_200, "{id} lost critical sections");
+    }
+}
+
+#[test]
+fn peterson_excludes_with_two_threads() {
+    let factory = LockFactory::new();
+    let lock = factory.build(AlgorithmId::Peterson, 2);
+    let total = stress(lock, 2, 2_000);
+    assert_eq!(total, 4_000);
+}
+
+#[test]
+fn bakery_pp_respects_tiny_bounds_under_heavy_contention() {
+    let lock = Arc::new(BakeryPlusPlusLock::with_bound(6, 5));
+    let total = stress(
+        Arc::clone(&lock) as Arc<dyn NProcessMutex + Send + Sync>,
+        6,
+        200,
+    );
+    assert_eq!(total, 1_200);
+    let stats = lock.stats().snapshot();
+    assert_eq!(stats.overflow_attempts, 0);
+    assert!(stats.max_ticket <= 5, "ticket exceeded M: {}", stats.max_ticket);
+    assert_eq!(stats.cs_entries, 1_200);
+}
+
+#[test]
+fn bounded_locks_report_their_bounds() {
+    let factory = LockFactory::new().with_bound(123);
+    for (id, lock) in all_algorithms(3, &factory) {
+        if id == AlgorithmId::BakeryPlusPlus {
+            assert_eq!(lock.register_bound(), Some(123));
+        }
+        if !id.is_bounded() && id == AlgorithmId::TicketLock {
+            assert_eq!(lock.register_bound(), None);
+        }
+    }
+}
+
+#[test]
+fn slots_are_recyclable_across_thread_waves() {
+    // Two consecutive waves of threads reuse the same slots: a departing
+    // thread's Drop must leave the lock in a clean state for its successor.
+    let lock = Arc::new(BakeryPlusPlusLock::with_bound(4, 100));
+    for _wave in 0..3 {
+        let total = stress(
+            Arc::clone(&lock) as Arc<dyn NProcessMutex + Send + Sync>,
+            4,
+            100,
+        );
+        assert_eq!(total, 400);
+    }
+    assert_eq!(lock.stats().cs_entries(), 1_200);
+}
