@@ -7,7 +7,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex};
+use bakery_core::registers::OverflowPolicy;
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode};
 
 use crate::{
     BlackWhiteBakeryLock, DijkstraLock, FilterLock, ModuloBakeryLock, PetersonLock, SzymanskiLock,
@@ -129,6 +130,9 @@ pub struct LockFactory {
     /// When true the classic Bakery is built with bounded (wrapping)
     /// registers instead of 64-bit ones.
     pub bounded_classic: bool,
+    /// Scan mode applied to the Bakery-family locks (packed snapshot plane
+    /// vs the padded seed layout), so E6/E7 can compare like for like.
+    pub scan_mode: ScanMode,
 }
 
 impl Default for LockFactory {
@@ -136,6 +140,7 @@ impl Default for LockFactory {
         Self {
             bound: bakery_core::DEFAULT_PP_BOUND,
             bounded_classic: false,
+            scan_mode: ScanMode::Packed,
         }
     }
 }
@@ -161,6 +166,13 @@ impl LockFactory {
         self
     }
 
+    /// Sets the scan mode for the Bakery-family locks.
+    #[must_use]
+    pub fn with_scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan_mode = mode;
+        self
+    }
+
     /// Instantiates the lock `id` for `n` processes.
     ///
     /// # Panics
@@ -174,13 +186,23 @@ impl LockFactory {
         );
         match id {
             AlgorithmId::Bakery => {
-                if self.bounded_classic {
-                    Arc::new(BakeryLock::with_bound(n, self.bound))
+                let bound = if self.bounded_classic {
+                    self.bound
                 } else {
-                    Arc::new(BakeryLock::new(n))
-                }
+                    bakery_core::DEFAULT_BOUND
+                };
+                Arc::new(BakeryLock::with_config(
+                    n,
+                    bound,
+                    OverflowPolicy::Wrap,
+                    self.scan_mode,
+                ))
             }
-            AlgorithmId::BakeryPlusPlus => Arc::new(BakeryPlusPlusLock::with_bound(n, self.bound)),
+            AlgorithmId::BakeryPlusPlus => Arc::new(BakeryPlusPlusLock::with_bound_and_mode(
+                n,
+                self.bound,
+                self.scan_mode,
+            )),
             AlgorithmId::BlackWhiteBakery => Arc::new(BlackWhiteBakeryLock::new(n)),
             AlgorithmId::ModuloBakery => Arc::new(ModuloBakeryLock::new(n)),
             AlgorithmId::Peterson => Arc::new(PetersonLock::new()),
@@ -262,6 +284,24 @@ mod tests {
             .with_bounded_classic(true)
             .build(AlgorithmId::Bakery, 3);
         assert_eq!(bounded.register_bound(), Some(42));
+    }
+
+    #[test]
+    fn factory_scan_mode_applies_to_bakery_family() {
+        let padded = LockFactory::new().with_scan_mode(ScanMode::Padded);
+        for id in [AlgorithmId::Bakery, AlgorithmId::BakeryPlusPlus] {
+            let lock = padded.build(id, 2);
+            let slot = lock.register().unwrap();
+            drop(lock.lock(&slot));
+            assert_eq!(lock.stats().fast_path_hits(), 0, "{id}: padded has no fast path");
+        }
+        let packed = LockFactory::new();
+        for id in [AlgorithmId::Bakery, AlgorithmId::BakeryPlusPlus] {
+            let lock = packed.build(id, 2);
+            let slot = lock.register().unwrap();
+            drop(lock.lock(&slot));
+            assert_eq!(lock.stats().fast_path_hits(), 1, "{id}: uncontended fast path");
+        }
     }
 
     #[test]

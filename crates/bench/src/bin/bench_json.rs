@@ -1,0 +1,409 @@
+//! `bench-json` — the suite's machine-readable perf baseline.
+//!
+//! Runs the two timing experiments that gate the packed-snapshot work and
+//! writes their results as JSON, establishing the first point of the perf
+//! trajectory that later PRs extend:
+//!
+//! * **E6** (uncontended acquire/release latency): every Bakery-family lock
+//!   in both scan modes across a range of process counts;
+//! * **E7** (contended throughput): Bakery++ and classic Bakery in both scan
+//!   modes at 2 and 4 threads.
+//!
+//! ```text
+//! bench-json [--quick] [--out-dir DIR]
+//! ```
+//!
+//! Output files: `BENCH_e6.json` and `BENCH_e7.json` in `--out-dir`
+//! (default: the current directory).  The summary — including the packed-vs-
+//! padded improvement percentages — is also printed as Markdown-ish text.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bakery_core::registers::OverflowPolicy;
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, DEFAULT_PP_BOUND};
+use bakery_harness::workload::{run_workload, Workload};
+
+/// One uncontended-latency measurement.
+#[derive(Debug, Clone)]
+struct E6Entry {
+    algorithm: String,
+    mode: String,
+    processes: usize,
+    bound: u64,
+    ns_per_acquire: f64,
+    fast_path_hits: u64,
+    overflow_attempts: u64,
+}
+bakery_json::json_object!(E6Entry {
+    algorithm,
+    mode,
+    processes,
+    bound,
+    ns_per_acquire,
+    fast_path_hits,
+    overflow_attempts,
+});
+
+/// One contended-throughput measurement.
+#[derive(Debug, Clone)]
+struct E7Entry {
+    algorithm: String,
+    mode: String,
+    threads: usize,
+    bound: u64,
+    acquisitions_per_sec: f64,
+    p99_latency_ns: u64,
+    fairness_ratio: f64,
+    fast_path_hits: u64,
+    overflow_attempts: u64,
+}
+bakery_json::json_object!(E7Entry {
+    algorithm,
+    mode,
+    threads,
+    bound,
+    acquisitions_per_sec,
+    p99_latency_ns,
+    fairness_ratio,
+    fast_path_hits,
+    overflow_attempts,
+});
+
+/// Packed-vs-padded comparison for one configuration.
+#[derive(Debug, Clone)]
+struct Comparison {
+    algorithm: String,
+    processes: usize,
+    padded: f64,
+    packed: f64,
+    /// Positive = packed is better.  For E6 this is latency reduction, for
+    /// E7 throughput gain, both in percent.
+    improvement_pct: f64,
+}
+bakery_json::json_object!(Comparison {
+    algorithm,
+    processes,
+    padded,
+    packed,
+    improvement_pct,
+});
+
+#[derive(Debug, Clone)]
+struct E6Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    entries: Vec<E6Entry>,
+    /// Latency reduction of packed vs padded per (algorithm, processes).
+    comparisons: Vec<Comparison>,
+}
+bakery_json::json_object!(E6Report {
+    schema,
+    experiment,
+    quick,
+    entries,
+    comparisons,
+});
+
+#[derive(Debug, Clone)]
+struct E7Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    /// Logical CPUs available during the run.  With fewer CPUs than worker
+    /// threads the numbers measure scheduling as much as the lock, so
+    /// cross-machine comparisons should check this field first.
+    cpus: usize,
+    /// Repetitions per configuration; each entry is the best of these.
+    repetitions: usize,
+    entries: Vec<E7Entry>,
+    /// Throughput gain of packed vs padded per (algorithm, threads).
+    comparisons: Vec<Comparison>,
+}
+bakery_json::json_object!(E7Report {
+    schema,
+    experiment,
+    quick,
+    cpus,
+    repetitions,
+    entries,
+    comparisons,
+});
+
+/// Median ns per uncontended acquire/release of `lock`, slot 0.
+fn measure_uncontended(lock: &dyn NProcessMutex, iterations: u64, samples: usize) -> f64 {
+    let slot = lock.register().expect("slot 0 free");
+    // Warm-up pass.
+    for _ in 0..iterations / 4 {
+        drop(lock.lock(&slot));
+    }
+    let mut results: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            let guard = lock.lock(&slot);
+            std::hint::black_box(&guard);
+            drop(guard);
+        }
+        results.push(start.elapsed().as_nanos() as f64 / iterations as f64);
+    }
+    results.sort_by(|a, b| a.total_cmp(b));
+    results[results.len() / 2]
+}
+
+fn bakery_pair(n: usize, bound: u64, mode: ScanMode) -> Vec<(String, Arc<dyn NProcessMutex + Send + Sync>)> {
+    vec![
+        (
+            "bakery".to_string(),
+            Arc::new(BakeryLock::with_config(
+                n,
+                bakery_core::DEFAULT_BOUND,
+                OverflowPolicy::Wrap,
+                mode,
+            )),
+        ),
+        (
+            "bakery++".to_string(),
+            Arc::new(BakeryPlusPlusLock::with_bound_and_mode(n, bound, mode)),
+        ),
+    ]
+}
+
+fn run_e6(quick: bool) -> E6Report {
+    let (iterations, samples) = if quick { (20_000, 5) } else { (100_000, 9) };
+    let bound = DEFAULT_PP_BOUND;
+    let mut entries = Vec::new();
+    for &n in &[4usize, 32, 128] {
+        for mode in [ScanMode::Padded, ScanMode::Packed] {
+            for (name, lock) in bakery_pair(n, bound, mode) {
+                let ns = measure_uncontended(lock.as_ref(), iterations, samples);
+                let stats = lock.stats().snapshot();
+                entries.push(E6Entry {
+                    algorithm: name,
+                    mode: mode.name().to_string(),
+                    processes: n,
+                    // Per-lock: classic bakery runs effectively unbounded.
+                    bound: lock.register_bound().unwrap_or(u64::MAX),
+                    ns_per_acquire: ns,
+                    fast_path_hits: stats.fast_path_hits,
+                    overflow_attempts: stats.overflow_attempts,
+                });
+            }
+        }
+    }
+    let comparisons = comparisons_of(
+        &entries,
+        |e| (e.algorithm.clone(), e.processes, e.mode.clone(), e.ns_per_acquire),
+        // Latency: improvement = reduction.
+        |padded, packed| (padded - packed) / padded * 100.0,
+    );
+    E6Report {
+        schema: "bakery-bench/e6/v1".to_string(),
+        experiment: "E6 uncontended acquire/release latency".to_string(),
+        quick,
+        entries,
+        comparisons,
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    values[values.len() / 2]
+}
+
+fn run_e7(quick: bool) -> E7Report {
+    let bound = DEFAULT_PP_BOUND;
+    let repetitions = if quick { 7 } else { 21 };
+    let mut entries = Vec::new();
+    let mut comparisons = Vec::new();
+    for &threads in &[2usize, 4] {
+        for lock_index in 0..2 {
+            // Paired A/B design: each repetition runs the padded and the
+            // packed lock back to back on fresh locks, and the improvement is
+            // the median of the per-repetition ratios.  On a machine with
+            // fewer CPUs than workers (often a single shared CPU here) whole
+            // runs drift between a fast serial-burst regime and a slow
+            // context-switch-bound regime; pairing cancels that drift where
+            // an unpaired best-of-k cannot.
+            let mut ratios: Vec<f64> = Vec::with_capacity(repetitions);
+            let mut padded_thr: Vec<f64> = Vec::with_capacity(repetitions);
+            let mut packed_thr: Vec<f64> = Vec::with_capacity(repetitions);
+            let mut sample: Vec<Option<E7Entry>> = vec![None, None];
+            for _ in 0..repetitions {
+                let mut pair_thr = [0.0f64; 2];
+                for (slot, mode) in [ScanMode::Padded, ScanMode::Packed].into_iter().enumerate()
+                {
+                    let (name, lock) = bakery_pair(threads, bound, mode).swap_remove(lock_index);
+                    let workload = Workload {
+                        threads,
+                        iterations_per_thread: if quick { 1_000 } else { 4_000 },
+                        critical_section_work: 16,
+                        think_work: 16,
+                    };
+                    let result = run_workload(Arc::clone(&lock), &workload);
+                    pair_thr[slot] = result.throughput();
+                    let entry = E7Entry {
+                        algorithm: name,
+                        mode: mode.name().to_string(),
+                        threads,
+                        bound: lock.register_bound().unwrap_or(u64::MAX),
+                        acquisitions_per_sec: result.throughput(),
+                        p99_latency_ns: result.latency.quantile_ns(0.99),
+                        fairness_ratio: result.fairness_ratio(),
+                        fast_path_hits: result.fast_path_hits,
+                        overflow_attempts: result.overflow_attempts,
+                    };
+                    let better = sample[slot]
+                        .as_ref()
+                        .is_none_or(|b| entry.acquisitions_per_sec > b.acquisitions_per_sec);
+                    if better {
+                        sample[slot] = Some(entry);
+                    }
+                }
+                padded_thr.push(pair_thr[0]);
+                packed_thr.push(pair_thr[1]);
+                ratios.push(pair_thr[1] / pair_thr[0]);
+            }
+            let median_ratio = median(&mut ratios);
+            let (algorithm, processes) = {
+                let best = sample[0].as_ref().expect("at least one repetition");
+                (best.algorithm.clone(), best.threads)
+            };
+            comparisons.push(Comparison {
+                algorithm,
+                processes,
+                padded: median(&mut padded_thr),
+                packed: median(&mut packed_thr),
+                improvement_pct: (median_ratio - 1.0) * 100.0,
+            });
+            entries.extend(sample.into_iter().flatten());
+        }
+    }
+    E7Report {
+        schema: "bakery-bench/e7/v1".to_string(),
+        experiment: "E7 contended throughput".to_string(),
+        quick,
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        repetitions,
+        entries,
+        comparisons,
+    }
+}
+
+/// Pairs padded/packed measurements sharing (algorithm, size) and computes
+/// the improvement percentage.
+fn comparisons_of<E>(
+    entries: &[E],
+    key: impl Fn(&E) -> (String, usize, String, f64),
+    improvement: impl Fn(f64, f64) -> f64,
+) -> Vec<Comparison> {
+    let keyed: Vec<(String, usize, String, f64)> = entries.iter().map(key).collect();
+    let mut comparisons = Vec::new();
+    for (algorithm, size, mode, padded_value) in &keyed {
+        if mode != "padded" {
+            continue;
+        }
+        let packed_value = keyed
+            .iter()
+            .find(|(a, s, m, _)| a == algorithm && s == size && m == "packed")
+            .map(|(_, _, _, v)| *v);
+        if let Some(packed_value) = packed_value {
+            comparisons.push(Comparison {
+                algorithm: algorithm.clone(),
+                processes: *size,
+                padded: *padded_value,
+                packed: packed_value,
+                improvement_pct: improvement(*padded_value, packed_value),
+            });
+        }
+    }
+    comparisons
+}
+
+fn print_comparisons(title: &str, unit: &str, comparisons: &[Comparison]) {
+    println!("\n## {title}");
+    println!("| algorithm | size | padded {unit} | packed {unit} | improvement |");
+    println!("|---|---|---|---|---|");
+    for c in comparisons {
+        println!(
+            "| {} | {} | {:.1} | {:.1} | {:+.1}% |",
+            c.algorithm, c.processes, c.padded, c.packed, c.improvement_pct
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--out-dir" => match args.next() {
+                Some(dir) => out_dir = dir,
+                None => {
+                    eprintln!("--out-dir requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench-json [--quick] [--out-dir DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("bench-json: measuring E6 (uncontended latency)...");
+    let e6 = run_e6(quick);
+    eprintln!("bench-json: measuring E7 (contended throughput)...");
+    let e7 = run_e7(quick);
+
+    print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
+    print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
+
+    for (name, json) in [
+        ("BENCH_e6.json", bakery_json::to_string_pretty(&e6)),
+        ("BENCH_e7.json", bakery_json::to_string_pretty(&e7)),
+    ] {
+        let path = format!("{out_dir}/{name}");
+        let text = match json {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("failed to serialise {name}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = std::fs::write(&path, text + "\n") {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    // Sanity guards so CI catches a perf or correctness regression loudly:
+    // Bakery++ must never overflow, and the packed mode must not be slower
+    // uncontended at any measured size.
+    let pp_overflows: u64 = e6
+        .entries
+        .iter()
+        .filter(|e| e.algorithm == "bakery++")
+        .map(|e| e.overflow_attempts)
+        .chain(
+            e7.entries
+                .iter()
+                .filter(|e| e.algorithm == "bakery++")
+                .map(|e| e.overflow_attempts),
+        )
+        .sum();
+    if pp_overflows > 0 {
+        eprintln!("bakery++ reported {pp_overflows} overflow attempts");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

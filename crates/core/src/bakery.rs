@@ -30,7 +30,9 @@ use crate::backoff::Backoff;
 use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
+use crate::snapshot::{PackedSnapshot, ScanMode};
 use crate::stats::LockStats;
+use crate::sync::{fence, Ordering};
 use crate::ticket::{Ticket, TicketOrder};
 use crate::DEFAULT_BOUND;
 
@@ -65,14 +67,29 @@ impl BakeryLock {
         Self::with_bound_and_policy(n, bound, OverflowPolicy::Wrap)
     }
 
-    /// Creates a Bakery lock with an explicit bound and overflow policy.
+    /// Creates a Bakery lock with an explicit bound and overflow policy (in
+    /// the default packed scan mode).
     #[must_use]
     pub fn with_bound_and_policy(n: usize, bound: u64, policy: OverflowPolicy) -> Self {
+        Self::with_config(n, bound, policy, ScanMode::Packed)
+    }
+
+    /// Creates a Bakery lock with every knob explicit, including the
+    /// [`ScanMode`] ([`ScanMode::Padded`] reproduces the seed's per-register
+    /// SeqCst scan for baseline measurements and ablations).
+    #[must_use]
+    pub fn with_config(n: usize, bound: u64, policy: OverflowPolicy, mode: ScanMode) -> Self {
         Self {
-            file: RegisterFile::new(n, bound, policy),
+            file: RegisterFile::with_mode(n, bound, policy, mode),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
         }
+    }
+
+    /// The scan mode this lock was built with.
+    #[must_use]
+    pub fn scan_mode(&self) -> ScanMode {
+        self.file.mode()
     }
 
     /// The shared register file (read-only view used by tests and experiments).
@@ -101,7 +118,20 @@ impl BakeryLock {
     pub fn try_doorway(&self, pid: usize) -> DoorwayOutcome {
         assert!(pid < self.capacity(), "pid {pid} out of range");
         self.file.write_choosing(pid, true);
-        let max = TicketOrder::maximum(&self.file.snapshot_numbers());
+        let max = match self.file.packed() {
+            Some(packed) => {
+                // Handshake fence #1: the `choosing[i] := 1` store must be
+                // globally visible before the maximum scan's loads.  Two
+                // processes in the doorway simultaneously must not *both*
+                // miss each other — the SC-fence pairing with fence #2 / the
+                // scan of the other process guarantees at least one side
+                // observes the other (the Dekker store-load lemma).
+                fence(Ordering::SeqCst);
+                packed.max_number()
+            }
+            // Padded baseline: the seed's per-register SeqCst scan.
+            None => TicketOrder::maximum(&self.file.snapshot_numbers()),
+        };
         // `max + 1` may exceed the register bound; the register applies the
         // configured policy and records the overflow.  This is the exact
         // failure point the paper's Section 3 identifies.
@@ -109,6 +139,12 @@ impl BakeryLock {
         let event = self.file.write_number(pid, attempted, &self.stats);
         let stored = self.file.read_number(pid);
         self.stats.record_ticket(stored);
+        if self.file.packed().is_some() {
+            // Handshake fence #2: the ticket store must be visible before
+            // this process's L2/L3 loads (including the fast-path emptiness
+            // check), pairing with fence #1 of any concurrent chooser.
+            fence(Ordering::SeqCst);
+        }
         self.file.write_choosing(pid, false);
         match event {
             Some(ev) => DoorwayOutcome::Overflowed {
@@ -121,32 +157,16 @@ impl BakeryLock {
 
     /// The scan (`L2`/`L3`): wait until every other process is done choosing
     /// and no other process holds a smaller `(number, pid)` pair.
+    ///
+    /// In packed mode an empty-bakery check against the snapshot plane gives
+    /// the uncontended **fast path**: when no other process is choosing or
+    /// holds a ticket, the whole per-contender loop is skipped after reading
+    /// `O(N/8)` words instead of `2N` padded cache lines.
     pub fn await_turn(&self, pid: usize) {
-        let n = self.file.len();
-        let mut waits = 0u64;
-        for j in 0..n {
-            if j == pid {
-                continue;
-            }
-            let mut backoff = Backoff::new();
-            // L2: wait while process j is choosing.
-            while self.file.read_choosing(j) {
-                waits += 1;
-                backoff.snooze();
-            }
-            backoff.reset();
-            // L3: wait while process j holds a smaller (number, pid) pair.
-            loop {
-                let me = Ticket::new(self.file.read_number(pid), pid);
-                let other = Ticket::new(self.file.read_number(j), j);
-                if !TicketOrder::must_wait_for(me, other) {
-                    break;
-                }
-                waits += 1;
-                backoff.snooze();
-            }
+        match self.file.packed() {
+            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats),
+            None => await_turn_padded(&self.file, pid, &self.stats),
         }
-        self.stats.record_doorway_waits(waits);
     }
 
     /// Non-blocking check of the scan condition: would process `pid` be
@@ -210,6 +230,81 @@ impl NProcessMutex for BakeryLock {
     fn as_raw(&self) -> &dyn RawNProcessLock {
         self
     }
+}
+
+/// The `L2`/`L3` scan over the packed snapshot plane, shared by Bakery and
+/// Bakery++ (the loops are identical in Algorithms 1 and 2).
+///
+/// The fast path first reads the choosing bitmap and then the ticket lanes —
+/// the same `L2`-before-`L3` order as the per-process loops — and an all-zero
+/// observation is exactly the evidence on which every `L2`/`L3` iteration of
+/// the classic loop would fall through without waiting, so skipping the loop
+/// is behaviourally identical to running it against those reads.
+pub(crate) fn await_turn_packed(
+    file: &RegisterFile,
+    packed: &PackedSnapshot,
+    pid: usize,
+    stats: &LockStats,
+) {
+    if !packed.has_other_contenders(pid) {
+        stats.record_fast_path_hit();
+        return;
+    }
+    let n = file.len();
+    let mut waits = 0u64;
+    for j in 0..n {
+        if j == pid {
+            continue;
+        }
+        let mut backoff = Backoff::new();
+        // L2: wait while process j is choosing (one bitmap word covers 64 js).
+        while packed.choosing(j) {
+            waits += 1;
+            backoff.snooze();
+        }
+        backoff.reset();
+        // L3: wait while process j holds a smaller (number, pid) pair.
+        loop {
+            let me = Ticket::new(packed.number(pid), pid);
+            let other = Ticket::new(packed.number(j), j);
+            if !TicketOrder::must_wait_for(me, other) {
+                break;
+            }
+            waits += 1;
+            backoff.snooze();
+        }
+    }
+    stats.record_doorway_waits(waits);
+}
+
+/// The `L2`/`L3` scan against the padded authoritative registers with SeqCst
+/// loads — the seed's exact wait loop, kept for [`ScanMode::Padded`].
+pub(crate) fn await_turn_padded(file: &RegisterFile, pid: usize, stats: &LockStats) {
+    let n = file.len();
+    let mut waits = 0u64;
+    for j in 0..n {
+        if j == pid {
+            continue;
+        }
+        let mut backoff = Backoff::new();
+        // L2: wait while process j is choosing.
+        while file.read_choosing(j) {
+            waits += 1;
+            backoff.snooze();
+        }
+        backoff.reset();
+        // L3: wait while process j holds a smaller (number, pid) pair.
+        loop {
+            let me = Ticket::new(file.read_number(pid), pid);
+            let other = Ticket::new(file.read_number(j), j);
+            if !TicketOrder::must_wait_for(me, other) {
+                break;
+            }
+            waits += 1;
+            backoff.snooze();
+        }
+    }
+    stats.record_doorway_waits(waits);
 }
 
 #[cfg(all(test, not(loom)))]
@@ -371,6 +466,70 @@ mod tests {
         assert_eq!(lock.shared_word_count(), 6);
         assert_eq!(lock.register_bound(), Some(7));
         assert_eq!(lock.registers().bound(), 7);
+    }
+
+    #[test]
+    fn uncontended_acquires_take_the_fast_path() {
+        let lock = BakeryLock::new(4);
+        assert_eq!(lock.scan_mode(), ScanMode::Packed);
+        let slot = lock.register().unwrap();
+        for _ in 0..25 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().fast_path_hits(), 25, "empty bakery every time");
+        assert_eq!(lock.stats().doorway_waits(), 0);
+    }
+
+    #[test]
+    fn fast_path_is_skipped_while_another_ticket_is_live() {
+        let lock = BakeryLock::new(2);
+        assert!(lock.try_doorway(1).took_ticket()); // standing customer
+        assert!(lock.try_doorway(0).took_ticket());
+        lock.await_turn(1); // pid 1 has the older ticket: enters first
+        assert_eq!(lock.stats().fast_path_hits(), 0);
+        lock.release(1);
+        lock.await_turn(0);
+        lock.release(0);
+    }
+
+    #[test]
+    fn padded_mode_reproduces_seed_behaviour() {
+        let lock = BakeryLock::with_config(2, 5, OverflowPolicy::Wrap, ScanMode::Padded);
+        assert_eq!(lock.scan_mode(), ScanMode::Padded);
+        assert!(lock.registers().packed().is_none());
+        let slot = lock.register().unwrap();
+        for _ in 0..10 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().cs_entries(), 10);
+        assert_eq!(lock.stats().fast_path_hits(), 0, "padded mode has no fast path");
+    }
+
+    #[test]
+    fn padded_mode_mutual_exclusion_under_contention() {
+        let lock = Arc::new(BakeryLock::with_config(
+            4,
+            crate::DEFAULT_BOUND,
+            OverflowPolicy::Wrap,
+            ScanMode::Padded,
+        ));
+        let in_cs = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..300 {
+                        let _g = lock.lock(&slot);
+                        let inside = in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(inside, 0, "mutual exclusion violated");
+                        in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.stats().cs_entries(), 1200);
     }
 
     #[test]

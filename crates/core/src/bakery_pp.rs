@@ -37,10 +37,13 @@
 use std::sync::Arc;
 
 use crate::backoff::Backoff;
+use crate::bakery::{await_turn_packed, await_turn_padded};
 use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
+use crate::snapshot::ScanMode;
 use crate::stats::LockStats;
+use crate::sync::{fence, Ordering};
 use crate::ticket::{Ticket, TicketOrder};
 
 /// Default register bound used by [`BakeryPlusPlusLock::new`]: the largest
@@ -87,16 +90,33 @@ impl BakeryPlusPlusLock {
     /// assumes `M ≥ 1` since tickets start at 1).
     #[must_use]
     pub fn with_bound(n: usize, bound: u64) -> Self {
+        Self::with_bound_and_mode(n, bound, ScanMode::Packed)
+    }
+
+    /// Creates a Bakery++ lock with an explicit [`ScanMode`]
+    /// ([`ScanMode::Padded`] reproduces the seed's per-register SeqCst scan
+    /// for baseline measurements and ablations).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0` (see [`BakeryPlusPlusLock::with_bound`]).
+    #[must_use]
+    pub fn with_bound_and_mode(n: usize, bound: u64, mode: ScanMode) -> Self {
         assert!(bound >= 1, "the register bound M must be at least 1");
         Self {
             // The Panic policy documents the Theorem: if Bakery++ ever asked
             // the register file to store a value above M, that would be a bug
             // in this crate and we want the loudest possible failure.
-            file: RegisterFile::new(n, bound, OverflowPolicy::Panic),
+            file: RegisterFile::with_mode(n, bound, OverflowPolicy::Panic, mode),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
             bound,
         }
+    }
+
+    /// The scan mode this lock was built with.
+    #[must_use]
+    pub fn scan_mode(&self) -> ScanMode {
+        self.file.mode()
     }
 
     /// The register bound `M`.
@@ -125,9 +145,16 @@ impl BakeryPlusPlusLock {
 
     /// True when some register currently holds a value `≥ M` — the paper's
     /// *illegitimate situation* that the `L1` guard waits out.
+    ///
+    /// Since every register individually holds a value `≤ M`, "∃q:
+    /// number[q] ≥ M" is equivalent to "maximum ≥ M", which packed mode
+    /// answers from the snapshot plane in `O(N/8)` word reads.
     #[must_use]
     pub fn situation_is_illegitimate(&self) -> bool {
-        (0..self.file.len()).any(|q| self.file.read_number(q) >= self.bound)
+        match self.file.packed() {
+            Some(packed) => packed.max_number() >= self.bound,
+            None => (0..self.file.len()).any(|q| self.file.read_number(q) >= self.bound),
+        }
     }
 
     /// One non-blocking pass through Algorithm 2's doorway.
@@ -148,7 +175,18 @@ impl BakeryPlusPlusLock {
             return DoorwayOutcome::Blocked;
         }
         self.file.write_choosing(pid, true);
-        let max = TicketOrder::maximum(&self.file.snapshot_numbers());
+        let max = match self.file.packed() {
+            Some(packed) => {
+                // Handshake fence #1 (see `bakery::try_doorway`): the
+                // `choosing[i] := 1` store must be visible before the scan's
+                // loads, so two concurrent choosers cannot both miss each
+                // other.
+                fence(Ordering::SeqCst);
+                packed.max_number()
+            }
+            // Padded baseline: the seed's per-register SeqCst scan.
+            None => TicketOrder::maximum(&self.file.snapshot_numbers()),
+        };
         // Store the maximum first, exactly as Algorithm 2 does.  Every
         // register individually holds a value <= M, so max <= M and this store
         // can never overflow.
@@ -166,35 +204,23 @@ impl BakeryPlusPlusLock {
         // Safe to increment: max < M implies max + 1 <= M.
         self.file.write_number(pid, max + 1, &self.stats);
         self.stats.record_ticket(max + 1);
+        if self.file.packed().is_some() {
+            // Handshake fence #2: the ticket store must be visible before the
+            // L2/L3 loads (including the fast-path emptiness check).
+            fence(Ordering::SeqCst);
+        }
         self.file.write_choosing(pid, false);
         DoorwayOutcome::Ticket(max + 1)
     }
 
-    /// The scan loops `L2`/`L3`, identical to the original Bakery.
+    /// The scan loops `L2`/`L3`, identical to the original Bakery — including
+    /// the packed-mode empty-bakery fast path (see
+    /// [`crate::bakery::BakeryLock::await_turn`]).
     pub fn await_turn(&self, pid: usize) {
-        let n = self.file.len();
-        let mut waits = 0u64;
-        for j in 0..n {
-            if j == pid {
-                continue;
-            }
-            let mut backoff = Backoff::new();
-            while self.file.read_choosing(j) {
-                waits += 1;
-                backoff.snooze();
-            }
-            backoff.reset();
-            loop {
-                let me = Ticket::new(self.file.read_number(pid), pid);
-                let other = Ticket::new(self.file.read_number(j), j);
-                if !TicketOrder::must_wait_for(me, other) {
-                    break;
-                }
-                waits += 1;
-                backoff.snooze();
-            }
+        match self.file.packed() {
+            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats),
+            None => await_turn_padded(&self.file, pid, &self.stats),
         }
-        self.stats.record_doorway_waits(waits);
     }
 
     /// Non-blocking check of the scan condition: would process `pid` be
@@ -441,6 +467,76 @@ mod tests {
         assert_eq!(lock.stats().cs_entries(), 800);
         assert_eq!(lock.stats().overflow_attempts(), 0);
         assert!(lock.stats().max_ticket() <= 3);
+    }
+
+    #[test]
+    fn uncontended_acquires_take_the_fast_path() {
+        let lock = BakeryPlusPlusLock::with_bound(4, 65_535);
+        assert_eq!(lock.scan_mode(), crate::snapshot::ScanMode::Packed);
+        let slot = lock.register().unwrap();
+        for _ in 0..50 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.stats().fast_path_hits(), 50);
+        assert_eq!(lock.stats().doorway_waits(), 0);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    }
+
+    #[test]
+    fn mutual_exclusion_with_u8_lanes_under_contention() {
+        // M = 255 with 40 slots selects u8 ticket lanes: the four active
+        // contenders (slots 0..3) share one packed word, the tightest
+        // false-sharing configuration of the mirror.
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(40, 255));
+        assert_eq!(
+            lock.registers().packed().unwrap().width(),
+            crate::snapshot::LaneWidth::U8
+        );
+        let in_cs = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..400 {
+                        let _g = lock.lock(&slot);
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.stats().cs_entries(), 1600);
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+        assert!(lock.stats().max_ticket() <= 255);
+    }
+
+    #[test]
+    fn padded_mode_mutual_exclusion_under_contention() {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound_and_mode(
+            4,
+            1000,
+            crate::snapshot::ScanMode::Padded,
+        ));
+        assert!(lock.registers().packed().is_none());
+        let in_cs = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for _ in 0..300 {
+                        let _g = lock.lock(&slot);
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.stats().cs_entries(), 1200);
+        assert_eq!(lock.stats().fast_path_hits(), 0);
     }
 
     #[test]

@@ -44,24 +44,49 @@
 //! |---|---|
 //! | [`ticket`] | bounded ticket values and the paper's lexicographic `(number, pid)` order |
 //! | [`registers`] | bounded single-writer registers, register files, overflow accounting |
+//! | [`snapshot`] | the packed snapshot plane: choosing bitmap + dense ticket lanes, scan modes |
 //! | [`slots`] | process slot allocation (which thread plays which process id) |
 //! | [`raw`] | the [`RawNProcessLock`] / [`NProcessMutex`] traits |
 //! | [`guard`] | RAII critical-section guards |
 //! | [`bakery`] | Lamport's original Bakery algorithm (Algorithm 1 of the paper) |
 //! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
 //! | [`backoff`] | spin/yield backoff shared by the locks |
-//! | [`stats`] | lock statistics (overflows, resets, doorway waits, …) |
+//! | [`stats`] | lock statistics (overflows, resets, doorway waits, fast-path hits, …) |
+//!
+//! ## The packed snapshot plane
+//!
+//! The authoritative [`RegisterFile`] keeps each register in its own
+//! cache-padded slot so single writers never false-share, but that makes the
+//! doorway's `maximum(...)` scan and the `L2`/`L3` wait loops touch `N`
+//! cache lines per pass.  In the default [`ScanMode::Packed`] the file also
+//! maintains a [`PackedSnapshot`] mirror — a one-bit-per-process `choosing`
+//! bitmap plus `u8`/`u16`/`u64` ticket lanes chosen from the bound `M` — so
+//! scans read `O(N/8)` words, and an empty-bakery check gives an uncontended
+//! **fast path** that skips the wait loops entirely (counted by
+//! [`LockStats::fast_path_hits`]).  The mirror is a performance cache only:
+//! the padded plane remains the source of truth for the paper's SWMR
+//! discipline and overflow accounting, and every lane update is a single
+//! atomic splice, so readers stay within the paper's safe-register model.
+//! [`ScanMode::Padded`] preserves the seed's layout and orderings as a
+//! like-for-like baseline (see the `bench-json` binary in `bakery-bench`).
 //!
 //! ## Memory ordering
 //!
 //! The paper's model assumes registers that are at least *safe* and an
-//! interleaving semantics of whole read/write operations.  Rust's memory model
-//! is weaker, so the real locks in this crate use `SeqCst` loads and stores
-//! for every protocol register; the cost of that choice is measured by the
-//! `ablation` benchmark in the `bakery-bench` crate.  The abstract,
-//! paper-level semantics (including safe-register reads that may return
-//! arbitrary values) are model checked by the companion `bakery-spec` /
-//! `bakery-mc` crates.
+//! interleaving semantics of whole read/write operations.  In
+//! [`ScanMode::Padded`] every protocol access is `SeqCst`, exactly as the
+//! seed implementation.  In [`ScanMode::Packed`] the locks use
+//! release stores / acquire loads plus **two targeted `SeqCst` fences** per
+//! doorway pass — one between `choosing[i] := 1` and the maximum scan, one
+//! between the ticket store and the `L2`/`L3` loads — which are the only
+//! store→load orderings the correctness argument needs (the Dekker-style
+//! handshakes; cf. van Glabbeek, Luttik & Spronck, *Just Verification of
+//! Mutual Exclusion Algorithms*, on how little of SC the Bakery proof
+//! actually uses).  The choice is exercised by the loom tests in
+//! `crates/core/tests/loom.rs` and the `ablation`/`bench-json` benchmarks.
+//! The abstract, paper-level semantics (including safe-register reads that
+//! may return arbitrary values) are model checked by the companion
+//! `bakery-spec` / `bakery-mc` crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +99,7 @@ pub mod guard;
 pub mod raw;
 pub mod registers;
 pub mod slots;
+pub mod snapshot;
 pub mod stats;
 pub mod sync;
 pub mod ticket;
@@ -84,6 +110,7 @@ pub use guard::CriticalSectionGuard;
 pub use raw::{DoorwayOutcome, LockError, NProcessMutex, RawNProcessLock};
 pub use registers::{BoundedRegister, OverflowEvent, OverflowPolicy, RegisterFile};
 pub use slots::{Slot, SlotError};
+pub use snapshot::{LaneWidth, PackedSnapshot, ScanMode};
 pub use stats::LockStats;
 pub use ticket::{Ticket, TicketOrder};
 

@@ -19,6 +19,7 @@ use std::fmt;
 
 use crossbeam::utils::CachePadded;
 
+use crate::snapshot::{PackedSnapshot, ScanMode};
 use crate::stats::LockStats;
 use crate::sync::{AtomicU64, Ordering};
 
@@ -135,24 +136,42 @@ impl BoundedRegister {
         self.policy
     }
 
-    /// Reads the register (SeqCst).
+    /// Reads the register (SeqCst — the seed's blanket ordering, kept for the
+    /// padded scan mode and for the experiment-facing accessors).
     #[must_use]
     pub fn read(&self) -> u64 {
         self.cell.load(Ordering::SeqCst)
     }
 
-    /// Stores a value known to be within bounds.
+    /// Reads the register with acquire ordering (packed scan mode; the
+    /// store–load orderings the proof needs are provided by explicit fences
+    /// in the lock implementations).
+    #[must_use]
+    pub fn read_acquire(&self) -> u64 {
+        self.cell.load(Ordering::Acquire)
+    }
+
+    /// Stores a value known to be within bounds (SeqCst).
     ///
     /// Returns an [`OverflowEvent`] if the value was actually out of range and
     /// the policy had to be applied — callers that believe they never overflow
     /// (Bakery++) treat `Some` as a bug.
     pub fn write(&self, index: usize, value: u64) -> Option<OverflowEvent> {
+        self.write_with(index, value, Ordering::SeqCst)
+    }
+
+    /// Stores with release ordering (packed scan mode).
+    pub fn write_release(&self, index: usize, value: u64) -> Option<OverflowEvent> {
+        self.write_with(index, value, Ordering::Release)
+    }
+
+    fn write_with(&self, index: usize, value: u64, order: Ordering) -> Option<OverflowEvent> {
         if value <= self.bound {
-            self.cell.store(value, Ordering::SeqCst);
+            self.cell.store(value, order);
             None
         } else {
             let stored = self.policy.resolve(value, self.bound);
-            self.cell.store(stored, Ordering::SeqCst);
+            self.cell.store(stored, order);
             Some(OverflowEvent {
                 register: index,
                 attempted: value,
@@ -177,18 +196,28 @@ impl BoundedRegister {
 pub struct RegisterFile {
     choosing: Box<[BoundedRegister]>,
     number: Box<[BoundedRegister]>,
+    /// The packed mirror (`None` in [`ScanMode::Padded`], where the seed's
+    /// exact store sequence is preserved for baseline measurements).
+    packed: Option<PackedSnapshot>,
     bound: u64,
     policy: OverflowPolicy,
 }
 
 impl RegisterFile {
     /// Creates a register file for `n` processes with ticket bound `M` and the
-    /// given overflow policy for the `number` registers.
+    /// given overflow policy for the `number` registers, in the default
+    /// [`ScanMode::Packed`].
     ///
     /// The `choosing` registers are boolean-valued, so their bound is 1 and
     /// they can never overflow regardless of policy.
     #[must_use]
     pub fn new(n: usize, bound: u64, policy: OverflowPolicy) -> Self {
+        Self::with_mode(n, bound, policy, ScanMode::Packed)
+    }
+
+    /// Creates a register file with an explicit [`ScanMode`].
+    #[must_use]
+    pub fn with_mode(n: usize, bound: u64, policy: OverflowPolicy, mode: ScanMode) -> Self {
         assert!(n > 0, "a lock needs at least one process slot");
         let choosing = (0..n)
             .map(|_| BoundedRegister::new(1, OverflowPolicy::Panic))
@@ -198,12 +227,33 @@ impl RegisterFile {
             .map(|_| BoundedRegister::new(bound, policy))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let packed = match mode {
+            ScanMode::Padded => None,
+            ScanMode::Packed => Some(PackedSnapshot::new(n, bound)),
+        };
         Self {
             choosing,
             number,
+            packed,
             bound,
             policy,
         }
+    }
+
+    /// The scan mode this file was built for.
+    #[must_use]
+    pub fn mode(&self) -> ScanMode {
+        if self.packed.is_some() {
+            ScanMode::Packed
+        } else {
+            ScanMode::Padded
+        }
+    }
+
+    /// The packed snapshot plane, when the file runs in packed mode.
+    #[must_use]
+    pub fn packed(&self) -> Option<&PackedSnapshot> {
+        self.packed.as_ref()
     }
 
     /// Number of process slots.
@@ -249,21 +299,55 @@ impl RegisterFile {
         self.number.iter().map(BoundedRegister::read).collect()
     }
 
+    /// Reads `choosing[j]` with acquire ordering (packed-mode wait loops).
+    #[must_use]
+    pub fn read_choosing_acquire(&self, j: usize) -> bool {
+        self.choosing[j].read_acquire() != 0
+    }
+
+    /// Reads `number[j]` with acquire ordering (packed-mode wait loops).
+    #[must_use]
+    pub fn read_number_acquire(&self, j: usize) -> u64 {
+        self.number[j].read_acquire()
+    }
+
     /// Writes `choosing[pid]`; only the owning process may call this.
+    ///
+    /// In packed mode the authoritative cell takes a release store and the
+    /// mirror bit a release RMW (authoritative first, so a reader that
+    /// observes the mirror bit also finds the cell up to date); in padded
+    /// mode the seed's SeqCst store is preserved unchanged.
     pub fn write_choosing(&self, pid: usize, value: bool) {
         // `choosing` is 0/1-valued; the bound-1 register cannot overflow.
-        let _ = self.choosing[pid].write(pid, u64::from(value));
+        match &self.packed {
+            Some(packed) => {
+                let _ = self.choosing[pid].write_release(pid, u64::from(value));
+                packed.set_choosing(pid, value);
+            }
+            None => {
+                let _ = self.choosing[pid].write(pid, u64::from(value));
+            }
+        }
     }
 
     /// Writes `number[pid]`, recording any overflow in `stats` and returning
-    /// the event if one occurred.
+    /// the event if one occurred.  The packed mirror (when present) receives
+    /// the post-policy *stored* value, so a lane is never asked to hold more
+    /// than the bound.
     pub fn write_number(
         &self,
         pid: usize,
         value: u64,
         stats: &LockStats,
     ) -> Option<OverflowEvent> {
-        let event = self.number[pid].write(pid, value);
+        let event = match &self.packed {
+            Some(packed) => {
+                let event = self.number[pid].write_release(pid, value);
+                packed.set_number(pid, event.map_or(value, |ev| ev.stored));
+                event
+            }
+            None => self.number[pid].write(pid, value),
+        };
         if let Some(ev) = event {
             stats.record_overflow(ev.attempted);
         }
@@ -274,6 +358,10 @@ impl RegisterFile {
     pub fn reset_process(&self, pid: usize) {
         self.number[pid].reset();
         self.choosing[pid].reset();
+        if let Some(packed) = &self.packed {
+            packed.set_number(pid, 0);
+            packed.set_choosing(pid, false);
+        }
     }
 }
 
@@ -373,6 +461,77 @@ mod tests {
     }
 
     #[test]
+    fn padded_mode_has_no_mirror() {
+        let file = RegisterFile::with_mode(3, 255, OverflowPolicy::Wrap, ScanMode::Padded);
+        assert!(file.packed().is_none());
+        assert_eq!(file.mode(), ScanMode::Padded);
+        let stats = LockStats::new();
+        file.write_number(1, 9, &stats);
+        file.write_choosing(1, true);
+        assert_eq!(file.read_number(1), 9);
+        assert!(file.read_choosing(1));
+    }
+
+    #[test]
+    fn default_mode_is_packed_and_mirror_tracks_writes() {
+        let file = RegisterFile::new(3, 255, OverflowPolicy::Wrap);
+        assert_eq!(file.mode(), ScanMode::Packed);
+        let stats = LockStats::new();
+        file.write_number(2, 77, &stats);
+        file.write_choosing(0, true);
+        let packed = file.packed().expect("packed mode");
+        assert_eq!(packed.decode_numbers(), vec![0, 0, 77]);
+        assert_eq!(packed.decode_choosing(), vec![true, false, false]);
+        file.reset_process(2);
+        assert_eq!(packed.number(2), 0);
+    }
+
+    #[test]
+    fn mirror_receives_post_policy_value_on_overflow() {
+        let file = RegisterFile::new(2, 3, OverflowPolicy::Wrap);
+        let stats = LockStats::new();
+        let ev = file.write_number(0, 5, &stats).expect("overflow");
+        assert_eq!(ev.stored, 1); // 5 mod 4
+        assert_eq!(file.packed().unwrap().number(0), 1);
+        assert_eq!(file.read_number(0), 1);
+    }
+
+    /// True interleaving: one writer thread per process slot hammering its own
+    /// registers concurrently (the SWMR discipline), then a quiescent check
+    /// that the mirror decodes to exactly the authoritative plane.
+    #[test]
+    fn mirror_matches_file_after_concurrent_single_writer_traffic() {
+        use std::sync::Arc;
+        // 40 slots picks u8/u16/u64 lanes for the three bounds; the twelve
+        // writer threads below share packed words in the narrow-lane cases.
+        for bound in [200u64, 60_000, u64::MAX] {
+            let file = Arc::new(RegisterFile::new(40, bound, OverflowPolicy::Wrap));
+            let stats = Arc::new(LockStats::new());
+            std::thread::scope(|scope| {
+                for pid in 0..12 {
+                    let file = Arc::clone(&file);
+                    let stats = Arc::clone(&stats);
+                    scope.spawn(move || {
+                        let mut value = pid as u64;
+                        for round in 0..2_000u64 {
+                            value = value.wrapping_mul(6364136223846793005).wrapping_add(round);
+                            let _ = file.write_number(pid, value % (bound / 2 + 1), &stats);
+                            file.write_choosing(pid, round % 3 == 0);
+                            if round % 97 == 0 {
+                                file.reset_process(pid);
+                            }
+                        }
+                    });
+                }
+            });
+            let packed = file.packed().expect("packed mode");
+            assert_eq!(packed.decode_numbers(), file.snapshot_numbers(), "bound {bound}");
+            let choosing: Vec<bool> = (0..40).map(|j| file.read_choosing(j)).collect();
+            assert_eq!(packed.decode_choosing(), choosing, "bound {bound}");
+        }
+    }
+
+    #[test]
     fn reset_process_clears_both_registers() {
         let file = RegisterFile::new(2, 255, OverflowPolicy::Wrap);
         let stats = LockStats::new();
@@ -409,6 +568,37 @@ mod tests {
             let r = BoundedRegister::new(bound, OverflowPolicy::Wrap);
             let _ = r.write(0, value);
             prop_assert_eq!(r.read(), value % (bound + 1));
+        }
+
+        /// After an arbitrary interleaved sequence of register writes, the
+        /// packed mirror decodes to exactly the `RegisterFile` contents —
+        /// for every lane width (u8, u16 and u64 lanes; with 40 slots the
+        /// adaptive rule picks exactly the width matching each bound).
+        #[test]
+        fn packed_mirror_decodes_to_register_file(
+            ops in proptest::collection::vec((0usize..40, 0u64..200_000, 0usize..4), 1..160),
+            width_idx in 0usize..3,
+        ) {
+            use crate::snapshot::LaneWidth;
+            let (bound, expected_width) = [
+                (200u64, LaneWidth::U8),
+                (60_000, LaneWidth::U16),
+                (u64::MAX, LaneWidth::U64),
+            ][width_idx];
+            let file = RegisterFile::new(40, bound, OverflowPolicy::Wrap);
+            let stats = LockStats::new();
+            for &(pid, value, kind) in &ops {
+                match kind {
+                    0 | 1 => { let _ = file.write_number(pid, value, &stats); }
+                    2 => file.write_choosing(pid, value % 2 == 0),
+                    _ => file.reset_process(pid),
+                }
+            }
+            let packed = file.packed().expect("default mode is packed");
+            prop_assert_eq!(packed.width(), expected_width);
+            prop_assert_eq!(packed.decode_numbers(), file.snapshot_numbers());
+            let choosing: Vec<bool> = (0..40).map(|j| file.read_choosing(j)).collect();
+            prop_assert_eq!(packed.decode_choosing(), choosing);
         }
 
         /// The single-writer file only changes the targeted process's cells.

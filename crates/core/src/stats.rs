@@ -25,6 +25,7 @@ pub struct LockStats {
     l1_waits: AtomicU64,
     doorway_waits: AtomicU64,
     max_ticket: AtomicU64,
+    fast_path_hits: AtomicU64,
 }
 
 impl LockStats {
@@ -75,6 +76,17 @@ impl LockStats {
         self.max_ticket.load(Ordering::Relaxed)
     }
 
+    /// Number of acquisitions that took the packed-snapshot fast path (the
+    /// empty-bakery check let the lock skip the per-contender wait loops).
+    ///
+    /// Always zero for locks without a packed snapshot plane — the counter
+    /// lives here, in the stats block every algorithm shares, so E6/E7
+    /// reports compare all locks like for like.
+    #[must_use]
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_path_hits.load(Ordering::Relaxed)
+    }
+
     /// Records a completed critical-section entry.
     pub fn record_cs_entry(&self) {
         self.cs_entries.fetch_add(1, Ordering::Relaxed);
@@ -110,6 +122,11 @@ impl LockStats {
         self.max_ticket.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one fast-path acquisition.
+    pub fn record_fast_path_hit(&self) {
+        self.fast_path_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters into a plain snapshot struct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -120,6 +137,7 @@ impl LockStats {
             l1_waits: self.l1_waits(),
             doorway_waits: self.doorway_waits(),
             max_ticket: self.max_ticket(),
+            fast_path_hits: self.fast_path_hits(),
         }
     }
 }
@@ -139,19 +157,22 @@ pub struct StatsSnapshot {
     pub doorway_waits: u64,
     /// See [`LockStats::max_ticket`].
     pub max_ticket: u64,
+    /// See [`LockStats::fast_path_hits`].
+    pub fast_path_hits: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={}",
+            "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={} fast_path={}",
             self.cs_entries,
             self.overflow_attempts,
             self.resets,
             self.l1_waits,
             self.doorway_waits,
-            self.max_ticket
+            self.max_ticket,
+            self.fast_path_hits
         )
     }
 }
@@ -175,11 +196,13 @@ mod tests {
         s.record_l1_waits(3);
         s.record_doorway_waits(5);
         s.record_ticket(42);
+        s.record_fast_path_hit();
         assert_eq!(s.cs_entries(), 2);
         assert_eq!(s.resets(), 1);
         assert_eq!(s.l1_waits(), 3);
         assert_eq!(s.doorway_waits(), 5);
         assert_eq!(s.max_ticket(), 42);
+        assert_eq!(s.fast_path_hits(), 1);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! the C11 memory model (see `crates/core/tests` and DESIGN.md §2).
 
 #[cfg(loom)]
-pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+pub use loom::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 #[cfg(not(loom))]
-pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Yield to other threads / the loom scheduler.
 ///
@@ -52,5 +52,6 @@ mod tests {
     fn hints_do_not_panic() {
         spin_hint();
         yield_now();
+        fence(Ordering::SeqCst);
     }
 }

@@ -54,6 +54,44 @@ fn loom_bakery_pp_two_threads() {
 }
 
 #[test]
+fn loom_bakery_padded_baseline_two_threads() {
+    use bakery_core::{registers::OverflowPolicy, ScanMode};
+    check_two_thread_mutex(|| {
+        BakeryLock::with_config(2, u64::MAX, OverflowPolicy::Wrap, ScanMode::Padded)
+    });
+}
+
+/// Smoke test of the relaxed-ordering fast path: with both threads racing,
+/// the packed-snapshot emptiness check must never let two processes into the
+/// critical section together, and every acquisition is either a fast-path hit
+/// or a completed wait-loop pass.
+#[test]
+fn loom_packed_fast_path_preserves_mutual_exclusion() {
+    loom::model(|| {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, 255)); // u8 lanes
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for pid in 0..2 {
+            let lock = Arc::clone(&lock);
+            let in_cs = Arc::clone(&in_cs);
+            handles.push(thread::spawn(move || {
+                lock.acquire(pid);
+                assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                lock.release(pid);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = lock.stats();
+        assert_eq!(stats.cs_entries(), 0, "cs_entries counts facade locks only");
+        assert_eq!(stats.overflow_attempts(), 0);
+        assert!(stats.fast_path_hits() <= 2);
+    });
+}
+
+#[test]
 fn loom_bakery_pp_tiny_bound_never_overflows() {
     loom::model(|| {
         let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, 2));

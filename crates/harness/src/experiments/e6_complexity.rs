@@ -122,6 +122,7 @@ pub fn temporal_lock_table(quick: bool) -> Table {
             "doorway/scan wait rounds per acquisition",
             "L1 waits per acquisition",
             "resets per acquisition",
+            "fast-path hit rate",
         ],
     );
     for (name, lock) in [
@@ -153,8 +154,14 @@ pub fn temporal_lock_table(quick: bool) -> Table {
             format!("{:.2}", stats.doorway_waits as f64 / acqs as f64),
             format!("{:.2}", stats.l1_waits as f64 / acqs as f64),
             format!("{:.3}", stats.resets as f64 / acqs as f64),
+            format!("{:.3}", stats.fast_path_hits as f64 / acqs as f64),
         ]);
     }
+    table.push_note(
+        "The fast-path column counts acquisitions where the packed-snapshot emptiness check \
+         let the lock skip the L2/L3 wait loops entirely; under full contention it naturally \
+         tends towards zero.",
+    );
     table
 }
 

@@ -50,6 +50,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "fairness ratio",
                 "max ticket",
                 "overflow attempts",
+                "fast-path hits",
             ],
         );
         let factory = LockFactory::new();
@@ -65,6 +66,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 format!("{:.2}", result.fairness_ratio()),
                 result.max_ticket.to_string(),
                 result.overflow_attempts.to_string(),
+                result.fast_path_hits.to_string(),
             ]);
         }
         table.push_note(

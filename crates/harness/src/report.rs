@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::Serialize;
-
 /// One result table: a title, a header row and data rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. "E1 — ticket growth and overflow").
     pub title: String,
@@ -97,11 +95,14 @@ impl fmt::Display for Table {
 }
 
 /// A collection of tables produced by one experiment run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Tables in presentation order.
     pub tables: Vec<Table>,
 }
+
+bakery_json::json_object!(Table { title, headers, rows, notes });
+bakery_json::json_object!(Report { tables });
 
 impl Report {
     /// Creates an empty report.
@@ -128,7 +129,7 @@ impl Report {
     /// Serialises the report as pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+        bakery_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 }
 

@@ -6,7 +6,7 @@
 //! throughput, acquisition-latency distribution and per-thread service counts
 //! (the fairness signal used by experiment **E8**).
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use bakery_core::NProcessMutex;
@@ -88,6 +88,8 @@ pub struct WorkloadResult {
     pub resets: u64,
     /// Largest ticket value the lock ever stored.
     pub max_ticket: u64,
+    /// Packed-snapshot fast-path acquisitions (zero for locks without one).
+    pub fast_path_hits: u64,
 }
 
 impl WorkloadResult {
@@ -130,19 +132,25 @@ pub fn run_workload(
         lock.capacity(),
         workload.threads
     );
-    let start = Instant::now();
     let mut histograms: Vec<LatencyHistogram> = Vec::with_capacity(workload.threads);
     let mut per_thread: Vec<u64> = vec![0; workload.threads];
+    // All workers wait at the barrier so the measurement window actually
+    // overlaps the threads.  Without it, on a machine with fewer CPUs than
+    // workers the OS often runs each thread's whole loop back to back and a
+    // "contended" benchmark silently measures uncontended acquires.
+    let start_line = Arc::new(Barrier::new(workload.threads + 1));
 
-    std::thread::scope(|scope| {
+    let elapsed = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workload.threads);
         for _ in 0..workload.threads {
             let lock = Arc::clone(&lock);
             let workload = workload.clone();
+            let start_line = Arc::clone(&start_line);
             handles.push(scope.spawn(move || {
                 let slot = lock.register().expect("enough slots for every thread");
                 let mut histogram = LatencyHistogram::new();
                 let mut completed = 0u64;
+                start_line.wait();
                 for _ in 0..workload.iterations_per_thread {
                     let requested = Instant::now();
                     let guard = lock.lock(&slot);
@@ -155,14 +163,20 @@ pub fn run_workload(
                 (histogram, completed)
             }));
         }
+        // Record the start *before* joining the barrier: workers cannot pass
+        // the barrier until this thread arrives, so this never undercounts —
+        // whereas taking the timestamp after `wait()` returns undercounts
+        // badly when the OS runs the released workers before the main thread
+        // (guaranteed on a single-CPU machine).
+        let begun = Instant::now();
+        start_line.wait();
         for (i, handle) in handles.into_iter().enumerate() {
             let (histogram, completed) = handle.join().expect("worker thread panicked");
             histograms.push(histogram);
             per_thread[i] = completed;
         }
+        begun.elapsed()
     });
-
-    let elapsed = start.elapsed();
     let mut latency = LatencyHistogram::new();
     for h in &histograms {
         latency.merge(h);
@@ -178,6 +192,7 @@ pub fn run_workload(
         overflow_attempts: stats.overflow_attempts,
         resets: stats.resets,
         max_ticket: stats.max_ticket,
+        fast_path_hits: stats.fast_path_hits,
     }
 }
 

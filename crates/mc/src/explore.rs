@@ -3,12 +3,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use serde::Serialize;
-
 use bakery_sim::{Algorithm, Invariant, ProgState, RegisterSpec};
 
 /// One step of a counterexample trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceStep {
     /// The process that moved to reach this state (`None` for the initial
     /// state).
@@ -22,7 +20,7 @@ pub struct TraceStep {
 }
 
 /// An invariant violation together with its shortest counterexample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Violation {
     /// Name of the violated invariant.
     pub invariant: String,
@@ -52,7 +50,7 @@ impl fmt::Display for Violation {
 }
 
 /// Statistics and findings of one exhaustive exploration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExplorationReport {
     /// Name of the checked algorithm.
     pub algorithm: String,
@@ -69,6 +67,18 @@ pub struct ExplorationReport {
     /// Invariant violations with shortest counterexamples.
     pub violations: Vec<Violation>,
 }
+
+bakery_json::json_object!(TraceStep { pid, crash, label, state });
+bakery_json::json_object!(Violation { invariant, depth, trace });
+bakery_json::json_object!(ExplorationReport {
+    algorithm,
+    states,
+    transitions,
+    max_depth,
+    truncated,
+    deadlocks,
+    violations,
+});
 
 impl ExplorationReport {
     /// True when no invariant violation and no deadlock was found.
@@ -479,7 +489,7 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("peterson"));
         assert!(text.contains("all invariants hold"));
-        let json = serde_json::to_string(&report).unwrap();
+        let json = bakery_json::to_string(&report).unwrap();
         assert!(json.contains("\"states\""));
     }
 }

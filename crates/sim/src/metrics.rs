@@ -1,9 +1,7 @@
 //! Per-run metrics reported by the simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// A named invariant violation found during a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The invariant that failed.
     pub invariant: String,
@@ -14,7 +12,7 @@ pub struct Violation {
 }
 
 /// Summary of one simulator run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// The algorithm that was run.
     pub algorithm: String,
@@ -39,6 +37,20 @@ pub struct RunReport {
     /// Number of register-overflow attempts observed.
     pub overflow_attempts: u64,
 }
+
+bakery_json::json_object!(Violation { invariant, step, state });
+bakery_json::json_object!(RunReport {
+    algorithm,
+    steps,
+    cs_entries,
+    blocked_picks,
+    crashes,
+    violations,
+    deadlocked,
+    max_register_value,
+    overflow_avoidance_resets,
+    overflow_attempts,
+});
 
 impl RunReport {
     /// Creates an empty report for an algorithm with `processes` processes.
@@ -119,8 +131,8 @@ mod tests {
     #[test]
     fn report_serializes() {
         let r = RunReport::new("bakery++", 2);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: RunReport = serde_json::from_str(&json).unwrap();
+        let json = bakery_json::to_string(&r).unwrap();
+        let back: RunReport = bakery_json::from_str(&json).unwrap();
         assert_eq!(back.algorithm, "bakery++");
         assert_eq!(back.cs_entries.len(), 2);
     }

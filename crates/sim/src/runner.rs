@@ -132,14 +132,14 @@ impl Simulator {
             // Collect enabled processes and their successor sets.
             let mut enabled: Vec<usize> = Vec::with_capacity(n);
             let mut successor_sets: Vec<Vec<ProgState>> = vec![Vec::new(); n];
-            for pid in 0..n {
+            for (pid, slot) in successor_sets.iter_mut().enumerate() {
                 let succs = algorithm.successors_vec(&state, pid);
                 if succs.is_empty() {
                     report.blocked_picks[pid] += 1;
                 } else {
                     enabled.push(pid);
                 }
-                successor_sets[pid] = succs;
+                *slot = succs;
             }
 
             if enabled.is_empty() {

@@ -9,11 +9,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Description of one shared register: its name (for traces and reports) and
 /// its bound `M` (the largest value it may legally hold).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RegisterSpec {
     /// Human-readable name, e.g. `"number[1]"`.
     pub name: String,
@@ -46,7 +44,7 @@ impl RegisterSpec {
 }
 
 /// Per-process component of a [`ProgState`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcState {
     /// Program counter; the meaning of each value is algorithm-specific
     /// (see [`crate::Algorithm::pc_label`]).
@@ -70,7 +68,7 @@ impl ProcState {
 }
 
 /// A complete global state: shared registers plus every process's state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProgState {
     /// Shared register values, indexed consistently with the algorithm's
     /// [`crate::Algorithm::registers`] list.
@@ -78,6 +76,10 @@ pub struct ProgState {
     /// Per-process program counters and locals.
     pub procs: Vec<ProcState>,
 }
+
+bakery_json::json_object!(RegisterSpec { name, bound, owner });
+bakery_json::json_object!(ProcState { pc, locals, crashed });
+bakery_json::json_object!(ProgState { shared, procs });
 
 impl ProgState {
     /// Creates a state with `registers` shared cells (all zero, as the paper
@@ -268,8 +270,8 @@ mod tests {
     #[test]
     fn states_serialize_round_trip() {
         let s = two_proc_state().with_write(3, 7).with_pc(0, 5);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: ProgState = serde_json::from_str(&json).unwrap();
+        let json = bakery_json::to_string(&s).unwrap();
+        let back: ProgState = bakery_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -13,12 +13,10 @@
 //! 3. **fairness analysis** (experiment **E8**) — FIFO inversions are counted
 //!    from the doorway/entry event order.
 
-use serde::{Deserialize, Serialize};
-
 use crate::algorithm::Observation;
 
 /// One recorded step of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Step index (0-based).
     pub step: u64,
@@ -31,14 +29,17 @@ pub struct TraceEvent {
 }
 
 /// A recorded run: the schedule plus the observable events it produced.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// The scheduling/branch decisions, in order.
     pub events: Vec<TraceEvent>,
     /// Observable events in the order they occurred, as `(step, observation)`.
-    #[serde(skip)]
+    /// Not part of the JSON wire format (only the replayable schedule is).
     pub observations: Vec<(u64, Observation)>,
 }
+
+bakery_json::json_object!(TraceEvent { step, pid, branch, pc_after });
+bakery_json::json_object!(Trace { events } skip { observations });
 
 impl Trace {
     /// Creates an empty trace.
@@ -440,8 +441,8 @@ mod tests {
             branch: 0,
             pc_after: 1,
         });
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let json = bakery_json::to_string(&t).unwrap();
+        let back: Trace = bakery_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back.events[0].pid, 0);
     }

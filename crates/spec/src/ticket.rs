@@ -90,11 +90,10 @@ impl Algorithm for TicketSpec {
                 next.set_shared(NEXT, self.store_value(ticket + 1));
                 out.push(next);
             }
-            pc::WAIT => {
-                if state.read(SERVING) == state.local(pid, LOCAL_TICKET) {
-                    out.push(state.with_pc(pid, pc::CS));
-                }
+            pc::WAIT if state.read(SERVING) == state.local(pid, LOCAL_TICKET) => {
+                out.push(state.with_pc(pid, pc::CS));
             }
+            pc::WAIT => {}
             pc::CS => {
                 let serving = state.read(SERVING);
                 let mut next = state.with_pc(pid, pc::NCS);

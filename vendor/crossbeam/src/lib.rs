@@ -1,0 +1,74 @@
+//! Offline stand-in for the parts of `crossbeam` 0.8.4 this workspace uses:
+//! [`utils::CachePadded`].
+
+#![forbid(unsafe_code)]
+
+/// Miscellaneous utilities (mirrors `crossbeam::utils`).
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line.
+    ///
+    /// 128-byte alignment matches upstream crossbeam on x86_64, where the
+    /// adjacent-line prefetcher makes pairs of 64-byte lines behave as one
+    /// unit of false sharing.
+    #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns `value` to the length of a cache line.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligns_to_128_bytes() {
+            assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+            let padded = CachePadded::new(7u64);
+            assert_eq!(*padded, 7);
+            assert_eq!(padded.into_inner(), 7);
+        }
+    }
+}

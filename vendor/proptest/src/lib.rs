@@ -1,0 +1,258 @@
+//! Offline stand-in for the parts of `proptest` 1.4.0 this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn name(x in strategy, ...) { body } }`
+//! form with range strategies over unsigned integers, tuple strategies and
+//! `proptest::collection::vec`.  Each test runs a fixed number of cases
+//! (default 96, override with `PROPTEST_CASES`) drawn from a deterministic
+//! RNG seeded from the test name, so failures are reproducible.  There is no
+//! shrinking: a failing case panics with the ordinary assert message.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    let v = (u128::from(rng.next_u64()) * u128::from(span)) >> 64;
+                    self.start + v as $ty
+                }
+            })*
+        };
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.sample(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Inclusive-exclusive bounds on a generated collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                start: exact,
+                end: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            Self {
+                start: range.start,
+                end: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for `Vec`s with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start
+                + ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic case generation machinery.
+pub mod test_runner {
+    /// Number of cases each `proptest!` test runs.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96)
+    }
+
+    /// Deterministic splitmix64 RNG seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG whose stream depends only on `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: seed }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.  Each `fn name(arg in strategy, ...) { body }`
+/// expands to a plain `#[test]` that runs the body for
+/// [`test_runner::cases`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..$crate::test_runner::cases() {
+                    let _ = __proptest_case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to a `continue` targeting the case loop generated by
+/// [`proptest!`], so it is only usable inside a `proptest!` body (as
+/// upstream intends).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in 0usize..3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pair in (0u64..4, 1usize..5),
+            xs in crate::collection::vec(0u64..100, 0..8),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..5).contains(&pair.1));
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn exact_vec_size() {
+        let strat = crate::collection::vec(0u64..10, 3);
+        let mut rng = crate::test_runner::TestRng::deterministic("exact_vec_size");
+        let v = strat.sample(&mut rng);
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the parts of `rand` 0.8.5 this workspace uses.
+//!
+//! Provides a deterministic [`rngs::StdRng`] (splitmix64 core) with
+//! [`SeedableRng::seed_from_u64`] and the [`Rng`] methods `gen_range`,
+//! `gen_bool` and `gen_ratio`.  The statistical quality is far below the
+//! upstream ChaCha-based `StdRng` but is more than sufficient for the seeded
+//! schedulers and fault injectors in `bakery-sim`, which only need
+//! reproducible, well-spread choices.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// A random number generator seedable from integers.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (same seed, same stream).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Converts to the u64 sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the u64 sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {
+        $(impl UniformInt for $ty {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $ty }
+        })*
+    };
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// Returns the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open, must be non-empty).
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let start = range.start.to_u64();
+        let end = range.end.to_u64();
+        assert!(start < end, "cannot sample from empty range");
+        let span = end - start;
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small spans the simulator uses.
+        let v = (u128::from(self.next_u64()) * u128::from(span)) >> 64;
+        T::from_u64(start + v as u64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`, matching upstream `rand`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    /// Panics if `denominator == 0` or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be non-zero");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator must not exceed denominator"
+        );
+        self.gen_range(0u32..denominator) < numerator
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                // Avoid the all-zero fixed point without perturbing distinct
+                // seeds into collisions.
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Vigna), the canonical seeding PRNG.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside range")]
+    fn gen_bool_rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn gen_ratio_matches_expectation_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((1800..3200).contains(&hits), "hits={hits}");
+    }
+}
