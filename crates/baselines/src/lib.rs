@@ -89,9 +89,11 @@ pub mod testutil {
     /// `iterations` times, and asserts mutual exclusion throughout.
     ///
     /// Returns the total number of critical-section entries observed.
+    /// `L` may be unsized (`dyn NProcessMutex + Send + Sync`), so the
+    /// integration suites can stress factory-built locks too.
     pub fn assert_mutual_exclusion<L>(lock: Arc<L>, threads: usize, iterations: u64) -> u64
     where
-        L: NProcessMutex + Send + Sync + 'static,
+        L: NProcessMutex + Send + Sync + ?Sized + 'static,
     {
         let counter = Arc::new(AtomicU64::new(0));
         let in_cs = Arc::new(AtomicU64::new(0));

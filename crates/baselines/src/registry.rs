@@ -8,7 +8,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bakery_core::registers::OverflowPolicy;
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, TreeBakery};
 
 use crate::{
     BlackWhiteBakeryLock, DijkstraLock, FilterLock, ModuloBakeryLock, PetersonLock, SzymanskiLock,
@@ -21,6 +21,7 @@ use crate::{
 pub enum AlgorithmId {
     Bakery,
     BakeryPlusPlus,
+    TreeBakery,
     BlackWhiteBakery,
     ModuloBakery,
     Peterson,
@@ -40,6 +41,7 @@ impl AlgorithmId {
         &[
             AlgorithmId::Bakery,
             AlgorithmId::BakeryPlusPlus,
+            AlgorithmId::TreeBakery,
             AlgorithmId::BlackWhiteBakery,
             AlgorithmId::ModuloBakery,
             AlgorithmId::Peterson,
@@ -59,6 +61,7 @@ impl AlgorithmId {
         match self {
             AlgorithmId::Bakery => "bakery",
             AlgorithmId::BakeryPlusPlus => "bakery++",
+            AlgorithmId::TreeBakery => "tree-bakery",
             AlgorithmId::BlackWhiteBakery => "black-white-bakery",
             AlgorithmId::ModuloBakery => "modulo-bakery",
             AlgorithmId::Peterson => "peterson",
@@ -203,6 +206,14 @@ impl LockFactory {
                 self.bound,
                 self.scan_mode,
             )),
+            // The tree fixes its per-node bound at M = arity + 1 (the
+            // smallest bound that admits a full round of K tickets), so the
+            // factory's `bound` knob intentionally does not apply here.
+            AlgorithmId::TreeBakery => Arc::new(TreeBakery::with_config(
+                n,
+                bakery_core::DEFAULT_TREE_ARITY,
+                self.scan_mode,
+            )),
             AlgorithmId::BlackWhiteBakery => Arc::new(BlackWhiteBakeryLock::new(n)),
             AlgorithmId::ModuloBakery => Arc::new(ModuloBakeryLock::new(n)),
             AlgorithmId::Peterson => Arc::new(PetersonLock::new()),
@@ -271,6 +282,33 @@ mod tests {
         assert!(!AlgorithmId::Filter.is_fcfs());
         assert!(AlgorithmId::BakeryPlusPlus.is_bounded());
         assert!(!AlgorithmId::Bakery.is_bounded());
+        // The tree composite: true mutex (pure reads/writes), bounded by
+        // construction, but only per-node FCFS — not globally.
+        assert!(AlgorithmId::TreeBakery.is_true_mutex());
+        assert!(AlgorithmId::TreeBakery.is_bounded());
+        assert!(!AlgorithmId::TreeBakery.is_fcfs());
+    }
+
+    #[test]
+    fn tree_bakery_builds_at_large_n_with_fixed_node_bound() {
+        let factory = LockFactory::new().with_bound(9_999);
+        let lock = factory.build(AlgorithmId::TreeBakery, 300);
+        assert_eq!(lock.capacity(), 300);
+        assert_eq!(
+            lock.register_bound(),
+            Some(bakery_core::DEFAULT_TREE_ARITY as u64 + 1),
+            "the factory bound must not override the per-node M = K + 1"
+        );
+        let slot = lock.register().unwrap();
+        drop(lock.lock(&slot));
+        assert_eq!(lock.stats().cs_entries(), 1);
+        // Scan mode reaches every node: padded trees have no packed plane.
+        let padded = LockFactory::new()
+            .with_scan_mode(ScanMode::Padded)
+            .build(AlgorithmId::TreeBakery, 16);
+        let slot = padded.register().unwrap();
+        drop(padded.lock(&slot));
+        assert_eq!(padded.stats().fast_path_hits(), 0);
     }
 
     #[test]

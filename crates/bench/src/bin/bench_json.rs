@@ -19,11 +19,17 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
 
 use bakery_core::registers::OverflowPolicy;
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, DEFAULT_PP_BOUND};
-use bakery_harness::workload::{run_workload, Workload};
+use bakery_core::{
+    BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, TreeBakery, DEFAULT_PP_BOUND,
+};
+use bakery_harness::experiments::e10_tree_scale::{flat_scan_words, ARITY as TREE_ARITY};
+use bakery_harness::workload::{measure_uncontended, run_workload, Workload};
+
+/// Capacities the large-N tree sections sweep (the E10 sweep, kept in the
+/// harness so the two reports can never drift apart).
+const TREE_SIZES: [usize; 3] = bakery_harness::experiments::e10_tree_scale::SIZES;
 
 /// One uncontended-latency measurement.
 #[derive(Debug, Clone)]
@@ -90,6 +96,73 @@ bakery_json::json_object!(Comparison {
     improvement_pct,
 });
 
+/// Aggregated statistics of one tree level after a measurement.
+#[derive(Debug, Clone)]
+struct TreeLevelStats {
+    level: usize,
+    nodes: usize,
+    fast_path_hits: u64,
+    doorway_waits: u64,
+    l1_waits: u64,
+    resets: u64,
+    max_ticket: u64,
+}
+bakery_json::json_object!(TreeLevelStats {
+    level,
+    nodes,
+    fast_path_hits,
+    doorway_waits,
+    l1_waits,
+    resets,
+    max_ticket,
+});
+
+/// One large-N uncontended measurement (flat packed Bakery++ or the tree).
+#[derive(Debug, Clone)]
+struct TreeE6Entry {
+    algorithm: String,
+    processes: usize,
+    /// Tree arity K (0 for the flat baseline).
+    arity: usize,
+    /// Node levels on the acquisition path (1 for the flat baseline).
+    levels: usize,
+    ns_per_acquire: f64,
+    /// Words one uncontended doorway pass scans — the sub-linearity metric.
+    doorway_scan_words: usize,
+    per_level: Vec<TreeLevelStats>,
+    overflow_attempts: u64,
+}
+bakery_json::json_object!(TreeE6Entry {
+    algorithm,
+    processes,
+    arity,
+    levels,
+    ns_per_acquire,
+    doorway_scan_words,
+    per_level,
+    overflow_attempts,
+});
+
+/// Flat-vs-tree comparison at one capacity.
+#[derive(Debug, Clone)]
+struct TreeComparison {
+    processes: usize,
+    flat_ns: f64,
+    tree_ns: f64,
+    /// Positive = the tree is faster (latency reduction in percent).
+    speedup_pct: f64,
+    flat_scan_words: usize,
+    tree_scan_words: usize,
+}
+bakery_json::json_object!(TreeComparison {
+    processes,
+    flat_ns,
+    tree_ns,
+    speedup_pct,
+    flat_scan_words,
+    tree_scan_words,
+});
+
 #[derive(Debug, Clone)]
 struct E6Report {
     schema: String,
@@ -98,6 +171,9 @@ struct E6Report {
     entries: Vec<E6Entry>,
     /// Latency reduction of packed vs padded per (algorithm, processes).
     comparisons: Vec<Comparison>,
+    /// Large-N section: flat packed Bakery++ vs the tree composite.
+    tree_entries: Vec<TreeE6Entry>,
+    tree_comparisons: Vec<TreeComparison>,
 }
 bakery_json::json_object!(E6Report {
     schema,
@@ -105,6 +181,56 @@ bakery_json::json_object!(E6Report {
     quick,
     entries,
     comparisons,
+    tree_entries,
+    tree_comparisons,
+});
+
+/// One large-N contended measurement: a few live threads on a
+/// large-capacity lock.
+#[derive(Debug, Clone)]
+struct TreeE7Entry {
+    algorithm: String,
+    capacity: usize,
+    threads: usize,
+    acquisitions_per_sec: f64,
+    p99_latency_ns: u64,
+    fast_path_hits: u64,
+    resets: u64,
+    /// Summed across *all* repetitions of this configuration (the other
+    /// fields describe the best repetition), so the overflow gate in `main`
+    /// sees every repetition, not just the retained one.
+    overflow_attempts: u64,
+    per_level: Vec<TreeLevelStats>,
+}
+bakery_json::json_object!(TreeE7Entry {
+    algorithm,
+    capacity,
+    threads,
+    acquisitions_per_sec,
+    p99_latency_ns,
+    fast_path_hits,
+    resets,
+    overflow_attempts,
+    per_level,
+});
+
+/// Flat-vs-tree contended comparison at one capacity (median of paired
+/// per-repetition throughput ratios, as in the E7 main section).
+#[derive(Debug, Clone)]
+struct TreeThroughputComparison {
+    capacity: usize,
+    threads: usize,
+    flat_acq_per_sec: f64,
+    tree_acq_per_sec: f64,
+    /// Positive = the tree is faster (throughput gain in percent).
+    gain_pct: f64,
+}
+bakery_json::json_object!(TreeThroughputComparison {
+    capacity,
+    threads,
+    flat_acq_per_sec,
+    tree_acq_per_sec,
+    gain_pct,
 });
 
 #[derive(Debug, Clone)]
@@ -121,6 +247,9 @@ struct E7Report {
     entries: Vec<E7Entry>,
     /// Throughput gain of packed vs padded per (algorithm, threads).
     comparisons: Vec<Comparison>,
+    /// Large-N section: 4 live threads on 256/512/1024-capacity locks.
+    tree_entries: Vec<TreeE7Entry>,
+    tree_comparisons: Vec<TreeThroughputComparison>,
 }
 bakery_json::json_object!(E7Report {
     schema,
@@ -130,28 +259,9 @@ bakery_json::json_object!(E7Report {
     repetitions,
     entries,
     comparisons,
+    tree_entries,
+    tree_comparisons,
 });
-
-/// Median ns per uncontended acquire/release of `lock`, slot 0.
-fn measure_uncontended(lock: &dyn NProcessMutex, iterations: u64, samples: usize) -> f64 {
-    let slot = lock.register().expect("slot 0 free");
-    // Warm-up pass.
-    for _ in 0..iterations / 4 {
-        drop(lock.lock(&slot));
-    }
-    let mut results: Vec<f64> = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        for _ in 0..iterations {
-            let guard = lock.lock(&slot);
-            std::hint::black_box(&guard);
-            drop(guard);
-        }
-        results.push(start.elapsed().as_nanos() as f64 / iterations as f64);
-    }
-    results.sort_by(|a, b| a.total_cmp(b));
-    results[results.len() / 2]
-}
 
 fn bakery_pair(n: usize, bound: u64, mode: ScanMode) -> Vec<(String, Arc<dyn NProcessMutex + Send + Sync>)> {
     vec![
@@ -199,13 +309,82 @@ fn run_e6(quick: bool) -> E6Report {
         // Latency: improvement = reduction.
         |padded, packed| (padded - packed) / padded * 100.0,
     );
+    let (tree_entries, tree_comparisons) = run_e6_tree(quick);
     E6Report {
-        schema: "bakery-bench/e6/v1".to_string(),
+        schema: "bakery-bench/e6/v2".to_string(),
         experiment: "E6 uncontended acquire/release latency".to_string(),
         quick,
         entries,
         comparisons,
+        tree_entries,
+        tree_comparisons,
     }
+}
+
+/// Aggregates one tree's per-level statistics.
+fn tree_level_stats(tree: &TreeBakery) -> Vec<TreeLevelStats> {
+    (0..tree.depth())
+        .map(|level| {
+            let s = tree.level_snapshot(level);
+            TreeLevelStats {
+                level,
+                nodes: tree.nodes_at(level),
+                fast_path_hits: s.fast_path_hits,
+                doorway_waits: s.doorway_waits,
+                l1_waits: s.l1_waits,
+                resets: s.resets,
+                max_ticket: s.max_ticket,
+            }
+        })
+        .collect()
+}
+
+/// The large-N uncontended section: flat packed Bakery++ vs the 8-ary tree
+/// at N = 256 / 512 / 1024.  The acceptance metric is `doorway_scan_words`:
+/// the flat figure is linear in N, the tree's grows with `K·log_K N`.
+fn run_e6_tree(quick: bool) -> (Vec<TreeE6Entry>, Vec<TreeComparison>) {
+    let (iterations, samples) = if quick { (5_000, 3) } else { (50_000, 7) };
+    let mut entries = Vec::new();
+    let mut comparisons = Vec::new();
+    for &n in &TREE_SIZES {
+        let flat = BakeryPlusPlusLock::with_bound(n, DEFAULT_PP_BOUND);
+        let flat_ns = measure_uncontended(&flat, iterations, samples);
+        let flat_words = flat_scan_words(n);
+        entries.push(TreeE6Entry {
+            algorithm: "bakery++-flat".to_string(),
+            processes: n,
+            arity: 0,
+            levels: 1,
+            ns_per_acquire: flat_ns,
+            doorway_scan_words: flat_words,
+            per_level: Vec::new(),
+            overflow_attempts: flat.stats().overflow_attempts(),
+        });
+
+        let tree = TreeBakery::with_arity(n, TREE_ARITY);
+        let tree_ns = measure_uncontended(&tree, iterations, samples);
+        let tree_words = tree.doorway_scan_words();
+        entries.push(TreeE6Entry {
+            algorithm: "tree-bakery".to_string(),
+            processes: n,
+            arity: TREE_ARITY,
+            levels: tree.depth(),
+            ns_per_acquire: tree_ns,
+            doorway_scan_words: tree_words,
+            per_level: tree_level_stats(&tree),
+            overflow_attempts: tree.aggregate_snapshot().overflow_attempts,
+        });
+
+        comparisons.push(TreeComparison {
+            processes: n,
+            flat_ns,
+            tree_ns,
+            speedup_pct: (flat_ns - tree_ns) / flat_ns * 100.0,
+            flat_scan_words: flat_words,
+            tree_scan_words: tree_words,
+        });
+    }
+    (entries, comparisons)
 }
 
 fn median(values: &mut [f64]) -> f64 {
@@ -281,15 +460,105 @@ fn run_e7(quick: bool) -> E7Report {
             entries.extend(sample.into_iter().flatten());
         }
     }
+    let (tree_entries, tree_comparisons) = run_e7_tree(quick);
     E7Report {
-        schema: "bakery-bench/e7/v1".to_string(),
+        schema: "bakery-bench/e7/v2".to_string(),
         experiment: "E7 contended throughput".to_string(),
         quick,
         cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         repetitions,
         entries,
         comparisons,
+        tree_entries,
+        tree_comparisons,
     }
+}
+
+/// The large-N contended section: 4 live threads on 256/512/1024-capacity
+/// locks, flat packed Bakery++ vs the 8-ary tree.  Paired A/B repetitions
+/// with a median-of-ratios gain, as in the main E7 section.
+fn run_e7_tree(quick: bool) -> (Vec<TreeE7Entry>, Vec<TreeThroughputComparison>) {
+    let threads = 4;
+    let repetitions = if quick { 3 } else { 7 };
+    let mut entries = Vec::new();
+    let mut comparisons = Vec::new();
+    for &n in &TREE_SIZES {
+        let workload = Workload {
+            threads,
+            iterations_per_thread: if quick { 500 } else { 2_000 },
+            critical_section_work: 16,
+            think_work: 16,
+        };
+        let mut ratios: Vec<f64> = Vec::with_capacity(repetitions);
+        let mut flat_thr: Vec<f64> = Vec::with_capacity(repetitions);
+        let mut tree_thr: Vec<f64> = Vec::with_capacity(repetitions);
+        let mut best: [Option<TreeE7Entry>; 2] = [None, None];
+        let mut overflow_sums = [0u64; 2];
+        for _ in 0..repetitions {
+            let flat: Arc<dyn NProcessMutex + Send + Sync> =
+                Arc::new(BakeryPlusPlusLock::with_bound(n, DEFAULT_PP_BOUND));
+            let flat_result = run_workload(Arc::clone(&flat), &workload);
+            let flat_entry = TreeE7Entry {
+                algorithm: "bakery++-flat".to_string(),
+                capacity: n,
+                threads,
+                acquisitions_per_sec: flat_result.throughput(),
+                p99_latency_ns: flat_result.latency.quantile_ns(0.99),
+                fast_path_hits: flat_result.fast_path_hits,
+                resets: flat_result.resets,
+                overflow_attempts: flat_result.overflow_attempts,
+                per_level: Vec::new(),
+            };
+
+            let tree = Arc::new(TreeBakery::with_arity(n, TREE_ARITY));
+            let tree_result = run_workload(
+                Arc::clone(&tree) as Arc<dyn NProcessMutex + Send + Sync>,
+                &workload,
+            );
+            let aggregate = tree.aggregate_snapshot();
+            let tree_entry = TreeE7Entry {
+                algorithm: "tree-bakery".to_string(),
+                capacity: n,
+                threads,
+                acquisitions_per_sec: tree_result.throughput(),
+                p99_latency_ns: tree_result.latency.quantile_ns(0.99),
+                fast_path_hits: aggregate.fast_path_hits,
+                resets: aggregate.resets,
+                overflow_attempts: aggregate.overflow_attempts,
+                per_level: tree_level_stats(&tree),
+            };
+
+            ratios.push(tree_entry.acquisitions_per_sec / flat_entry.acquisitions_per_sec);
+            flat_thr.push(flat_entry.acquisitions_per_sec);
+            tree_thr.push(tree_entry.acquisitions_per_sec);
+            for (slot, entry) in [flat_entry, tree_entry].into_iter().enumerate() {
+                overflow_sums[slot] += entry.overflow_attempts;
+                let better = best[slot]
+                    .as_ref()
+                    .is_none_or(|b| entry.acquisitions_per_sec > b.acquisitions_per_sec);
+                if better {
+                    best[slot] = Some(entry);
+                }
+            }
+        }
+        // The retained entry carries the overflow total of every repetition,
+        // so discarding a slow-but-overflowing repetition cannot hide it.
+        for (slot, entry) in best.iter_mut().enumerate() {
+            if let Some(entry) = entry {
+                entry.overflow_attempts = overflow_sums[slot];
+            }
+        }
+        let median_ratio = median(&mut ratios);
+        comparisons.push(TreeThroughputComparison {
+            capacity: n,
+            threads,
+            flat_acq_per_sec: median(&mut flat_thr),
+            tree_acq_per_sec: median(&mut tree_thr),
+            gain_pct: (median_ratio - 1.0) * 100.0,
+        });
+        entries.extend(best.into_iter().flatten());
+    }
+    (entries, comparisons)
 }
 
 /// Pairs padded/packed measurements sharing (algorithm, size) and computes
@@ -367,6 +636,29 @@ fn main() -> ExitCode {
     print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
     print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
 
+    println!("\n## E6 large-N: flat bakery++ vs tree-bakery (K={TREE_ARITY})");
+    println!("| N | flat ns | tree ns | speedup | flat scan words | tree scan words |");
+    println!("|---|---|---|---|---|---|");
+    for c in &e6.tree_comparisons {
+        println!(
+            "| {} | {:.0} | {:.0} | {:+.1}% | {} | {} |",
+            c.processes, c.flat_ns, c.tree_ns, c.speedup_pct, c.flat_scan_words, c.tree_scan_words
+        );
+    }
+    println!("\n## E7 large-N: 4 live threads, flat vs tree (acq/s)");
+    println!("| N | flat acq/s | tree acq/s | gain |");
+    println!("|---|---|---|---|");
+    for c in &e7.tree_comparisons {
+        println!(
+            "| {} | {:.0} | {:.0} | {:+.1}% |",
+            c.capacity, c.flat_acq_per_sec, c.tree_acq_per_sec, c.gain_pct
+        );
+    }
+
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("failed to create {out_dir}: {err}");
+        return ExitCode::FAILURE;
+    }
     for (name, json) in [
         ("BENCH_e6.json", bakery_json::to_string_pretty(&e6)),
         ("BENCH_e7.json", bakery_json::to_string_pretty(&e7)),
@@ -400,10 +692,31 @@ fn main() -> ExitCode {
                 .filter(|e| e.algorithm == "bakery++")
                 .map(|e| e.overflow_attempts),
         )
+        .chain(e6.tree_entries.iter().map(|e| e.overflow_attempts))
+        .chain(e7.tree_entries.iter().map(|e| e.overflow_attempts))
         .sum();
     if pp_overflows > 0 {
         eprintln!("bakery++ reported {pp_overflows} overflow attempts");
         return ExitCode::FAILURE;
+    }
+    // The tree acceptance gate: quadrupling N (smallest to largest swept
+    // size) must not double the tree's doorway footprint.  The exact layout
+    // arithmetic (flat linearity included) is unit-tested in
+    // e10_tree_scale::tests; this gate only guards the headline inequality.
+    let words_of = |n: usize| {
+        e6.tree_comparisons
+            .iter()
+            .find(|c| c.processes == n)
+            .map(|c| c.tree_scan_words)
+    };
+    if let (Some(tree_small), Some(tree_large)) = (
+        words_of(*TREE_SIZES.first().unwrap_or(&0)),
+        words_of(*TREE_SIZES.last().unwrap_or(&0)),
+    ) {
+        if tree_large >= 2 * tree_small {
+            eprintln!("tree doorway growth regressed: {tree_small} -> {tree_large} words");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -50,6 +50,7 @@
 //! | [`guard`] | RAII critical-section guards |
 //! | [`bakery`] | Lamport's original Bakery algorithm (Algorithm 1 of the paper) |
 //! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
+//! | [`tree`] | tournament-of-bounded-bakeries: the K-ary [`TreeBakery`] composite |
 //! | [`backoff`] | spin/yield backoff shared by the locks |
 //! | [`stats`] | lock statistics (overflows, resets, doorway waits, fast-path hits, …) |
 //!
@@ -69,6 +70,22 @@
 //! atomic splice, so readers stay within the paper's safe-register model.
 //! [`ScanMode::Padded`] preserves the seed's layout and orderings as a
 //! like-for-like baseline (see the `bench-json` binary in `bakery-bench`).
+//!
+//! ## The tree plane
+//!
+//! Flat Bakery doorways are O(N) however densely the registers are packed,
+//! which caps practical process counts around the low hundreds.  The [`tree`]
+//! module composes bounded-bakery nodes into a K-ary tournament instead:
+//! `N` processes sit at the leaves, every internal node is an independent
+//! [`BakeryPlusPlusLock`] for `K` participants with per-node bound
+//! `M = K + 1` and its own packed snapshot plane, and a process acquires the
+//! nodes on its leaf-to-root path (releasing in reverse).  Doorway cost drops
+//! to `O(K · log_K N)` — sub-linear in N — opening the N ≫ 128 scenarios the
+//! registry previously topped out at.  Per-node tickets stay in `[0, K + 1]`
+//! by the paper's Theorem applied node-locally, so the composite never
+//! overflows either.  The composition is verified by the `bakery-spec::tree`
+//! state machine (model checked in `bakery-mc`), the differential conformance
+//! suite (`tests/conformance.rs`) and the loom interleaving tests.
 //!
 //! ## Memory ordering
 //!
@@ -103,6 +120,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod sync;
 pub mod ticket;
+pub mod tree;
 
 pub use bakery::BakeryLock;
 pub use bakery_pp::{BakeryPlusPlusLock, DEFAULT_PP_BOUND};
@@ -113,6 +131,7 @@ pub use slots::{Slot, SlotError};
 pub use snapshot::{LaneWidth, PackedSnapshot, ScanMode};
 pub use stats::LockStats;
 pub use ticket::{Ticket, TicketOrder};
+pub use tree::{TreeBakery, DEFAULT_TREE_ARITY};
 
 /// Convenience prelude importing the traits and the two headline locks.
 pub mod prelude {

@@ -161,6 +161,21 @@ pub struct StatsSnapshot {
     pub fast_path_hits: u64,
 }
 
+impl StatsSnapshot {
+    /// Folds `other` into `self`: counters add, the ticket high-water mark
+    /// takes the maximum.  Used by composite locks (the tree plane) to
+    /// aggregate per-node and per-level statistics.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.cs_entries += other.cs_entries;
+        self.overflow_attempts += other.overflow_attempts;
+        self.resets += other.resets;
+        self.l1_waits += other.l1_waits;
+        self.doorway_waits += other.doorway_waits;
+        self.max_ticket = self.max_ticket.max(other.max_ticket);
+        self.fast_path_hits += other.fast_path_hits;
+    }
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -232,6 +247,25 @@ mod tests {
         assert!(text.contains("cs=1"));
         assert!(text.contains("overflows=0"));
         assert!(text.contains("max_ticket=0"));
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_maxes_tickets() {
+        let a = LockStats::new();
+        a.record_cs_entry();
+        a.record_ticket(9);
+        a.record_doorway_waits(2);
+        let b = LockStats::new();
+        b.record_cs_entry();
+        b.record_cs_entry();
+        b.record_ticket(4);
+        b.record_fast_path_hit();
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.cs_entries, 3);
+        assert_eq!(merged.doorway_waits, 2);
+        assert_eq!(merged.max_ticket, 9, "high-water mark takes the max");
+        assert_eq!(merged.fast_path_hits, 1);
     }
 
     #[test]

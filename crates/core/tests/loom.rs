@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, RawNProcessLock};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, RawNProcessLock, TreeBakery};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::thread;
 
@@ -88,6 +88,79 @@ fn loom_packed_fast_path_preserves_mutual_exclusion() {
         assert_eq!(stats.cs_entries(), 0, "cs_entries counts facade locks only");
         assert_eq!(stats.overflow_attempts(), 0);
         assert!(stats.fast_path_hits() <= 2);
+    });
+}
+
+/// The tree composite under interleaving: two levels (binary, four
+/// processes), every pid on a distinct leaf slot.  Mutual exclusion must hold
+/// across the whole tournament, and no node may ever attempt an overflowing
+/// store (per-node M = 3).
+#[test]
+fn loom_tree_bakery_two_levels_four_processes() {
+    loom::model(|| {
+        let lock = Arc::new(TreeBakery::with_arity(4, 2));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for pid in 0..4 {
+            let lock = Arc::clone(&lock);
+            let in_cs = Arc::clone(&in_cs);
+            handles.push(thread::spawn(move || {
+                lock.acquire(pid);
+                assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                lock.release(pid);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let total = lock.aggregate_snapshot();
+        assert_eq!(total.overflow_attempts, 0);
+        assert!(total.max_ticket <= lock.bound());
+    });
+}
+
+/// Targeted race for the PR 1 fast path: thread 0's empty-bitmap check runs
+/// concurrently with thread 1's doorway entry.  Whatever the interleaving,
+/// either thread 0 sees the bakery empty *before* thread 1's ticket store
+/// became visible (in which case the SeqCst handshake fences force thread 1
+/// to observe thread 0's ticket and wait), or thread 0 sees the contender
+/// and takes the wait loops — mutual exclusion must hold either way.
+#[test]
+fn loom_packed_empty_check_races_concurrent_doorway() {
+    loom::model(|| {
+        let lock = Arc::new(BakeryLock::new(2));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let fast = {
+            let lock = Arc::clone(&lock);
+            let in_cs = Arc::clone(&in_cs);
+            thread::spawn(move || {
+                // Repeated acquires: the second pass is the likeliest to hit
+                // the emptiness check exactly while pid 1 is mid-doorway.
+                for _ in 0..2 {
+                    lock.acquire(0);
+                    assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                    lock.release(0);
+                }
+            })
+        };
+        let doorway = {
+            let lock = Arc::clone(&lock);
+            let in_cs = Arc::clone(&in_cs);
+            thread::spawn(move || {
+                let _ = lock.try_doorway(1);
+                lock.await_turn(1);
+                assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                in_cs.fetch_sub(1, Ordering::SeqCst);
+                lock.release(1);
+            })
+        };
+        fast.join().unwrap();
+        doorway.join().unwrap();
+        // Each of thread 0's two acquisitions plus thread 1's await_turn may
+        // fast-path (a process's own ticket is masked out of the check).
+        assert!(lock.stats().fast_path_hits() <= 3);
     });
 }
 

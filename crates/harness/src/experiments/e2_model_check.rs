@@ -7,7 +7,7 @@
 //! reaches an overflow state.
 
 use bakery_mc::ModelChecker;
-use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, TreeBakerySpec};
 
 use crate::report::Table;
 
@@ -44,6 +44,33 @@ pub fn check_bakery_pp(n: usize, bound: u64, max_states: usize) -> CheckOutcome 
         algorithm: "bakery++".into(),
         n,
         bound,
+        states: report.states,
+        transitions: report.transitions,
+        complete: !report.truncated,
+        violation_depth: report.violations.first().map(|v| v.depth),
+        violated: report.violated_invariants(),
+    }
+}
+
+/// Model checks the tree-composite lock's two-level binary specification
+/// with the given active process subset (`None` = all four leaves live).
+#[must_use]
+pub fn check_tree(active: Option<&[usize]>, max_states: usize) -> CheckOutcome {
+    let spec = match active {
+        Some(pids) => TreeBakerySpec::new(2, 2).with_active_processes(pids),
+        None => TreeBakerySpec::new(2, 2),
+    };
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_max_states(max_states)
+        .run();
+    CheckOutcome {
+        algorithm: match active {
+            Some(pids) => format!("tree-bakery (2-level, active {pids:?})"),
+            None => "tree-bakery (2-level, all 4)".into(),
+        },
+        n: active.map_or(4, <[usize]>::len),
+        bound: spec.bound(),
         states: report.states,
         transitions: report.transitions,
         complete: !report.truncated,
@@ -118,9 +145,19 @@ pub fn run(quick: bool) -> Vec<Table> {
         push_outcome(&mut table, &check_bakery_pp(n, bound, max_states));
         push_outcome(&mut table, &check_classic_bakery(n, bound, max_states));
     }
+    // Tree composition: both two-process placements close out exhaustively;
+    // the full four-process tree is explored up to the state budget.
+    push_outcome(&mut table, &check_tree(Some(&[0, 1]), max_states));
+    push_outcome(&mut table, &check_tree(Some(&[0, 2]), max_states));
+    if !quick {
+        push_outcome(&mut table, &check_tree(None, max_states));
+    }
     table.push_note(
         "Bakery++ satisfies both invariants on every reachable state (the paper's Theorem, §6.1); \
-         the classic Bakery on the same bounded registers reaches an overflow state.",
+         the classic Bakery on the same bounded registers reaches an overflow state.  The \
+         tree-bakery rows check the tournament composition of Bakery++ nodes (per-node M = K+1): \
+         two-process placements — sharing a leaf node, or meeting only at the root — verify \
+         exhaustively; the full four-process tree is bounded exploration.",
     );
     vec![table]
 }
@@ -145,12 +182,24 @@ mod tests {
     }
 
     #[test]
-    fn quick_table_has_both_algorithms() {
+    fn quick_table_has_all_algorithms() {
         let tables = run(true);
         assert_eq!(tables.len(), 1);
-        assert_eq!(tables[0].len(), 6);
+        assert_eq!(tables[0].len(), 8, "3 bounded configs x 2 + 2 tree rows");
         let md = tables[0].to_markdown();
         assert!(md.contains("bakery++"));
+        assert!(md.contains("tree-bakery"));
         assert!(md.contains("VIOLATED: NoOverflow"));
+    }
+
+    #[test]
+    fn tree_two_process_placements_hold_exhaustively() {
+        for active in [[0usize, 1], [0, 2]] {
+            let outcome = check_tree(Some(&active), 2_000_000);
+            assert!(outcome.violated.is_empty(), "active {active:?}");
+            assert!(outcome.complete, "active {active:?} must close out");
+            assert_eq!(outcome.bound, 3);
+            assert_eq!(outcome.n, 2);
+        }
     }
 }

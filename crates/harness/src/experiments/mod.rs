@@ -3,6 +3,7 @@
 //! corresponding claim of the paper; `quick` shrinks iteration counts so the
 //! full suite stays CI-friendly.
 
+pub mod e10_tree_scale;
 pub mod e1_overflow;
 pub mod e2_model_check;
 pub mod e3_safety;
@@ -28,6 +29,7 @@ pub enum ExperimentId {
     E7,
     E8,
     E9,
+    E10,
 }
 
 impl ExperimentId {
@@ -35,7 +37,7 @@ impl ExperimentId {
     #[must_use]
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
-        &[E1, E2, E3, E4, E5, E6, E7, E8, E9]
+        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10]
     }
 
     /// Parses an experiment id such as `"e4"` / `"E4"` / `"4"`.
@@ -52,6 +54,7 @@ impl ExperimentId {
             "7" => Some(E7),
             "8" => Some(E8),
             "9" => Some(E9),
+            "10" => Some(E10),
             _ => None,
         }
     }
@@ -69,6 +72,7 @@ impl ExperimentId {
             ExperimentId::E7 => "E7 §7: real-thread throughput and latency",
             ExperimentId::E8 => "E8 §1.2/§8.2: first-come-first-served fairness",
             ExperimentId::E9 => "E9 §4: time to overflow per register width",
+            ExperimentId::E10 => "E10 beyond the paper: flat Bakery++ vs the tree composite at large N",
         }
     }
 
@@ -85,6 +89,7 @@ impl ExperimentId {
             ExperimentId::E7 => e7_throughput::run(quick),
             ExperimentId::E8 => e8_fairness::run(quick),
             ExperimentId::E9 => e9_overflow_time::run(quick),
+            ExperimentId::E10 => e10_tree_scale::run(quick),
         }
     }
 }

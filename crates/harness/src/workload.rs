@@ -117,6 +117,32 @@ impl WorkloadResult {
     }
 }
 
+/// Median nanoseconds per uncontended acquire/release on slot 0, after a
+/// warm-up quarter.  Shared by the `bench-json` perf baseline and experiment
+/// **E10** so the two sweeps can never drift apart.
+///
+/// # Panics
+/// Panics if slot 0 of `lock` is already claimed.
+#[must_use]
+pub fn measure_uncontended(lock: &dyn NProcessMutex, iterations: u64, samples: usize) -> f64 {
+    let slot = lock.register().expect("slot 0 free");
+    for _ in 0..iterations / 4 {
+        drop(lock.lock(&slot));
+    }
+    let mut results: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            let guard = lock.lock(&slot);
+            std::hint::black_box(&guard);
+            drop(guard);
+        }
+        results.push(start.elapsed().as_nanos() as f64 / iterations as f64);
+    }
+    results.sort_by(f64::total_cmp);
+    results[results.len() / 2]
+}
+
 /// Runs `workload` against `lock` with real threads.
 ///
 /// # Panics

@@ -1,0 +1,101 @@
+//! Exhaustive verification of the tree-composite lock's specification.
+//!
+//! The tentpole claim of the tree plane — composing bounded-bakery nodes
+//! into a tournament preserves mutual exclusion and overflow freedom — is
+//! exactly the kind of statement "Just Verification of Mutual Exclusion
+//! Algorithms" settles by model checking rather than by inspection.  These
+//! tests explore the two-level binary tree spec:
+//!
+//! * **exhaustively** for two active processes, in both interesting
+//!   placements (sharing a leaf node vs meeting only at the root), and
+//! * **boundedly** for the full four-process tree, which is too large to
+//!   close out in CI but must show no violation within the budget.
+
+use bakery_mc::ModelChecker;
+use bakery_sim::{Algorithm, Invariant};
+use bakery_spec::TreeBakerySpec;
+
+/// The tree-specific safety invariant: a process inside the critical section
+/// holds a non-zero ticket on every node of its leaf-to-root path.
+fn cs_holder_owns_path() -> Invariant<TreeBakerySpec> {
+    Invariant::new("CsHolderOwnsPath", |alg: &TreeBakerySpec, state| {
+        (0..alg.processes()).all(|pid| {
+            if !alg.in_critical_section(state, pid) {
+                return true;
+            }
+            (0..alg.levels()).all(|level| {
+                let (node, slot) = alg.position(pid, level);
+                state.read(alg.number_idx(level, node, slot)) != 0
+            })
+        })
+    })
+}
+
+#[test]
+fn two_processes_sharing_a_leaf_verify_exhaustively() {
+    // pids 0 and 1 compete at leaf node L0N0 first, then walk the root alone.
+    let spec = TreeBakerySpec::new(2, 2).with_active_processes(&[0, 1]);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(cs_holder_owns_path())
+        .with_max_states(2_000_000)
+        .run();
+    assert!(report.holds(), "{report}");
+    assert!(!report.truncated, "exploration must close out: {report}");
+    assert!(report.states > 1_000, "suspiciously small state space");
+}
+
+#[test]
+fn two_processes_meeting_only_at_the_root_verify_exhaustively() {
+    // pids 0 and 2 sit under different leaf nodes; the only shared node is
+    // the root, where they arrive on different child slots.
+    let spec = TreeBakerySpec::new(2, 2).with_active_processes(&[0, 2]);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(cs_holder_owns_path())
+        .with_max_states(2_000_000)
+        .run();
+    assert!(report.holds(), "{report}");
+    assert!(!report.truncated, "exploration must close out: {report}");
+}
+
+#[test]
+fn full_four_process_tree_shows_no_violation_within_budget() {
+    let spec = TreeBakerySpec::new(2, 2);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(cs_holder_owns_path())
+        .with_max_states(120_000)
+        .run();
+    // The full tree's state space exceeds any CI budget; the guarantee this
+    // test pins down is "no violation and no deadlock reachable within the
+    // explored prefix" (BFS ⇒ everything within some radius of the initial
+    // state is covered).
+    assert!(report.violations.is_empty(), "{report}");
+    assert!(report.deadlocks.is_empty(), "{report}");
+    assert!(report.states >= 120_000 || !report.truncated);
+}
+
+#[test]
+fn one_level_tree_spec_matches_flat_bakery_pp_exhaustively() {
+    // Degenerate tree (one level) — the composition collapses to a single
+    // Bakery++ node, so its exhaustive verdict must match the flat spec's.
+    use bakery_spec::BakeryPlusPlusSpec;
+    let tree = TreeBakerySpec::new(2, 1);
+    let tree_report = ModelChecker::new(&tree)
+        .with_paper_invariants()
+        .with_max_states(2_000_000)
+        .run();
+    assert!(tree_report.holds(), "{tree_report}");
+    assert!(!tree_report.truncated);
+
+    let flat = BakeryPlusPlusSpec::new(2, 3);
+    let flat_report = ModelChecker::new(&flat)
+        .with_paper_invariants()
+        .with_max_states(2_000_000)
+        .run();
+    assert!(flat_report.holds(), "{flat_report}");
+    // Same verdict; the state counts differ slightly because the tree spec
+    // spends extra pcs on the (trivial) release ladder.
+    assert!(!flat_report.truncated);
+}

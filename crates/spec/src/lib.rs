@@ -36,11 +36,13 @@ pub mod bakery;
 pub mod bakery_pp;
 pub mod peterson;
 pub mod ticket;
+pub mod tree;
 
 pub use bakery::BakerySpec;
 pub use bakery_pp::BakeryPlusPlusSpec;
 pub use peterson::PetersonSpec;
 pub use ticket::TicketSpec;
+pub use tree::TreeBakerySpec;
 
 /// How reads of another process's `number` register behave while its owner is
 /// inside the doorway (writing it).

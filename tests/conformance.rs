@@ -1,0 +1,485 @@
+//! Differential conformance test plane.
+//!
+//! Each lock in the headline family — classic `Bakery`, `BakeryPlusPlus` and
+//! the `TreeBakery` composite — exists twice in this repository: as a real
+//! atomics-based lock in `bakery-core` and as a step-machine specification in
+//! `bakery-spec`.  This suite drives both sides on **identical seeded
+//! schedules** and asserts they agree, instead of trusting either by
+//! inspection:
+//!
+//! 1. **Spec plane** — the simulator runs every specification under the same
+//!    deterministic seeded schedules with the mutual-exclusion and
+//!    register-bound invariants checked after *every* step, and replays each
+//!    recorded trace to a bit-identical final state.
+//! 2. **Doorway differential** — a seeded sequential schedule of doorway /
+//!    serve operations is applied to the real lock (via its split-phase
+//!    `try_doorway` / `await_turn` API) and to the specification (by stepping
+//!    the same process through the same phases), asserting **step-for-step**
+//!    agreement on the outcome kind (`Ticket` / `Blocked` / `Reset` /
+//!    `Overflowed`) and on the drawn ticket values.
+//! 3. **Tree path differential** — the composite lock's per-level node
+//!    tickets are compared against the tree specification's node registers
+//!    on the same acquisition schedule, and release must drain both to zero.
+//! 4. **Invariant differential under real threads** — the real locks run
+//!    under genuine contention and must report exactly the invariant profile
+//!    the spec plane establishes (no overflow attempts, tickets within `M`,
+//!    mutual exclusion).
+//!
+//! The real-lock parts run under both [`ScanMode::Packed`] and
+//! [`ScanMode::Padded`]; set `BAKERY_SCAN_MODE=packed|padded` to restrict a
+//! run to one mode (the CI matrix does).
+
+use std::sync::Arc;
+
+use bakery_suite::locks::raw::DoorwayOutcome;
+use bakery_suite::locks::{
+    BakeryLock, BakeryPlusPlusLock, NProcessMutex, OverflowPolicy, RawNProcessLock, ScanMode,
+    TreeBakery,
+};
+use bakery_suite::sim::{
+    Algorithm, ProgState, RandomScheduler, ReplayScheduler, RunConfig, Simulator,
+};
+use bakery_suite::spec::{pc, BakeryPlusPlusSpec, BakerySpec, TreeBakerySpec};
+
+/// Scan modes the real-lock sides run under (`BAKERY_SCAN_MODE` restricts).
+fn scan_modes() -> Vec<ScanMode> {
+    match std::env::var("BAKERY_SCAN_MODE").as_deref() {
+        Ok("packed") => vec![ScanMode::Packed],
+        Ok("padded") => vec![ScanMode::Padded],
+        Ok(other) => panic!("BAKERY_SCAN_MODE must be 'packed' or 'padded', got '{other}'"),
+        Err(_) => vec![ScanMode::Packed, ScanMode::Padded],
+    }
+}
+
+/// Small deterministic generator so both sides see the same schedule without
+/// depending on the `rand` stub from the root test crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Register index of `number[pid]` in the flat Bakery/Bakery++ layout,
+/// resolved by name so the test cannot drift from the spec's layout.
+fn flat_number_idx<A: Algorithm>(alg: &A, pid: usize) -> usize {
+    let name = format!("number[{pid}]");
+    alg.registers()
+        .iter()
+        .position(|r| r.name == name)
+        .unwrap_or_else(|| panic!("register {name} not found"))
+}
+
+// ---------------------------------------------------------------------------
+// 1. Spec plane: seeded schedules, per-step invariants, deterministic replay.
+// ---------------------------------------------------------------------------
+
+/// Runs `alg` under seeded random schedules with the paper invariants checked
+/// after every step, asserts tickets stay within `ticket_bound`, and replays
+/// the recorded schedule to the same final state.
+fn spec_plane_holds<A: Algorithm>(alg: &A, ticket_bound: u64, steps: u64) {
+    for seed in 0..12 {
+        let config = RunConfig::<A>::checked(steps);
+        let outcome = Simulator::new().run(alg, &mut RandomScheduler::new(seed), &config);
+        assert!(
+            outcome.report.violations.is_empty(),
+            "{} seed {seed}: {:?}",
+            alg.name(),
+            outcome.report.violations
+        );
+        assert!(!outcome.report.deadlocked, "{} seed {seed}", alg.name());
+        for (pid, number) in outcome.trace.ticket_order() {
+            assert!(
+                number >= 1 && number <= ticket_bound,
+                "{} seed {seed}: pid {pid} drew ticket {number} outside [1, {ticket_bound}]",
+                alg.name()
+            );
+        }
+        // Step-for-step determinism: replaying the recorded schedule must
+        // reproduce the exact final state and per-process service counts.
+        let mut replay = ReplayScheduler::new(outcome.trace.choices());
+        let replayed = Simulator::new().run(alg, &mut replay, &config);
+        assert!(!replay.diverged(), "{} seed {seed} diverged", alg.name());
+        assert_eq!(
+            outcome.final_state,
+            replayed.final_state,
+            "{} seed {seed}: replay reached a different state",
+            alg.name()
+        );
+        assert_eq!(outcome.report.cs_entries, replayed.report.cs_entries);
+    }
+}
+
+#[test]
+fn spec_plane_bakery() {
+    // Unbounded-register regime: tickets stay well under u32::MAX in 3000
+    // steps, so the NoOverflow invariant doubles as a sanity check.
+    spec_plane_holds(&BakerySpec::new(2, u64::from(u32::MAX)), u64::from(u32::MAX), 3_000);
+}
+
+#[test]
+fn spec_plane_bakery_pp() {
+    spec_plane_holds(&BakeryPlusPlusSpec::new(2, 4), 4, 3_000);
+    spec_plane_holds(&BakeryPlusPlusSpec::new(3, 2), 2, 3_000);
+}
+
+#[test]
+fn spec_plane_tree_bakery() {
+    let spec = TreeBakerySpec::new(2, 2);
+    spec_plane_holds(&spec, spec.bound(), 6_000);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Doorway differential: real split-phase lock vs spec, same schedule.
+// ---------------------------------------------------------------------------
+
+/// Outcome of driving one spec process through the Bakery++ doorway.
+#[derive(Debug, PartialEq, Eq)]
+enum SpecDoorway {
+    Ticket(u64),
+    Blocked,
+    Reset,
+}
+
+/// Steps spec process `pid` through one Bakery++ doorway pass, mirroring the
+/// real lock's `try_doorway`.  The process must be idle (NCS) or parked at
+/// the L1 scan from an earlier `Blocked`/`Reset`.
+fn pp_spec_doorway(
+    spec: &BakeryPlusPlusSpec,
+    state: &mut ProgState,
+    pid: usize,
+    n: usize,
+) -> SpecDoorway {
+    // The L1 guard: with no concurrent movers, a register >= M means the
+    // scan can never complete — exactly the lock's `Blocked` return.
+    if (0..n).any(|q| state.read(flat_number_idx(spec, q)) >= spec.bound()) {
+        return SpecDoorway::Blocked;
+    }
+    assert!(
+        state.pc(pid) == pc::NCS || state.pc(pid) == pc::L1_SCAN,
+        "pid {pid} must be outside the doorway, at pc {}",
+        state.pc(pid)
+    );
+    let mut budget = 16 * (n as u32 + 2);
+    loop {
+        let prev_pc = state.pc(pid);
+        let succs = spec.successors_vec(state, pid);
+        assert_eq!(succs.len(), 1, "doorway phases are deterministic");
+        *state = succs.into_iter().next().unwrap();
+        if prev_pc == pc::RESET_CHOOSING && state.pc(pid) == pc::L1_SCAN {
+            return SpecDoorway::Reset;
+        }
+        if prev_pc == pc::CLEAR_CHOOSING && state.pc(pid) == pc::SCAN_CHOOSING {
+            return SpecDoorway::Ticket(state.read(flat_number_idx(spec, pid)));
+        }
+        budget -= 1;
+        assert!(budget > 0, "doorway did not terminate for pid {pid}");
+    }
+}
+
+/// Steps spec process `pid` (holding a ticket, currently eligible) through
+/// the L2/L3 scans, the critical section and the release write.
+fn spec_serve<A: Algorithm>(spec: &A, state: &mut ProgState, pid: usize) {
+    let mut budget = 2_000;
+    while !spec.in_critical_section(state, pid) {
+        let succs = spec.successors_vec(state, pid);
+        assert!(
+            !succs.is_empty(),
+            "{}: pid {pid} blocked while it should be eligible",
+            spec.name()
+        );
+        *state = succs.into_iter().next().unwrap();
+        budget -= 1;
+        assert!(budget > 0, "serve did not reach the critical section");
+    }
+    // Exit the critical section and run any release ladder to completion.
+    loop {
+        let succs = spec.successors_vec(state, pid);
+        *state = succs.into_iter().next().unwrap();
+        if state.pc(pid) == pc::NCS {
+            return;
+        }
+        budget -= 1;
+        assert!(budget > 0, "release did not return to the noncritical section");
+    }
+}
+
+#[test]
+fn bakery_pp_doorway_agrees_with_spec_step_for_step() {
+    let n = 2;
+    let bound = 4; // small enough that Blocked and Reset both fire
+    for mode in scan_modes() {
+        for seed in 0..8u64 {
+            let lock = BakeryPlusPlusLock::with_bound_and_mode(n, bound, mode);
+            let spec = BakeryPlusPlusSpec::new(n, bound);
+            let mut state = spec.initial_state();
+            let mut rng = Lcg::new(seed);
+            // pids currently holding a ticket, in (number, pid) order.
+            let mut holders: Vec<(u64, usize)> = Vec::new();
+            let mut saw = [false; 3]; // ticket, blocked, reset
+
+            for step in 0..300 {
+                let idle: Vec<usize> =
+                    (0..n).filter(|p| !holders.iter().any(|&(_, h)| h == *p)).collect();
+                let serve =
+                    holders.len() == n || (idle.is_empty() || rng.next().is_multiple_of(3));
+                if serve && !holders.is_empty() {
+                    holders.sort_unstable();
+                    let (_, pid) = holders.remove(0);
+                    lock.await_turn(pid);
+                    lock.release(pid);
+                    spec_serve(&spec, &mut state, pid);
+                    assert_eq!(
+                        state.read(flat_number_idx(&spec, pid)),
+                        lock.registers().read_number(pid),
+                        "seed {seed} step {step}: release left different registers"
+                    );
+                } else {
+                    let pid = idle[(rng.next() as usize) % idle.len()];
+                    let real = lock.try_doorway(pid);
+                    let speced = pp_spec_doorway(&spec, &mut state, pid, n);
+                    match (&real, &speced) {
+                        (DoorwayOutcome::Ticket(a), SpecDoorway::Ticket(b)) => {
+                            assert_eq!(a, b, "seed {seed} step {step}: ticket values differ");
+                            holders.push((*a, pid));
+                            saw[0] = true;
+                        }
+                        (DoorwayOutcome::Blocked, SpecDoorway::Blocked) => saw[1] = true,
+                        (DoorwayOutcome::Reset, SpecDoorway::Reset) => saw[2] = true,
+                        other => panic!(
+                            "seed {seed} step {step} ({mode:?}): lock and spec disagree: {other:?}"
+                        ),
+                    }
+                }
+            }
+            assert_eq!(lock.stats().overflow_attempts(), 0);
+            assert!(lock.stats().max_ticket() <= bound);
+            assert!(saw[0], "seed {seed}: schedule never drew a ticket");
+        }
+    }
+}
+
+#[test]
+fn bakery_pp_cap_outcomes_are_reachable_and_agree() {
+    // A targeted §3-style alternation drives tickets to the bound so the
+    // Blocked and Reset branches demonstrably fire — and agree — on both
+    // sides, in both scan modes.
+    for mode in scan_modes() {
+        let n = 2;
+        let bound = 3;
+        let lock = BakeryPlusPlusLock::with_bound_and_mode(n, bound, mode);
+        let spec = BakeryPlusPlusSpec::new(n, bound);
+        let mut state = spec.initial_state();
+        let mut pending = 0usize;
+        let mut saw_cap = false;
+        assert_eq!(
+            pp_spec_doorway(&spec, &mut state, 0, n),
+            SpecDoorway::Ticket(1)
+        );
+        assert_eq!(lock.try_doorway(0), DoorwayOutcome::Ticket(1));
+        for round in 0..60 {
+            let entering = 1 - pending;
+            let real = lock.try_doorway(entering);
+            let speced = pp_spec_doorway(&spec, &mut state, entering, n);
+            let agreed_cap = matches!(
+                (&real, &speced),
+                (DoorwayOutcome::Blocked, SpecDoorway::Blocked)
+                    | (DoorwayOutcome::Reset, SpecDoorway::Reset)
+            );
+            if let (DoorwayOutcome::Ticket(a), SpecDoorway::Ticket(b)) = (&real, &speced) {
+                assert_eq!(a, b, "round {round}");
+                lock.await_turn(pending);
+                lock.release(pending);
+                spec_serve(&spec, &mut state, pending);
+                pending = entering;
+            } else {
+                assert!(agreed_cap, "round {round}: {real:?} vs {speced:?}");
+                saw_cap = true;
+                lock.await_turn(pending);
+                lock.release(pending);
+                spec_serve(&spec, &mut state, pending);
+                // Bakery drained: the blocked process retries successfully.
+                let retry_real = lock.try_doorway(entering);
+                let retry_spec = pp_spec_doorway(&spec, &mut state, entering, n);
+                assert!(retry_real.took_ticket(), "round {round}: {retry_real:?}");
+                assert!(matches!(retry_spec, SpecDoorway::Ticket(_)));
+                pending = entering;
+            }
+        }
+        assert!(saw_cap, "M = {bound} must hit the cap ({mode:?})");
+        assert_eq!(lock.stats().overflow_attempts(), 0);
+    }
+}
+
+#[test]
+fn classic_bakery_overflows_at_the_same_step_as_its_spec() {
+    // The §3 alternation on bounded registers: lock and spec must agree on
+    // every drawn ticket and then flag the overflow at the same operation
+    // with the same attempted value.  (After the overflow the two diverge by
+    // design: the spec stores the M+1 sentinel, the lock wraps.)
+    for mode in scan_modes() {
+        let bound = 4;
+        let lock = BakeryLock::with_config(2, bound, OverflowPolicy::Wrap, mode);
+        let spec = BakerySpec::new(2, bound);
+        let mut state = spec.initial_state();
+
+        // Drives the classic spec doorway: NCS -> ... -> SCAN_CHOOSING.
+        let classic_doorway = |state: &mut ProgState, pid: usize| -> (u64, u64) {
+            assert_eq!(state.pc(pid), pc::NCS);
+            let mut attempted = 0;
+            loop {
+                let prev = state.pc(pid);
+                if prev == pc::WRITE_TICKET {
+                    attempted = state.local(pid, 1) + 1; // LOCAL_MAX + 1
+                }
+                let succs = spec.successors_vec(state, pid);
+                assert_eq!(succs.len(), 1);
+                *state = succs.into_iter().next().unwrap();
+                if prev == pc::CLEAR_CHOOSING {
+                    return (state.read(flat_number_idx(&spec, pid)), attempted);
+                }
+            }
+        };
+
+        assert!(lock.try_doorway(0).took_ticket());
+        let _ = classic_doorway(&mut state, 0);
+        let mut overflowed = false;
+        for round in 0..40 {
+            let (leaving, entering) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+            let real = lock.try_doorway(entering);
+            let (spec_stored, spec_attempted) = classic_doorway(&mut state, entering);
+            match real {
+                DoorwayOutcome::Ticket(number) => {
+                    assert!(spec_stored <= bound, "spec overflowed before the lock");
+                    assert_eq!(number, spec_stored, "round {round} ({mode:?})");
+                }
+                DoorwayOutcome::Overflowed { attempted, stored } => {
+                    assert!(
+                        spec_stored > bound,
+                        "lock overflowed at round {round} but the spec did not"
+                    );
+                    assert_eq!(attempted, spec_attempted, "round {round}");
+                    assert!(stored <= bound);
+                    overflowed = true;
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            lock.await_turn(leaving);
+            lock.release(leaving);
+            spec_serve(&spec, &mut state, leaving);
+        }
+        assert!(overflowed, "bounded classic Bakery must overflow ({mode:?})");
+        assert!(lock.stats().overflow_attempts() > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Tree path differential: per-level node tickets, real lock vs spec.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tree_bakery_per_level_tickets_agree_with_spec() {
+    for mode in scan_modes() {
+        for seed in 0..6u64 {
+            let lock = TreeBakery::with_config(4, 2, mode);
+            let spec = TreeBakerySpec::new(2, 2);
+            let mut state = spec.initial_state();
+            let mut rng = Lcg::new(seed ^ 0xF00D);
+
+            for step in 0..80 {
+                let pid = (rng.next() as usize) % 4;
+
+                // Real side: acquire and read the tickets along the path.
+                lock.acquire(pid);
+                let real_tickets: Vec<u64> = (0..lock.depth())
+                    .map(|level| {
+                        let (node, slot) = lock.position(pid, level);
+                        lock.node(level, node).current_ticket(slot).number
+                    })
+                    .collect();
+
+                // Spec side: step the same process into the critical section
+                // and read the same node registers.
+                let mut budget = 2_000;
+                while !spec.in_critical_section(&state, pid) {
+                    let succs = spec.successors_vec(&state, pid);
+                    assert!(!succs.is_empty(), "lone spec process can never block");
+                    state = succs.into_iter().next().unwrap();
+                    budget -= 1;
+                    assert!(budget > 0, "seed {seed} step {step}: spec never entered CS");
+                }
+                let spec_tickets: Vec<u64> = (0..spec.levels())
+                    .map(|level| {
+                        let (node, slot) = spec.position(pid, level);
+                        state.read(spec.number_idx(level, node, slot))
+                    })
+                    .collect();
+                assert_eq!(
+                    real_tickets, spec_tickets,
+                    "seed {seed} step {step} pid {pid} ({mode:?}): path tickets diverged"
+                );
+
+                // Release on both sides; all path registers must drain to 0.
+                lock.release(pid);
+                while state.pc(pid) != pc::NCS {
+                    let succs = spec.successors_vec(&state, pid);
+                    state = succs.into_iter().next().unwrap();
+                }
+                for level in 0..lock.depth() {
+                    let (node, slot) = lock.position(pid, level);
+                    assert_eq!(lock.node(level, node).current_ticket(slot).number, 0);
+                    let (snode, sslot) = spec.position(pid, level);
+                    assert_eq!(state.read(spec.number_idx(level, snode, sslot)), 0);
+                }
+            }
+            assert_eq!(lock.aggregate_snapshot().overflow_attempts, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Invariant differential under real threads.
+// ---------------------------------------------------------------------------
+
+use bakery_suite::baselines::testutil::assert_mutual_exclusion as stress;
+
+#[test]
+fn real_locks_match_the_spec_planes_invariant_profile() {
+    // The spec plane established: no overflow attempts, tickets within M,
+    // mutual exclusion.  The real locks under genuine contention must report
+    // exactly the same profile, in both scan modes.
+    for mode in scan_modes() {
+        let pp = Arc::new(BakeryPlusPlusLock::with_bound_and_mode(4, 4, mode));
+        let total = stress(Arc::clone(&pp), 4, 250);
+        assert_eq!(total, 1_000);
+        assert_eq!(pp.stats().overflow_attempts(), 0);
+        assert!(pp.stats().max_ticket() <= 4);
+
+        let tree = Arc::new(TreeBakery::with_config(4, 2, mode));
+        let total = stress(Arc::clone(&tree), 4, 250);
+        assert_eq!(total, 1_000);
+        let aggregate = tree.aggregate_snapshot();
+        assert_eq!(aggregate.overflow_attempts, 0);
+        assert!(aggregate.max_ticket <= tree.bound());
+        // Every node register is quiescently zero after the run.
+        for level in 0..tree.depth() {
+            for node in 0..tree.nodes_at(level) {
+                let file = tree.node(level, node).registers();
+                for slot in 0..file.len() {
+                    assert_eq!(file.read_number(slot), 0);
+                    assert!(!file.read_choosing(slot));
+                }
+            }
+        }
+    }
+}

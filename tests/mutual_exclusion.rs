@@ -2,33 +2,11 @@
 //! exclusion under genuine thread contention, and the bounded locks respect
 //! their declared register bounds.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bakery_suite::baselines::testutil::assert_mutual_exclusion as stress;
 use bakery_suite::baselines::{all_algorithms, AlgorithmId, LockFactory};
 use bakery_suite::locks::{BakeryPlusPlusLock, NProcessMutex};
-
-fn stress(lock: Arc<dyn NProcessMutex + Send + Sync>, threads: usize, iterations: u64) -> u64 {
-    let counter = Arc::new(AtomicU64::new(0));
-    let in_cs = Arc::new(AtomicU64::new(0));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let lock = Arc::clone(&lock);
-            let counter = Arc::clone(&counter);
-            let in_cs = Arc::clone(&in_cs);
-            scope.spawn(move || {
-                let slot = lock.register().expect("a free slot");
-                for _ in 0..iterations {
-                    let _guard = lock.lock(&slot);
-                    assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0, "mutex violated");
-                    counter.fetch_add(1, Ordering::SeqCst);
-                    in_cs.fetch_sub(1, Ordering::SeqCst);
-                }
-            });
-        }
-    });
-    counter.load(Ordering::SeqCst)
-}
 
 #[test]
 fn every_algorithm_excludes_under_contention() {
