@@ -601,6 +601,48 @@ mod tests {
             prop_assert_eq!(packed.decode_choosing(), choosing);
         }
 
+        /// Lane-boundary clamp: `LaneWidth::for_bound` admits the exact lane
+        /// maxima (`u8::MAX`, `u16::MAX`), yet the classic doorway transiently
+        /// publishes `max + 1` — one more than the widest value the lane can
+        /// hold.  The overflow policy must resolve *before* the mirror update,
+        /// so the packed lane only ever receives the post-policy value and
+        /// neighbouring lanes in the same word survive intact.
+        #[test]
+        fn mirror_clamps_before_update_on_exact_boundary_bounds(
+            bound_idx in 0usize..5,
+            policy_idx in 0usize..3,
+            pid in 0usize..40,
+            overshoot in 1u64..4,
+        ) {
+            let bound = [254u64, 255, 256, 65_535, 65_536][bound_idx];
+            let policy =
+                [OverflowPolicy::Wrap, OverflowPolicy::Saturate, OverflowPolicy::Report][policy_idx];
+            // 40 slots force narrow lanes at the u8/u16 boundaries, so the
+            // doorway's transient `bound + overshoot` would corrupt the
+            // neighbouring lanes of the shared word if it ever reached the
+            // mirror un-clamped.
+            let file = RegisterFile::new(40, bound, policy);
+            let stats = LockStats::new();
+            // Give the neighbours known in-range tickets first.
+            for j in 0..40 {
+                if j != pid {
+                    prop_assert!(file.write_number(j, (j as u64) % bound + 1, &stats).is_none());
+                }
+            }
+            let attempted = bound + overshoot;
+            let event = file.write_number(pid, attempted, &stats).expect("overflow event");
+            prop_assert_eq!(event.attempted, attempted);
+            prop_assert_eq!(event.stored, policy.resolve(attempted, bound));
+            let packed = file.packed().expect("default mode is packed");
+            // The mirror holds the post-policy value, never the transient.
+            prop_assert!(packed.number(pid) <= bound, "lane must stay within M");
+            prop_assert_eq!(packed.number(pid), event.stored);
+            prop_assert_eq!(packed.number(pid), file.read_number(pid));
+            // Every neighbouring lane decodes to its authoritative value.
+            prop_assert_eq!(packed.decode_numbers(), file.snapshot_numbers());
+            prop_assert_eq!(stats.overflow_attempts(), 1);
+        }
+
         /// The single-writer file only changes the targeted process's cells.
         #[test]
         fn writes_are_confined_to_owner(

@@ -215,12 +215,21 @@ impl TreeBakery {
     /// Sums the statistics of every node in the tree, plus the facade's own
     /// counters (critical-section entries are only counted at the tree level;
     /// doorway effort only inside the nodes).
+    ///
+    /// `cs_entries` is pinned to the facade's own counter: a per-node
+    /// Bakery++ instance records a critical-section entry whenever it is
+    /// driven through its *own* `NProcessMutex` facade (tests, conformance
+    /// harnesses), and a blanket [`StatsSnapshot::merge`] would add those to
+    /// the tree's count — double counting the documented "once at the tree
+    /// facade" semantics.
     #[must_use]
     pub fn aggregate_snapshot(&self) -> StatsSnapshot {
         let mut total = self.stats.snapshot();
+        let facade_cs_entries = total.cs_entries;
         for level in 0..self.depth() {
             total.merge(&self.level_snapshot(level));
         }
+        total.cs_entries = facade_cs_entries;
         total
     }
 
@@ -364,6 +373,42 @@ mod tests {
             "each acquisition fast-paths through both levels"
         );
         assert_eq!(total.overflow_attempts, 0);
+    }
+
+    #[test]
+    fn aggregate_cs_entries_ignore_node_facade_traffic() {
+        // Driving a node through its own NProcessMutex facade records
+        // cs_entries in that node's stats block; the tree aggregate must keep
+        // counting entries once, at the tree facade only.
+        let lock = TreeBakery::with_arity(4, 2);
+        let slot = lock.register().unwrap();
+        for _ in 0..3 {
+            let _g = lock.lock(&slot);
+        }
+        let leaf = lock.node(0, 0);
+        let leaf_slot = leaf.register().unwrap();
+        for _ in 0..7 {
+            let _g = leaf.lock(&leaf_slot);
+        }
+        assert_eq!(leaf.stats().cs_entries(), 7);
+        assert_eq!(
+            lock.aggregate_snapshot().cs_entries,
+            lock.stats().cs_entries(),
+            "cs_entries counts once at the tree facade"
+        );
+        assert_eq!(lock.aggregate_snapshot().cs_entries, 3);
+    }
+
+    #[test]
+    fn aggregate_cs_entries_match_facade_after_contended_run() {
+        let lock = Arc::new(TreeBakery::with_arity(4, 2));
+        stress(&lock, 4, 150);
+        assert_eq!(
+            lock.aggregate_snapshot().cs_entries,
+            lock.stats().cs_entries(),
+            "aggregate cs_entries must equal the facade count"
+        );
+        assert_eq!(lock.stats().cs_entries(), 600);
     }
 
     #[test]

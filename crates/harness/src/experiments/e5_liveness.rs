@@ -15,36 +15,50 @@
 //!   soon as the scheduler gives it cycles (the "perhaps having such an
 //!   incredibly slow process is equivalent to not having it" remark).
 
-use bakery_mc::liveness::find_starvation_cycle_where;
+use bakery_mc::liveness::starvation_report_where;
 use bakery_sim::{AdversarialScheduler, Algorithm, RunConfig, Simulator};
 use bakery_spec::{pc, BakeryPlusPlusSpec, BakerySpec};
 
 use crate::report::Table;
 
 /// Model-checking half: starvation-cycle existence per waiting position.
+///
+/// Every row prints the [`bakery_mc::LivenessReport`] verdict, which
+/// distinguishes an exhaustive "no cycle" **proof** from a budget-bounded
+/// "no cycle found" — a truncated graph must never be reported as one.
 #[must_use]
 pub fn starvation_cycle_table(quick: bool) -> Table {
     let max_states = if quick { 120_000 } else { 400_000 };
     let mut table = Table::new(
         "E5a — starvation cycles in the reachable state graph (unfair scheduler)",
-        &["algorithm", "victim position", "witness cycle found", "cycle length"],
+        &[
+            "algorithm",
+            "victim position",
+            "witness cycle found",
+            "cycle length",
+            "verdict",
+        ],
     );
 
     // Bakery++ slow process parked at L1 (the paper's scenario).
     let pp = BakeryPlusPlusSpec::new(3, 2);
-    let at_l1 = find_starvation_cycle_where(&pp, 2, max_states, |_, state| {
+    let at_l1 = starvation_report_where(&pp, 2, max_states, |_, state| {
         state.pc(2) == pc::L1_SCAN
     });
     table.push_row(vec![
         "bakery++ (N=3, M=2)".into(),
         "parked at L1 (before doorway)".into(),
-        at_l1.is_some().to_string(),
-        at_l1.map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        at_l1.witness.is_some().to_string(),
+        at_l1
+            .witness
+            .as_ref()
+            .map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        at_l1.verdict().into(),
     ]);
 
     // Bakery++ ticket holder below M: protected by FCFS.
     let pp2 = BakeryPlusPlusSpec::new(2, 4);
-    let holder = find_starvation_cycle_where(&pp2, 1, max_states, |alg, state| {
+    let holder = starvation_report_where(&pp2, 1, max_states, |alg, state| {
         let ticket = state.read(2 + 1);
         alg.is_trying(state, 1)
             && ticket != 0
@@ -56,26 +70,38 @@ pub fn starvation_cycle_table(quick: bool) -> Table {
     table.push_row(vec![
         "bakery++ (N=2, M=4)".into(),
         "holding a ticket < M".into(),
-        holder.is_some().to_string(),
-        holder.map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        holder.witness.is_some().to_string(),
+        holder
+            .witness
+            .as_ref()
+            .map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        holder.verdict().into(),
     ]);
 
     // Classic Bakery ticket holder: also protected (FCFS), for comparison.
+    // Its unbounded ticket space is infinite, so this row is always a
+    // bounded verdict: evidence, not a proof.
     let classic = BakerySpec::new(2, 1_000_000);
-    let classic_holder = find_starvation_cycle_where(&classic, 1, max_states, |alg, state| {
+    let classic_holder = starvation_report_where(&classic, 1, max_states, |alg, state| {
         alg.is_trying(state, 1) && state.read(2 + 1) != 0
     });
     table.push_row(vec![
         "bakery (N=2)".into(),
         "holding a ticket".into(),
-        classic_holder.is_some().to_string(),
-        classic_holder.map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        classic_holder.witness.is_some().to_string(),
+        classic_holder
+            .witness
+            .as_ref()
+            .map_or_else(|| "-".into(), |w| w.cycle_length().to_string()),
+        classic_holder.verdict().into(),
     ]);
 
     table.push_note(
         "A cycle exists exactly where the paper predicts: a process that has not yet taken a \
          ticket can be refused at L1 forever by an unfair scheduler.  Once the doorway is \
-         complete, FCFS protects the process in both algorithms.",
+         complete, FCFS protects the process in both algorithms — proved exhaustively for \
+         Bakery++ (finite bounded-register space), and as a bounded 'no cycle found within \
+         budget' claim for the classic Bakery, whose unbounded ticket space cannot close out.",
     );
     table
 }
@@ -141,6 +167,11 @@ mod tests {
         assert_eq!(table.rows[0][2], "true");
         assert_eq!(table.rows[1][2], "false");
         assert_eq!(table.rows[2][2], "false");
+        // Verdicts: the finite Bakery++ space closes out (a proof), the
+        // unbounded classic Bakery row is bounded evidence only.
+        assert_eq!(table.rows[0][4], "cycle found");
+        assert_eq!(table.rows[1][4], "no cycle (exhaustive)");
+        assert_eq!(table.rows[2][4], "no cycle (bounded)");
     }
 
     #[test]

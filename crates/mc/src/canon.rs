@@ -1,0 +1,213 @@
+//! Symmetry canonicalization: factor each state into an orbit
+//! representative plus a variant id.
+//!
+//! A [`Canonicalizer`] combines a specification's [`SymmetryGroup`] (e.g. the
+//! leaf-placement group of `TreeBakerySpec`: sibling-leaf swaps and
+//! same-level subtree permutations) with the [`StateCodec`]: the **canonical
+//! representative** of a state is the orbit member with the lexicographically
+//! smallest packed code, and the **variant** is the group element that maps
+//! the representative back to the state.  `(canonical code, variant)` is a
+//! bijective re-coordinatisation of the state — nothing is approximated.
+//!
+//! ## Why compression, not quotienting
+//!
+//! The Bakery-family scan loops and `(number, pid)` tie-breaks make process
+//! permutations *not* automorphisms of the transition graph: a permuted
+//! mid-scan state has loop cursors pointing at the wrong slots, and its
+//! behaviour genuinely differs (the classic symmetry quotient would both
+//! miss reachable states and report spurious violations — the latter was
+//! observed when a quotient prototype of this module was model-checked
+//! against the flat Bakery++ spec).  The explorer therefore never merges
+//! orbit members: it runs the exact concrete BFS, and uses the
+//! canonicalization only to **store** the visited set orbit-wise — one
+//! packed representative per orbit plus a ≤64-bit bitmap of visited
+//! variants.  Memory shrinks by up to the group order while every verdict,
+//! state count and trace stays bit-identical to the unreduced search; the
+//! orbit count is reported as the *canonical state count*.
+
+use bakery_sim::{ProgState, StatePermutation, SymmetryGroup};
+
+use crate::code::{StateCode, StateCodec};
+
+/// Largest group order the variant bitmap supports.
+pub const MAX_GROUP_ORDER: usize = 64;
+
+/// Canonical-representative computation for one algorithm's states.
+#[derive(Debug)]
+pub struct Canonicalizer {
+    group: SymmetryGroup,
+    /// Inverse of each group element, precomputed because
+    /// [`StateCodec::encode_permuted`] consumes the new-index → old-index
+    /// direction on the hot path (once per group element per successor).
+    preimages: Vec<StatePermutation>,
+    /// `inverse_index[i]` is the position of `elements[i]`'s inverse.
+    inverse_index: Vec<u8>,
+}
+
+impl Canonicalizer {
+    /// Builds a canonicalizer for `group` against `codec`'s lane layout.
+    ///
+    /// # Panics
+    /// Panics if the group order exceeds [`MAX_GROUP_ORDER`], or if some
+    /// group element maps a register onto one with a different lane width —
+    /// such a "symmetry" would re-interpret values and silently corrupt
+    /// codes, so it is rejected loudly.
+    #[must_use]
+    pub fn new(codec: &StateCodec, group: SymmetryGroup) -> Self {
+        assert!(
+            group.order() <= MAX_GROUP_ORDER,
+            "variant bitmaps hold at most {MAX_GROUP_ORDER} group elements"
+        );
+        for perm in group.elements() {
+            codec.assert_permutation_compatible(perm);
+        }
+        let preimages: Vec<StatePermutation> =
+            group.elements().iter().map(StatePermutation::inverse).collect();
+        let inverse_index: Vec<u8> = group
+            .elements()
+            .iter()
+            .map(|perm| {
+                let inverse = perm.inverse();
+                group
+                    .elements()
+                    .iter()
+                    .position(|candidate| *candidate == inverse)
+                    .expect("a closed group contains every inverse") as u8
+            })
+            .collect();
+        Self {
+            group,
+            preimages,
+            inverse_index,
+        }
+    }
+
+    /// Number of group elements (1 = no reduction).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.group.order()
+    }
+
+    /// Factors `state` into `(canonical code, variant)`: the smallest packed
+    /// code in its orbit, and the index of the group element that maps the
+    /// representative back onto `state` (see [`Canonicalizer::realize`]).
+    /// The factorisation is deterministic and injective, which is what makes
+    /// the orbit-wise visited set an exact record of the concrete states.
+    #[must_use]
+    pub fn factor(&self, codec: &StateCodec, state: &ProgState) -> (StateCode, u8) {
+        let mut best: Option<(StateCode, usize)> = None;
+        for (index, preimage) in self.preimages.iter().enumerate() {
+            // `encode_permuted(state, elements[i].inverse())` encodes the
+            // image `elements[i](state)`.
+            let candidate = if preimage.is_identity() {
+                codec.encode(state)
+            } else {
+                codec.encode_permuted(state, Some(preimage))
+            };
+            let replace = best
+                .as_ref()
+                .is_none_or(|(current, _)| candidate.as_slice() < current.as_slice());
+            if replace {
+                best = Some((candidate, index));
+            }
+        }
+        let (code, minimizer) = best.expect("a group always contains the identity");
+        // rep = elements[minimizer](state)  ⇒  state = elements[minimizer]⁻¹(rep).
+        (code, self.inverse_index[minimizer])
+    }
+
+    /// Reconstructs the concrete state `(rep, variant)` denotes: applies
+    /// group element `variant` to the decoded representative.
+    #[must_use]
+    pub fn realize(&self, representative: &ProgState, variant: u8) -> ProgState {
+        let perm = &self.group.elements()[variant as usize];
+        if perm.is_identity() {
+            representative.clone()
+        } else {
+            perm.apply(representative)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bakery_sim::Algorithm;
+    use bakery_spec::{BakeryPlusPlusSpec, TreeBakerySpec};
+
+    #[test]
+    fn factor_realize_round_trips_every_orbit_member() {
+        let spec = TreeBakerySpec::new(2, 2);
+        let codec = StateCodec::new(&spec);
+        let canon = Canonicalizer::new(&codec, spec.symmetry().unwrap());
+        assert_eq!(canon.order(), 8);
+        // Drive an asymmetric state, then factor every orbit member.
+        let mut state = spec.initial_state();
+        for _ in 0..25 {
+            if let Some(next) = spec.successors_vec(&state, 0).first() {
+                state = next.clone();
+            }
+        }
+        let group = spec.symmetry().unwrap();
+        let mut seen_variants = std::collections::HashSet::new();
+        for member in group.orbit(&state) {
+            let (code, variant) = canon.factor(&codec, &member);
+            // Same orbit ⇒ same canonical code.
+            assert_eq!(code, canon.factor(&codec, &state).0);
+            // factor/realize is a bijection: realizing gives the member back.
+            let rep = codec.decode(&code);
+            assert_eq!(canon.realize(&rep, variant), member);
+            seen_variants.insert(variant);
+        }
+        assert!(
+            seen_variants.len() > 1,
+            "a driven state should be asymmetric"
+        );
+    }
+
+    #[test]
+    fn initial_state_is_its_own_representative() {
+        let spec = BakeryPlusPlusSpec::new(3, 2);
+        let codec = StateCodec::new(&spec);
+        let canon = Canonicalizer::new(&codec, spec.symmetry().unwrap());
+        assert_eq!(canon.order(), 6, "S3");
+        let initial = spec.initial_state();
+        let (code, variant) = canon.factor(&codec, &initial);
+        assert_eq!(code, codec.encode(&initial));
+        assert_eq!(canon.realize(&codec.decode(&code), variant), initial);
+    }
+
+    #[test]
+    fn distinct_states_factor_to_distinct_pairs() {
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let codec = StateCodec::new(&spec);
+        let canon = Canonicalizer::new(&codec, spec.symmetry().unwrap());
+        // Walk a few hundred distinct states and check the factorisation is
+        // injective — the soundness core of the orbit-wise visited set.
+        let mut frontier = vec![spec.initial_state()];
+        let mut seen_states = std::collections::HashSet::new();
+        let mut seen_pairs = std::collections::HashSet::new();
+        while let Some(state) = frontier.pop() {
+            if seen_states.len() > 400 || !seen_states.insert(codec.encode(&state)) {
+                continue;
+            }
+            let (code, variant) = canon.factor(&codec, &state);
+            assert!(
+                seen_pairs.insert((code, variant)),
+                "two distinct states factored identically"
+            );
+            for pid in 0..spec.processes() {
+                frontier.extend(spec.successors_vec(&state, pid));
+            }
+        }
+        assert!(seen_states.len() > 400);
+    }
+
+    #[test]
+    fn active_mask_shrinks_the_tree_group() {
+        let spec = TreeBakerySpec::new(2, 2).with_active_processes(&[0, 1]);
+        let group = spec.symmetry().unwrap();
+        // Stabilizer of {0,1}: swap leaves 0/1, swap (inactive) leaves 2/3.
+        assert_eq!(group.order(), 4);
+    }
+}

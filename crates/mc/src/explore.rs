@@ -1,9 +1,24 @@
 //! Breadth-first explicit-state exploration with invariant checking.
+//!
+//! The explorer stores every visited state as a packed [`crate::code::StateCode`]
+//! in a flat arena (16 bytes per state for the tree specification) instead of
+//! a hash-of-struct map, and can optionally compress the visited set
+//! orbit-wise under a specification-declared symmetry group
+//! ([`ModelChecker::with_symmetry_reduction`]): one canonical representative
+//! per orbit plus a bitmap of visited variants.  The search itself stays the
+//! exact concrete BFS — same states, same transitions, same verdicts — only
+//! the resident memory shrinks (up to the group order), and the orbit count
+//! is reported as [`ExplorationReport::canonical_states`].  Together these
+//! are what close out the full 4-process tree composition — ~40 M concrete
+//! states — exhaustively in one in-memory run.
 
-use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use bakery_sim::{Algorithm, Invariant, ProgState, RegisterSpec};
+
+use crate::canon::Canonicalizer;
+use crate::code::{fnv1a, StateCodec, FNV_OFFSET_BASIS};
+use crate::store::{CodeArena, CodeIndex};
 
 /// One step of a counterexample trace.
 #[derive(Debug, Clone)]
@@ -54,14 +69,25 @@ impl fmt::Display for Violation {
 pub struct ExplorationReport {
     /// Name of the checked algorithm.
     pub algorithm: String,
-    /// Number of distinct reachable states visited.
+    /// Number of distinct concrete states visited (identical with and
+    /// without symmetry compression).
     pub states: usize,
+    /// Number of distinct symmetry orbits the visited states fall into —
+    /// the canonical state count.  Equal to `states` when no symmetry
+    /// compression is active.
+    pub canonical_states: usize,
     /// Number of transitions examined.
     pub transitions: usize,
     /// Depth of the deepest visited state (BFS level).
     pub max_depth: usize,
     /// True when exploration stopped early because `max_states` was reached.
     pub truncated: bool,
+    /// Order of the symmetry group the visited set was compressed by
+    /// (1 = none).
+    pub symmetry_order: usize,
+    /// Deterministic digest of the visited codes in discovery order; two
+    /// runs of the same configuration must agree state-for-state.
+    pub frontier_digest: u64,
     /// Renderings of reachable deadlock states (no process enabled).
     pub deadlocks: Vec<String>,
     /// Invariant violations with shortest counterexamples.
@@ -73,9 +99,12 @@ bakery_json::json_object!(Violation { invariant, depth, trace });
 bakery_json::json_object!(ExplorationReport {
     algorithm,
     states,
+    canonical_states,
     transitions,
     max_depth,
     truncated,
+    symmetry_order,
+    frontier_digest,
     deadlocks,
     violations,
 });
@@ -104,11 +133,19 @@ impl fmt::Display for ExplorationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: {} states, {} transitions, depth {}{}",
+            "{}: {} states, {} transitions, depth {}{}{}",
             self.algorithm,
             self.states,
             self.transitions,
             self.max_depth,
+            if self.symmetry_order > 1 {
+                format!(
+                    " ({} canonical, symmetry /{})",
+                    self.canonical_states, self.symmetry_order
+                )
+            } else {
+                String::new()
+            },
             if self.truncated { " (truncated)" } else { "" }
         )?;
         if self.deadlocks.is_empty() && self.violations.is_empty() {
@@ -132,6 +169,113 @@ pub struct ModelChecker<'a, A: Algorithm + ?Sized> {
     enable_crashes: bool,
     stop_at_first_violation: bool,
     check_deadlock: bool,
+    symmetry: bool,
+    #[cfg(feature = "spill")]
+    spill_dir: Option<std::path::PathBuf>,
+}
+
+/// The storage and bookkeeping of one exploration run.
+///
+/// Without symmetry compression the arena holds one packed code per concrete
+/// state and state index == arena index.  With compression the arena holds
+/// one **canonical** code per orbit, `masks[orbit]` records which variants
+/// have been visited, and `log[state]` maps the concrete state index (BFS
+/// discovery order) to its `(orbit, variant)` pair.  Either way the
+/// structure records exactly the set of concrete states visited.
+struct SearchState {
+    codec: StateCodec,
+    canon: Option<Canonicalizer>,
+    arena: CodeArena,
+    index: CodeIndex,
+    /// Symmetry mode: visited-variant bitmap per orbit.
+    masks: Vec<u64>,
+    /// Symmetry mode: `orbit | variant << 32` per concrete state.
+    log: Vec<u64>,
+    /// Packed parent links: bits 0–31 parent state index, 32–47 moving pid,
+    /// bit 48 crash, bit 49 "is the initial state".
+    parent: Vec<u64>,
+    depth: Vec<u32>,
+    digest: u64,
+}
+
+impl SearchState {
+    const ROOT: u64 = 1 << 49;
+
+    fn pack_parent(parent: u32, pid: usize, crash: bool) -> u64 {
+        u64::from(parent) | ((pid as u64) << 32) | (u64::from(crash) << 48)
+    }
+
+    /// Number of distinct concrete states recorded.
+    fn state_count(&self) -> usize {
+        match &self.canon {
+            Some(_) => self.log.len(),
+            None => self.arena.len(),
+        }
+    }
+
+    /// Number of orbits (canonical states) recorded.
+    fn canonical_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Decodes concrete state `index` (BFS discovery order).
+    fn decode(&self, index: usize) -> ProgState {
+        let mut words = Vec::with_capacity(self.arena.stride());
+        match &self.canon {
+            Some(canon) => {
+                let entry = self.log[index];
+                let orbit = (entry & 0xFFFF_FFFF) as usize;
+                let variant = (entry >> 32) as u8;
+                self.arena.load(orbit, &mut words);
+                canon.realize(&self.codec.decode_words(&words), variant)
+            }
+            None => {
+                self.arena.load(index, &mut words);
+                self.codec.decode_words(&words)
+            }
+        }
+    }
+
+    /// Records `state` if unseen; returns `(state index, inserted)`.
+    fn insert(&mut self, state: &ProgState, parent: u64, depth: u32) -> (u32, bool) {
+        match &self.canon {
+            Some(canon) => {
+                let (code, variant) = canon.factor(&self.codec, state);
+                let next_orbit = self.arena.len() as u32;
+                let (orbit, new_orbit) = self.index.get_or_insert(&code, next_orbit, &self.arena);
+                if new_orbit {
+                    self.arena.push(&code);
+                    self.masks.push(0);
+                }
+                let bit = 1u64 << variant;
+                if self.masks[orbit as usize] & bit != 0 {
+                    // The orbit is known *and* this member was already seen.
+                    // (Duplicate hits do not need the prior state index.)
+                    return (u32::MAX, false);
+                }
+                self.masks[orbit as usize] |= bit;
+                let state_index = self.log.len() as u32;
+                self.log.push(u64::from(orbit) | (u64::from(variant) << 32));
+                self.parent.push(parent);
+                self.depth.push(depth);
+                self.digest = fnv1a(self.digest, code.as_slice());
+                self.digest = fnv1a(self.digest, &[u64::from(variant)]);
+                (state_index, true)
+            }
+            None => {
+                let code = self.codec.encode(state);
+                let next = self.arena.len() as u32;
+                let (index, inserted) = self.index.get_or_insert(&code, next, &self.arena);
+                if inserted {
+                    self.arena.push(&code);
+                    self.parent.push(parent);
+                    self.depth.push(depth);
+                    self.digest = fnv1a(self.digest, code.as_slice());
+                }
+                (index, inserted)
+            }
+        }
+    }
 }
 
 impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
@@ -146,6 +290,9 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
             enable_crashes: false,
             stop_at_first_violation: true,
             check_deadlock: true,
+            symmetry: false,
+            #[cfg(feature = "spill")]
+            spill_dir: None,
         }
     }
 
@@ -157,11 +304,14 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
     }
 
     /// Installs the two invariants the paper model checks: mutual exclusion
-    /// and overflow freedom.
+    /// and overflow freedom (with the bounds precomputed for this checker's
+    /// algorithm — the per-state register-list rebuild of the generic
+    /// [`Invariant::register_bounds`] dominates multi-million-state runs).
     #[must_use]
     pub fn with_paper_invariants(self) -> Self {
+        let bounds = Invariant::register_bounds_for(self.algorithm);
         self.with_invariant(Invariant::mutual_exclusion())
-            .with_invariant(Invariant::register_bounds())
+            .with_invariant(bounds)
     }
 
     /// Caps the number of distinct states explored.
@@ -175,6 +325,30 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
     #[must_use]
     pub fn with_crashes(mut self, enabled: bool) -> Self {
         self.enable_crashes = enabled;
+        self
+    }
+
+    /// Compresses the visited set orbit-wise under the algorithm's symmetry
+    /// group ([`Algorithm::symmetry`]): one canonical representative per
+    /// orbit plus a bitmap of visited variants.  The search itself is the
+    /// exact concrete BFS — states, transitions, verdicts and traces are
+    /// identical to the unreduced run — only resident memory shrinks (up to
+    /// the group order) and [`ExplorationReport::canonical_states`] reports
+    /// the orbit count.  No-op when the algorithm declares no symmetry or
+    /// its group exceeds [`crate::canon::MAX_GROUP_ORDER`] elements.
+    #[must_use]
+    pub fn with_symmetry_reduction(mut self, enabled: bool) -> Self {
+        self.symmetry = enabled;
+        self
+    }
+
+    /// Spills sealed visited-set chunks to a temporary file under `dir`
+    /// (`spill` cargo feature): the padded-mode sweeps trade read latency
+    /// for resident memory.
+    #[cfg(feature = "spill")]
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 
@@ -193,50 +367,85 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
         self
     }
 
+    fn build_search(&self) -> SearchState {
+        let codec = StateCodec::new(self.algorithm);
+        let canon = if self.symmetry {
+            self.algorithm
+                .symmetry()
+                .filter(|group| group.order() > 1 && group.order() <= crate::canon::MAX_GROUP_ORDER)
+                .map(|group| Canonicalizer::new(&codec, group))
+        } else {
+            None
+        };
+        let stride = codec.words_per_state();
+        #[cfg(feature = "spill")]
+        let arena = match &self.spill_dir {
+            Some(dir) => CodeArena::with_spill_dir(stride, dir)
+                .expect("failed to create the spill arena"),
+            None => CodeArena::new(stride),
+        };
+        #[cfg(not(feature = "spill"))]
+        let arena = CodeArena::new(stride);
+        SearchState {
+            codec,
+            canon,
+            arena,
+            index: CodeIndex::new(),
+            masks: Vec::new(),
+            log: Vec::new(),
+            parent: Vec::new(),
+            depth: Vec::new(),
+            digest: FNV_OFFSET_BASIS,
+        }
+    }
+
     /// Runs the exhaustive exploration.
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn run(self) -> ExplorationReport {
         let alg = self.algorithm;
         let n = alg.processes();
+        assert!(n < (1 << 16), "pid lanes in parent links are 16 bits");
         let registers: Vec<RegisterSpec> = alg.registers();
-
-        // State store: index -> state, plus dedup map and BFS bookkeeping.
-        let mut states: Vec<ProgState> = Vec::new();
-        let mut index: HashMap<ProgState, usize> = HashMap::new();
-        // parent[i] = (parent index, pid, was_crash)
-        let mut parent: Vec<Option<(usize, usize, bool)>> = Vec::new();
-        let mut depth: Vec<usize> = Vec::new();
-        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut search = self.build_search();
 
         let mut report = ExplorationReport {
             algorithm: alg.name().to_string(),
             states: 0,
+            canonical_states: 0,
             transitions: 0,
             max_depth: 0,
             truncated: false,
+            symmetry_order: search.canon.as_ref().map_or(1, Canonicalizer::order),
+            frontier_digest: 0,
             deadlocks: Vec::new(),
             violations: Vec::new(),
         };
 
+        let finalize = |report: &mut ExplorationReport, search: &SearchState| {
+            report.states = search.state_count();
+            report.canonical_states = search.canonical_count();
+            report.frontier_digest = search.digest;
+        };
+
         let initial = alg.initial_state();
-        states.push(initial.clone());
-        index.insert(initial, 0);
-        parent.push(None);
-        depth.push(0);
-        queue.push_back(0);
+        search.insert(&initial, SearchState::ROOT, 0);
 
         // Check invariants on the initial state too.
-        self.check_state(&states, &parent, &depth, 0, &registers, &mut report);
+        self.check_state(&initial, 0, &search, &registers, &mut report);
         if !report.violations.is_empty() && self.stop_at_first_violation {
-            report.states = 1;
+            finalize(&mut report, &search);
             return report;
         }
 
         let mut successors = Vec::new();
-        while let Some(current) = queue.pop_front() {
-            let state = states[current].clone();
-            let current_depth = depth[current];
-            report.max_depth = report.max_depth.max(current_depth);
+        let mut head = 0usize;
+        while head < search.state_count() {
+            let current = head;
+            head += 1;
+            let state = search.decode(current);
+            let current_depth = search.depth[current];
+            report.max_depth = report.max_depth.max(current_depth as usize);
 
             let mut any_enabled = false;
             for pid in 0..n {
@@ -256,104 +465,102 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
                     .chain(crash_succ.into_iter().map(|s| (true, s)))
                 {
                     report.transitions += 1;
-                    let next_index = match index.get(&next) {
-                        Some(&existing) => existing,
-                        None => {
-                            let new_index = states.len();
-                            states.push(next.clone());
-                            index.insert(next, new_index);
-                            parent.push(Some((current, pid, is_crash)));
-                            depth.push(current_depth + 1);
-                            queue.push_back(new_index);
-                            let violated = self.check_state(
-                                &states,
-                                &parent,
-                                &depth,
-                                new_index,
-                                &registers,
-                                &mut report,
-                            );
-                            if violated && self.stop_at_first_violation {
-                                report.states = states.len();
-                                return report;
-                            }
-                            new_index
+                    let parent = SearchState::pack_parent(current as u32, pid, is_crash);
+                    let (index, inserted) = search.insert(&next, parent, current_depth + 1);
+                    if inserted {
+                        let violated = self.check_state(
+                            &next,
+                            index as usize,
+                            &search,
+                            &registers,
+                            &mut report,
+                        );
+                        if violated && self.stop_at_first_violation {
+                            finalize(&mut report, &search);
+                            return report;
                         }
-                    };
-                    let _ = next_index;
+                    }
                 }
             }
 
             if self.check_deadlock && !any_enabled {
-                report
-                    .deadlocks
-                    .push(states[current].render(&registers));
+                report.deadlocks.push(state.render(&registers));
                 if self.stop_at_first_violation {
-                    report.states = states.len();
+                    finalize(&mut report, &search);
                     return report;
                 }
             }
 
-            if states.len() >= self.max_states {
+            if search.state_count() >= self.max_states {
                 report.truncated = true;
                 break;
             }
         }
 
-        report.states = states.len();
+        finalize(&mut report, &search);
         report
     }
 
-    /// Evaluates every invariant on state `idx`; returns true when at least
-    /// one was violated (and records the counterexample).
+    /// Evaluates every invariant on `state` (the concrete state stored — or
+    /// canonically represented — at arena index `idx`); returns true when at
+    /// least one was violated (and records the counterexample).
     fn check_state(
         &self,
-        states: &[ProgState],
-        parent: &[Option<(usize, usize, bool)>],
-        depth: &[usize],
+        state: &ProgState,
         idx: usize,
+        search: &SearchState,
         registers: &[RegisterSpec],
         report: &mut ExplorationReport,
     ) -> bool {
         let mut violated = false;
         for invariant in &self.invariants {
-            if !invariant.holds(self.algorithm, &states[idx]) {
+            if !invariant.holds(self.algorithm, state) {
                 violated = true;
                 report.violations.push(Violation {
                     invariant: invariant.name().to_string(),
-                    depth: depth[idx],
-                    trace: self.rebuild_trace(states, parent, idx, registers),
+                    depth: search.depth[idx] as usize,
+                    trace: self.rebuild_trace(search, idx, registers),
                 });
             }
         }
         violated
     }
 
-    /// Rebuilds the path from the initial state to `idx`.
+    /// Rebuilds the path from the initial state to arena index `idx` by
+    /// decoding the stored codes along the parent chain.
     fn rebuild_trace(
         &self,
-        states: &[ProgState],
-        parent: &[Option<(usize, usize, bool)>],
+        search: &SearchState,
         idx: usize,
         registers: &[RegisterSpec],
     ) -> Vec<TraceStep> {
         let mut steps = Vec::new();
-        let mut cursor = Some(idx);
-        while let Some(i) = cursor {
-            let (pid, crash) = match parent[i] {
-                Some((_, pid, crash)) => (Some(pid), crash),
-                None => (None, false),
+        let mut cursor = idx;
+        loop {
+            let packed = search.parent[cursor];
+            let is_root = packed & SearchState::ROOT != 0;
+            let (pid, crash) = if is_root {
+                (None, false)
+            } else {
+                (
+                    Some(((packed >> 32) & 0xFFFF) as usize),
+                    packed & (1 << 48) != 0,
+                )
             };
+            let state = search.decode(cursor);
             let label = pid
-                .map(|p| self.algorithm.pc_label(states[i].pc(p)).to_string())
+                .map(|p| self.algorithm.pc_label(state.pc(p)).to_string())
                 .unwrap_or_else(|| "init".to_string());
             steps.push(TraceStep {
                 pid,
                 crash,
                 label,
-                state: states[i].render(registers),
+                state: state.render(registers),
             });
-            cursor = parent[i].map(|(parent_idx, _, _)| parent_idx);
+            if is_root {
+                break;
+            }
+            cursor = (packed & 0xFFFF_FFFF) as usize;
         }
         steps.reverse();
         steps
@@ -372,6 +579,7 @@ mod tests {
         assert!(report.holds(), "{report}");
         assert!(report.states > 10);
         assert!(!report.truncated);
+        assert_eq!(report.symmetry_order, 1);
     }
 
     #[test]
@@ -399,6 +607,87 @@ mod tests {
             .with_crashes(true)
             .run();
         assert!(report.holds(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_compression_is_search_invisible() {
+        // The orbit-wise visited set must change nothing about the search:
+        // same states, same transitions, same depth, same verdict — only
+        // the canonical (orbit) count differs from the state count.
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let plain = ModelChecker::new(&spec).with_paper_invariants().run();
+        let reduced = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_symmetry_reduction(true)
+            .run();
+        assert!(plain.holds() && reduced.holds(), "{plain}\n{reduced}");
+        assert!(!reduced.truncated);
+        assert_eq!(reduced.symmetry_order, 2);
+        assert_eq!(reduced.states, plain.states);
+        assert_eq!(reduced.transitions, plain.transitions);
+        assert_eq!(reduced.max_depth, plain.max_depth);
+        assert_eq!(plain.canonical_states, plain.states);
+        assert!(
+            reduced.canonical_states < reduced.states,
+            "orbits ({}) must be fewer than states ({})",
+            reduced.canonical_states,
+            reduced.states
+        );
+        // Orbits have at most |G| members.
+        assert!(reduced.canonical_states * reduced.symmetry_order >= reduced.states);
+    }
+
+    #[test]
+    fn symmetry_compression_with_crashes_preserves_the_verdict() {
+        let spec = BakeryPlusPlusSpec::new(2, 2);
+        let plain = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_crashes(true)
+            .run();
+        let reduced = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_crashes(true)
+            .with_symmetry_reduction(true)
+            .run();
+        assert!(reduced.holds(), "{reduced}");
+        assert!(!reduced.truncated);
+        assert_eq!(reduced.states, plain.states);
+        assert_eq!(reduced.transitions, plain.transitions);
+    }
+
+    #[test]
+    fn symmetry_compression_still_finds_the_classic_overflow() {
+        // The compressed store must reach the same NoOverflow violation at
+        // the same depth as the plain store.
+        let spec = BakerySpec::new(2, 3);
+        let plain = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_max_states(2_000_000)
+            .run();
+        let reduced = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_symmetry_reduction(true)
+            .with_max_states(2_000_000)
+            .run();
+        assert!(!reduced.holds(), "classic Bakery must overflow: {reduced}");
+        assert_eq!(reduced.violated_invariants(), vec!["NoOverflow".to_string()]);
+        assert_eq!(reduced.violations[0].depth, plain.violations[0].depth);
+        assert_eq!(reduced.states, plain.states);
+    }
+
+    #[test]
+    fn exploration_digest_is_deterministic() {
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let run = || {
+            ModelChecker::new(&spec)
+                .with_paper_invariants()
+                .with_symmetry_reduction(true)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.frontier_digest, b.frontier_digest);
+        assert_ne!(a.frontier_digest, 0);
     }
 
     #[test]
@@ -491,5 +780,20 @@ mod tests {
         assert!(text.contains("all invariants hold"));
         let json = bakery_json::to_string(&report).unwrap();
         assert!(json.contains("\"states\""));
+        assert!(json.contains("\"symmetry_order\""));
+    }
+
+    #[cfg(feature = "spill")]
+    #[test]
+    fn spilled_exploration_matches_in_memory() {
+        let spec = BakeryPlusPlusSpec::new(2, 3);
+        let in_memory = ModelChecker::new(&spec).with_paper_invariants().run();
+        let spilled = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_spill_dir(std::env::temp_dir())
+            .run();
+        assert!(spilled.holds(), "{spilled}");
+        assert_eq!(spilled.states, in_memory.states);
+        assert_eq!(spilled.frontier_digest, in_memory.frontier_digest);
     }
 }

@@ -26,14 +26,38 @@
 //! in principle be parked forever at `L1` by two fast processes) is covered by
 //! [`liveness::find_starvation_cycle`], which searches the reachable state
 //! graph for a cycle in which a chosen victim stays in its trying region while
-//! only the other processes move.
+//! only the other processes move.  [`liveness::starvation_report`] returns the
+//! same search with an explicit `truncated` flag, so a "no cycle" answer from
+//! a budget-bounded graph is never mistaken for a proof.
+//!
+//! ## The compact-state / symmetry plane
+//!
+//! Three modules turn the explorer from a "hash the structs" checker into one
+//! that closes out the 4-process tree composition (~40 M concrete states):
+//!
+//! * [`code`] — packed, invertible [`code::StateCode`] encodings (16 bytes
+//!   per tree state) replacing stored `ProgState`s;
+//! * [`canon`] — lossless orbit-wise compression of the visited set under a
+//!   specification-declared symmetry group (one canonical representative
+//!   per orbit + a visited-variant bitmap), enabled with
+//!   [`ModelChecker::with_symmetry_reduction`];
+//! * [`store`] — the flat code arena + exact fingerprint index, with an
+//!   optional spill-to-disk tier behind the `spill` cargo feature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod canon;
+pub mod code;
 pub mod explore;
 pub mod liveness;
+pub mod store;
 
+pub use canon::Canonicalizer;
+pub use code::{StateCode, StateCodec};
 pub use explore::{ExplorationReport, ModelChecker, TraceStep, Violation};
-pub use liveness::{find_starvation_cycle, find_starvation_cycle_where, StarvationWitness};
+pub use liveness::{
+    find_starvation_cycle, find_starvation_cycle_where, starvation_report,
+    starvation_report_where, LivenessReport, StarvationWitness,
+};

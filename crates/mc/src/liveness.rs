@@ -9,18 +9,33 @@
 //! reachable under an unfair scheduler, impossible to escape without a
 //! fairness assumption.
 //!
-//! [`find_starvation_cycle_where`] searches for exactly that witness under an
-//! arbitrary predicate; [`find_starvation_cycle`] uses the algorithm's own
-//! trying-region predicate.  Finding a witness does not contradict the paper —
-//! Bakery itself already lacks a liveness guarantee, as Section 6.3 notes.
-//! The interesting contrast (experiment **E5**) is *which* waiting positions
-//! are protected: a Bakery/Bakery++ process that has **completed its doorway**
-//! can never be overtaken forever (FCFS), whereas a process parked at `L1`
-//! before announcing itself can be.
-
-use std::collections::{HashMap, VecDeque};
+//! [`starvation_report_where`] searches for exactly that witness under an
+//! arbitrary predicate and returns a [`LivenessReport`] that also says
+//! whether the underlying graph construction **covered the whole reachable
+//! state space or hit its budget**: a "no cycle" answer from a truncated
+//! graph is evidence, not a proof, and the experiment tables (E5) print it
+//! as a "bounded" verdict rather than an exhaustive one.  The
+//! [`find_starvation_cycle`] / [`find_starvation_cycle_where`] wrappers keep
+//! the original option-returning shape.
+//!
+//! Finding a witness does not contradict the paper — Bakery itself already
+//! lacks a liveness guarantee, as Section 6.3 notes.  The interesting
+//! contrast (experiment **E5**) is *which* waiting positions are protected: a
+//! Bakery/Bakery++ process that has **completed its doorway** can never be
+//! overtaken forever (FCFS), whereas a process parked at `L1` before
+//! announcing itself can be.
+//!
+//! The reachable-graph phase stores packed [`crate::code::StateCode`]s in a
+//! flat arena (the same compact plane the BFS explorer uses) instead of full
+//! `ProgState` structs, so the budget can be raised substantially before
+//! memory becomes the limit.  No symmetry reduction is applied here: the
+//! waiting predicate pins a concrete victim, which process relabelling would
+//! not preserve.
 
 use bakery_sim::{Algorithm, ProgState};
+
+use crate::code::StateCodec;
+use crate::store::{CodeArena, CodeIndex};
 
 /// A starvation witness: a reachable cycle during which the victim process
 /// satisfies the waiting predicate and never takes a step.
@@ -42,6 +57,43 @@ impl StarvationWitness {
     }
 }
 
+/// Outcome of a starvation-cycle search, including whether the search was
+/// exhaustive: a liveness claim from a truncated graph must not be reported
+/// as a proof.
+#[derive(Debug, Clone)]
+pub struct LivenessReport {
+    /// The victim process the predicate pinned.
+    pub victim: usize,
+    /// States in the explored (possibly truncated) reachable graph.
+    pub states: usize,
+    /// True when the graph construction stopped at its state budget; a
+    /// `witness == None` result is then *bounded evidence*, not a proof of
+    /// starvation freedom.
+    pub truncated: bool,
+    /// The starvation cycle, when one exists in the explored graph.
+    pub witness: Option<StarvationWitness>,
+}
+
+impl LivenessReport {
+    /// True when the search proves no starvation cycle exists: none found
+    /// *and* the whole (finite) state space was covered.
+    #[must_use]
+    pub fn proves_starvation_freedom(&self) -> bool {
+        self.witness.is_none() && !self.truncated
+    }
+
+    /// Human-readable verdict for experiment tables: distinguishes an
+    /// exhaustive "no cycle" proof from a budget-bounded one.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        match (&self.witness, self.truncated) {
+            (Some(_), _) => "cycle found",
+            (None, false) => "no cycle (exhaustive)",
+            (None, true) => "no cycle (bounded)",
+        }
+    }
+}
+
 /// Searches for a reachable cycle in which process `victim` continuously
 /// satisfies its trying-region predicate ([`Algorithm::is_trying`]) while only
 /// other processes take steps.
@@ -60,7 +112,9 @@ pub fn find_starvation_cycle<A: Algorithm + ?Sized>(
 /// defines which states count as "the victim is still waiting".
 ///
 /// Returns `None` if no such cycle exists within the explored portion of the
-/// state space (bounded by `max_states`).
+/// state space (bounded by `max_states`); use [`starvation_report_where`]
+/// when the caller needs to distinguish "proved absent" from "not found
+/// within budget".
 #[must_use]
 pub fn find_starvation_cycle_where<A, F>(
     algorithm: &A,
@@ -72,56 +126,93 @@ where
     A: Algorithm + ?Sized,
     F: Fn(&A, &ProgState) -> bool,
 {
+    starvation_report_where(algorithm, victim, max_states, waiting).witness
+}
+
+/// [`find_starvation_cycle`] with the full [`LivenessReport`] outcome.
+#[must_use]
+pub fn starvation_report<A: Algorithm + ?Sized>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+) -> LivenessReport {
+    starvation_report_where(algorithm, victim, max_states, |alg, state| {
+        alg.is_trying(state, victim)
+    })
+}
+
+/// [`find_starvation_cycle_where`] with the full [`LivenessReport`] outcome.
+#[must_use]
+pub fn starvation_report_where<A, F>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+    waiting: F,
+) -> LivenessReport
+where
+    A: Algorithm + ?Sized,
+    F: Fn(&A, &ProgState) -> bool,
+{
     let n = algorithm.processes();
     assert!(victim < n, "victim {victim} out of range");
+    let codec = StateCodec::new(algorithm);
 
     // Phase 1: build the reachable graph (bounded), remembering depth.
-    let mut states: Vec<ProgState> = Vec::new();
-    let mut index: HashMap<ProgState, usize> = HashMap::new();
-    let mut depth: Vec<usize> = Vec::new();
-    let mut edges: Vec<Vec<(usize, usize)>> = Vec::new(); // (pid, target)
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    // States live in the packed arena; decode on demand.
+    let mut arena = CodeArena::new(codec.words_per_state());
+    let mut index = CodeIndex::new();
+    let mut depth: Vec<u32> = Vec::new();
+    let mut edges: Vec<Vec<(u32, u32)>> = Vec::new(); // (pid, target)
+    // Filled while the state is decoded for expansion anyway.  A state left
+    // unexpanded by truncation stays ineligible, which cannot change the
+    // answer: it also has no outgoing edges, so it can never lie on a cycle.
+    let mut eligible: Vec<bool> = Vec::new();
 
-    let initial = algorithm.initial_state();
-    index.insert(initial.clone(), 0);
-    states.push(initial);
+    let decode = |arena: &CodeArena, i: usize| {
+        let mut words = Vec::with_capacity(arena.stride());
+        arena.load(i, &mut words);
+        codec.decode_words(&words)
+    };
+
+    let initial_code = codec.encode(&algorithm.initial_state());
+    index.get_or_insert(&initial_code, 0, &arena);
+    arena.push(&initial_code);
     depth.push(0);
     edges.push(Vec::new());
-    queue.push_back(0);
+    eligible.push(false);
 
+    let mut truncated = false;
     let mut successors = Vec::new();
-    while let Some(current) = queue.pop_front() {
-        if states.len() >= max_states {
+    let mut head = 0usize;
+    while head < arena.len() {
+        if arena.len() >= max_states {
+            truncated = true;
             break;
         }
-        let state = states[current].clone();
+        let current = head;
+        head += 1;
+        let state = decode(&arena, current);
+        eligible[current] = waiting(algorithm, &state);
         for pid in 0..n {
             successors.clear();
             algorithm.successors(&state, pid, &mut successors);
             for next in successors.drain(..) {
-                let target = match index.get(&next) {
-                    Some(&existing) => existing,
-                    None => {
-                        let new_index = states.len();
-                        index.insert(next.clone(), new_index);
-                        states.push(next);
-                        depth.push(depth[current] + 1);
-                        edges.push(Vec::new());
-                        queue.push_back(new_index);
-                        new_index
-                    }
-                };
-                edges[current].push((pid, target));
+                let code = codec.encode(&next);
+                let candidate = arena.len() as u32;
+                let (target, inserted) = index.get_or_insert(&code, candidate, &arena);
+                if inserted {
+                    arena.push(&code);
+                    depth.push(depth[current] + 1);
+                    edges.push(Vec::new());
+                    eligible.push(false);
+                }
+                edges[current].push((pid as u32, target));
             }
         }
     }
 
     // Phase 2: restrict to states where the victim is waiting and to edges
     // taken by other processes, then look for a cycle with an iterative DFS.
-    let eligible: Vec<bool> = states
-        .iter()
-        .map(|s| waiting(algorithm, s))
-        .collect();
 
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
@@ -129,10 +220,11 @@ where
         Grey,
         Black,
     }
-    let mut color = vec![Color::White; states.len()];
+    let mut color = vec![Color::White; arena.len()];
     let registers = algorithm.registers();
 
-    for start in 0..states.len() {
+    let mut witness = None;
+    'search: for start in 0..arena.len() {
         if !eligible[start] || color[start] != Color::White {
             continue;
         }
@@ -142,8 +234,8 @@ where
         while let Some(&mut (node, ref mut edge_idx)) = stack.last_mut() {
             let restricted: Vec<usize> = edges[node]
                 .iter()
-                .filter(|(pid, target)| *pid != victim && eligible[*target])
-                .map(|(_, target)| *target)
+                .filter(|(pid, target)| *pid as usize != victim && eligible[*target as usize])
+                .map(|(_, target)| *target as usize)
                 .collect();
             if *edge_idx < restricted.len() {
                 let target = restricted[*edge_idx];
@@ -154,13 +246,14 @@ where
                         let cycle_start = path.iter().position(|&s| s == target).unwrap_or(0);
                         let cycle: Vec<String> = path[cycle_start..]
                             .iter()
-                            .map(|&s| states[s].render(&registers))
+                            .map(|&s| decode(&arena, s).render(&registers))
                             .collect();
-                        return Some(StarvationWitness {
+                        witness = Some(StarvationWitness {
                             victim,
-                            prefix_length: depth[target],
+                            prefix_length: depth[target] as usize,
                             cycle,
                         });
+                        break 'search;
                     }
                     Color::White => {
                         color[target] = Color::Grey;
@@ -177,7 +270,12 @@ where
         }
     }
 
-    None
+    LivenessReport {
+        victim,
+        states: arena.len(),
+        truncated,
+        witness,
+    }
 }
 
 #[cfg(test)]
@@ -190,10 +288,14 @@ mod tests {
         // The §6.3 scenario: two fast processes (0 and 1) can keep the slow
         // process 2 parked at L1 forever under an unfair scheduler.
         let spec = BakeryPlusPlusSpec::new(3, 2);
-        let witness = find_starvation_cycle_where(&spec, 2, 150_000, |_, state| {
+        let report = starvation_report_where(&spec, 2, 150_000, |_, state| {
             state.pc(2) == pc::L1_SCAN
         });
-        let witness = witness.expect("a starvation cycle at L1 should exist for M = 2");
+        assert_eq!(report.verdict(), "cycle found");
+        assert!(!report.proves_starvation_freedom());
+        let witness = report
+            .witness
+            .expect("a starvation cycle at L1 should exist for M = 2");
         assert_eq!(witness.victim, 2);
         assert!(witness.cycle_length() >= 2);
     }
@@ -213,16 +315,23 @@ mod tests {
         // FCFS at work: once the victim holds a ticket (doorway completed),
         // the other process cannot complete rounds forever — it must wait for
         // the victim at L3, so no cycle exists in the restricted graph.
+        //
+        // The unbounded classic Bakery has an infinite state space, so this
+        // is necessarily a *bounded* verdict: no cycle within the budget.
         let n = 2;
         let spec = BakerySpec::new(n, 1_000_000);
         let number_idx_victim = n + 1; // number[1]
-        let witness = find_starvation_cycle_where(&spec, 1, 120_000, |alg, state| {
+        let report = starvation_report_where(&spec, 1, 120_000, |alg, state| {
             alg.is_trying(state, 1) && state.read(number_idx_victim) != 0
         });
         assert!(
-            witness.is_none(),
-            "a Bakery ticket holder must not be starvable: {witness:?}"
+            report.witness.is_none(),
+            "a Bakery ticket holder must not be starvable: {:?}",
+            report.witness
         );
+        assert!(report.truncated, "the unbounded ticket space cannot close");
+        assert_eq!(report.verdict(), "no cycle (bounded)");
+        assert!(!report.proves_starvation_freedom());
     }
 
     #[test]
@@ -230,12 +339,13 @@ mod tests {
         // The same FCFS protection carries over to Bakery++ once the doorway
         // is complete, as long as the held ticket is below M (a ticket equal
         // to M parks *other* processes at L1 instead, which is the situation
-        // the admission guard exists to resolve).
+        // the admission guard exists to resolve).  Bakery++'s bounded
+        // registers make the state space finite, so this one is a proof.
         let n = 2;
         let bound = 4;
         let spec = BakeryPlusPlusSpec::new(n, bound);
         let number_idx_victim = n + 1; // number[1]
-        let witness = find_starvation_cycle_where(&spec, 1, 150_000, |alg, state| {
+        let report = starvation_report_where(&spec, 1, 150_000, |alg, state| {
             let ticket = state.read(number_idx_victim);
             alg.is_trying(state, 1)
                 && ticket != 0
@@ -245,9 +355,13 @@ mod tests {
                 && state.pc(1) != pc::CHECK_BOUND
         });
         assert!(
-            witness.is_none(),
-            "a Bakery++ ticket holder below M must not be starvable: {witness:?}"
+            report.witness.is_none(),
+            "a Bakery++ ticket holder below M must not be starvable: {:?}",
+            report.witness
         );
+        assert!(!report.truncated, "Bakery++'s bounded space must close out");
+        assert_eq!(report.verdict(), "no cycle (exhaustive)");
+        assert!(report.proves_starvation_freedom());
     }
 
     #[test]
@@ -255,10 +369,10 @@ mod tests {
         // Peterson's algorithm is starvation-free once the flag is raised: the
         // other process hands over the turn on its next attempt.
         let spec = PetersonSpec::new();
-        let witness = find_starvation_cycle_where(&spec, 1, 50_000, |alg, state| {
+        let report = starvation_report_where(&spec, 1, 50_000, |alg, state| {
             alg.is_trying(state, 1) && state.read(1) == 1 // flag[1] == 1
         });
-        assert!(witness.is_none(), "{witness:?}");
+        assert!(report.proves_starvation_freedom(), "{:?}", report.witness);
     }
 
     #[test]

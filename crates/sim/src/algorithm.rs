@@ -19,6 +19,56 @@
 //!   without touching the algorithm itself.
 
 use crate::state::{ProgState, RegisterSpec};
+use crate::symmetry::SymmetryGroup;
+
+/// Upper bounds on the non-register components of a [`ProgState`], used by
+/// the model checker's compact state encoding to size bit lanes.
+///
+/// The defaults ([`StateBounds::conservative`]) are always sound — full-width
+/// lanes for every field — but a specification that knows its pc range and
+/// local-variable ranges should override [`Algorithm::state_bounds`] so its
+/// states pack into a few words instead of a few dozen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateBounds {
+    /// The largest program-counter value any reachable state contains.
+    pub max_pc: u32,
+    /// Per-slot upper bounds for the local variables (uniform across
+    /// processes).  Slots beyond the vector's length are treated as
+    /// unbounded (full 64-bit lanes).
+    pub local_bounds: Vec<u64>,
+}
+
+impl StateBounds {
+    /// Sound-for-everything defaults: 32-bit pc lanes, 64-bit local lanes.
+    #[must_use]
+    pub fn conservative() -> Self {
+        Self {
+            max_pc: u32::MAX,
+            local_bounds: Vec::new(),
+        }
+    }
+
+    /// Bounds with an explicit pc maximum and per-slot local maxima.
+    #[must_use]
+    pub fn new(max_pc: u32, local_bounds: Vec<u64>) -> Self {
+        Self {
+            max_pc,
+            local_bounds,
+        }
+    }
+
+    /// The upper bound for local slot `slot`.
+    #[must_use]
+    pub fn local_bound(&self, slot: usize) -> u64 {
+        self.local_bounds.get(slot).copied().unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for StateBounds {
+    fn default() -> Self {
+        Self::conservative()
+    }
+}
 
 /// An observable event extracted from one transition, used by the trace
 /// refinement and fairness analyses (experiments **E4** and **E8**).
@@ -104,6 +154,21 @@ pub trait Algorithm: Send + Sync {
     /// The observable event (if any) produced by the transition
     /// `prev → next` taken by process `pid`.
     fn observe(&self, _prev: &ProgState, _next: &ProgState, _pid: usize) -> Option<Observation> {
+        None
+    }
+
+    /// Upper bounds on pc and local-variable values, used to size the model
+    /// checker's compact state encoding.  The conservative default is always
+    /// sound; override to shrink the per-state footprint.
+    fn state_bounds(&self) -> StateBounds {
+        StateBounds::conservative()
+    }
+
+    /// The symmetry group the specification's states may be quotiented by
+    /// (see [`crate::symmetry`] for the exact soundness contract the
+    /// `bakery-mc` explorer relies on).  `None` — the default — means no
+    /// reduction is available.
+    fn symmetry(&self) -> Option<SymmetryGroup> {
         None
     }
 

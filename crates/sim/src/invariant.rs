@@ -70,6 +70,11 @@ impl<A: Algorithm + ?Sized> Invariant<A> {
     ///
     /// This is the invariant the paper's Theorem (§6.1) establishes for
     /// Bakery++ and which the bounded classic Bakery violates.
+    ///
+    /// Rebuilds the register list on every evaluation, so the instance may
+    /// be reused across algorithms; exhaustive explorations that check
+    /// millions of states should use [`Invariant::register_bounds_for`],
+    /// which precomputes the bounds for one algorithm instance.
     #[must_use]
     pub fn register_bounds() -> Self {
         Self::new("NoOverflow", |alg: &A, state: &ProgState| {
@@ -79,6 +84,33 @@ impl<A: Algorithm + ?Sized> Invariant<A> {
                 .iter()
                 .zip(specs.iter())
                 .all(|(value, spec)| *value <= spec.bound)
+        })
+    }
+
+    /// [`Invariant::register_bounds`] with the bounds precomputed from
+    /// `algorithm`: building the full `Vec<RegisterSpec>` (with its
+    /// formatted names) once per checked state dominates a multi-million
+    /// state exploration.  Sound by construction — the bounds are captured
+    /// from the instance the caller is about to check, so the cache cannot
+    /// be poisoned by reuse across different algorithms.
+    #[must_use]
+    pub fn register_bounds_for(algorithm: &A) -> Self {
+        let bounds: Vec<u64> = algorithm.registers().iter().map(|spec| spec.bound).collect();
+        Self::new("NoOverflow", move |_alg: &A, state: &ProgState| {
+            // Hard assert: a zip would silently truncate if this invariant
+            // were reused on a same-type spec of a different size, leaving
+            // registers unchecked — unsound in exactly the release builds
+            // the exhaustive close-out runs in.
+            assert_eq!(
+                bounds.len(),
+                state.shared.len(),
+                "register_bounds_for reused across differently-sized algorithms"
+            );
+            state
+                .shared
+                .iter()
+                .zip(bounds.iter())
+                .all(|(value, bound)| value <= bound)
         })
     }
 

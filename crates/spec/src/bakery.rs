@@ -7,9 +7,9 @@
 //! overflowed a real register*, which is what the `NoOverflow` invariant
 //! detects, while the cap keeps the reachable state space finite.
 
-use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec, StateBounds, SymmetryGroup};
 
-use crate::layout::{choosing_idx, number_idx, read_number, ticket_precedes};
+use crate::layout::{choosing_idx, flat_symmetry, number_idx, read_number, ticket_precedes};
 use crate::{pc, SafeReadMode};
 
 /// Local-variable slots used by the Bakery-family specs.
@@ -197,6 +197,16 @@ impl Algorithm for BakerySpec {
 
     fn pc_label(&self, pc_value: u32) -> &'static str {
         pc::label(pc_value)
+    }
+
+    fn state_bounds(&self) -> StateBounds {
+        // Registers (and hence the folded local maximum) can hold the
+        // overflow sentinel M + 1; the loop index never exceeds n.
+        StateBounds::new(pc::CS, vec![self.n as u64, self.bound.saturating_add(1)])
+    }
+
+    fn symmetry(&self) -> Option<SymmetryGroup> {
+        flat_symmetry(self.n)
     }
 
     fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {

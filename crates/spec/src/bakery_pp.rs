@@ -5,10 +5,10 @@
 //! its reset path.  The specification never stores a value above `M` — the
 //! model checker verifies that exhaustively in experiment **E2**.
 
-use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec, StateBounds, SymmetryGroup};
 
 use crate::bakery::{LOCAL_J, LOCAL_MAX};
-use crate::layout::{choosing_idx, number_idx, read_number, ticket_precedes};
+use crate::layout::{choosing_idx, flat_symmetry, number_idx, read_number, ticket_precedes};
 use crate::{pc, SafeReadMode};
 
 /// Bakery++ as a checkable specification.
@@ -241,6 +241,17 @@ impl Algorithm for BakeryPlusPlusSpec {
 
     fn pc_label(&self, pc_value: u32) -> &'static str {
         pc::label(pc_value)
+    }
+
+    fn state_bounds(&self) -> StateBounds {
+        // Bakery++ never stores above M (even flicker reads cap at the
+        // bound), so the folded maximum is at most M; the loop index is at
+        // most n.
+        StateBounds::new(pc::CS, vec![self.n as u64, self.bound])
+    }
+
+    fn symmetry(&self) -> Option<SymmetryGroup> {
+        flat_symmetry(self.n)
     }
 
     fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {

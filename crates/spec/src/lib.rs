@@ -115,7 +115,7 @@ pub mod pc {
 
 /// Shared helpers for the Bakery-family specifications.
 pub(crate) mod layout {
-    use bakery_sim::{ProgState, RegisterSpec};
+    use bakery_sim::{ProgState, RegisterSpec, StatePermutation, SymmetryGroup};
 
     /// Index of `choosing[pid]` in the shared vector.
     pub fn choosing_idx(pid: usize) -> usize {
@@ -168,6 +168,34 @@ pub(crate) mod layout {
     /// The paper's `(a, b) < (c, d)` comparison on `(number, pid)` pairs.
     pub fn ticket_precedes(a_num: u64, a_pid: usize, b_num: u64, b_pid: usize) -> bool {
         a_num < b_num || (a_num == b_num && a_pid < b_pid)
+    }
+
+    /// Largest group closure the flat specs hand to the model checker —
+    /// matched to the checker's 64-bit visited-variant bitmap
+    /// (`bakery-mc`'s `canon::MAX_GROUP_ORDER`), which discards any larger
+    /// group anyway.  Usable flat sizes are therefore n ≤ 4 (S4 = 24
+    /// elements); S5 = 120 falls back to no compression without first
+    /// paying for a full closure generation.
+    const FLAT_GROUP_CAP: usize = 64;
+
+    /// The full process-permutation group of the flat Bakery layout: every
+    /// pid relabelling, with `choosing[i]`/`number[i]` following process `i`.
+    /// Returns `None` when `n` is too large for the closure cap (the model
+    /// checker then explores without reduction, which is always sound).
+    pub fn flat_symmetry(n: usize) -> Option<SymmetryGroup> {
+        if n < 2 {
+            return None;
+        }
+        let mut generators = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let mut procs: Vec<usize> = (0..n).collect();
+            procs.swap(i, i + 1);
+            let mut shared: Vec<usize> = (0..2 * n).collect();
+            shared.swap(choosing_idx(i), choosing_idx(i + 1));
+            shared.swap(number_idx(n, i), number_idx(n, i + 1));
+            generators.push(StatePermutation::new(procs, shared));
+        }
+        SymmetryGroup::generate(&generators, FLAT_GROUP_CAP)
     }
 }
 

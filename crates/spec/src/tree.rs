@@ -33,7 +33,10 @@
 //! step 0 (the root) itself, mirroring how the flat specification folds the
 //! release write into its CS exit.
 
-use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec};
+use bakery_sim::{
+    Algorithm, Invariant, Observation, ProcState, ProgState, RegisterSpec, StateBounds,
+    StatePermutation, SymmetryGroup,
+};
 
 use crate::bakery::{LOCAL_J, LOCAL_MAX};
 use crate::layout::ticket_precedes;
@@ -156,6 +159,62 @@ impl TreeBakerySpec {
     /// The critical-section pc.
     fn cs_pc(&self) -> u32 {
         (self.levels as u32 + 1) * LEVEL_STRIDE
+    }
+
+    /// The tree-specific safety invariant: a process inside the critical
+    /// section holds a non-zero ticket on every node of its leaf-to-root
+    /// path (it climbed by winning each node and releases only after
+    /// leaving the CS).  Defined here — next to the spec it talks about —
+    /// so the close-out test, the `tree_closeout` example and the CI job
+    /// all check the one definition.
+    #[must_use]
+    pub fn cs_holder_owns_path() -> Invariant<Self> {
+        Invariant::new("CsHolderOwnsPath", |alg: &Self, state| {
+            (0..alg.processes()).all(|pid| {
+                if !alg.in_critical_section(state, pid) {
+                    return true;
+                }
+                (0..alg.levels()).all(|level| {
+                    let (node, slot) = alg.position(pid, level);
+                    state.read(alg.number_idx(level, node, slot)) != 0
+                })
+            })
+        })
+    }
+
+    /// Lifts a tree-automorphic pid relabelling to the register permutation
+    /// it induces: slot `s` of node `m` at level `l` is driven by the pid
+    /// block `{p : p / arity^l == m·arity + s}`, and a tree automorphism maps
+    /// that block onto another level-`l` block, whose `(node, slot)` the
+    /// block's registers follow.
+    ///
+    /// # Panics
+    /// Panics if `proc_map` is not a tree automorphism (some block is torn
+    /// apart), so an unsound group can never be handed to the checker.
+    fn induced_permutation(&self, proc_map: Vec<usize>) -> StatePermutation {
+        let mut shared = vec![0usize; self.node_count() * 2 * self.arity];
+        for level in 0..self.levels {
+            let below = self.arity.pow(level as u32);
+            for node in 0..self.nodes_at(level) {
+                for slot in 0..self.arity {
+                    let block_start = (node * self.arity + slot) * below;
+                    let image = self.position(proc_map[block_start], level);
+                    for offset in 1..below {
+                        assert_eq!(
+                            self.position(proc_map[block_start + offset], level),
+                            image,
+                            "proc_map is not a tree automorphism at level {level}"
+                        );
+                    }
+                    let (new_node, new_slot) = image;
+                    shared[self.choosing_idx(level, node, slot)] =
+                        self.choosing_idx(level, new_node, new_slot);
+                    shared[self.number_idx(level, node, slot)] =
+                        self.number_idx(level, new_node, new_slot);
+                }
+            }
+        }
+        StatePermutation::new(proc_map, shared)
     }
 
     /// Decodes a trying pc into `(level, phase)`; `None` for NCS/CS/release
@@ -409,6 +468,47 @@ impl Algorithm for TreeBakerySpec {
         }
     }
 
+    fn state_bounds(&self) -> StateBounds {
+        // Release pcs run to cs_pc + levels - 1; the loop index is at most
+        // the arity; the folded maximum never exceeds the per-node bound.
+        StateBounds::new(
+            self.cs_pc() + self.levels as u32,
+            vec![self.arity as u64, self.bound],
+        )
+    }
+
+    /// The symmetry group induced by leaf placement: sibling-leaf swaps and
+    /// same-level subtree permutations — exactly the relabellings that
+    /// commute with [`TreeBakerySpec::position`].  Restricted to elements
+    /// preserving the active-process mask, so `with_active_processes` specs
+    /// are only quotiented by symmetries of their own placement.
+    fn symmetry(&self) -> Option<SymmetryGroup> {
+        let mut generators = Vec::new();
+        for height in 1..=self.levels {
+            let block = self.arity.pow((height - 1) as u32); // pids per child
+            let span = block * self.arity; // pids per node at this height
+            for node_start in (0..self.n).step_by(span) {
+                for child in 0..self.arity - 1 {
+                    let mut procs: Vec<usize> = (0..self.n).collect();
+                    let a = node_start + child * block;
+                    for offset in 0..block {
+                        procs.swap(a + offset, a + block + offset);
+                    }
+                    generators.push(self.induced_permutation(procs));
+                }
+            }
+        }
+        // The full wreath-product closure: (arity!)^(internal nodes).  The
+        // cap keeps degenerate large configurations from exploding; falling
+        // back to `None` (no reduction) is always sound.  A closure above
+        // the checker's 64-element variant bitmap is still worth generating
+        // here — the active-mask stabilizer below can shrink it back into
+        // range (e.g. a 3-level tree with a two-process active set) — but
+        // the checker discards whatever remains above 64 elements.
+        let group = SymmetryGroup::generate(&generators, 4096)?;
+        Some(group.stabilizing(&self.active))
+    }
+
     fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {
         let (before, after) = (prev.pc(pid), next.pc(pid));
         let cs = self.cs_pc();
@@ -437,7 +537,7 @@ impl Algorithm for TreeBakerySpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bakery_sim::{Invariant, RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
+    use bakery_sim::{RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
 
     #[test]
     fn geometry_and_accessors() {
@@ -565,17 +665,7 @@ mod tests {
         // non-zero ticket in every node on its leaf-to-root path (it climbed
         // by winning each node and releases only after leaving the CS).
         let spec = TreeBakerySpec::new(2, 2);
-        let path_held = Invariant::<TreeBakerySpec>::new("CsHolderOwnsPath", |alg, state| {
-            (0..alg.processes()).all(|pid| {
-                if !alg.in_critical_section(state, pid) {
-                    return true;
-                }
-                (0..alg.levels()).all(|level| {
-                    let (node, slot) = alg.position(pid, level);
-                    state.read(alg.number_idx(level, node, slot)) != 0
-                })
-            })
-        });
+        let path_held = TreeBakerySpec::cs_holder_owns_path();
         for seed in 0..10 {
             let config =
                 RunConfig::<TreeBakerySpec>::checked(6_000).with_invariant(path_held.clone());
@@ -608,6 +698,60 @@ mod tests {
         }
         assert_eq!(spec.pc_label(pc::NCS), "ncs");
         assert_eq!(spec.pc_label(LEVEL_STRIDE + pc::L1_SCAN), "L1-scan");
+    }
+
+    #[test]
+    fn symmetry_group_is_the_leaf_placement_wreath_product() {
+        // 2-level binary tree: swap leaves within either leaf node, swap the
+        // two leaf subtrees — S2 ≀ S2, order 8.
+        let spec = TreeBakerySpec::new(2, 2);
+        let group = spec.symmetry().expect("tree symmetry");
+        assert_eq!(group.order(), 8);
+        // Every element is a tree automorphism: blocks map to blocks, so
+        // position() commutes with the relabelling at every level.
+        for perm in group.elements() {
+            for pid in 0..4 {
+                for level in 0..2 {
+                    let (node, slot) = spec.position(pid, level);
+                    let (new_node, new_slot) = spec.position(perm.map_process(pid), level);
+                    assert_eq!(
+                        perm.map_register(spec.choosing_idx(level, node, slot)),
+                        spec.choosing_idx(level, new_node, new_slot)
+                    );
+                    assert_eq!(
+                        perm.map_register(spec.number_idx(level, node, slot)),
+                        spec.number_idx(level, new_node, new_slot)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_group_respects_the_active_mask() {
+        // Only placement symmetries that fix the active set survive.
+        let shared_leaf = TreeBakerySpec::new(2, 2).with_active_processes(&[0, 1]);
+        assert_eq!(shared_leaf.symmetry().unwrap().order(), 4);
+        // {0, 2}: only the whole-subtree swap (0 2)(1 3) survives — an inner
+        // leaf swap would move an active pid onto an inactive one.
+        let split = TreeBakerySpec::new(2, 2).with_active_processes(&[0, 2]);
+        assert_eq!(split.symmetry().unwrap().order(), 2);
+        let lone = TreeBakerySpec::new(2, 2).with_active_processes(&[1]);
+        // Stabilizer of {1}: may still swap the inactive leaves 2 and 3.
+        assert_eq!(lone.symmetry().unwrap().order(), 2);
+    }
+
+    #[test]
+    fn state_bounds_cover_reachable_pcs_and_locals() {
+        let spec = TreeBakerySpec::new(2, 2);
+        let bounds = spec.state_bounds();
+        let config = RunConfig::<TreeBakerySpec>::checked(6_000);
+        let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(7), &config);
+        for event in &outcome.trace.events {
+            assert!(event.pc_after <= bounds.max_pc, "pc {}", event.pc_after);
+        }
+        assert_eq!(bounds.local_bound(0), 2, "loop index is at most the arity");
+        assert_eq!(bounds.local_bound(1), 3, "max local is at most M");
     }
 
     #[test]

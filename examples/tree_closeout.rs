@@ -1,0 +1,75 @@
+//! The full 4-process tree close-out: exhaustively explores the 2-level
+//! binary `TreeBakerySpec` with the symmetry-compressed compact-state
+//! explorer and prints (optionally writes) the JSON summary the
+//! `mc-exhaustive` CI job uploads as its state-count artifact.
+//!
+//! ```text
+//! cargo run --release --example tree_closeout -- [--out FILE] [--max-states N]
+//! ```
+//!
+//! Exits non-zero if the exploration truncates or any invariant is violated,
+//! so the CI job's wall-clock guard plus this exit code *is* the close-out
+//! check.
+
+use bakery_mc::ModelChecker;
+use bakery_spec::TreeBakerySpec;
+
+fn main() -> std::process::ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut max_states: usize = 60_000_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next(),
+            "--max-states" => {
+                max_states = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-states takes a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let spec = TreeBakerySpec::new(2, 2);
+    eprintln!("exploring the full 4-process, 2-level tree (symmetry-compressed)...");
+    let start = std::time::Instant::now();
+    // Same configuration as the release-only close-out test in
+    // crates/mc/tests/tree_composition.rs — one definition of the invariant
+    // lives on the spec so the two cannot drift.
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(TreeBakerySpec::cs_holder_owns_path())
+        .with_symmetry_reduction(true)
+        .with_max_states(max_states)
+        .run();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let json = bakery_json::to_string_pretty(&report).expect("report serialises");
+    println!("{json}");
+    eprintln!(
+        "states={} canonical={} (symmetry /{}) transitions={} depth={} truncated={} \
+         violations={} deadlocks={} elapsed={elapsed:.1}s",
+        report.states,
+        report.canonical_states,
+        report.symmetry_order,
+        report.transitions,
+        report.max_depth,
+        report.truncated,
+        report.violations.len(),
+        report.deadlocks.len(),
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("failed to write the summary");
+        eprintln!("summary written to {path}");
+    }
+
+    if report.truncated || !report.holds() {
+        eprintln!("close-out FAILED: truncated or violated");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

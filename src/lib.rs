@@ -19,6 +19,7 @@
 pub use bakery_baselines as baselines;
 pub use bakery_core as locks;
 pub use bakery_harness as harness;
+pub use bakery_json as json;
 pub use bakery_mc as mc;
 pub use bakery_sim as sim;
 pub use bakery_spec as spec;
