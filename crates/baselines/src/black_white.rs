@@ -19,10 +19,10 @@ use std::sync::Arc;
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
 use bakery_core::ticket::{Ticket, TicketOrder};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Taubenfeld's Black-White Bakery lock for `N` processes.
 ///
@@ -30,7 +30,7 @@ use crate::impl_mutex_facade;
 ///
 /// ```
 /// use bakery_baselines::BlackWhiteBakeryLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = BlackWhiteBakeryLock::new(3);
 /// let slot = lock.register().unwrap();
@@ -86,7 +86,7 @@ impl BlackWhiteBakeryLock {
     }
 }
 
-impl RawNProcessLock for BlackWhiteBakeryLock {
+impl RawMutexAlgorithm for BlackWhiteBakeryLock {
     fn capacity(&self) -> usize {
         self.number.len()
     }
@@ -168,15 +168,14 @@ impl RawNProcessLock for BlackWhiteBakeryLock {
         // Ticket values are bounded by the number of processes.
         Some(self.number.len() as u64)
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(BlackWhiteBakeryLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

@@ -12,16 +12,16 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Dijkstra's 1965 N-process mutual exclusion lock.
 ///
 /// ```
 /// use bakery_baselines::DijkstraLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = DijkstraLock::new(3);
 /// let slot = lock.register().unwrap();
@@ -64,7 +64,7 @@ impl DijkstraLock {
     }
 }
 
-impl RawNProcessLock for DijkstraLock {
+impl RawMutexAlgorithm for DijkstraLock {
     fn capacity(&self) -> usize {
         self.b.len()
     }
@@ -114,15 +114,14 @@ impl RawNProcessLock for DijkstraLock {
         // b[0..N], c[0..N] and the shared k.
         2 * self.b.len() + 1
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(DijkstraLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

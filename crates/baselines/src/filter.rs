@@ -12,10 +12,10 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Sentinel meaning "no victim recorded at this level yet".
 const NO_VICTIM: usize = usize::MAX;
@@ -24,7 +24,7 @@ const NO_VICTIM: usize = usize::MAX;
 ///
 /// ```
 /// use bakery_baselines::FilterLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = FilterLock::new(3);
 /// let slot = lock.register().unwrap();
@@ -70,7 +70,7 @@ impl FilterLock {
     }
 }
 
-impl RawNProcessLock for FilterLock {
+impl RawMutexAlgorithm for FilterLock {
     fn capacity(&self) -> usize {
         self.level.len()
     }
@@ -106,15 +106,14 @@ impl RawNProcessLock for FilterLock {
         // simplicity but level 0 is unused, matching the textbook 2N - 1.
         2 * self.level.len() - 1
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(FilterLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

@@ -2,7 +2,7 @@
 //!
 //! Every mutual-exclusion algorithm the Bakery++ paper positions itself
 //! against, implemented as real, atomics-based locks behind the same
-//! [`RawNProcessLock`]/[`NProcessMutex`] traits as the headline locks in
+//! object-safe [`RawMutexAlgorithm`] trait as the headline locks in
 //! `bakery-core`.  Having the baselines live means the paper's comparative
 //! claims (Section 4 and Section 7) can be *measured* rather than quoted:
 //!
@@ -50,28 +50,28 @@ pub use ticket_lock::TicketLock;
 pub use tournament::TournamentLock;
 
 // Re-export the traits so downstream users only need one crate in scope.
-pub use bakery_core::{LockStats, NProcessMutex, RawNProcessLock, Slot};
+pub use bakery_core::{LockStats, RawMutexAlgorithm, Slot};
 
-/// Implements the [`NProcessMutex`] facade for a lock struct that stores its
-/// slot allocator in a field named `slots` and its statistics in `stats`.
-macro_rules! impl_mutex_facade {
-    ($ty:ty) => {
-        impl bakery_core::NProcessMutex for $ty {
-            fn slot_allocator(&self) -> &std::sync::Arc<bakery_core::slots::SlotAllocator> {
-                &self.slots
-            }
+/// Expands to the [`RawMutexAlgorithm`] accessor methods for a lock struct
+/// that stores its slot allocator in a field named `slots` and its statistics
+/// in `stats`.  Invoked *inside* each lock's `impl RawMutexAlgorithm` block,
+/// so every algorithm has exactly one trait impl and zero facade boilerplate.
+macro_rules! lock_accessors {
+    () => {
+        fn slot_allocator(&self) -> &std::sync::Arc<bakery_core::slots::SlotAllocator> {
+            &self.slots
+        }
 
-            fn stats(&self) -> &bakery_core::LockStats {
-                &self.stats
-            }
+        fn stats(&self) -> &bakery_core::LockStats {
+            &self.stats
+        }
 
-            fn as_raw(&self) -> &dyn bakery_core::RawNProcessLock {
-                self
-            }
+        fn as_raw(&self) -> &dyn bakery_core::RawMutexAlgorithm {
+            self
         }
     };
 }
-pub(crate) use impl_mutex_facade;
+pub(crate) use lock_accessors;
 
 /// Shared test/stress utilities.
 ///
@@ -83,17 +83,17 @@ pub mod testutil {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     /// Runs `threads` real threads, each entering the critical section
     /// `iterations` times, and asserts mutual exclusion throughout.
     ///
     /// Returns the total number of critical-section entries observed.
-    /// `L` may be unsized (`dyn NProcessMutex + Send + Sync`), so the
+    /// `L` may be unsized (`dyn RawMutexAlgorithm + Send + Sync`), so the
     /// integration suites can stress factory-built locks too.
     pub fn assert_mutual_exclusion<L>(lock: Arc<L>, threads: usize, iterations: u64) -> u64
     where
-        L: NProcessMutex + Send + Sync + ?Sized + 'static,
+        L: RawMutexAlgorithm + Send + Sync + ?Sized + 'static,
     {
         let counter = Arc::new(AtomicU64::new(0));
         let in_cs = Arc::new(AtomicU64::new(0));

@@ -22,10 +22,10 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Modular-arithmetic comparison of two live tickets on a ring of size `ring`.
 ///
@@ -70,7 +70,7 @@ pub fn mod_maximum(values: &[u64], ring: u64) -> u64 {
 ///
 /// ```
 /// use bakery_baselines::ModuloBakeryLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = ModuloBakeryLock::new(3);
 /// let slot = lock.register().unwrap();
@@ -142,7 +142,7 @@ impl ModuloBakeryLock {
     }
 }
 
-impl RawNProcessLock for ModuloBakeryLock {
+impl RawMutexAlgorithm for ModuloBakeryLock {
     fn capacity(&self) -> usize {
         self.number.len()
     }
@@ -202,15 +202,14 @@ impl RawNProcessLock for ModuloBakeryLock {
     fn register_bound(&self) -> Option<u64> {
         Some(self.ring)
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(ModuloBakeryLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
     use proptest::prelude::*;
 
     #[test]

@@ -10,16 +10,16 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Peterson's algorithm for exactly two processes.
 ///
 /// ```
 /// use bakery_baselines::PetersonLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = PetersonLock::new();
 /// let slot = lock.register().unwrap();
@@ -62,7 +62,7 @@ impl Default for PetersonLock {
     }
 }
 
-impl RawNProcessLock for PetersonLock {
+impl RawMutexAlgorithm for PetersonLock {
     fn capacity(&self) -> usize {
         2
     }
@@ -94,15 +94,14 @@ impl RawNProcessLock for PetersonLock {
         // flag[0], flag[1] and the shared multi-writer turn.
         3
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(PetersonLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

@@ -3,25 +3,36 @@
 //! The experiment harness and the Criterion benches iterate over "all
 //! algorithms" dozens of times; this module centralises the list so adding a
 //! new algorithm automatically enrols it in every experiment.
+//!
+//! Since the trait unification ([`RawMutexAlgorithm`]) the registry is a
+//! single **metadata table**: one [`AlgorithmEntry`] row per algorithm
+//! carrying its name, classification flags and constructor.  [`AlgorithmId`]
+//! is a plain key into that table — it owns no `match` arms, so an algorithm
+//! is described in exactly one place and every consumer (factory, harness,
+//! benches, conformance plane) picks it up from there.
 
 use std::fmt;
 use std::sync::Arc;
 
 use bakery_core::registers::OverflowPolicy;
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, TreeBakery};
+use bakery_core::{
+    AdaptiveBakery, BakeryLock, BakeryPlusPlusLock, RawMutexAlgorithm, ScanMode, TreeBakery,
+};
 
 use crate::{
     BlackWhiteBakeryLock, DijkstraLock, FilterLock, ModuloBakeryLock, PetersonLock, SzymanskiLock,
     TasLock, TicketLock, TournamentLock, TtasLock,
 };
 
-/// Identifier for each algorithm in the suite.
+/// Identifier for each algorithm in the suite (a key into the registry
+/// table; all metadata lives in the table entry, not in `match` arms here).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum AlgorithmId {
     Bakery,
     BakeryPlusPlus,
     TreeBakery,
+    AdaptiveBakery,
     BlackWhiteBakery,
     ModuloBakery,
     Peterson,
@@ -34,14 +45,219 @@ pub enum AlgorithmId {
     Ttas,
 }
 
+/// One registry row: everything the suite knows about an algorithm.
+pub struct AlgorithmEntry {
+    /// The key of this row.
+    pub id: AlgorithmId,
+    /// The short name used in tables (matches
+    /// [`RawMutexAlgorithm::algorithm_name`]).
+    pub name: &'static str,
+    /// True for algorithms that avoid lower-level mutual exclusion (no
+    /// atomic read-modify-write instructions) — the paper's notion of a
+    /// *true* mutual exclusion algorithm.
+    pub true_mutex: bool,
+    /// True for algorithms that serve processes in first-come-first-served
+    /// order (at the doorway granularity).
+    pub fcfs: bool,
+    /// True for algorithms whose shared ticket registers are bounded.
+    pub bounded: bool,
+    /// The exact participant count the algorithm requires, if restricted
+    /// (`Some(2)` for Peterson); `None` means any `n >= 1`.
+    pub exact_n: Option<usize>,
+    /// Constructor: builds the lock for `n` processes with the factory's
+    /// configuration applied.
+    build: fn(&LockFactory, usize) -> Arc<dyn RawMutexAlgorithm>,
+}
+
+impl fmt::Debug for AlgorithmEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmEntry")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("true_mutex", &self.true_mutex)
+            .field("fcfs", &self.fcfs)
+            .field("bounded", &self.bounded)
+            .field("exact_n", &self.exact_n)
+            .finish()
+    }
+}
+
+/// The registry table, in report order.  This is the single place an
+/// algorithm is described; `AlgorithmId` methods and [`LockFactory::build`]
+/// are lookups into it.
+pub static ALGORITHMS: &[AlgorithmEntry] = &[
+    AlgorithmEntry {
+        id: AlgorithmId::Bakery,
+        name: "bakery",
+        true_mutex: true,
+        fcfs: true,
+        bounded: false,
+        exact_n: None,
+        build: |factory, n| {
+            let bound = if factory.bounded_classic {
+                factory.bound
+            } else {
+                bakery_core::DEFAULT_BOUND
+            };
+            Arc::new(BakeryLock::with_config(
+                n,
+                bound,
+                OverflowPolicy::Wrap,
+                factory.scan_mode,
+            ))
+        },
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::BakeryPlusPlus,
+        name: "bakery++",
+        true_mutex: true,
+        fcfs: true,
+        bounded: true,
+        exact_n: None,
+        build: |factory, n| {
+            Arc::new(BakeryPlusPlusLock::with_bound_and_mode(
+                n,
+                factory.bound,
+                factory.scan_mode,
+            ))
+        },
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::TreeBakery,
+        name: "tree-bakery",
+        true_mutex: true,
+        // FCFS per node only; globally tournament-shaped.
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        // The tree fixes its per-node bound at M = arity + 1 (the smallest
+        // bound that admits a full round of K tickets), so the factory's
+        // `bound` knob intentionally does not apply here.
+        build: |factory, n| {
+            Arc::new(TreeBakery::with_config(
+                n,
+                bakery_core::DEFAULT_TREE_ARITY,
+                factory.scan_mode,
+            ))
+        },
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::AdaptiveBakery,
+        name: "adaptive-bakery",
+        // The steady-state planes are pure reads/writes, but the handoff
+        // control words (epoch CAS, flat_active fetch-add) are RMW — by the
+        // paper's strict definition that disqualifies "true" status.
+        true_mutex: false,
+        // FCFS while flat; tournament-shaped after the migration.
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        // Thresholds stay at the adaptive defaults (owned by bakery-core);
+        // both planes follow the factory's scan mode (the bound knob does
+        // not apply, mirroring the tree entry).
+        build: |factory, n| Arc::new(AdaptiveBakery::with_mode(n, factory.scan_mode)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::BlackWhiteBakery,
+        name: "black-white-bakery",
+        true_mutex: true,
+        fcfs: true,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(BlackWhiteBakeryLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::ModuloBakery,
+        name: "modulo-bakery",
+        true_mutex: true,
+        fcfs: true,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(ModuloBakeryLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Peterson,
+        name: "peterson",
+        true_mutex: true,
+        fcfs: false,
+        bounded: true,
+        exact_n: Some(2),
+        build: |_, _| Arc::new(PetersonLock::new()),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::PetersonTournament,
+        name: "peterson-tournament",
+        true_mutex: true,
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(TournamentLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Filter,
+        name: "filter",
+        true_mutex: true,
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(FilterLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Szymanski,
+        name: "szymanski",
+        true_mutex: true,
+        fcfs: true,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(SzymanskiLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Dijkstra,
+        name: "dijkstra",
+        true_mutex: true,
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(DijkstraLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::TicketLock,
+        name: "ticket-lock",
+        true_mutex: false,
+        fcfs: true,
+        bounded: false,
+        exact_n: None,
+        build: |_, n| Arc::new(TicketLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Tas,
+        name: "tas",
+        true_mutex: false,
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(TasLock::new(n)),
+    },
+    AlgorithmEntry {
+        id: AlgorithmId::Ttas,
+        name: "ttas",
+        true_mutex: false,
+        fcfs: false,
+        bounded: true,
+        exact_n: None,
+        build: |_, n| Arc::new(TtasLock::new(n)),
+    },
+];
+
 impl AlgorithmId {
-    /// All identifiers, in report order.
+    /// All identifiers, in report order (the table's order).
     #[must_use]
     pub fn all() -> &'static [AlgorithmId] {
-        &[
+        const ALL: [AlgorithmId; 14] = [
             AlgorithmId::Bakery,
             AlgorithmId::BakeryPlusPlus,
             AlgorithmId::TreeBakery,
+            AlgorithmId::AdaptiveBakery,
             AlgorithmId::BlackWhiteBakery,
             AlgorithmId::ModuloBakery,
             AlgorithmId::Peterson,
@@ -52,27 +268,24 @@ impl AlgorithmId {
             AlgorithmId::TicketLock,
             AlgorithmId::Tas,
             AlgorithmId::Ttas,
-        ]
+        ];
+        &ALL
     }
 
-    /// The short name used in tables (matches `RawNProcessLock::algorithm_name`).
+    /// This algorithm's registry row — an O(1) index: the table is kept in
+    /// enum declaration order, pinned by the registry tests.
+    #[must_use]
+    pub fn entry(&self) -> &'static AlgorithmEntry {
+        let entry = &ALGORITHMS[*self as usize];
+        debug_assert_eq!(entry.id, *self, "ALGORITHMS must stay in enum order");
+        entry
+    }
+
+    /// The short name used in tables (matches
+    /// [`RawMutexAlgorithm::algorithm_name`]).
     #[must_use]
     pub fn name(&self) -> &'static str {
-        match self {
-            AlgorithmId::Bakery => "bakery",
-            AlgorithmId::BakeryPlusPlus => "bakery++",
-            AlgorithmId::TreeBakery => "tree-bakery",
-            AlgorithmId::BlackWhiteBakery => "black-white-bakery",
-            AlgorithmId::ModuloBakery => "modulo-bakery",
-            AlgorithmId::Peterson => "peterson",
-            AlgorithmId::PetersonTournament => "peterson-tournament",
-            AlgorithmId::Filter => "filter",
-            AlgorithmId::Szymanski => "szymanski",
-            AlgorithmId::Dijkstra => "dijkstra",
-            AlgorithmId::TicketLock => "ticket-lock",
-            AlgorithmId::Tas => "tas",
-            AlgorithmId::Ttas => "ttas",
-        }
+        self.entry().name
     }
 
     /// True for algorithms that avoid lower-level mutual exclusion (no atomic
@@ -80,39 +293,28 @@ impl AlgorithmId {
     /// mutual exclusion algorithm.
     #[must_use]
     pub fn is_true_mutex(&self) -> bool {
-        !matches!(
-            self,
-            AlgorithmId::TicketLock | AlgorithmId::Tas | AlgorithmId::Ttas
-        )
+        self.entry().true_mutex
     }
 
     /// True for algorithms that serve processes in first-come-first-served
     /// order (at the doorway granularity).
     #[must_use]
     pub fn is_fcfs(&self) -> bool {
-        matches!(
-            self,
-            AlgorithmId::Bakery
-                | AlgorithmId::BakeryPlusPlus
-                | AlgorithmId::BlackWhiteBakery
-                | AlgorithmId::ModuloBakery
-                | AlgorithmId::Szymanski
-                | AlgorithmId::TicketLock
-        )
+        self.entry().fcfs
     }
 
     /// True for algorithms whose shared ticket registers are bounded.
     #[must_use]
     pub fn is_bounded(&self) -> bool {
-        !matches!(self, AlgorithmId::Bakery | AlgorithmId::TicketLock)
+        self.entry().bounded
     }
 
     /// Whether the algorithm can be instantiated for `n` participants.
     #[must_use]
     pub fn supports(&self, n: usize) -> bool {
-        match self {
-            AlgorithmId::Peterson => n == 2,
-            _ => n >= 1,
+        match self.entry().exact_n {
+            Some(exact) => n == exact,
+            None => n >= 1,
         }
     }
 }
@@ -176,55 +378,19 @@ impl LockFactory {
         self
     }
 
-    /// Instantiates the lock `id` for `n` processes.
+    /// Instantiates the lock `id` for `n` processes by calling its registry
+    /// entry's constructor.
     ///
     /// # Panics
     /// Panics if `id` does not support `n` participants (only Peterson is
     /// restricted, to exactly two).
     #[must_use]
-    pub fn build(&self, id: AlgorithmId, n: usize) -> Arc<dyn NProcessMutex + Send + Sync> {
+    pub fn build(&self, id: AlgorithmId, n: usize) -> Arc<dyn RawMutexAlgorithm> {
         assert!(
             id.supports(n),
             "{id} does not support {n} participating processes"
         );
-        match id {
-            AlgorithmId::Bakery => {
-                let bound = if self.bounded_classic {
-                    self.bound
-                } else {
-                    bakery_core::DEFAULT_BOUND
-                };
-                Arc::new(BakeryLock::with_config(
-                    n,
-                    bound,
-                    OverflowPolicy::Wrap,
-                    self.scan_mode,
-                ))
-            }
-            AlgorithmId::BakeryPlusPlus => Arc::new(BakeryPlusPlusLock::with_bound_and_mode(
-                n,
-                self.bound,
-                self.scan_mode,
-            )),
-            // The tree fixes its per-node bound at M = arity + 1 (the
-            // smallest bound that admits a full round of K tickets), so the
-            // factory's `bound` knob intentionally does not apply here.
-            AlgorithmId::TreeBakery => Arc::new(TreeBakery::with_config(
-                n,
-                bakery_core::DEFAULT_TREE_ARITY,
-                self.scan_mode,
-            )),
-            AlgorithmId::BlackWhiteBakery => Arc::new(BlackWhiteBakeryLock::new(n)),
-            AlgorithmId::ModuloBakery => Arc::new(ModuloBakeryLock::new(n)),
-            AlgorithmId::Peterson => Arc::new(PetersonLock::new()),
-            AlgorithmId::PetersonTournament => Arc::new(TournamentLock::new(n)),
-            AlgorithmId::Filter => Arc::new(FilterLock::new(n)),
-            AlgorithmId::Szymanski => Arc::new(SzymanskiLock::new(n)),
-            AlgorithmId::Dijkstra => Arc::new(DijkstraLock::new(n)),
-            AlgorithmId::TicketLock => Arc::new(TicketLock::new(n)),
-            AlgorithmId::Tas => Arc::new(TasLock::new(n)),
-            AlgorithmId::Ttas => Arc::new(TtasLock::new(n)),
-        }
+        (id.entry().build)(self, n)
     }
 }
 
@@ -233,12 +399,11 @@ impl LockFactory {
 pub fn all_algorithms(
     n: usize,
     factory: &LockFactory,
-) -> Vec<(AlgorithmId, Arc<dyn NProcessMutex + Send + Sync>)> {
-    AlgorithmId::all()
+) -> Vec<(AlgorithmId, Arc<dyn RawMutexAlgorithm>)> {
+    ALGORITHMS
         .iter()
-        .copied()
-        .filter(|id| id.supports(n))
-        .map(|id| (id, factory.build(id, n)))
+        .filter(|entry| entry.id.supports(n))
+        .map(|entry| (entry.id, factory.build(entry.id, n)))
         .collect()
 }
 
@@ -255,6 +420,24 @@ mod tests {
             assert_eq!(lock.algorithm_name(), id.name(), "{id:?}");
             assert!(lock.capacity() >= 2);
         }
+    }
+
+    #[test]
+    fn every_id_has_exactly_one_table_row_in_enum_order() {
+        assert_eq!(ALGORITHMS.len(), AlgorithmId::all().len());
+        for (i, &id) in AlgorithmId::all().iter().enumerate() {
+            assert_eq!(
+                ALGORITHMS.iter().filter(|e| e.id == id).count(),
+                1,
+                "{id:?} must appear exactly once in the registry table"
+            );
+            // entry() indexes by discriminant, so the table, the enum and
+            // the `all()` list must share one order.
+            assert_eq!(ALGORITHMS[i].id, id, "table row {i} out of enum order");
+            assert_eq!(id as usize, i, "all() out of discriminant order");
+        }
+        let debugged = format!("{:?}", AlgorithmId::Bakery.entry());
+        assert!(debugged.contains("bakery"));
     }
 
     #[test]
@@ -287,6 +470,12 @@ mod tests {
         assert!(AlgorithmId::TreeBakery.is_true_mutex());
         assert!(AlgorithmId::TreeBakery.is_bounded());
         assert!(!AlgorithmId::TreeBakery.is_fcfs());
+        // The adaptive lock: bounded planes, but the handoff control words
+        // are RMW (not "true" in the paper's sense) and its fairness shape
+        // changes at the migration (no global FCFS claim).
+        assert!(!AlgorithmId::AdaptiveBakery.is_true_mutex());
+        assert!(AlgorithmId::AdaptiveBakery.is_bounded());
+        assert!(!AlgorithmId::AdaptiveBakery.is_fcfs());
     }
 
     #[test]
@@ -306,6 +495,25 @@ mod tests {
         let padded = LockFactory::new()
             .with_scan_mode(ScanMode::Padded)
             .build(AlgorithmId::TreeBakery, 16);
+        let slot = padded.register().unwrap();
+        drop(padded.lock(&slot));
+        assert_eq!(padded.stats().fast_path_hits(), 0);
+    }
+
+    #[test]
+    fn adaptive_bakery_builds_and_enters() {
+        let factory = LockFactory::new();
+        let lock = factory.build(AlgorithmId::AdaptiveBakery, 16);
+        assert_eq!(lock.capacity(), 16);
+        let slot = lock.register().unwrap();
+        for _ in 0..3 {
+            drop(lock.lock(&slot));
+        }
+        assert_eq!(lock.stats().cs_entries(), 3);
+        // Padded mode reaches both planes (no packed fast path anywhere).
+        let padded = LockFactory::new()
+            .with_scan_mode(ScanMode::Padded)
+            .build(AlgorithmId::AdaptiveBakery, 8);
         let slot = padded.register().unwrap();
         drop(padded.lock(&slot));
         assert_eq!(padded.stats().fast_path_hits(), 0);
@@ -351,6 +559,38 @@ mod tests {
                 let _g = lock.lock(&slot);
             }
             assert_eq!(lock.stats().cs_entries(), 3, "{id}");
+        }
+    }
+
+    #[test]
+    fn every_algorithm_try_locks_or_fails_cleanly() {
+        // try_acquire is part of the unified trait: an uncontended try_lock
+        // either succeeds (locks with a real implementation) or fails
+        // conservatively — and a subsequent blocking lock must still work.
+        let factory = LockFactory::new();
+        for (id, lock) in all_algorithms(2, &factory) {
+            let slot = lock.register().unwrap();
+            let tried = lock.try_lock(&slot).is_some();
+            drop(lock.lock(&slot));
+            assert_eq!(
+                lock.stats().cs_entries(),
+                1 + u64::from(tried),
+                "{id}: try_lock then lock"
+            );
+        }
+        // The headline locks all implement the real thing.
+        for id in [
+            AlgorithmId::Bakery,
+            AlgorithmId::BakeryPlusPlus,
+            AlgorithmId::TreeBakery,
+            AlgorithmId::AdaptiveBakery,
+            AlgorithmId::TicketLock,
+            AlgorithmId::Tas,
+            AlgorithmId::Ttas,
+        ] {
+            let lock = factory.build(id, 2);
+            let slot = lock.register().unwrap();
+            assert!(lock.try_lock(&slot).is_some(), "{id}: uncontended try");
         }
     }
 }

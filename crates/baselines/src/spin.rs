@@ -11,10 +11,10 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Plain test-and-set spin lock.
 #[derive(Debug)]
@@ -42,7 +42,7 @@ impl TasLock {
     }
 }
 
-impl RawNProcessLock for TasLock {
+impl RawMutexAlgorithm for TasLock {
     fn capacity(&self) -> usize {
         self.slots.capacity()
     }
@@ -62,6 +62,11 @@ impl RawNProcessLock for TasLock {
         self.locked.store(false, Ordering::SeqCst);
     }
 
+    fn try_acquire(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        !self.locked.swap(true, Ordering::SeqCst)
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "tas"
     }
@@ -69,9 +74,8 @@ impl RawNProcessLock for TasLock {
     fn shared_word_count(&self) -> usize {
         1
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(TasLock);
 
 /// Test-and-test-and-set spin lock: spin on a plain load, swap only when the
 /// lock looks free.  Same semantics as [`TasLock`], far less coherence
@@ -101,7 +105,7 @@ impl TtasLock {
     }
 }
 
-impl RawNProcessLock for TtasLock {
+impl RawMutexAlgorithm for TtasLock {
     fn capacity(&self) -> usize {
         self.slots.capacity()
     }
@@ -127,6 +131,13 @@ impl RawNProcessLock for TtasLock {
         self.locked.store(false, Ordering::SeqCst);
     }
 
+    fn try_acquire(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        // Test, then test-and-set: the cheap load filters the common
+        // contended case before paying for the RMW.
+        !self.locked.load(Ordering::SeqCst) && !self.locked.swap(true, Ordering::SeqCst)
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "ttas"
     }
@@ -134,15 +145,14 @@ impl RawNProcessLock for TtasLock {
     fn shared_word_count(&self) -> usize {
         1
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(TtasLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn tas_basic_cycle() {

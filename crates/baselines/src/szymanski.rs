@@ -20,16 +20,16 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// Szymanski's N-process mutual exclusion lock.
 ///
 /// ```
 /// use bakery_baselines::SzymanskiLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = SzymanskiLock::new(3);
 /// let slot = lock.register().unwrap();
@@ -77,7 +77,7 @@ impl SzymanskiLock {
     }
 }
 
-impl RawNProcessLock for SzymanskiLock {
+impl RawMutexAlgorithm for SzymanskiLock {
     fn capacity(&self) -> usize {
         self.flag.len()
     }
@@ -132,15 +132,14 @@ impl RawNProcessLock for SzymanskiLock {
     fn shared_word_count(&self) -> usize {
         self.flag.len()
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(SzymanskiLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

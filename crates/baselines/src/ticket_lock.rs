@@ -17,16 +17,16 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicU64, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// FIFO ticket lock based on fetch-and-add.
 ///
 /// ```
 /// use bakery_baselines::TicketLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = TicketLock::new(4);
 /// let slot = lock.register().unwrap();
@@ -65,7 +65,7 @@ impl TicketLock {
     }
 }
 
-impl RawNProcessLock for TicketLock {
+impl RawMutexAlgorithm for TicketLock {
     fn capacity(&self) -> usize {
         self.slots.capacity()
     }
@@ -87,6 +87,24 @@ impl RawNProcessLock for TicketLock {
         self.now_serving.fetch_add(1, Ordering::SeqCst);
     }
 
+    fn try_acquire(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        // Only draw a ticket when it would be served immediately; the CAS
+        // closes the window against a concurrent arrival.
+        let ticket = self.next_ticket.load(Ordering::SeqCst);
+        if self.now_serving.load(Ordering::SeqCst) != ticket {
+            return false;
+        }
+        let won = self
+            .next_ticket
+            .compare_exchange(ticket, ticket + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if won {
+            self.stats.record_ticket(ticket);
+        }
+        won
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "ticket-lock"
     }
@@ -94,15 +112,14 @@ impl RawNProcessLock for TicketLock {
     fn shared_word_count(&self) -> usize {
         2
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(TicketLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

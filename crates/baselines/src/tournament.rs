@@ -12,10 +12,10 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawNProcessLock};
+use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
-use crate::impl_mutex_facade;
+use crate::lock_accessors;
 
 /// One internal node: an embedded two-process Peterson lock.
 #[derive(Debug)]
@@ -59,7 +59,7 @@ impl Node {
 ///
 /// ```
 /// use bakery_baselines::TournamentLock;
-/// use bakery_core::NProcessMutex;
+/// use bakery_core::RawMutexAlgorithm;
 ///
 /// let lock = TournamentLock::new(6);
 /// let slot = lock.register().unwrap();
@@ -113,7 +113,7 @@ impl TournamentLock {
     }
 }
 
-impl RawNProcessLock for TournamentLock {
+impl RawMutexAlgorithm for TournamentLock {
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -142,15 +142,14 @@ impl RawNProcessLock for TournamentLock {
         // Each internal node holds two flags and a turn word.
         (self.leaves - 1) * 3
     }
+    lock_accessors!();
 }
-
-impl_mutex_facade!(TournamentLock);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::assert_mutual_exclusion;
-    use bakery_core::NProcessMutex;
+    use bakery_core::RawMutexAlgorithm;
 
     #[test]
     fn single_process_reenters() {

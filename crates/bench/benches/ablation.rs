@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use bakery_bench::quick_criterion;
 use bakery_core::registers::OverflowPolicy;
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, RawNProcessLock};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, RawMutexAlgorithm};
 use bakery_harness::workload::{run_workload, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -25,7 +25,7 @@ fn bench_bound_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, bound));
                 run_workload(
-                    lock as Arc<dyn NProcessMutex + Send + Sync>,
+                    lock as Arc<dyn RawMutexAlgorithm>,
                     &Workload {
                         threads: 2,
                         iterations_per_thread: 300,

@@ -3,7 +3,7 @@
 
 use bakery_baselines::{all_algorithms, LockFactory};
 use bakery_bench::quick_criterion;
-use bakery_core::NProcessMutex;
+use bakery_core::RawMutexAlgorithm;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_uncontended(c: &mut Criterion) {

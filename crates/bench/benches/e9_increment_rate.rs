@@ -2,7 +2,7 @@
 //! the shared ticket value, which feeds the time-to-overflow extrapolation.
 
 use bakery_bench::quick_criterion;
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, RawNProcessLock};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, RawMutexAlgorithm};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ticket_draw(c: &mut Criterion) {

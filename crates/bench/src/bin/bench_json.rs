@@ -7,24 +7,29 @@
 //! * **E6** (uncontended acquire/release latency): every Bakery-family lock
 //!   in both scan modes across a range of process counts;
 //! * **E7** (contended throughput): Bakery++ and classic Bakery in both scan
-//!   modes at 2 and 4 threads.
+//!   modes at 2 and 4 threads;
+//! * **E11** (lock-service churn): sessions attached/detached through the
+//!   session plane at a ≥ 64× client-to-slot ratio, flat vs tree vs the
+//!   adaptive lock (whose flat→tree migration fires mid-run).
 //!
 //! ```text
 //! bench-json [--quick] [--out-dir DIR]
 //! ```
 //!
-//! Output files: `BENCH_e6.json` and `BENCH_e7.json` in `--out-dir`
-//! (default: the current directory).  The summary — including the packed-vs-
-//! padded improvement percentages — is also printed as Markdown-ish text.
+//! Output files: `BENCH_e6.json`, `BENCH_e7.json` and `BENCH_e11.json` in
+//! `--out-dir` (default: the current directory).  The summary — including
+//! the packed-vs-padded improvement percentages — is also printed as
+//! Markdown-ish text.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use bakery_core::registers::OverflowPolicy;
 use bakery_core::{
-    BakeryLock, BakeryPlusPlusLock, NProcessMutex, ScanMode, TreeBakery, DEFAULT_PP_BOUND,
+    BakeryLock, BakeryPlusPlusLock, RawMutexAlgorithm, ScanMode, TreeBakery, DEFAULT_PP_BOUND,
 };
 use bakery_harness::experiments::e10_tree_scale::{flat_scan_words, ARITY as TREE_ARITY};
+use bakery_harness::experiments::e11_lock_service::{run_service, service_locks, ServiceConfig};
 use bakery_harness::workload::{measure_uncontended, run_workload, Workload};
 
 /// Capacities the large-N tree sections sweep (the E10 sweep, kept in the
@@ -263,7 +268,7 @@ bakery_json::json_object!(E7Report {
     tree_comparisons,
 });
 
-fn bakery_pair(n: usize, bound: u64, mode: ScanMode) -> Vec<(String, Arc<dyn NProcessMutex + Send + Sync>)> {
+fn bakery_pair(n: usize, bound: u64, mode: ScanMode) -> Vec<(String, Arc<dyn RawMutexAlgorithm>)> {
     vec![
         (
             "bakery".to_string(),
@@ -495,7 +500,7 @@ fn run_e7_tree(quick: bool) -> (Vec<TreeE7Entry>, Vec<TreeThroughputComparison>)
         let mut best: [Option<TreeE7Entry>; 2] = [None, None];
         let mut overflow_sums = [0u64; 2];
         for _ in 0..repetitions {
-            let flat: Arc<dyn NProcessMutex + Send + Sync> =
+            let flat: Arc<dyn RawMutexAlgorithm> =
                 Arc::new(BakeryPlusPlusLock::with_bound(n, DEFAULT_PP_BOUND));
             let flat_result = run_workload(Arc::clone(&flat), &workload);
             let flat_entry = TreeE7Entry {
@@ -512,7 +517,7 @@ fn run_e7_tree(quick: bool) -> (Vec<TreeE7Entry>, Vec<TreeThroughputComparison>)
 
             let tree = Arc::new(TreeBakery::with_arity(n, TREE_ARITY));
             let tree_result = run_workload(
-                Arc::clone(&tree) as Arc<dyn NProcessMutex + Send + Sync>,
+                Arc::clone(&tree) as Arc<dyn RawMutexAlgorithm>,
                 &workload,
             );
             let aggregate = tree.aggregate_snapshot();
@@ -603,6 +608,84 @@ fn print_comparisons(title: &str, unit: &str, comparisons: &[Comparison]) {
     }
 }
 
+/// One lock-service churn measurement (experiment E11).
+#[derive(Debug, Clone)]
+struct E11Entry {
+    algorithm: String,
+    slots: usize,
+    clients: usize,
+    cs_per_session: u64,
+    sessions_per_sec: f64,
+    cs_per_sec: f64,
+    attaches: u64,
+    detaches: u64,
+    aliasing_violations: u64,
+    fast_path_hits: u64,
+    migrated: bool,
+}
+bakery_json::json_object!(E11Entry {
+    algorithm,
+    slots,
+    clients,
+    cs_per_session,
+    sessions_per_sec,
+    cs_per_sec,
+    attaches,
+    detaches,
+    aliasing_violations,
+    fast_path_hits,
+    migrated,
+});
+
+#[derive(Debug, Clone)]
+struct E11Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    oversubscription: usize,
+    entries: Vec<E11Entry>,
+}
+bakery_json::json_object!(E11Report {
+    schema,
+    experiment,
+    quick,
+    oversubscription,
+    entries,
+});
+
+fn run_e11(quick: bool) -> E11Report {
+    let config = ServiceConfig::standard(quick);
+    let mut entries = Vec::new();
+    for (lock, adaptive) in service_locks(config.slots) {
+        let algorithm = lock.algorithm_name().to_string();
+        let result = run_service(lock, &config, adaptive.as_ref());
+        assert_eq!(
+            result.aliasing_violations, 0,
+            "{algorithm}: the session plane must never alias a slot"
+        );
+        entries.push(E11Entry {
+            algorithm,
+            slots: config.slots,
+            clients: config.clients,
+            cs_per_session: config.cs_per_session,
+            sessions_per_sec: result.sessions_per_sec(),
+            cs_per_sec: result.cs_per_sec(),
+            attaches: result.attaches,
+            detaches: result.detaches,
+            aliasing_violations: result.aliasing_violations,
+            fast_path_hits: result.fast_path_hits,
+            migrated: result.final_epoch == Some(bakery_core::adaptive::EPOCH_TREE),
+        });
+    }
+    E11Report {
+        schema: "bakery-bench/e11/v1".to_string(),
+        experiment: "E11 lock-service session churn".to_string(),
+        quick,
+        oversubscription: config.oversubscription(),
+        entries,
+    }
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut out_dir = ".".to_string();
@@ -632,6 +715,8 @@ fn main() -> ExitCode {
     let e6 = run_e6(quick);
     eprintln!("bench-json: measuring E7 (contended throughput)...");
     let e7 = run_e7(quick);
+    eprintln!("bench-json: measuring E11 (lock-service churn)...");
+    let e11 = run_e11(quick);
 
     print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
     print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
@@ -659,9 +744,24 @@ fn main() -> ExitCode {
         eprintln!("failed to create {out_dir}: {err}");
         return ExitCode::FAILURE;
     }
+    println!("\n## E11 lock-service churn ({}x oversubscribed)", e11.oversubscription);
+    println!("| algorithm | sessions/s | cs/s | aliasing | migrated |");
+    println!("|---|---|---|---|---|");
+    for entry in &e11.entries {
+        println!(
+            "| {} | {:.0} | {:.0} | {} | {} |",
+            entry.algorithm,
+            entry.sessions_per_sec,
+            entry.cs_per_sec,
+            entry.aliasing_violations,
+            entry.migrated
+        );
+    }
+
     for (name, json) in [
         ("BENCH_e6.json", bakery_json::to_string_pretty(&e6)),
         ("BENCH_e7.json", bakery_json::to_string_pretty(&e7)),
+        ("BENCH_e11.json", bakery_json::to_string_pretty(&e11)),
     ] {
         let path = format!("{out_dir}/{name}");
         let text = match json {

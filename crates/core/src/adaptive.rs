@@ -1,0 +1,505 @@
+//! [`AdaptiveBakery`]: a flat Bakery++ that migrates to a tree under load.
+//!
+//! The flat packed-snapshot Bakery++ wins while few processes are live (one
+//! small scan, global FCFS); the [`TreeBakery`] wins once contention or
+//! membership grows (O(K·log_K N) doorway, contention resolved inside
+//! subtrees).  The adaptive lock starts flat and performs a **one-way
+//! quiescent handoff** to the tree when either trigger fires:
+//!
+//! * **leased capacity** — live sessions (`attaches − detaches`, maintained
+//!   by the session plane) reach `capacity_threshold`;
+//! * **observed contention** — the flat lock's cumulative doorway wait
+//!   iterations reach `contention_threshold`.
+//!
+//! ## The handoff protocol
+//!
+//! Three shared words drive the migration: `epoch ∈ {FLAT, DRAIN, TREE}` and
+//! `flat_active`, a count of acquisitions currently routed to the flat plane.
+//!
+//! ```text
+//! acquire(i):                        trigger (any process):
+//!   loop:                              if epoch == FLAT and threshold hit:
+//!     e := epoch                         CAS epoch: FLAT -> DRAIN
+//!     if e == TREE:
+//!       tree.acquire(i); return      drain helper (any process, in acquire):
+//!     if e == DRAIN:                   if epoch == DRAIN and flat_active == 0:
+//!       help drain; retry                CAS epoch: DRAIN -> TREE
+//!     # e == FLAT:
+//!     flat_active += 1               release(i):
+//!     if epoch != FLAT:                plane[i].release(i)
+//!       flat_active -= 1; retry        if plane[i] was FLAT: flat_active -= 1
+//!     flat.acquire(i); return
+//! ```
+//!
+//! The store→load handshake mirrors the Bakery doorway's Dekker pattern: an
+//! acquirer *increments `flat_active` and then re-reads `epoch`*, while the
+//! drainer *writes `DRAIN` and then reads `flat_active`*.  Under the
+//! interleaving semantics at least one side observes the other, so either the
+//! acquirer aborts its flat route or the drainer waits for it — a flat
+//! acquisition can never overlap a tree acquisition, and mutual exclusion of
+//! the composite follows from mutual exclusion of each plane.  The epoch is
+//! monotone (`FLAT → DRAIN → TREE`), so the argument needs no second
+//! direction.  This exact handshake is modelled as a step machine in
+//! `bakery-spec::adaptive` and explored exhaustively by `bakery-mc`
+//! (`crates/mc/tests/adaptive_handoff.rs`).
+//!
+//! ## Statistics
+//!
+//! `cs_entries` is counted once, at the adaptive facade, exactly like the
+//! tree facade does — [`AdaptiveBakery::aggregate_snapshot`] folds the flat
+//! plane's and every tree node's counters but pins `cs_entries` to the
+//! facade's own count, so the PR 3 facade-only rule survives the migration
+//! (counted neither zero nor twice during the handoff).
+
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::bakery_pp::BakeryPlusPlusLock;
+use crate::raw::RawMutexAlgorithm;
+use crate::slots::SlotAllocator;
+use crate::snapshot::ScanMode;
+use crate::stats::{LockStats, StatsSnapshot};
+use crate::tree::{TreeBakery, DEFAULT_TREE_ARITY};
+use crate::sync::{AtomicU64, Ordering};
+
+/// Epoch value: all acquisitions route to the flat Bakery++.
+pub const EPOCH_FLAT: u64 = 0;
+/// Epoch value: migration triggered; the flat plane is draining.
+pub const EPOCH_DRAIN: u64 = 1;
+/// Epoch value: all acquisitions route to the tree.
+pub const EPOCH_TREE: u64 = 2;
+
+/// Default live-session count that triggers the migration (fraction of
+/// capacity, see [`AdaptiveBakery::default_capacity_threshold`]).
+const DEFAULT_CAPACITY_FRACTION: usize = 2; // capacity / 2
+
+/// Default cumulative flat doorway-wait iterations that trigger migration.
+pub const DEFAULT_CONTENTION_THRESHOLD: u64 = 1 << 14;
+
+/// A lock that starts as a flat packed-snapshot Bakery++ and migrates, once,
+/// to a [`TreeBakery`] when leased capacity or observed contention crosses a
+/// threshold.
+///
+/// ```
+/// use bakery_core::{AdaptiveBakery, RawMutexAlgorithm};
+///
+/// let lock = AdaptiveBakery::new(16);
+/// let slot = lock.register().unwrap();
+/// drop(lock.lock(&slot));
+/// assert!(!lock.has_migrated());
+/// lock.trigger_migration();          // or cross a threshold under load
+/// drop(lock.lock(&slot));
+/// assert!(lock.has_migrated());
+/// assert_eq!(lock.stats().cs_entries(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveBakery {
+    flat: BakeryPlusPlusLock,
+    tree: TreeBakery,
+    epoch: AtomicU64,
+    /// Number of acquisitions currently routed to the flat plane (incremented
+    /// *before* the epoch re-check — the Dekker half of the handshake).
+    flat_active: AtomicU64,
+    /// Which plane each pid's current acquisition went through (SWMR: only
+    /// pid's own thread writes entry `pid`).
+    route: Box<[AtomicU64]>,
+    capacity_threshold: usize,
+    contention_threshold: u64,
+    slots: Arc<SlotAllocator>,
+    stats: LockStats,
+}
+
+impl AdaptiveBakery {
+    /// Creates an adaptive lock for `n` processes with the default thresholds
+    /// (migrate at `n / 2` live sessions — at least 2 — or after `2^14`
+    /// cumulative flat doorway wait iterations) and default tree arity.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_mode(n, ScanMode::Packed)
+    }
+
+    /// Creates an adaptive lock with the default thresholds and an explicit
+    /// [`ScanMode`] — the constructor the registry uses, so factory-built
+    /// locks can never drift from [`AdaptiveBakery::new`]'s tuning.
+    #[must_use]
+    pub fn with_mode(n: usize, mode: ScanMode) -> Self {
+        Self::with_config(
+            n,
+            mode,
+            Self::default_capacity_threshold(n),
+            DEFAULT_CONTENTION_THRESHOLD,
+        )
+    }
+
+    /// The default leased-capacity migration threshold for an `n`-slot lock:
+    /// half the capacity, but at least 2 (a single live session never
+    /// migrates).
+    #[must_use]
+    pub fn default_capacity_threshold(n: usize) -> usize {
+        (n / DEFAULT_CAPACITY_FRACTION).max(2)
+    }
+
+    /// Creates an adaptive lock with every knob explicit.  The [`ScanMode`]
+    /// applies to both planes; the flat plane uses the default Bakery++
+    /// bound, the tree its per-node `M = K + 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_config(
+        n: usize,
+        mode: ScanMode,
+        capacity_threshold: usize,
+        contention_threshold: u64,
+    ) -> Self {
+        assert!(n > 0, "a lock needs at least one process slot");
+        Self {
+            flat: BakeryPlusPlusLock::with_bound_and_mode(
+                n,
+                crate::bakery_pp::DEFAULT_PP_BOUND,
+                mode,
+            ),
+            tree: TreeBakery::with_config(n, DEFAULT_TREE_ARITY.min(n.max(2)), mode),
+            epoch: AtomicU64::new(EPOCH_FLAT),
+            flat_active: AtomicU64::new(0),
+            route: (0..n).map(|_| AtomicU64::new(EPOCH_FLAT)).collect(),
+            capacity_threshold,
+            contention_threshold,
+            slots: SlotAllocator::new(n),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// The current migration epoch ([`EPOCH_FLAT`], [`EPOCH_DRAIN`] or
+    /// [`EPOCH_TREE`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// True once the lock has fully handed off to the tree plane.
+    #[must_use]
+    pub fn has_migrated(&self) -> bool {
+        self.epoch() == EPOCH_TREE
+    }
+
+    /// The flat plane (pre-migration route).
+    #[must_use]
+    pub fn flat(&self) -> &BakeryPlusPlusLock {
+        &self.flat
+    }
+
+    /// The tree plane (post-migration route).
+    #[must_use]
+    pub fn tree(&self) -> &TreeBakery {
+        &self.tree
+    }
+
+    /// The live-session threshold that triggers migration.
+    #[must_use]
+    pub fn capacity_threshold(&self) -> usize {
+        self.capacity_threshold
+    }
+
+    /// The flat doorway-wait threshold that triggers migration.
+    #[must_use]
+    pub fn contention_threshold(&self) -> u64 {
+        self.contention_threshold
+    }
+
+    /// Requests the migration now (idempotent; normally fired by the
+    /// thresholds).  The handoff still drains in-flight flat acquisitions
+    /// before any process enters through the tree.
+    pub fn trigger_migration(&self) {
+        let _ = self.epoch.compare_exchange(
+            EPOCH_FLAT,
+            EPOCH_DRAIN,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// True when either migration trigger currently fires.
+    fn should_migrate(&self) -> bool {
+        let live = self
+            .stats
+            .attaches()
+            .saturating_sub(self.stats.detaches());
+        live as usize >= self.capacity_threshold
+            || self.flat.stats().doorway_waits() >= self.contention_threshold
+    }
+
+    /// One drain-helping step: flip `DRAIN → TREE` once the flat plane is
+    /// quiescent.  Any process that observes `DRAIN` helps, so the handoff
+    /// needs no dedicated migrator thread.
+    fn help_drain(&self) {
+        if self.flat_active.load(Ordering::SeqCst) == 0 {
+            let _ = self.epoch.compare_exchange(
+                EPOCH_DRAIN,
+                EPOCH_TREE,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Folds the flat plane's and every tree node's statistics, with
+    /// `cs_entries` pinned to the adaptive facade's own counter (the PR 3
+    /// facade-only rule: entries are counted once, at the outermost facade,
+    /// and never double across the migration).
+    #[must_use]
+    pub fn aggregate_snapshot(&self) -> StatsSnapshot {
+        let mut total = self.stats.snapshot();
+        let facade_cs_entries = total.cs_entries;
+        total.merge(&self.flat.stats().snapshot());
+        total.merge(&self.tree.aggregate_snapshot());
+        total.cs_entries = facade_cs_entries;
+        total
+    }
+}
+
+impl RawMutexAlgorithm for AdaptiveBakery {
+    fn capacity(&self) -> usize {
+        self.route.len()
+    }
+
+    fn acquire(&self, pid: usize) {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.should_migrate() {
+            self.trigger_migration();
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            match self.epoch.load(Ordering::SeqCst) {
+                EPOCH_TREE => {
+                    // The epoch is monotone: once TREE, always TREE, so no
+                    // re-check is needed after this load.
+                    self.tree.acquire(pid);
+                    self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
+                    return;
+                }
+                EPOCH_DRAIN => {
+                    self.help_drain();
+                    backoff.snooze();
+                }
+                _ => {
+                    // FLAT: announce, then re-check (Dekker handshake with
+                    // the drainer's DRAIN-store / flat_active-read).
+                    self.flat_active.fetch_add(1, Ordering::SeqCst);
+                    if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT {
+                        self.flat.acquire(pid);
+                        self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
+                        return;
+                    }
+                    // Lost the race to the drainer: withdraw the announcement
+                    // and re-route.
+                    self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    fn release(&self, pid: usize) {
+        if self.route[pid].load(Ordering::SeqCst) == EPOCH_TREE {
+            self.tree.release(pid);
+        } else {
+            self.flat.release(pid);
+            self.flat_active.fetch_sub(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.should_migrate() {
+                self.trigger_migration();
+            }
+        }
+    }
+
+    fn try_acquire(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        match self.epoch.load(Ordering::SeqCst) {
+            EPOCH_TREE => {
+                if self.tree.try_acquire(pid) {
+                    self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
+                    true
+                } else {
+                    false
+                }
+            }
+            // Mid-handoff: conservatively fail rather than wait the drain out.
+            EPOCH_DRAIN => {
+                self.help_drain();
+                false
+            }
+            _ => {
+                self.flat_active.fetch_add(1, Ordering::SeqCst);
+                if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.flat.try_acquire(pid)
+                {
+                    self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
+                    true
+                } else {
+                    self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                    false
+                }
+            }
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "adaptive-bakery"
+    }
+
+    fn shared_word_count(&self) -> usize {
+        // Both planes exist for the lock's whole lifetime, plus the epoch
+        // and drain-count control words.
+        self.flat.shared_word_count() + self.tree.shared_word_count() + 2
+    }
+
+    fn register_bound(&self) -> Option<u64> {
+        // Tickets never exceed the larger of the two planes' bounds.
+        Some(self.flat.bound().max(self.tree.bound()))
+    }
+
+    fn slot_allocator(&self) -> &Arc<SlotAllocator> {
+        &self.slots
+    }
+
+    fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn as_raw(&self) -> &dyn RawMutexAlgorithm {
+        self
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+    #[test]
+    fn starts_flat_and_stays_flat_uncontended() {
+        let lock = AdaptiveBakery::new(8);
+        let slot = lock.register().unwrap();
+        for _ in 0..20 {
+            let _g = lock.lock(&slot);
+        }
+        assert_eq!(lock.epoch(), EPOCH_FLAT);
+        assert_eq!(lock.stats().cs_entries(), 20);
+        assert_eq!(lock.flat().stats().fast_path_hits(), 20);
+        assert_eq!(lock.tree().aggregate_snapshot().cs_entries, 0);
+    }
+
+    #[test]
+    fn manual_trigger_migrates_on_next_acquire() {
+        let lock = AdaptiveBakery::new(8);
+        let slot = lock.register().unwrap();
+        drop(lock.lock(&slot));
+        lock.trigger_migration();
+        assert_eq!(lock.epoch(), EPOCH_DRAIN);
+        drop(lock.lock(&slot)); // the acquirer helps drain, then routes tree
+        assert!(lock.has_migrated());
+        // Post-migration traffic exercises the tree only.
+        let before = lock.tree().level_snapshot(0).fast_path_hits;
+        drop(lock.lock(&slot));
+        assert!(lock.tree().level_snapshot(0).fast_path_hits > before);
+        assert_eq!(lock.stats().cs_entries(), 3);
+    }
+
+    #[test]
+    fn capacity_threshold_uses_session_counters() {
+        let lock = AdaptiveBakery::with_config(8, ScanMode::Packed, 3, u64::MAX);
+        let slot = lock.register().unwrap();
+        lock.stats().record_attach();
+        lock.stats().record_attach();
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch(), EPOCH_FLAT, "below the threshold");
+        lock.stats().record_attach();
+        drop(lock.lock(&slot));
+        assert!(lock.has_migrated(), "3 live sessions reach the threshold");
+    }
+
+    #[test]
+    fn detaches_count_against_the_live_threshold() {
+        let lock = AdaptiveBakery::with_config(8, ScanMode::Packed, 2, u64::MAX);
+        for _ in 0..5 {
+            lock.stats().record_attach();
+            lock.stats().record_detach();
+        }
+        let slot = lock.register().unwrap();
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch(), EPOCH_FLAT, "churn is not live capacity");
+    }
+
+    #[test]
+    fn migration_preserves_mutual_exclusion_mid_workload() {
+        // 4 threads hammer the lock; one of them triggers the migration
+        // mid-run, so acquisitions cross the FLAT -> DRAIN -> TREE handoff
+        // under real contention.
+        let lock = Arc::new(AdaptiveBakery::new(4));
+        let in_cs = StdAtomicU64::new(0);
+        let total = StdAtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = &in_cs;
+                let total = &total;
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for i in 0..300 {
+                        if t == 0 && i == 150 {
+                            lock.trigger_migration();
+                        }
+                        let _g = lock.lock(&slot);
+                        assert_eq!(in_cs.fetch_add(1, StdOrdering::SeqCst), 0);
+                        total.fetch_add(1, StdOrdering::SeqCst);
+                        in_cs.fetch_sub(1, StdOrdering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(lock.has_migrated());
+        assert_eq!(total.load(StdOrdering::SeqCst), 1200);
+        assert_eq!(lock.stats().cs_entries(), 1200);
+        let aggregate = lock.aggregate_snapshot();
+        assert_eq!(aggregate.overflow_attempts, 0);
+        // Facade-only cs_entries across the migration: flat + tree traffic
+        // is folded for every other counter, but entries count exactly once.
+        assert_eq!(aggregate.cs_entries, 1200);
+        assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn try_acquire_routes_like_acquire() {
+        let lock = AdaptiveBakery::new(4);
+        let slot = lock.register().unwrap();
+        {
+            let g = lock.try_lock(&slot).expect("uncontended flat try");
+            assert_eq!(g.pid(), 0);
+        }
+        lock.trigger_migration();
+        assert!(
+            !lock.try_acquire(slot.pid()),
+            "mid-drain try_acquire conservatively fails (and helps drain)"
+        );
+        assert!(lock.has_migrated(), "the failed try helped the drain flip");
+        {
+            let _g = lock.try_lock(&slot).expect("uncontended tree try");
+        }
+        assert_eq!(lock.stats().cs_entries(), 2);
+        assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn small_capacity_clamps_tree_arity() {
+        let lock = AdaptiveBakery::new(2);
+        let slot = lock.register().unwrap();
+        lock.trigger_migration();
+        drop(lock.lock(&slot));
+        assert!(lock.has_migrated());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pid_panics() {
+        let lock = AdaptiveBakery::new(2);
+        lock.acquire(5);
+    }
+}

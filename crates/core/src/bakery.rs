@@ -19,7 +19,7 @@
 //! wrap-around by default) silently corrupts the ordering, which can violate
 //! mutual exclusion.  Experiments **E1** and **E2** demonstrate both halves.
 //!
-//! Besides the blocking [`RawNProcessLock::acquire`] path the lock exposes the
+//! Besides the blocking [`RawMutexAlgorithm::acquire`] path the lock exposes the
 //! two protocol phases separately — [`BakeryLock::try_doorway`] and
 //! [`BakeryLock::await_turn`] — so the experiment harness can replay the
 //! paper's prose scenarios deterministically without spawning threads.
@@ -27,7 +27,7 @@
 use std::sync::Arc;
 
 use crate::backoff::Backoff;
-use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
+use crate::raw::{DoorwayOutcome, RawMutexAlgorithm};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
 use crate::snapshot::{PackedSnapshot, ScanMode};
@@ -39,7 +39,7 @@ use crate::DEFAULT_BOUND;
 /// Lamport's Bakery lock for up to `N` processes.
 ///
 /// ```
-/// use bakery_core::{BakeryLock, NProcessMutex};
+/// use bakery_core::{BakeryLock, RawMutexAlgorithm};
 ///
 /// let lock = BakeryLock::new(2);
 /// let slot = lock.register().unwrap();
@@ -190,7 +190,7 @@ impl BakeryLock {
     }
 }
 
-impl RawNProcessLock for BakeryLock {
+impl RawMutexAlgorithm for BakeryLock {
     fn capacity(&self) -> usize {
         self.file.len()
     }
@@ -202,6 +202,20 @@ impl RawNProcessLock for BakeryLock {
 
     fn release(&self, pid: usize) {
         self.file.write_number(pid, 0, &self.stats);
+    }
+
+    fn try_acquire(&self, pid: usize) -> bool {
+        // Draw a ticket, then evaluate the L2/L3 condition once instead of
+        // waiting on it.  A failed attempt backs out by resetting the pid's
+        // own registers — observationally a doorway crash, which the paper's
+        // assumptions 1.5–1.7 explicitly permit.
+        let _ = self.try_doorway(pid);
+        if self.may_enter(pid) {
+            true
+        } else {
+            self.file.write_number(pid, 0, &self.stats);
+            false
+        }
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -216,9 +230,7 @@ impl RawNProcessLock for BakeryLock {
     fn register_bound(&self) -> Option<u64> {
         Some(self.file.bound())
     }
-}
 
-impl NProcessMutex for BakeryLock {
     fn slot_allocator(&self) -> &Arc<SlotAllocator> {
         &self.slots
     }
@@ -227,7 +239,7 @@ impl NProcessMutex for BakeryLock {
         &self.stats
     }
 
-    fn as_raw(&self) -> &dyn RawNProcessLock {
+    fn as_raw(&self) -> &dyn RawMutexAlgorithm {
         self
     }
 }

@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use crate::backoff::Backoff;
 use crate::bakery::{await_turn_packed, await_turn_padded};
-use crate::raw::{DoorwayOutcome, NProcessMutex, RawNProcessLock};
+use crate::raw::{DoorwayOutcome, RawMutexAlgorithm};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
 use crate::snapshot::ScanMode;
@@ -56,7 +56,7 @@ pub const DEFAULT_PP_BOUND: u64 = u16::MAX as u64;
 /// processes with a hard guarantee that no register ever exceeds its bound.
 ///
 /// ```
-/// use bakery_core::{BakeryPlusPlusLock, NProcessMutex};
+/// use bakery_core::{BakeryPlusPlusLock, RawMutexAlgorithm};
 ///
 /// let lock = BakeryPlusPlusLock::with_bound(3, 1000);
 /// let slot = lock.register().unwrap();
@@ -165,7 +165,7 @@ impl BakeryPlusPlusLock {
     ///   process reset its registers (`number[i] := 0; choosing[i] := 0`);
     /// * [`DoorwayOutcome::Ticket`] — a ticket `maximum + 1 ≤ M` was stored.
     ///
-    /// The blocking [`RawNProcessLock::acquire`] simply retries this until a
+    /// The blocking [`RawMutexAlgorithm::acquire`] simply retries this until a
     /// ticket is obtained; the harness records the intermediate outcomes for
     /// experiments **E1** and **E6**.
     pub fn try_doorway(&self, pid: usize) -> DoorwayOutcome {
@@ -244,7 +244,7 @@ impl BakeryPlusPlusLock {
     }
 }
 
-impl RawNProcessLock for BakeryPlusPlusLock {
+impl RawMutexAlgorithm for BakeryPlusPlusLock {
     fn capacity(&self) -> usize {
         self.file.len()
     }
@@ -275,6 +275,22 @@ impl RawNProcessLock for BakeryPlusPlusLock {
         self.file.write_number(pid, 0, &self.stats);
     }
 
+    fn try_acquire(&self, pid: usize) -> bool {
+        // One doorway pass (Blocked/Reset already leave the registers clean),
+        // then one non-blocking evaluation of the L2/L3 condition.  Backing
+        // out of a held ticket resets the pid's own registers — the paper's
+        // doorway-crash rule (assumptions 1.5–1.7), so safety is unaffected.
+        if !self.try_doorway(pid).took_ticket() {
+            return false;
+        }
+        if self.may_enter(pid) {
+            true
+        } else {
+            self.file.write_number(pid, 0, &self.stats);
+            false
+        }
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "bakery++"
     }
@@ -288,9 +304,7 @@ impl RawNProcessLock for BakeryPlusPlusLock {
     fn register_bound(&self) -> Option<u64> {
         Some(self.bound)
     }
-}
 
-impl NProcessMutex for BakeryPlusPlusLock {
     fn slot_allocator(&self) -> &Arc<SlotAllocator> {
         &self.slots
     }
@@ -299,7 +313,7 @@ impl NProcessMutex for BakeryPlusPlusLock {
         &self.stats
     }
 
-    fn as_raw(&self) -> &dyn RawNProcessLock {
+    fn as_raw(&self) -> &dyn RawMutexAlgorithm {
         self
     }
 }

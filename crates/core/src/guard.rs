@@ -9,21 +9,21 @@
 
 use std::fmt;
 
-use crate::raw::RawNProcessLock;
+use crate::raw::RawMutexAlgorithm;
 
 /// A held critical section; releases the lock when dropped.
 pub struct CriticalSectionGuard<'a> {
-    lock: &'a dyn RawNProcessLock,
+    lock: &'a dyn RawMutexAlgorithm,
     pid: usize,
 }
 
 impl<'a> CriticalSectionGuard<'a> {
     /// Builds a guard for a critical section that has already been entered.
     ///
-    /// This is only called from [`crate::raw::NProcessMutex::checked_lock`]
+    /// This is only called from [`crate::raw::RawMutexAlgorithm::checked_lock`]
     /// after a successful `acquire`.
     #[must_use]
-    pub(crate) fn new(lock: &'a dyn RawNProcessLock, pid: usize) -> Self {
+    pub(crate) fn new(lock: &'a dyn RawMutexAlgorithm, pid: usize) -> Self {
         Self { lock, pid }
     }
 

@@ -22,7 +22,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use bakery_core::{BakeryPlusPlusLock, NProcessMutex};
+//! use bakery_core::{BakeryPlusPlusLock, RawMutexAlgorithm};
 //!
 //! // A lock for up to 4 participating processes with register bound M = 255.
 //! let lock = BakeryPlusPlusLock::with_bound(4, 255);
@@ -46,11 +46,13 @@
 //! | [`registers`] | bounded single-writer registers, register files, overflow accounting |
 //! | [`snapshot`] | the packed snapshot plane: choosing bitmap + dense ticket lanes, scan modes |
 //! | [`slots`] | process slot allocation (which thread plays which process id) |
-//! | [`raw`] | the [`RawNProcessLock`] / [`NProcessMutex`] traits |
+//! | [`raw`] | the object-safe [`RawMutexAlgorithm`] trait every lock implements |
 //! | [`guard`] | RAII critical-section guards |
 //! | [`bakery`] | Lamport's original Bakery algorithm (Algorithm 1 of the paper) |
 //! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
 //! | [`tree`] | tournament-of-bounded-bakeries: the K-ary [`TreeBakery`] composite |
+//! | [`session`] | dynamic membership: pid-slot leasing with RAII [`Session`]s |
+//! | [`adaptive`] | [`AdaptiveBakery`]: flat Bakery++ that migrates to a tree under load |
 //! | [`backoff`] | spin/yield backoff shared by the locks |
 //! | [`stats`] | lock statistics (overflows, resets, doorway waits, fast-path hits, …) |
 //!
@@ -109,12 +111,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod backoff;
 pub mod bakery;
 pub mod bakery_pp;
 pub mod guard;
 pub mod raw;
 pub mod registers;
+pub mod session;
 pub mod slots;
 pub mod snapshot;
 pub mod stats;
@@ -122,11 +126,14 @@ pub mod sync;
 pub mod ticket;
 pub mod tree;
 
+pub use adaptive::AdaptiveBakery;
 pub use bakery::BakeryLock;
 pub use bakery_pp::{BakeryPlusPlusLock, DEFAULT_PP_BOUND};
 pub use guard::CriticalSectionGuard;
-pub use raw::{DoorwayOutcome, LockError, NProcessMutex, RawNProcessLock};
+pub use raw::{DoorwayOutcome, LockError, RawMutexAlgorithm};
+
 pub use registers::{BoundedRegister, OverflowEvent, OverflowPolicy, RegisterFile};
+pub use session::{Session, SessionError, SessionGuard, SessionPlane};
 pub use slots::{Slot, SlotError};
 pub use snapshot::{LaneWidth, PackedSnapshot, ScanMode};
 pub use stats::LockStats;
@@ -137,7 +144,7 @@ pub use tree::{TreeBakery, DEFAULT_TREE_ARITY};
 pub mod prelude {
     pub use crate::bakery::BakeryLock;
     pub use crate::bakery_pp::BakeryPlusPlusLock;
-    pub use crate::raw::{NProcessMutex, RawNProcessLock};
+    pub use crate::raw::{RawMutexAlgorithm};
     pub use crate::registers::OverflowPolicy;
     pub use crate::slots::Slot;
 }

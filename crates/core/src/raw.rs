@@ -1,15 +1,53 @@
-//! Lock traits: the low-level pid-based protocol and the slot-based facade.
+//! [`RawMutexAlgorithm`]: the one object-safe trait behind the whole lock
+//! stack.
 //!
-//! Two layers mirror how the paper talks about the algorithm:
+//! Earlier revisions of this crate split the lock surface into a low-level
+//! protocol trait (acquire/release by pid) and a user-facing mutex facade
+//! (slots, guards, stats).  Every consumer — the
+//! factory/registry in `bakery-baselines`, the workload harness, the
+//! conformance plane, the session plane — ended up requiring *both*, so the
+//! two layers were unified into a single trait:
 //!
-//! * [`RawNProcessLock`] is the algorithm itself — "the procedure for process
-//!   numbered *i*" — parameterised only by the process id.  Everything in the
-//!   `bakery-baselines` crate and the benchmark harness works against this
-//!   trait so all algorithms are interchangeable.
-//! * [`NProcessMutex`] is the user-facing facade: it allocates process ids as
-//!   [`Slot`]s, hands out RAII [`CriticalSectionGuard`]s and exposes the
-//!   lock's [`LockStats`].  It has blanket default methods, so a lock only
-//!   implements the three accessor methods plus `RawNProcessLock`.
+//! * the **protocol surface** — [`RawMutexAlgorithm::acquire`],
+//!   [`RawMutexAlgorithm::release`], [`RawMutexAlgorithm::try_acquire`] —
+//!   "the procedure for process numbered *i*", parameterised only by pid;
+//! * the **metadata surface** — [`RawMutexAlgorithm::capacity`],
+//!   [`RawMutexAlgorithm::algorithm_name`],
+//!   [`RawMutexAlgorithm::shared_word_count`],
+//!   [`RawMutexAlgorithm::register_bound`], [`RawMutexAlgorithm::stats`] —
+//!   what the experiment harness and reports consume uniformly;
+//! * the **facade surface** — default methods ([`RawMutexAlgorithm::lock`],
+//!   [`RawMutexAlgorithm::try_lock`], [`RawMutexAlgorithm::register`]) that
+//!   allocate process ids as [`Slot`]s and hand out RAII
+//!   [`CriticalSectionGuard`]s.
+//!
+//! The trait is object safe: `Arc<dyn RawMutexAlgorithm>` is the currency of
+//! the registry, the workload runner and the session plane
+//! ([`crate::session`]), so adding an algorithm never adds a dispatch arm
+//! anywhere.
+//!
+//! # Safety contract
+//!
+//! Implementations and callers of the pid-level protocol surface must uphold,
+//! and may assume, three rules (the same rules the paper's "process *i*"
+//! formulation encodes implicitly):
+//!
+//! 1. **pid in range** — `acquire`/`release`/`try_acquire` are only defined
+//!    for `pid < capacity()`; implementations may panic on anything else.
+//! 2. **no reentrancy** — a pid that has entered the critical section (via
+//!    `acquire`, or a `try_acquire` that returned `true`) must not call
+//!    `acquire`/`try_acquire` again until it has called `release`.  A pid is
+//!    driven by at most one thread at a time; the [`Slot`] and
+//!    [`crate::session::Session`] tokens enforce this structurally.
+//! 3. **release after acquire** — every `release(pid)` must pair with exactly
+//!    one prior successful acquisition by the same pid.  Releasing an idle pid
+//!    or double-releasing corrupts the protocol state (for the Bakery family
+//!    it forges `number[i] := 0` stores that break FCFS and, under bounds,
+//!    mutual exclusion).
+//!
+//! These rules are what make the trait implementable with plain single-writer
+//! registers — nothing here requires the implementation to defend against a
+//! hostile caller, only against concurrency.
 
 use std::fmt;
 use std::sync::Arc;
@@ -85,13 +123,12 @@ impl DoorwayOutcome {
     }
 }
 
-/// The low-level N-process mutual exclusion protocol.
-///
-/// Implementations must guarantee mutual exclusion between distinct process
-/// ids when `acquire`/`release` are called in the usual bracketed fashion, and
-/// must tolerate a process id never being used.  The trait is object safe so
-/// the experiment harness can treat every algorithm uniformly.
-pub trait RawNProcessLock: Send + Sync {
+/// The one trait every lock in the suite implements — protocol, metadata and
+/// facade in a single object-safe surface (see the module docs for the exact
+/// safety contract: pid in range, no reentrancy, release after acquire).
+pub trait RawMutexAlgorithm: Send + Sync {
+    // --- protocol surface -------------------------------------------------
+
     /// Maximum number of participating processes (the paper's `N`).
     fn capacity(&self) -> usize;
 
@@ -105,6 +142,22 @@ pub trait RawNProcessLock: Send + Sync {
     /// Leaves the critical section as process `pid`.
     fn release(&self, pid: usize);
 
+    /// One non-blocking attempt to enter the critical section as `pid`.
+    ///
+    /// Returns `true` with the critical section held, or `false` without any
+    /// side effect a concurrent observer could mistake for an acquisition.
+    /// **May fail spuriously**: a `false` does not prove the lock was held —
+    /// for the read/write-register algorithms a single non-blocking pass can
+    /// only establish "I could not prove I may enter", and backing out of the
+    /// doorway (resetting the pid's own registers, the paper's crash rule
+    /// 1.5–1.7) is itself observable as contention.  The conservative default
+    /// always fails; locks with a cheap one-pass entry condition override it.
+    fn try_acquire(&self, _pid: usize) -> bool {
+        false
+    }
+
+    // --- metadata surface -------------------------------------------------
+
     /// A short human-readable algorithm name used in reports.
     fn algorithm_name(&self) -> &'static str;
 
@@ -116,15 +169,18 @@ pub trait RawNProcessLock: Send + Sync {
     fn register_bound(&self) -> Option<u64> {
         None
     }
-}
-
-/// User-facing facade: slot allocation, RAII guards and statistics.
-pub trait NProcessMutex: RawNProcessLock {
-    /// The lock's slot allocator.
-    fn slot_allocator(&self) -> &Arc<SlotAllocator>;
 
     /// The lock's statistics block.
     fn stats(&self) -> &LockStats;
+
+    /// The lock's slot allocator.
+    fn slot_allocator(&self) -> &Arc<SlotAllocator>;
+
+    /// Upcast helper so default methods can build guards over `dyn` locks;
+    /// every implementation is literally `self`.
+    fn as_raw(&self) -> &dyn RawMutexAlgorithm;
+
+    // --- facade surface (default methods) ---------------------------------
 
     /// Claims the lowest free process slot.
     fn register(&self) -> Result<Slot, SlotError> {
@@ -147,21 +203,36 @@ pub trait NProcessMutex: RawNProcessLock {
         }
     }
 
-    /// Like [`NProcessMutex::lock`] but reports a foreign slot as an error.
+    /// Like [`RawMutexAlgorithm::lock`] but reports a foreign slot as an
+    /// error.
     fn checked_lock<'a>(&'a self, slot: &'a Slot) -> Result<CriticalSectionGuard<'a>, LockError> {
         if !slot.belongs_to(self.slot_allocator()) {
             return Err(LockError::ForeignSlot { pid: slot.pid() });
         }
         self.acquire(slot.pid());
         self.stats().record_cs_entry();
-        Ok(CriticalSectionGuard::new(
-            self.as_raw(),
-            slot.pid(),
-        ))
+        Ok(CriticalSectionGuard::new(self.as_raw(), slot.pid()))
     }
 
-    /// Upcast helper so default methods can build guards over `dyn` locks.
-    fn as_raw(&self) -> &dyn RawNProcessLock;
+    /// One non-blocking attempt to enter the critical section; `None` when
+    /// the attempt failed (possibly spuriously — see
+    /// [`RawMutexAlgorithm::try_acquire`]).
+    ///
+    /// # Panics
+    /// Panics if `slot` was allocated by a different lock instance.
+    fn try_lock<'a>(&'a self, slot: &'a Slot) -> Option<CriticalSectionGuard<'a>> {
+        assert!(
+            slot.belongs_to(self.slot_allocator()),
+            "{}",
+            LockError::ForeignSlot { pid: slot.pid() }
+        );
+        if self.try_acquire(slot.pid()) {
+            self.stats().record_cs_entry();
+            Some(CriticalSectionGuard::new(self.as_raw(), slot.pid()))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(all(test, not(loom)))]
@@ -174,5 +245,56 @@ mod tests {
         assert!(e.to_string().contains("different lock instance"));
         let e: LockError = SlotError::Exhausted { capacity: 2 }.into();
         assert!(e.to_string().contains("slot allocation failed"));
+    }
+
+    #[test]
+    fn try_lock_and_default_try_acquire() {
+        use crate::bakery_pp::BakeryPlusPlusLock;
+        let lock = BakeryPlusPlusLock::with_bound(2, 100);
+        let slot = lock.register().unwrap();
+        {
+            let g = lock.try_lock(&slot).expect("uncontended try_lock succeeds");
+            assert_eq!(g.pid(), 0);
+        }
+        assert_eq!(lock.stats().cs_entries(), 1);
+
+        // A lock without an override conservatively fails.
+        struct NoTry(Arc<SlotAllocator>, LockStats);
+        impl RawMutexAlgorithm for NoTry {
+            fn capacity(&self) -> usize {
+                1
+            }
+            fn acquire(&self, _pid: usize) {}
+            fn release(&self, _pid: usize) {}
+            fn algorithm_name(&self) -> &'static str {
+                "no-try"
+            }
+            fn shared_word_count(&self) -> usize {
+                0
+            }
+            fn stats(&self) -> &LockStats {
+                &self.1
+            }
+            fn slot_allocator(&self) -> &Arc<SlotAllocator> {
+                &self.0
+            }
+            fn as_raw(&self) -> &dyn RawMutexAlgorithm {
+                self
+            }
+        }
+        let lock = NoTry(SlotAllocator::new(1), LockStats::new());
+        let slot = lock.register().unwrap();
+        assert!(lock.try_lock(&slot).is_none(), "conservative default fails");
+        assert_eq!(lock.stats().cs_entries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lock instance")]
+    fn try_lock_rejects_foreign_slot() {
+        use crate::bakery_pp::BakeryPlusPlusLock;
+        let a = BakeryPlusPlusLock::with_bound(2, 100);
+        let b = BakeryPlusPlusLock::with_bound(2, 100);
+        let slot = a.register().unwrap();
+        let _ = b.try_lock(&slot);
     }
 }

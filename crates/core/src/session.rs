@@ -1,0 +1,614 @@
+//! The session plane: dynamic membership over a fixed-capacity lock.
+//!
+//! Every lock in this suite is built for a fixed set of `N` processes named
+//! `0..N` — the paper's model.  A lock *service*, by contrast, faces an
+//! unbounded population of transient clients: far more clients than slots,
+//! arriving and departing continuously.  The [`SessionPlane`] bridges the two
+//! worlds: it leases the underlying lock's pid slots to clients as RAII
+//! [`Session`] handles, recycling each pid as soon as its session detaches.
+//!
+//! ## Leasing protocol
+//!
+//! Each pid has one **seat word** (an `AtomicU64`):
+//!
+//! ```text
+//! bit 0      LEASED   a session currently owns this pid
+//! bit 1      BUSY     the owning session is inside acquire…release
+//! bits 2..   GEN      bumped once per detach (lease generation)
+//! ```
+//!
+//! * **attach** — one CAS per probed seat, `free(g) → leased(g)`; lock-free
+//!   (a failed CAS means another client won that seat, move to the next).
+//! * **lock** — CAS `leased(g) → leased(g)|BUSY`, then the underlying
+//!   [`RawMutexAlgorithm::acquire`]; the guard clears `BUSY` after `release`.
+//! * **detach** — CAS `leased(g) → free(g+1)`: the generation bump is what
+//!   makes recycling safe (below).
+//!
+//! ## Why the generation tag
+//!
+//! A recycled slot must never alias an in-flight acquisition.  Two races are
+//! in scope:
+//!
+//! 1. **detach vs. own acquisition** — detach refuses to complete while the
+//!    `BUSY` bit is set (and the RAII types make this unreachable anyway:
+//!    a [`SessionGuard`] borrows its [`Session`]).
+//! 2. **stale handle vs. recycled seat** — after [`SessionPlane::force_detach`]
+//!    evicts a session (the operator's "client crashed in its noncritical
+//!    section" action, paper assumptions 1.5–1.7), the seat can be re-leased.
+//!    Every operation of the stale session compares the full seat word,
+//!    *including the generation*: its `lock()` CAS fails loudly instead of
+//!    acquiring a pid that now belongs to someone else, and its drop sees a
+//!    foreign generation and walks away instead of freeing the new lease —
+//!    the classic ABA that a plain leased-bit could not detect.
+//!
+//! The plane claims every [`Slot`] of the underlying lock at construction, so
+//! sessions are the *only* path to the lock's pids — a plain `Slot` user
+//! cannot collide with a leased session.
+//!
+//! Attach/detach totals are recorded in the underlying lock's [`LockStats`]
+//! ([`LockStats::attaches`] / [`LockStats::detaches`]), so workload reports
+//! can show churn next to critical-section counts.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::raw::RawMutexAlgorithm;
+use crate::slots::Slot;
+use crate::stats::LockStats;
+use crate::sync::{AtomicU64, Ordering};
+
+/// Seat-word bit: a session currently owns this pid.
+const LEASED: u64 = 0b01;
+/// Seat-word bit: the owning session is between acquire and release.
+const BUSY: u64 = 0b10;
+/// Shift of the lease generation within the seat word.
+const GEN_SHIFT: u32 = 2;
+
+#[inline]
+fn seat_word(gen: u64, flags: u64) -> u64 {
+    (gen << GEN_SHIFT) | flags
+}
+
+#[inline]
+fn seat_gen(word: u64) -> u64 {
+    word >> GEN_SHIFT
+}
+
+/// Errors surfaced by [`SessionPlane::try_attach`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// Every pid slot of the underlying lock is currently leased.
+    Exhausted {
+        /// Slot capacity of the underlying lock.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Exhausted { capacity } => {
+                write!(f, "all {capacity} pid slots are leased to live sessions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Lock-free pid-slot leasing over any [`RawMutexAlgorithm`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use bakery_core::{BakeryPlusPlusLock, RawMutexAlgorithm};
+/// use bakery_core::session::SessionPlane;
+///
+/// let lock: Arc<dyn RawMutexAlgorithm> = Arc::new(BakeryPlusPlusLock::with_bound(4, 255));
+/// let plane = SessionPlane::new(lock);
+/// let session = plane.attach();           // lease a pid
+/// {
+///     let _guard = session.lock();        // enter the critical section
+/// }
+/// drop(session);                          // pid recycled for the next client
+/// assert_eq!(plane.stats().attaches(), 1);
+/// assert_eq!(plane.stats().detaches(), 1);
+/// ```
+pub struct SessionPlane {
+    lock: Arc<dyn RawMutexAlgorithm>,
+    seats: Box<[AtomicU64]>,
+    /// Exclusive claim on every pid of the underlying lock: holding the
+    /// `Slot`s makes the plane the only way to drive the lock.
+    _slots: Vec<Slot>,
+}
+
+impl fmt::Debug for SessionPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPlane")
+            .field("algorithm", &self.lock.algorithm_name())
+            .field("capacity", &self.capacity())
+            .field("live_sessions", &self.live_sessions())
+            .finish()
+    }
+}
+
+impl SessionPlane {
+    /// Builds a session plane over `lock`, claiming every one of its slots.
+    ///
+    /// # Panics
+    /// Panics if any slot of `lock` is already claimed — the plane must be
+    /// the lock's sole driver for the leasing guarantees to hold.
+    #[must_use]
+    pub fn new(lock: Arc<dyn RawMutexAlgorithm>) -> Arc<Self> {
+        let capacity = lock.capacity();
+        let slots: Vec<Slot> = (0..capacity)
+            .map(|pid| {
+                lock.register_exact(pid)
+                    .expect("the session plane must own every slot of its lock")
+            })
+            .collect();
+        Arc::new(Self {
+            lock,
+            seats: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            _slots: slots,
+        })
+    }
+
+    /// Number of pid slots (the maximum number of concurrently live
+    /// sessions).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// The underlying lock algorithm.
+    #[must_use]
+    pub fn algorithm(&self) -> &dyn RawMutexAlgorithm {
+        &*self.lock
+    }
+
+    /// The underlying lock's statistics block (attach/detach totals included).
+    #[must_use]
+    pub fn stats(&self) -> &LockStats {
+        self.lock.stats()
+    }
+
+    /// Number of currently leased seats.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.seats
+            .iter()
+            .filter(|seat| seat.load(Ordering::SeqCst) & LEASED != 0)
+            .count()
+    }
+
+    /// Leases a free pid, or reports exhaustion without blocking.
+    pub fn try_attach(self: &Arc<Self>) -> Result<Session, SessionError> {
+        for pid in 0..self.capacity() {
+            let seat = &self.seats[pid];
+            let word = seat.load(Ordering::SeqCst);
+            if word & LEASED != 0 {
+                continue;
+            }
+            let gen = seat_gen(word);
+            if seat
+                .compare_exchange(
+                    seat_word(gen, 0),
+                    seat_word(gen, LEASED),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                self.lock.stats().record_attach();
+                return Ok(Session {
+                    plane: Arc::clone(self),
+                    pid,
+                    gen,
+                });
+            }
+        }
+        Err(SessionError::Exhausted {
+            capacity: self.capacity(),
+        })
+    }
+
+    /// Leases a pid, backing off until one frees up.
+    ///
+    /// This is the client-facing entry point of the E11 "lock service"
+    /// regime: far more clients than seats, each waiting its turn to attach.
+    #[must_use]
+    pub fn attach(self: &Arc<Self>) -> Session {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_attach() {
+                Ok(session) => return session,
+                Err(SessionError::Exhausted { .. }) => backoff.snooze(),
+            }
+        }
+    }
+
+    /// Evicts the session on `pid`, if any, making its seat leasable again.
+    ///
+    /// Models the operator action for a client that crashed in its
+    /// noncritical section (paper assumptions 1.5–1.7).  Spins out an
+    /// acquisition that is still in flight (`BUSY`), then bumps the lease
+    /// generation so every later operation of the stale [`Session`] handle
+    /// fails its seat-word comparison instead of aliasing the next lease.
+    ///
+    /// Returns `true` when a lease was evicted.
+    pub fn force_detach(&self, pid: usize) -> bool {
+        let seat = &self.seats[pid];
+        let mut backoff = Backoff::new();
+        loop {
+            let word = seat.load(Ordering::SeqCst);
+            if word & LEASED == 0 {
+                return false;
+            }
+            if word & BUSY != 0 {
+                // Never reclaim mid-acquisition: wait for the guard to drop.
+                backoff.snooze();
+                continue;
+            }
+            if self.detach_seat(pid, seat_gen(word)) {
+                return true;
+            }
+        }
+    }
+
+    /// CAS `leased(gen) → free(gen + 1)`.  Fails (returns `false`) when the
+    /// seat is busy, already free, or on a different generation — i.e. when
+    /// the caller's view of the lease is stale.
+    fn detach_seat(&self, pid: usize, gen: u64) -> bool {
+        let freed = self.seats[pid]
+            .compare_exchange(
+                seat_word(gen, LEASED),
+                seat_word(gen.wrapping_add(1), 0),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if freed {
+            self.lock.stats().record_detach();
+        }
+        freed
+    }
+}
+
+/// A leased pid on a [`SessionPlane`]; detaches (recycling the pid) on drop.
+///
+/// The session is the unit of dynamic membership: `attach → lock/unlock… →
+/// detach` is one client's lifetime, and the underlying fixed-`N` lock only
+/// ever sees its stable pid set.
+pub struct Session {
+    plane: Arc<SessionPlane>,
+    pid: usize,
+    gen: u64,
+}
+
+impl Session {
+    /// The leased pid (the process id this client plays).
+    #[must_use]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The lease generation of this session's seat.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// The plane this session is attached to.
+    #[must_use]
+    pub fn plane(&self) -> &Arc<SessionPlane> {
+        &self.plane
+    }
+
+    /// Marks the seat `BUSY` for the duration of an acquisition.
+    ///
+    /// # Panics
+    /// Panics if the session was evicted by [`SessionPlane::force_detach`]
+    /// and its seat re-leased — the generation mismatch is detected here,
+    /// which is exactly the aliasing the tag exists to prevent.
+    fn mark_busy(&self) {
+        let leased = seat_word(self.gen, LEASED);
+        self.plane.seats[self.pid]
+            .compare_exchange(
+                leased,
+                leased | BUSY,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap_or_else(|actual| {
+                panic!(
+                    "stale session: pid {} generation {} was force-detached \
+                     (seat word is now {actual:#x})",
+                    self.pid, self.gen
+                )
+            });
+    }
+
+    fn clear_busy(&self) {
+        // Only this session's thread sets BUSY, so a plain store suffices; a
+        // concurrent force_detach is spinning on this bit and will observe it.
+        self.plane.seats[self.pid].store(seat_word(self.gen, LEASED), Ordering::SeqCst);
+    }
+
+    /// Enters the critical section, blocking until granted.
+    ///
+    /// # Panics
+    /// Panics if the session is stale (see [`SessionPlane::force_detach`]).
+    #[must_use]
+    pub fn lock(&self) -> SessionGuard<'_> {
+        self.mark_busy();
+        self.plane.lock.acquire(self.pid);
+        self.plane.lock.stats().record_cs_entry();
+        SessionGuard { session: self }
+    }
+
+    /// One non-blocking attempt to enter the critical section (may fail
+    /// spuriously, like [`RawMutexAlgorithm::try_acquire`]).
+    ///
+    /// # Panics
+    /// Panics if the session is stale (see [`SessionPlane::force_detach`]).
+    #[must_use]
+    pub fn try_lock(&self) -> Option<SessionGuard<'_>> {
+        self.mark_busy();
+        if self.plane.lock.try_acquire(self.pid) {
+            self.plane.lock.stats().record_cs_entry();
+            Some(SessionGuard { session: self })
+        } else {
+            self.clear_busy();
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("pid", &self.pid)
+            .field("generation", &self.gen)
+            .field("algorithm", &self.plane.lock.algorithm_name())
+            .finish()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A stale session (evicted seat, possibly re-leased at a higher
+        // generation) must walk away without freeing the *new* lease: the
+        // generation comparison inside detach_seat makes its CAS fail.
+        let _ = self.plane.detach_seat(self.pid, self.gen);
+    }
+}
+
+/// A critical section held through a [`Session`]; releases on drop.
+pub struct SessionGuard<'a> {
+    session: &'a Session,
+}
+
+impl SessionGuard<'_> {
+    /// The pid holding the critical section.
+    #[must_use]
+    pub fn pid(&self) -> usize {
+        self.session.pid
+    }
+}
+
+impl fmt::Debug for SessionGuard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionGuard")
+            .field("pid", &self.session.pid)
+            .finish()
+    }
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.session.plane.lock.release(self.session.pid);
+        self.session.clear_busy();
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::bakery_pp::BakeryPlusPlusLock;
+    use crate::tree::TreeBakery;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+    use std::sync::Mutex;
+
+    fn plane_over_pp(n: usize) -> Arc<SessionPlane> {
+        SessionPlane::new(Arc::new(BakeryPlusPlusLock::with_bound(n, 255)))
+    }
+
+    #[test]
+    fn attach_lock_detach_roundtrip() {
+        let plane = plane_over_pp(2);
+        let s = plane.attach();
+        assert_eq!(s.pid(), 0);
+        assert_eq!(s.generation(), 0);
+        {
+            let g = s.lock();
+            assert_eq!(g.pid(), 0);
+        }
+        drop(s);
+        assert_eq!(plane.live_sessions(), 0);
+        assert_eq!(plane.stats().attaches(), 1);
+        assert_eq!(plane.stats().detaches(), 1);
+        assert_eq!(plane.stats().cs_entries(), 1);
+        // The pid was recycled with a bumped generation.
+        let s = plane.attach();
+        assert_eq!(s.pid(), 0);
+        assert_eq!(s.generation(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_and_clears() {
+        let plane = plane_over_pp(2);
+        let a = plane.attach();
+        let b = plane.attach();
+        assert_eq!((a.pid(), b.pid()), (0, 1));
+        assert_eq!(
+            plane.try_attach().unwrap_err(),
+            SessionError::Exhausted { capacity: 2 }
+        );
+        assert!(plane
+            .try_attach()
+            .unwrap_err()
+            .to_string()
+            .contains("leased"));
+        drop(a);
+        assert_eq!(plane.try_attach().unwrap().pid(), 0);
+    }
+
+    #[test]
+    fn plane_owns_every_slot_of_the_lock() {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(3, 255));
+        let plane = SessionPlane::new(Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>);
+        // No raw Slot can collide with a session.
+        assert!(lock.register().is_err());
+        let _s = plane.attach();
+    }
+
+    #[test]
+    #[should_panic(expected = "must own every slot")]
+    fn plane_rejects_a_lock_with_claimed_slots() {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, 255));
+        let _claimed = lock.register().unwrap();
+        let _ = SessionPlane::new(lock);
+    }
+
+    #[test]
+    fn try_lock_through_a_session() {
+        let plane = plane_over_pp(2);
+        let s = plane.attach();
+        {
+            let g = s.try_lock().expect("uncontended try_lock");
+            assert_eq!(g.pid(), 0);
+        }
+        assert_eq!(plane.stats().cs_entries(), 1);
+    }
+
+    #[test]
+    fn force_detach_recycles_and_stale_session_is_refused() {
+        let plane = plane_over_pp(2);
+        let stale = plane.attach();
+        assert!(plane.force_detach(stale.pid()));
+        assert_eq!(plane.live_sessions(), 0);
+        // The seat re-leases at a higher generation…
+        let fresh = plane.attach();
+        assert_eq!(fresh.pid(), stale.pid());
+        assert_eq!(fresh.generation(), stale.generation() + 1);
+        // …and the stale handle can no longer acquire through it.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = stale.lock();
+        }));
+        assert!(err.is_err(), "stale session must panic, not alias");
+        // Dropping the stale handle must not free the fresh lease.
+        drop(stale);
+        assert_eq!(plane.live_sessions(), 1);
+        assert!(fresh.try_lock().is_some());
+        assert_eq!(plane.stats().attaches(), 2);
+        assert_eq!(plane.stats().detaches(), 1, "the stale drop detached nothing");
+    }
+
+    #[test]
+    fn force_detach_on_a_free_seat_is_a_noop() {
+        let plane = plane_over_pp(2);
+        assert!(!plane.force_detach(1));
+        assert_eq!(plane.stats().detaches(), 0);
+    }
+
+    #[test]
+    fn churn_over_a_tree_lock_recycles_without_aliasing() {
+        // 4 worker threads churn 64 clients each over a 4-slot tree lock:
+        // every live (pid) must be unique at all times.
+        let plane = SessionPlane::new(Arc::new(TreeBakery::with_arity(4, 2)));
+        let live: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+        let in_cs = StdAtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..64 {
+                        let session = plane.attach();
+                        assert!(
+                            live.lock().unwrap().insert(session.pid()),
+                            "two live sessions on pid {}",
+                            session.pid()
+                        );
+                        for _ in 0..3 {
+                            let _g = session.lock();
+                            assert_eq!(in_cs.fetch_add(1, StdOrdering::SeqCst), 0);
+                            in_cs.fetch_sub(1, StdOrdering::SeqCst);
+                        }
+                        assert!(live.lock().unwrap().remove(&session.pid()));
+                        drop(session);
+                    }
+                });
+            }
+        });
+        assert_eq!(plane.stats().attaches(), 256);
+        assert_eq!(plane.stats().detaches(), 256);
+        assert_eq!(plane.stats().cs_entries(), 768);
+        assert_eq!(plane.live_sessions(), 0);
+    }
+
+    proptest! {
+        /// Under random attach/try-attach/detach churn across real threads,
+        /// no two live sessions ever hold the same slot, and attach/detach
+        /// totals balance to the live count at every quiescent point.
+        #[test]
+        fn no_two_live_sessions_share_a_slot(
+            capacity in 1usize..6,
+            threads in 2usize..5,
+            churns in 4u64..24,
+            seed in 0u64..u64::MAX,
+        ) {
+            let plane = plane_over_pp(capacity);
+            let live: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+            let violations = StdAtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let plane = &plane;
+                    let live = &live;
+                    let violations = &violations;
+                    scope.spawn(move || {
+                        let mut state = seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                        for _ in 0..churns {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            // Mix blocking and non-blocking attaches.
+                            let session = if state & 4 == 0 {
+                                match plane.try_attach() {
+                                    Ok(s) => s,
+                                    Err(SessionError::Exhausted { .. }) => continue,
+                                }
+                            } else {
+                                plane.attach()
+                            };
+                            if !live.lock().unwrap().insert(session.pid()) {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            if state & 2 == 0 {
+                                let _g = session.lock();
+                            }
+                            if !live.lock().unwrap().remove(&session.pid()) {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            drop(session);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(violations.load(StdOrdering::SeqCst), 0,
+                "a pid was leased to two live sessions");
+            prop_assert_eq!(plane.live_sessions(), 0);
+            let stats = plane.stats();
+            prop_assert_eq!(stats.attaches(), stats.detaches());
+        }
+    }
+}

@@ -26,6 +26,8 @@ pub struct LockStats {
     doorway_waits: AtomicU64,
     max_ticket: AtomicU64,
     fast_path_hits: AtomicU64,
+    attaches: AtomicU64,
+    detaches: AtomicU64,
 }
 
 impl LockStats {
@@ -127,6 +129,31 @@ impl LockStats {
         self.fast_path_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Number of sessions ever attached to this lock through the session
+    /// plane ([`crate::session::SessionPlane`]).  Zero for locks driven
+    /// through plain [`crate::Slot`]s.
+    #[must_use]
+    pub fn attaches(&self) -> u64 {
+        self.attaches.load(Ordering::Relaxed)
+    }
+
+    /// Number of sessions ever detached from this lock through the session
+    /// plane.  `attaches() - detaches()` is the live-session count.
+    #[must_use]
+    pub fn detaches(&self) -> u64 {
+        self.detaches.load(Ordering::Relaxed)
+    }
+
+    /// Records one session attach.
+    pub fn record_attach(&self) {
+        self.attaches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one session detach.
+    pub fn record_detach(&self) {
+        self.detaches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters into a plain snapshot struct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -138,6 +165,8 @@ impl LockStats {
             doorway_waits: self.doorway_waits(),
             max_ticket: self.max_ticket(),
             fast_path_hits: self.fast_path_hits(),
+            attaches: self.attaches(),
+            detaches: self.detaches(),
         }
     }
 }
@@ -159,6 +188,10 @@ pub struct StatsSnapshot {
     pub max_ticket: u64,
     /// See [`LockStats::fast_path_hits`].
     pub fast_path_hits: u64,
+    /// See [`LockStats::attaches`].
+    pub attaches: u64,
+    /// See [`LockStats::detaches`].
+    pub detaches: u64,
 }
 
 impl StatsSnapshot {
@@ -173,6 +206,8 @@ impl StatsSnapshot {
         self.doorway_waits += other.doorway_waits;
         self.max_ticket = self.max_ticket.max(other.max_ticket);
         self.fast_path_hits += other.fast_path_hits;
+        self.attaches += other.attaches;
+        self.detaches += other.detaches;
     }
 }
 
@@ -180,14 +215,17 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={} fast_path={}",
+            "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={} \
+             fast_path={} attaches={} detaches={}",
             self.cs_entries,
             self.overflow_attempts,
             self.resets,
             self.l1_waits,
             self.doorway_waits,
             self.max_ticket,
-            self.fast_path_hits
+            self.fast_path_hits,
+            self.attaches,
+            self.detaches
         )
     }
 }

@@ -51,7 +51,7 @@
 use std::sync::Arc;
 
 use crate::bakery_pp::BakeryPlusPlusLock;
-use crate::raw::{NProcessMutex, RawNProcessLock};
+use crate::raw::{RawMutexAlgorithm};
 use crate::slots::SlotAllocator;
 use crate::snapshot::ScanMode;
 use crate::stats::{LockStats, StatsSnapshot};
@@ -64,7 +64,7 @@ pub const DEFAULT_TREE_ARITY: usize = 8;
 /// A tournament tree of Bakery++ nodes for up to `N` processes.
 ///
 /// ```
-/// use bakery_core::{NProcessMutex, TreeBakery};
+/// use bakery_core::{RawMutexAlgorithm, TreeBakery};
 ///
 /// let lock = TreeBakery::with_arity(64, 4); // 64 processes, 4-ary tree
 /// let slot = lock.register().unwrap();
@@ -218,7 +218,7 @@ impl TreeBakery {
     ///
     /// `cs_entries` is pinned to the facade's own counter: a per-node
     /// Bakery++ instance records a critical-section entry whenever it is
-    /// driven through its *own* `NProcessMutex` facade (tests, conformance
+    /// driven through its *own* `RawMutexAlgorithm` facade (tests, conformance
     /// harnesses), and a blanket [`StatsSnapshot::merge`] would add those to
     /// the tree's count — double counting the documented "once at the tree
     /// facade" semantics.
@@ -250,7 +250,7 @@ impl TreeBakery {
     }
 }
 
-impl RawNProcessLock for TreeBakery {
+impl RawMutexAlgorithm for TreeBakery {
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -272,6 +272,24 @@ impl RawNProcessLock for TreeBakery {
         }
     }
 
+    fn try_acquire(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity, "pid {pid} out of range");
+        // Try each node on the leaf-to-root path; on the first failure,
+        // release the acquired prefix in reverse order, exactly as a full
+        // release walks back down.
+        for level in 0..self.depth() {
+            let (node, slot) = self.position(pid, level);
+            if !self.levels[level][node].try_acquire(slot) {
+                for held in (0..level).rev() {
+                    let (node, slot) = self.position(pid, held);
+                    self.levels[held][node].release(slot);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "tree-bakery"
     }
@@ -284,9 +302,7 @@ impl RawNProcessLock for TreeBakery {
     fn register_bound(&self) -> Option<u64> {
         Some(self.bound)
     }
-}
 
-impl NProcessMutex for TreeBakery {
     fn slot_allocator(&self) -> &Arc<SlotAllocator> {
         &self.slots
     }
@@ -295,7 +311,7 @@ impl NProcessMutex for TreeBakery {
         &self.stats
     }
 
-    fn as_raw(&self) -> &dyn RawNProcessLock {
+    fn as_raw(&self) -> &dyn RawMutexAlgorithm {
         self
     }
 }
@@ -377,7 +393,7 @@ mod tests {
 
     #[test]
     fn aggregate_cs_entries_ignore_node_facade_traffic() {
-        // Driving a node through its own NProcessMutex facade records
+        // Driving a node through its own RawMutexAlgorithm facade records
         // cs_entries in that node's stats block; the tree aggregate must keep
         // counting entries once, at the tree facade only.
         let lock = TreeBakery::with_arity(4, 2);

@@ -14,13 +14,13 @@
 
 use std::sync::Arc;
 
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, NProcessMutex, RawNProcessLock, TreeBakery};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, RawMutexAlgorithm, TreeBakery};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::thread;
 
 fn check_two_thread_mutex<L, F>(make: F)
 where
-    L: RawNProcessLock + 'static,
+    L: RawMutexAlgorithm + 'static,
     F: Fn() -> L + Sync + Send + 'static,
 {
     loom::model(move || {
@@ -180,5 +180,86 @@ fn loom_bakery_pp_tiny_bound_never_overflows() {
             handle.join().unwrap();
         }
         assert_eq!(lock.stats().overflow_attempts(), 0);
+    });
+}
+
+/// The session plane's attach/release vs slot-recycle race (PR 4): on a
+/// one-seat plane, thread A runs a full session lifecycle (attach → lock →
+/// unlock → detach) while thread B races to attach, lock and detach on the
+/// same seat.  Whatever the interleaving:
+///
+/// * the two sessions never hold the seat simultaneously (the leases
+///   serialise — observed as mutual exclusion of the critical sections),
+/// * the generation tag prevents the ABA where B's attach lands between A's
+///   release and A's detach and A's detach then frees *B's* lease, and
+/// * both lifecycles complete: exactly 2 attaches, 2 detaches, 2 entries.
+#[test]
+fn loom_session_attach_recycle_race() {
+    use bakery_core::SessionPlane;
+    loom::model(|| {
+        let plane = SessionPlane::new(Arc::new(BakeryPlusPlusLock::with_bound(1, 8)));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let plane = Arc::clone(&plane);
+            let in_cs = Arc::clone(&in_cs);
+            handles.push(thread::spawn(move || {
+                let session = plane.attach();
+                assert_eq!(session.pid(), 0, "one seat");
+                {
+                    let _guard = session.lock();
+                    assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                }
+                drop(session);
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = plane.stats();
+        assert_eq!(stats.attaches(), 2);
+        assert_eq!(stats.detaches(), 2);
+        assert_eq!(stats.cs_entries(), 2);
+        assert_eq!(plane.live_sessions(), 0, "both seats recycled cleanly");
+    });
+}
+
+/// Generation-tag ABA guard under interleaving: thread A holds a session
+/// while thread B force-detaches it and immediately re-leases the seat.  A's
+/// subsequent detach (the stale drop) must not free B's fresh lease, in any
+/// interleaving of the eviction with A's drop.
+#[test]
+fn loom_session_stale_drop_cannot_free_fresh_lease() {
+    use bakery_core::SessionPlane;
+    loom::model(|| {
+        let plane = SessionPlane::new(Arc::new(BakeryPlusPlusLock::with_bound(1, 8)));
+        let stale = plane.attach();
+        let evictor = {
+            let plane = Arc::clone(&plane);
+            thread::spawn(move || {
+                // Evict the idle session and take the seat for ourselves.
+                if plane.force_detach(0) {
+                    let fresh = plane.attach();
+                    Some(fresh.generation())
+                } else {
+                    None
+                }
+            })
+        };
+        // Race the stale drop against the eviction + re-lease.
+        drop(stale);
+        let fresh_gen = evictor.join().unwrap();
+        match fresh_gen {
+            // Eviction won: the fresh lease was dropped inside the evictor
+            // thread (one more attach/detach pair); the stale drop must have
+            // been a no-op on it.
+            Some(gen) => assert!(gen >= 1, "re-lease sees a bumped generation"),
+            // The stale drop won the race: nothing left to evict.
+            None => {}
+        }
+        assert_eq!(plane.live_sessions(), 0);
+        let stats = plane.stats();
+        assert_eq!(stats.attaches(), stats.detaches(), "every lease detached exactly once");
     });
 }

@@ -1,0 +1,379 @@
+//! **E11 — beyond the paper: the lock as a service under session churn.**
+//!
+//! Every prior experiment drives a fixed set of threads, one pid each, for
+//! the whole run — the paper's world.  E11 measures the **service** regime
+//! the session plane (`bakery-core::session`) exists for: a client
+//! population far larger than the lock's slot count (≥ 64×), where every
+//! client *attaches* (leases a pid), performs a handful of critical
+//! sections, and *detaches* (recycling the pid for the next client).
+//!
+//! Three locks run the identical churn through [`bakery_core::SessionPlane`]:
+//!
+//! * the flat packed Bakery++ (FCFS, O(N) doorway),
+//! * the tree composite (sub-linear doorway, per-node FCFS),
+//! * the [`AdaptiveBakery`] — which *migrates flat→tree mid-run* once its
+//!   leased-capacity threshold fires, so the handoff is exercised under real
+//!   churn, not just in the model checker.
+//!
+//! The runner asserts the session plane's core guarantee **in-test**: a
+//! leased pid is never aliased — no two live sessions on one pid, and never
+//! two concurrent critical sections anywhere ([`ServiceResult::aliasing_violations`]
+//! must be zero, which [`run`] and the conformance suite both check).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bakery_core::{
+    AdaptiveBakery, BakeryPlusPlusLock, RawMutexAlgorithm, ScanMode, SessionPlane, TreeBakery,
+    DEFAULT_PP_BOUND,
+};
+
+use crate::report::Table;
+use crate::workload::busy_work;
+
+/// A service lock plus, for the adaptive entry, a typed handle for probing
+/// the migration epoch after the run.
+pub type ServiceLock = (Arc<dyn RawMutexAlgorithm>, Option<Arc<AdaptiveBakery>>);
+
+/// One churn configuration: `clients` sessions served through `slots` pids.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Slot capacity of the lock (maximum concurrently attached clients).
+    pub slots: usize,
+    /// Total client sessions to serve (the `>= 64 x slots` regime).
+    pub clients: usize,
+    /// Critical sections per session (the `k` of attach → k CS → detach).
+    pub cs_per_session: u64,
+    /// Worker threads driving the churn (each worker runs many clients
+    /// back-to-back; more workers than slots keeps the attach queue full).
+    pub workers: usize,
+    /// Busy-work units inside each critical section.
+    pub cs_work: u64,
+}
+
+impl ServiceConfig {
+    /// The E11 configuration: `64 x slots` clients.
+    #[must_use]
+    pub fn standard(quick: bool) -> Self {
+        if quick {
+            Self {
+                slots: 4,
+                clients: 256,
+                cs_per_session: 4,
+                workers: 8,
+                cs_work: 8,
+            }
+        } else {
+            Self {
+                slots: 8,
+                clients: 512,
+                cs_per_session: 8,
+                workers: 16,
+                cs_work: 16,
+            }
+        }
+    }
+
+    /// Client-to-slot ratio (the headline "how oversubscribed" figure).
+    #[must_use]
+    pub fn oversubscription(&self) -> usize {
+        self.clients / self.slots
+    }
+}
+
+/// Outcome of one churn run.
+#[derive(Debug, Clone)]
+pub struct ServiceResult {
+    /// Name of the algorithm serving the sessions.
+    pub algorithm: String,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Sessions served (attach…detach lifecycles completed).
+    pub sessions: u64,
+    /// Critical sections completed across all sessions.
+    pub total_cs: u64,
+    /// Attaches recorded by the lock's stats (must equal `sessions`).
+    pub attaches: u64,
+    /// Detaches recorded by the lock's stats (must equal `sessions`).
+    pub detaches: u64,
+    /// Slot-aliasing violations observed in-test (two live sessions on one
+    /// pid, or two concurrent critical sections).  **Must be zero.**
+    pub aliasing_violations: u64,
+    /// Packed-snapshot fast-path hits across all planes.
+    pub fast_path_hits: u64,
+    /// `Some(epoch)` for the adaptive lock (2 = migrated to the tree).
+    pub final_epoch: Option<u64>,
+}
+
+impl ServiceResult {
+    /// Sessions served per second.
+    #[must_use]
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sessions as f64 / secs
+        }
+    }
+
+    /// Critical sections per second.
+    #[must_use]
+    pub fn cs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_cs as f64 / secs
+        }
+    }
+}
+
+/// Runs the churn against `lock`, reporting aliasing violations instead of
+/// panicking so the caller can assert and render them.
+///
+/// The run opens with a **rush phase**: the first `slots` clients attach
+/// concurrently behind a barrier, so the leased capacity demonstrably
+/// reaches the full slot count before the steady churn begins.  (On a
+/// single-CPU runner the steady churn alone can serialise into one live
+/// session at a time, which would leave a capacity-triggered migration
+/// schedule-dependent; the rush makes it deterministic.)  The remaining
+/// clients then churn freely across `workers` threads.
+#[must_use]
+pub fn run_service(
+    lock: Arc<dyn RawMutexAlgorithm>,
+    config: &ServiceConfig,
+    adaptive: Option<&Arc<AdaptiveBakery>>,
+) -> ServiceResult {
+    let algorithm = lock.algorithm_name().to_string();
+    let plane = SessionPlane::new(lock);
+    let rush_clients = config.slots.min(config.clients);
+    let next_client = AtomicUsize::new(rush_clients);
+    let sessions = AtomicU64::new(0);
+    let total_cs = AtomicU64::new(0);
+    let violations = AtomicU64::new(0);
+    // One lease marker per pid plus a global CS counter: the in-test
+    // aliasing assertion the acceptance criteria call for.
+    let leased: Vec<AtomicU64> = (0..config.slots).map(|_| AtomicU64::new(0)).collect();
+    let in_cs = AtomicU64::new(0);
+
+    let serve_one = |session: &bakery_core::Session| {
+        if leased[session.pid()].fetch_add(1, Ordering::SeqCst) != 0 {
+            violations.fetch_add(1, Ordering::SeqCst);
+        }
+        for _ in 0..config.cs_per_session {
+            let guard = session.lock();
+            if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+            busy_work(config.cs_work);
+            in_cs.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+        }
+        total_cs.fetch_add(config.cs_per_session, Ordering::SeqCst);
+        leased[session.pid()].fetch_sub(1, Ordering::SeqCst);
+        sessions.fetch_add(1, Ordering::SeqCst);
+    };
+
+    let begun = Instant::now();
+    // Phase 1 — the rush: every seat leased at once.
+    let all_attached = Barrier::new(rush_clients);
+    std::thread::scope(|scope| {
+        for _ in 0..rush_clients {
+            scope.spawn(|| {
+                let session = plane.attach();
+                all_attached.wait();
+                serve_one(&session);
+                drop(session);
+            });
+        }
+    });
+    // Phase 2 — steady churn over the remaining clients.
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            scope.spawn(|| loop {
+                if next_client.fetch_add(1, Ordering::SeqCst) >= config.clients {
+                    return;
+                }
+                let session = plane.attach();
+                serve_one(&session);
+                drop(session);
+            });
+        }
+    });
+    let elapsed = begun.elapsed();
+
+    let stats = plane.stats().snapshot();
+    ServiceResult {
+        algorithm,
+        elapsed,
+        sessions: sessions.load(Ordering::SeqCst),
+        total_cs: total_cs.load(Ordering::SeqCst),
+        attaches: stats.attaches,
+        detaches: stats.detaches,
+        aliasing_violations: violations.load(Ordering::SeqCst),
+        fast_path_hits: stats.fast_path_hits,
+        final_epoch: adaptive.map(|a| a.epoch()),
+    }
+}
+
+/// Builds the three service locks for `slots` pids.  The adaptive lock's
+/// capacity threshold sits at half the slot count, so the churn (whose rush
+/// phase leases every seat at once) is guaranteed to cross it mid-run.
+/// Public so the `bench-json` baseline runs the identical lock set.
+#[must_use]
+pub fn service_locks(slots: usize) -> Vec<ServiceLock> {
+    // Default capacity threshold, contention trigger disabled: E11 measures
+    // the leased-capacity migration, and the rush phase satisfies the
+    // default threshold deterministically.
+    let adaptive = Arc::new(AdaptiveBakery::with_config(
+        slots,
+        ScanMode::Packed,
+        AdaptiveBakery::default_capacity_threshold(slots),
+        u64::MAX,
+    ));
+    vec![
+        (
+            Arc::new(BakeryPlusPlusLock::with_bound(slots, DEFAULT_PP_BOUND)),
+            None,
+        ),
+        (Arc::new(TreeBakery::new(slots)), None),
+        (
+            Arc::clone(&adaptive) as Arc<dyn RawMutexAlgorithm>,
+            Some(adaptive),
+        ),
+    ]
+}
+
+/// Runs E11 and renders its table.
+///
+/// # Panics
+/// Panics if any run observes a slot-aliasing violation, loses a session, or
+/// (for the adaptive lock) fails to migrate — these are the experiment's
+/// acceptance assertions, not just table rows.
+#[must_use]
+pub fn run(quick: bool) -> Vec<Table> {
+    let config = ServiceConfig::standard(quick);
+    assert!(
+        config.oversubscription() >= 64,
+        "E11 must run the >= 64x oversubscribed service regime"
+    );
+    let mut table = Table::new(
+        format!(
+            "E11 — lock service: {} clients over {} slots ({}x oversubscribed), {} CS each",
+            config.clients,
+            config.slots,
+            config.oversubscription(),
+            config.cs_per_session
+        ),
+        &[
+            "algorithm",
+            "sessions/s",
+            "cs/s",
+            "attaches",
+            "detaches",
+            "aliasing",
+            "fast-path hits",
+            "migrated",
+        ],
+    );
+    for (lock, adaptive) in service_locks(config.slots) {
+        let result = run_service(lock, &config, adaptive.as_ref());
+        assert_eq!(result.aliasing_violations, 0, "{}: slot aliasing", result.algorithm);
+        assert_eq!(result.sessions, config.clients as u64, "{}", result.algorithm);
+        assert_eq!(result.attaches, config.clients as u64, "{}", result.algorithm);
+        assert_eq!(result.detaches, config.clients as u64, "{}", result.algorithm);
+        let migrated = match result.final_epoch {
+            Some(epoch) => {
+                assert_eq!(
+                    epoch,
+                    bakery_core::adaptive::EPOCH_TREE,
+                    "the churn must push the adaptive lock over its threshold"
+                );
+                "flat->tree".to_string()
+            }
+            None => "-".to_string(),
+        };
+        table.push_row(vec![
+            result.algorithm.clone(),
+            format!("{:.0}", result.sessions_per_sec()),
+            format!("{:.0}", result.cs_per_sec()),
+            result.attaches.to_string(),
+            result.detaches.to_string(),
+            result.aliasing_violations.to_string(),
+            result.fast_path_hits.to_string(),
+            migrated,
+        ]);
+    }
+    table.push_note(
+        "Each client attaches (leases a pid through the session plane), runs its critical \
+         sections and detaches; generation-tagged seats recycle pids with zero aliasing \
+         (asserted in-test).  The adaptive lock crosses its leased-capacity threshold \
+         mid-churn and hands off flat->tree without dropping a session.",
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_64x_oversubscribed() {
+        let config = ServiceConfig::standard(true);
+        assert!(config.oversubscription() >= 64);
+        let full = ServiceConfig::standard(false);
+        assert!(full.oversubscription() >= 64);
+    }
+
+    #[test]
+    fn churn_over_the_adaptive_lock_migrates_without_aliasing() {
+        let config = ServiceConfig {
+            slots: 4,
+            clients: 256,
+            cs_per_session: 2,
+            workers: 8,
+            cs_work: 2,
+        };
+        let adaptive = Arc::new(AdaptiveBakery::with_config(
+            config.slots,
+            ScanMode::Packed,
+            2,
+            u64::MAX,
+        ));
+        let result = run_service(
+            Arc::clone(&adaptive) as Arc<dyn RawMutexAlgorithm>,
+            &config,
+            Some(&adaptive),
+        );
+        assert_eq!(result.aliasing_violations, 0);
+        assert_eq!(result.sessions, 256);
+        assert_eq!(result.total_cs, 512);
+        assert_eq!(result.attaches, 256);
+        assert_eq!(result.detaches, 256);
+        assert_eq!(result.final_epoch, Some(bakery_core::adaptive::EPOCH_TREE));
+        // Facade-only cs_entries across the in-churn migration (the PR 3
+        // rule must hold through the handoff).
+        assert_eq!(adaptive.stats().cs_entries(), 512);
+        assert_eq!(adaptive.aggregate_snapshot().cs_entries, 512);
+    }
+
+    #[test]
+    fn quick_table_renders_all_three_locks() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 3);
+        let names: Vec<_> = tables[0].rows.iter().map(|r| r[0].clone()).collect();
+        assert!(names.contains(&"bakery++".to_string()));
+        assert!(names.contains(&"tree-bakery".to_string()));
+        assert!(names.contains(&"adaptive-bakery".to_string()));
+        let adaptive_row = tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0] == "adaptive-bakery")
+            .unwrap();
+        assert_eq!(adaptive_row[5], "0", "aliasing column");
+        assert_eq!(adaptive_row[7], "flat->tree");
+    }
+}

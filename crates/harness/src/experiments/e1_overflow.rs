@@ -7,7 +7,7 @@
 //! Bakery first overflows and what Bakery++ does instead (caps the ticket,
 //! takes resets, never overflows).
 
-use bakery_core::{BakeryLock, BakeryPlusPlusLock, DoorwayOutcome, NProcessMutex, RawNProcessLock};
+use bakery_core::{BakeryLock, BakeryPlusPlusLock, DoorwayOutcome, RawMutexAlgorithm};
 
 use crate::report::Table;
 

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use bakery_baselines::{all_algorithms, LockFactory};
-use bakery_core::NProcessMutex;
+use bakery_core::RawMutexAlgorithm;
 use bakery_sim::{RandomScheduler, RunConfig, Simulator};
 use bakery_spec::{BakeryPlusPlusSpec, BakerySpec};
 
@@ -128,7 +128,7 @@ pub fn temporal_lock_table(quick: bool) -> Table {
     for (name, lock) in [
         (
             "bakery",
-            Arc::new(bakery_core::BakeryLock::new(threads)) as Arc<dyn NProcessMutex + Send + Sync>,
+            Arc::new(bakery_core::BakeryLock::new(threads)) as Arc<dyn RawMutexAlgorithm>,
         ),
         (
             "bakery++ (M=65535)",

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bakery_core::{BakeryLock, NProcessMutex};
+use bakery_core::{BakeryLock, RawMutexAlgorithm};
 
 use crate::report::Table;
 use crate::workload::{run_workload, Workload};
@@ -40,7 +40,7 @@ pub fn measure_growth_rate(threads: usize, iterations_per_thread: u64) -> Growth
         think_work: 0,
     };
     let result = run_workload(
-        Arc::clone(&lock) as Arc<dyn NProcessMutex + Send + Sync>,
+        Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>,
         &workload,
     );
     GrowthRate {

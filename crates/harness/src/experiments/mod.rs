@@ -1,9 +1,10 @@
-//! One module per experiment (E1–E9).  Each exposes a `run(quick: bool)`
+//! One module per experiment.  Each exposes a `run(quick: bool)`
 //! function returning the [`crate::report::Table`]s that regenerate the
 //! corresponding claim of the paper; `quick` shrinks iteration counts so the
 //! full suite stays CI-friendly.
 
 pub mod e10_tree_scale;
+pub mod e11_lock_service;
 pub mod e1_overflow;
 pub mod e2_model_check;
 pub mod e3_safety;
@@ -30,6 +31,7 @@ pub enum ExperimentId {
     E8,
     E9,
     E10,
+    E11,
 }
 
 impl ExperimentId {
@@ -37,7 +39,7 @@ impl ExperimentId {
     #[must_use]
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
-        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10]
+        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11]
     }
 
     /// Parses an experiment id such as `"e4"` / `"E4"` / `"4"`.
@@ -55,6 +57,7 @@ impl ExperimentId {
             "8" => Some(E8),
             "9" => Some(E9),
             "10" => Some(E10),
+            "11" => Some(E11),
             _ => None,
         }
     }
@@ -73,6 +76,7 @@ impl ExperimentId {
             ExperimentId::E8 => "E8 §1.2/§8.2: first-come-first-served fairness",
             ExperimentId::E9 => "E9 §4: time to overflow per register width",
             ExperimentId::E10 => "E10 beyond the paper: flat Bakery++ vs the tree composite at large N",
+            ExperimentId::E11 => "E11 beyond the paper: session churn through the lock service plane",
         }
     }
 
@@ -90,6 +94,7 @@ impl ExperimentId {
             ExperimentId::E8 => e8_fairness::run(quick),
             ExperimentId::E9 => e9_overflow_time::run(quick),
             ExperimentId::E10 => e10_tree_scale::run(quick),
+            ExperimentId::E11 => e11_lock_service::run(quick),
         }
     }
 }

@@ -9,7 +9,7 @@
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use bakery_core::NProcessMutex;
+use bakery_core::RawMutexAlgorithm;
 
 use crate::histogram::LatencyHistogram;
 
@@ -124,7 +124,7 @@ impl WorkloadResult {
 /// # Panics
 /// Panics if slot 0 of `lock` is already claimed.
 #[must_use]
-pub fn measure_uncontended(lock: &dyn NProcessMutex, iterations: u64, samples: usize) -> f64 {
+pub fn measure_uncontended(lock: &dyn RawMutexAlgorithm, iterations: u64, samples: usize) -> f64 {
     let slot = lock.register().expect("slot 0 free");
     for _ in 0..iterations / 4 {
         drop(lock.lock(&slot));
@@ -143,14 +143,47 @@ pub fn measure_uncontended(lock: &dyn NProcessMutex, iterations: u64, samples: u
     results[results.len() / 2]
 }
 
-/// Runs `workload` against `lock` with real threads.
+/// Runs `workload` against `lock` with real threads, each claiming the
+/// lowest free slot (threads land on pids `0..threads`, which for a tree
+/// lock means they share leaf subtrees).
 ///
 /// # Panics
 /// Panics if the lock has fewer slots than the workload has threads.
 #[must_use]
 pub fn run_workload(
-    lock: Arc<dyn NProcessMutex + Send + Sync>,
+    lock: Arc<dyn RawMutexAlgorithm>,
     workload: &Workload,
+) -> WorkloadResult {
+    run_workload_placed(lock, workload, None)
+}
+
+/// Evenly spread pids for `threads` live threads over a lock of `capacity`
+/// slots: thread `i` plays pid `i * (capacity / threads)`.
+///
+/// For a K-ary tree lock of depth `d` this lands the threads in distinct
+/// top-level subtrees whenever `threads <= K`, so all contention meets at
+/// the **root** node — the opposite regime of the lowest-slot default, where
+/// the same threads share one leaf.
+#[must_use]
+pub fn spread_placement(capacity: usize, threads: usize) -> Vec<usize> {
+    let stride = (capacity / threads.max(1)).max(1);
+    (0..threads).map(|i| i * stride).collect()
+}
+
+/// Runs `workload` against `lock` with an explicit slot placement: thread
+/// `i` claims pid `placement[i]` (pass `None` for the lowest-free-slot
+/// default).  The placement is how E7/E10 select the shared-leaf vs
+/// distinct-subtree contention regimes of the tree locks.
+///
+/// # Panics
+/// Panics if the lock has fewer slots than the workload has threads, if the
+/// placement length does not match the thread count, or if a placement pid
+/// is already claimed.
+#[must_use]
+pub fn run_workload_placed(
+    lock: Arc<dyn RawMutexAlgorithm>,
+    workload: &Workload,
+    placement: Option<&[usize]>,
 ) -> WorkloadResult {
     assert!(
         lock.capacity() >= workload.threads,
@@ -158,6 +191,13 @@ pub fn run_workload(
         lock.capacity(),
         workload.threads
     );
+    if let Some(pids) = placement {
+        assert_eq!(
+            pids.len(),
+            workload.threads,
+            "placement must name one pid per thread"
+        );
+    }
     let mut histograms: Vec<LatencyHistogram> = Vec::with_capacity(workload.threads);
     let mut per_thread: Vec<u64> = vec![0; workload.threads];
     // All workers wait at the barrier so the measurement window actually
@@ -168,12 +208,18 @@ pub fn run_workload(
 
     let elapsed = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workload.threads);
-        for _ in 0..workload.threads {
+        for thread in 0..workload.threads {
             let lock = Arc::clone(&lock);
             let workload = workload.clone();
             let start_line = Arc::clone(&start_line);
+            let placed = placement.map(|pids| pids[thread]);
             handles.push(scope.spawn(move || {
-                let slot = lock.register().expect("enough slots for every thread");
+                let slot = match placed {
+                    Some(pid) => lock
+                        .register_exact(pid)
+                        .expect("placement pids must be free"),
+                    None => lock.register().expect("enough slots for every thread"),
+                };
                 let mut histogram = LatencyHistogram::new();
                 let mut completed = 0u64;
                 start_line.wait();

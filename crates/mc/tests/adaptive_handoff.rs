@@ -1,0 +1,92 @@
+//! Exhaustive close-out of the adaptive flat→tree handoff handshake.
+//!
+//! The `AdaptiveBakery` migration rests on one Dekker-style handshake
+//! (announce-then-recheck vs. drain-then-read, see
+//! `bakery-core::adaptive`).  Its spec (`bakery-spec::adaptive`) abstracts
+//! the two verified inner locks to single holder registers, so the state
+//! space is tiny and the exploration completes **exhaustively** — every
+//! reachable interleaving of the handshake, with the migration trigger
+//! available at every point — for 2, 3 and 4 processes.
+//!
+//! Checked on every reachable state:
+//! * `MutualExclusion` — at most one process in *either* critical section
+//!   (this is the cross-plane property: one process in the flat CS and one
+//!   in the tree CS is a violation of the same invariant);
+//! * `NoOverflow` (register bounds) — the epoch/active/holder registers stay
+//!   within their declared ranges;
+//! * `FlatDrainedBeforeTree` — once `epoch == TREE`, the flat plane is and
+//!   stays quiescent;
+//! * `ActiveCountsAnnouncements` — the drain condition's counter agrees with
+//!   the set of announced processes;
+//! * no deadlock anywhere in the space.
+
+use bakery_mc::ModelChecker;
+use bakery_spec::AdaptiveHandoffSpec;
+
+/// Exhaustively explores the handshake for `n` processes and checks every
+/// safety property plus deadlock freedom.
+fn close_out(n: usize, expect_states_at_most: usize) {
+    let spec = AdaptiveHandoffSpec::new(n);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(AdaptiveHandoffSpec::drained_invariant())
+        .with_invariant(AdaptiveHandoffSpec::active_count_invariant())
+        .with_max_states(expect_states_at_most)
+        .run();
+    assert!(
+        !report.truncated,
+        "n = {n}: the handshake space must close out exhaustively, \
+         got {} states",
+        report.states
+    );
+    assert!(
+        report.violations.is_empty(),
+        "n = {n}: {:?}",
+        report.violated_invariants()
+    );
+    assert!(report.deadlocks.is_empty(), "n = {n}: {:?}", report.deadlocks);
+    assert!(report.states > 0);
+    println!("adaptive handoff n={n}: {report}");
+}
+
+#[test]
+fn two_process_handoff_closes_out_exhaustively() {
+    close_out(2, 100_000);
+}
+
+#[test]
+fn three_process_handoff_closes_out_exhaustively() {
+    close_out(3, 1_000_000);
+}
+
+#[test]
+fn four_process_handoff_closes_out_exhaustively() {
+    close_out(4, 8_000_000);
+}
+
+#[test]
+fn handoff_violation_is_detectable() {
+    // Sanity of the harness itself: weaken the drained invariant into one
+    // that is genuinely false (claiming the tree holder register never
+    // becomes non-zero) and verify the checker finds a shortest
+    // counterexample — so a passing close-out above means something.
+    use bakery_sim::{Invariant, ProgState};
+
+    let spec = AdaptiveHandoffSpec::new(2);
+    let broken = Invariant::<AdaptiveHandoffSpec>::new("TreeNeverUsed", |_, state: &ProgState| {
+        // Register 3 is the tree holder; it is of course used post-drain.
+        state.read(3) == 0
+    });
+    let report = ModelChecker::new(&spec)
+        .with_invariant(broken)
+        .with_max_states(100_000)
+        .run();
+    assert!(!report.truncated);
+    assert_eq!(report.violated_invariants(), vec!["TreeNeverUsed".to_string()]);
+    let violation = &report.violations[0];
+    assert!(
+        violation.depth > 0,
+        "counterexample must be a real trace, got depth {}",
+        violation.depth
+    );
+}

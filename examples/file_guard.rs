@@ -15,7 +15,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
 
-use bakery_suite::locks::{BakeryPlusPlusLock, NProcessMutex};
+use bakery_suite::locks::{BakeryPlusPlusLock, RawMutexAlgorithm};
 
 fn main() -> std::io::Result<()> {
     const THREADS: usize = 4;

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bakery_suite::locks::{BakeryPlusPlusLock, NProcessMutex};
+use bakery_suite::locks::{BakeryPlusPlusLock, RawMutexAlgorithm};
 
 fn main() {
     const THREADS: usize = 4;

@@ -33,13 +33,13 @@ use std::sync::Arc;
 
 use bakery_suite::locks::raw::DoorwayOutcome;
 use bakery_suite::locks::{
-    BakeryLock, BakeryPlusPlusLock, NProcessMutex, OverflowPolicy, RawNProcessLock, ScanMode,
-    TreeBakery,
+    AdaptiveBakery, BakeryLock, BakeryPlusPlusLock, OverflowPolicy, RawMutexAlgorithm, ScanMode,
+    SessionPlane, TreeBakery,
 };
 use bakery_suite::sim::{
     Algorithm, ProgState, RandomScheduler, ReplayScheduler, RunConfig, Simulator,
 };
-use bakery_suite::spec::{pc, BakeryPlusPlusSpec, BakerySpec, TreeBakerySpec};
+use bakery_suite::spec::{pc, AdaptiveHandoffSpec, BakeryPlusPlusSpec, BakerySpec, TreeBakerySpec};
 
 /// Scan modes the real-lock sides run under (`BAKERY_SCAN_MODE` restricts).
 fn scan_modes() -> Vec<ScanMode> {
@@ -136,6 +136,28 @@ fn spec_plane_bakery_pp() {
 fn spec_plane_tree_bakery() {
     let spec = TreeBakerySpec::new(2, 2);
     spec_plane_holds(&spec, spec.bound(), 6_000);
+}
+
+#[test]
+fn spec_plane_adaptive_handoff() {
+    // The handoff spec draws no tickets (its inner locks are abstracted), so
+    // the ticket-bound half of the plane is vacuous; what matters here is
+    // per-step invariants, deadlock freedom and bit-identical replay, plus
+    // the adaptive-specific invariants checked on every step.
+    let spec = AdaptiveHandoffSpec::new(3);
+    spec_plane_holds(&spec, 1, 4_000);
+    for seed in 0..8 {
+        let config = RunConfig::<AdaptiveHandoffSpec>::checked(4_000)
+            .with_invariant(AdaptiveHandoffSpec::drained_invariant())
+            .with_invariant(AdaptiveHandoffSpec::active_count_invariant());
+        let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
+        assert!(
+            outcome.report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            outcome.report.violations
+        );
+        assert!(!outcome.report.deadlocked, "seed {seed}");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +526,128 @@ fn canonicalized_explorer_replays_deterministically() {
 
 use bakery_suite::baselines::testutil::assert_mutual_exclusion as stress;
 
+/// The adaptive lock through the whole conformance lens, in both scan modes:
+/// the real migration fires mid-workload (under threads, like the spec's
+/// nondeterministic trigger), mutual exclusion and overflow freedom hold
+/// across the handoff, and afterwards both planes are quiescently zero.
+#[test]
+fn adaptive_real_lock_crosses_the_migration_under_threads() {
+    for mode in scan_modes() {
+        let lock = Arc::new(AdaptiveBakery::with_config(4, mode, 2, u64::MAX));
+        let in_cs = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    for i in 0..250 {
+                        if t == 0 && i == 125 {
+                            // The threshold crossing, mid-workload.
+                            lock.trigger_migration();
+                        }
+                        let _g = lock.lock(&slot);
+                        let inside = in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(inside, 0, "mutual exclusion across the handoff");
+                        in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(lock.has_migrated(), "{mode:?}");
+        assert_eq!(lock.stats().cs_entries(), 1_000, "{mode:?}");
+
+        // The PR 3 facade-only rule survives the flat->tree migration: the
+        // aggregate folds both planes' counters but counts entries exactly
+        // once, at the adaptive facade — neither zero nor double.
+        let aggregate = lock.aggregate_snapshot();
+        assert_eq!(aggregate.cs_entries, 1_000, "{mode:?}: facade-only cs_entries");
+        assert_eq!(aggregate.overflow_attempts, 0, "{mode:?}");
+        assert!(aggregate.max_ticket <= lock.register_bound().unwrap(), "{mode:?}");
+
+        // Quiescence: every register of both planes drained to zero.
+        let flat = lock.flat().registers();
+        for pid in 0..flat.len() {
+            assert_eq!(flat.read_number(pid), 0, "{mode:?}");
+            assert!(!flat.read_choosing(pid), "{mode:?}");
+        }
+        let tree = lock.tree();
+        for level in 0..tree.depth() {
+            for node in 0..tree.nodes_at(level) {
+                let file = tree.node(level, node).registers();
+                for slot in 0..file.len() {
+                    assert_eq!(file.read_number(slot), 0, "{mode:?}");
+                    assert!(!file.read_choosing(slot), "{mode:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Session churn over the adaptive lock, crossing the capacity threshold
+/// mid-workload: the leased-capacity trigger (not the manual one) fires, no
+/// recycled slot ever aliases, and the facade-only cs_entries rule is pinned
+/// through the handoff in both scan modes.
+#[test]
+fn adaptive_session_churn_pins_facade_cs_entries_across_migration() {
+    for mode in scan_modes() {
+        let adaptive = Arc::new(AdaptiveBakery::with_config(4, mode, 4, u64::MAX));
+        let plane = SessionPlane::new(
+            Arc::clone(&adaptive) as Arc<dyn RawMutexAlgorithm>
+        );
+        let live = std::sync::Mutex::new(std::collections::HashSet::new());
+        let in_cs = std::sync::atomic::AtomicU64::new(0);
+        // Rush: all four seats leased at once, so the capacity trigger is
+        // guaranteed to fire during these acquisitions; then churn.
+        let all_attached = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let plane = &plane;
+                let live = &live;
+                let in_cs = &in_cs;
+                let all_attached = &all_attached;
+                scope.spawn(move || {
+                    for round in 0..40 {
+                        let session = plane.attach();
+                        if round == 0 {
+                            all_attached.wait();
+                        }
+                        assert!(
+                            live.lock().unwrap().insert(session.pid()),
+                            "slot aliasing on pid {}",
+                            session.pid()
+                        );
+                        for _ in 0..5 {
+                            let _g = session.lock();
+                            assert_eq!(
+                                in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+                                0
+                            );
+                            in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        }
+                        assert!(live.lock().unwrap().remove(&session.pid()));
+                        drop(session);
+                    }
+                });
+            }
+        });
+        assert!(
+            adaptive.has_migrated(),
+            "{mode:?}: the leased-capacity trigger must fire mid-churn"
+        );
+        let stats = adaptive.stats();
+        assert_eq!(stats.attaches(), 160, "{mode:?}");
+        assert_eq!(stats.detaches(), 160, "{mode:?}");
+        assert_eq!(stats.cs_entries(), 800, "{mode:?}");
+        assert_eq!(
+            adaptive.aggregate_snapshot().cs_entries,
+            800,
+            "{mode:?}: cs_entries counted once at the adaptive facade, never doubled during the handoff"
+        );
+        assert_eq!(plane.live_sessions(), 0, "{mode:?}");
+    }
+}
+
 #[test]
 fn real_locks_match_the_spec_planes_invariant_profile() {
     // The spec plane established: no overflow attempts, tickets within M,
@@ -515,6 +659,17 @@ fn real_locks_match_the_spec_planes_invariant_profile() {
         assert_eq!(total, 1_000);
         assert_eq!(pp.stats().overflow_attempts(), 0);
         assert!(pp.stats().max_ticket() <= 4);
+
+        let adaptive = Arc::new(AdaptiveBakery::with_config(4, mode, 4, u64::MAX));
+        let total = stress(
+            Arc::clone(&adaptive) as Arc<dyn RawMutexAlgorithm>,
+            4,
+            250,
+        );
+        assert_eq!(total, 1_000);
+        let aggregate = adaptive.aggregate_snapshot();
+        assert_eq!(aggregate.overflow_attempts, 0);
+        assert!(aggregate.max_ticket <= adaptive.register_bound().unwrap());
 
         let tree = Arc::new(TreeBakery::with_config(4, 2, mode));
         let total = stress(Arc::clone(&tree), 4, 250);

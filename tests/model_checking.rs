@@ -3,7 +3,7 @@
 //! verdicts line up with the behaviour of the real locks (bakery-core).
 
 use bakery_suite::locks::{
-    BakeryLock, BakeryPlusPlusLock, DoorwayOutcome, NProcessMutex, RawNProcessLock,
+    BakeryLock, BakeryPlusPlusLock, DoorwayOutcome, RawMutexAlgorithm,
 };
 use bakery_suite::mc::{find_starvation_cycle_where, ModelChecker};
 use bakery_suite::sim::{Algorithm, Invariant};

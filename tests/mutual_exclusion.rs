@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use bakery_suite::baselines::testutil::assert_mutual_exclusion as stress;
 use bakery_suite::baselines::{all_algorithms, AlgorithmId, LockFactory};
-use bakery_suite::locks::{BakeryPlusPlusLock, NProcessMutex};
+use bakery_suite::locks::{BakeryPlusPlusLock, RawMutexAlgorithm};
 
 #[test]
 fn every_algorithm_excludes_under_contention() {
@@ -30,7 +30,7 @@ fn peterson_excludes_with_two_threads() {
 fn bakery_pp_respects_tiny_bounds_under_heavy_contention() {
     let lock = Arc::new(BakeryPlusPlusLock::with_bound(6, 5));
     let total = stress(
-        Arc::clone(&lock) as Arc<dyn NProcessMutex + Send + Sync>,
+        Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>,
         6,
         200,
     );
@@ -61,7 +61,7 @@ fn slots_are_recyclable_across_thread_waves() {
     let lock = Arc::new(BakeryPlusPlusLock::with_bound(4, 100));
     for _wave in 0..3 {
         let total = stress(
-            Arc::clone(&lock) as Arc<dyn NProcessMutex + Send + Sync>,
+            Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>,
             4,
             100,
         );
