@@ -608,12 +608,14 @@ fn print_comparisons(title: &str, unit: &str, comparisons: &[Comparison]) {
     }
 }
 
-/// One lock-service churn measurement (experiment E11).
+/// One lock-service churn measurement (experiment E11, round-trip schedule:
+/// rush → churn → subside).
 #[derive(Debug, Clone)]
 struct E11Entry {
     algorithm: String,
     slots: usize,
     clients: usize,
+    subside_clients: usize,
     cs_per_session: u64,
     sessions_per_sec: f64,
     cs_per_sec: f64,
@@ -621,12 +623,15 @@ struct E11Entry {
     detaches: u64,
     aliasing_violations: u64,
     fast_path_hits: u64,
-    migrated: bool,
+    migrations_forward: u64,
+    migrations_reverse: u64,
+    round_trip: bool,
 }
 bakery_json::json_object!(E11Entry {
     algorithm,
     slots,
     clients,
+    subside_clients,
     cs_per_session,
     sessions_per_sec,
     cs_per_sec,
@@ -634,7 +639,9 @@ bakery_json::json_object!(E11Entry {
     detaches,
     aliasing_violations,
     fast_path_hits,
-    migrated,
+    migrations_forward,
+    migrations_reverse,
+    round_trip,
 });
 
 #[derive(Debug, Clone)]
@@ -656,17 +663,25 @@ bakery_json::json_object!(E11Report {
 fn run_e11(quick: bool) -> E11Report {
     let config = ServiceConfig::standard(quick);
     let mut entries = Vec::new();
-    for (lock, adaptive) in service_locks(config.slots) {
+    for (lock, adaptive) in service_locks(&config) {
         let algorithm = lock.algorithm_name().to_string();
         let result = run_service(lock, &config, adaptive.as_ref());
         assert_eq!(
             result.aliasing_violations, 0,
             "{algorithm}: the session plane must never alias a slot"
         );
+        if result.final_phase.is_some() {
+            assert_eq!(
+                (result.migrations_forward, result.migrations_reverse),
+                (1, 1),
+                "{algorithm}: the churn-then-subside schedule must round-trip exactly once"
+            );
+        }
         entries.push(E11Entry {
             algorithm,
             slots: config.slots,
             clients: config.clients,
+            subside_clients: config.subside_clients,
             cs_per_session: config.cs_per_session,
             sessions_per_sec: result.sessions_per_sec(),
             cs_per_sec: result.cs_per_sec(),
@@ -674,12 +689,16 @@ fn run_e11(quick: bool) -> E11Report {
             detaches: result.detaches,
             aliasing_violations: result.aliasing_violations,
             fast_path_hits: result.fast_path_hits,
-            migrated: result.final_epoch == Some(bakery_core::adaptive::EPOCH_TREE),
+            migrations_forward: result.migrations_forward,
+            migrations_reverse: result.migrations_reverse,
+            round_trip: result.final_phase == Some(bakery_core::adaptive::EPOCH_FLAT)
+                && result.migrations_forward == 1
+                && result.migrations_reverse == 1,
         });
     }
     E11Report {
-        schema: "bakery-bench/e11/v1".to_string(),
-        experiment: "E11 lock-service session churn".to_string(),
+        schema: "bakery-bench/e11/v2".to_string(),
+        experiment: "E11 lock-service session churn with round-trip subside".to_string(),
         quick,
         oversubscription: config.oversubscription(),
         entries,
@@ -745,16 +764,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("\n## E11 lock-service churn ({}x oversubscribed)", e11.oversubscription);
-    println!("| algorithm | sessions/s | cs/s | aliasing | migrated |");
-    println!("|---|---|---|---|---|");
+    println!("| algorithm | sessions/s | cs/s | aliasing | migrations (fwd/rev) | round trip |");
+    println!("|---|---|---|---|---|---|");
     for entry in &e11.entries {
         println!(
-            "| {} | {:.0} | {:.0} | {} | {} |",
+            "| {} | {:.0} | {:.0} | {} | {}/{} | {} |",
             entry.algorithm,
             entry.sessions_per_sec,
             entry.cs_per_sec,
             entry.aliasing_violations,
-            entry.migrated
+            entry.migrations_forward,
+            entry.migrations_reverse,
+            entry.round_trip
         );
     }
 

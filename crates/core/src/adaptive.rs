@@ -1,55 +1,114 @@
-//! [`AdaptiveBakery`]: a flat Bakery++ that migrates to a tree under load.
+//! [`AdaptiveBakery`]: a flat Bakery++ that migrates to a tree under load —
+//! and back to flat once the load subsides.
 //!
 //! The flat packed-snapshot Bakery++ wins while few processes are live (one
 //! small scan, global FCFS); the [`TreeBakery`] wins once contention or
 //! membership grows (O(K·log_K N) doorway, contention resolved inside
-//! subtrees).  The adaptive lock starts flat and performs a **one-way
-//! quiescent handoff** to the tree when either trigger fires:
+//! subtrees).  The adaptive lock starts flat and performs a **quiescent
+//! handoff** to the tree when either forward trigger fires:
 //!
 //! * **leased capacity** — live sessions (`attaches − detaches`, maintained
 //!   by the session plane) reach `capacity_threshold`;
-//! * **observed contention** — the flat lock's cumulative doorway wait
-//!   iterations reach `contention_threshold`.
+//! * **observed contention** — the flat lock's doorway wait iterations
+//!   accumulated *during the current flat residency* reach
+//!   `contention_threshold`.
 //!
-//! ## The handoff protocol
+//! A lock that survives one load spike should not pay tree-depth acquire
+//! cost forever, so the migration is a **cycle**, not a one-way door: once
+//! the tree plane has been quiet for long enough (the hysteresis band,
+//! below), a symmetric reverse handoff drains the tree and returns to flat.
 //!
-//! Three shared words drive the migration: `epoch ∈ {FLAT, DRAIN, TREE}` and
-//! `flat_active`, a count of acquisitions currently routed to the flat plane.
+//! ## The epoch cycle
+//!
+//! One generation-tagged word drives everything:
+//! `epoch = (cycle << 2) | phase`, with the phase walking
 //!
 //! ```text
-//! acquire(i):                        trigger (any process):
-//!   loop:                              if epoch == FLAT and threshold hit:
-//!     e := epoch                         CAS epoch: FLAT -> DRAIN
-//!     if e == TREE:
-//!       tree.acquire(i); return      drain helper (any process, in acquire):
-//!     if e == DRAIN:                   if epoch == DRAIN and flat_active == 0:
-//!       help drain; retry                CAS epoch: DRAIN -> TREE
-//!     # e == FLAT:
-//!     flat_active += 1               release(i):
-//!     if epoch != FLAT:                plane[i].release(i)
-//!       flat_active -= 1; retry        if plane[i] was FLAT: flat_active -= 1
-//!     flat.acquire(i); return
+//!        forward trigger          drain: flat_active == 0
+//!   FLAT ───────────────► DRAIN_FLAT ───────────────► TREE
+//!    ▲                                                  │
+//!    │ drain: tree_active == 0                          │ reverse trigger
+//!    └────────────────── DRAIN_TREE ◄───────────────────┘ (hysteresis band)
+//!
+//!   word:  4c ──► 4c+1 ──► 4c+2 ──► 4c+3 ──► 4(c+1)   (cycle c, then c+1)
 //! ```
 //!
-//! The store→load handshake mirrors the Bakery doorway's Dekker pattern: an
-//! acquirer *increments `flat_active` and then re-reads `epoch`*, while the
-//! drainer *writes `DRAIN` and then reads `flat_active`*.  Under the
-//! interleaving semantics at least one side observes the other, so either the
-//! acquirer aborts its flat route or the drainer waits for it — a flat
-//! acquisition can never overlap a tree acquisition, and mutual exclusion of
-//! the composite follows from mutual exclusion of each plane.  The epoch is
-//! monotone (`FLAT → DRAIN → TREE`), so the argument needs no second
-//! direction.  This exact handshake is modelled as a step machine in
-//! `bakery-spec::adaptive` and explored exhaustively by `bakery-mc`
-//! (`crates/mc/tests/adaptive_handoff.rs`).
+//! Every legal transition is a CAS of `word → word + 1` (the `DRAIN_TREE(c)
+//! → FLAT(c+1)` wrap is also `+ 1` because the cycle tag occupies the high
+//! bits), so the epoch **word** is strictly monotone even though the phase
+//! revisits `FLAT`.  That turns PR 4's monotonicity argument into a
+//! per-cycle argument: an acquirer validates the *full word* — phase and
+//! cycle — in its Dekker re-check, so a stale observation of `FLAT` from
+//! cycle `c` can never authorise a flat entry in cycle `c + 1` (the ABA a
+//! phase-only comparison could not detect).
+//!
+//! ## The handoff protocol (both directions)
+//!
+//! Two announce counters mirror each other: `flat_active` counts
+//! acquisitions currently routed to the flat plane, `tree_active` those
+//! routed to the tree.
+//!
+//! ```text
+//! acquire(i):                          drain helper (any process):
+//!   loop:                                if phase is a DRAIN and the
+//!     w := epoch                         draining plane's counter == 0:
+//!     if phase(w) is a DRAIN:              CAS epoch: w -> w + 1
+//!       help drain; retry
+//!     plane := FLAT or TREE by phase(w)  release(i):
+//!     plane_active += 1                    plane[i].release(i)
+//!     if epoch != w:                       plane_active -= 1
+//!       plane_active -= 1; retry           (tree route: hysteresis check)
+//!     plane.acquire(i); return
+//! ```
+//!
+//! The store→load handshake mirrors the Bakery doorway's Dekker pattern in
+//! both directions: an acquirer *increments the active counter and then
+//! re-reads `epoch`*, while the drainer *advances `epoch` and then reads the
+//! counter*.  Under the interleaving semantics at least one side observes
+//! the other, so either the acquirer aborts its route or the drainer waits
+//! for it — a flat acquisition can never overlap a tree acquisition, in
+//! either migration direction, and mutual exclusion of the composite
+//! follows from mutual exclusion of each plane.  This exact handshake —
+//! full cycle, both drains, triggers nondeterministic — is modelled as a
+//! step machine in `bakery-spec::adaptive` and explored exhaustively by
+//! `bakery-mc` (`crates/mc/tests/adaptive_handoff.rs`).
+//!
+//! ## The hysteresis band (flapping-proofing)
+//!
+//! The reverse trigger must not chase the forward one, so the two operate on
+//! separated thresholds (`low_watermark < capacity_threshold`) and the
+//! reverse additionally requires *persistence*: a release through the tree
+//! route counts as **quiet** when live sessions *and* concurrently announced
+//! tree acquirers (`tree_active`, the O(1) contention proxy) are both below
+//! `low_watermark`; any loud observation zeroes the streak, and only
+//! `quiet_period` *consecutive* quiet releases arm the reverse CAS.  Two
+//! further rules keep the band flap-proof across cycles:
+//!
+//! * the quiet streak is zeroed when the forward drain flips to `TREE`, and
+//!   every streak observation is **tagged with the epoch word of the
+//!   residency it was made in** — so a streak accumulated in cycle `c`, or a
+//!   single release preempted across a whole round trip, can never arm or
+//!   inflate the reverse of cycle `c + 1` (the spec's `NoFlapStaleArming`
+//!   invariant pins exactly this);
+//! * the forward *contention* trigger measures doorway waits relative to a
+//!   baseline captured when the reverse drain flips back to `FLAT`, so
+//!   contention suffered before a round trip cannot instantly re-trigger
+//!   the next one.
+//!
+//! Both baseline writes happen *before* their flip CAS: a stale drain helper
+//! can therefore only delay a later trigger (conservative), never make one
+//! fire early.
 //!
 //! ## Statistics
 //!
 //! `cs_entries` is counted once, at the adaptive facade, exactly like the
 //! tree facade does — [`AdaptiveBakery::aggregate_snapshot`] folds the flat
 //! plane's and every tree node's counters but pins `cs_entries` to the
-//! facade's own count, so the PR 3 facade-only rule survives the migration
-//! (counted neither zero nor twice during the handoff).
+//! facade's own count, so the PR 3 facade-only rule survives any number of
+//! round trips (counted neither zero nor twice during a handoff).  Completed
+//! handoffs are counted in [`LockStats::migrations_forward`] /
+//! [`LockStats::migrations_reverse`]; the two can never differ by more than
+//! one because the phase cycle alternates them.
 
 use std::sync::Arc;
 
@@ -59,26 +118,55 @@ use crate::raw::RawMutexAlgorithm;
 use crate::slots::SlotAllocator;
 use crate::snapshot::ScanMode;
 use crate::stats::{LockStats, StatsSnapshot};
-use crate::tree::{TreeBakery, DEFAULT_TREE_ARITY};
 use crate::sync::{AtomicU64, Ordering};
+use crate::tree::{TreeBakery, DEFAULT_TREE_ARITY};
 
-/// Epoch value: all acquisitions route to the flat Bakery++.
+/// Epoch phase: all acquisitions route to the flat Bakery++.
 pub const EPOCH_FLAT: u64 = 0;
-/// Epoch value: migration triggered; the flat plane is draining.
+/// Epoch phase: forward migration triggered; the flat plane is draining.
 pub const EPOCH_DRAIN: u64 = 1;
-/// Epoch value: all acquisitions route to the tree.
+/// Epoch phase: all acquisitions route to the tree.
 pub const EPOCH_TREE: u64 = 2;
+/// Epoch phase: reverse migration triggered; the tree plane is draining.
+pub const EPOCH_DRAIN_TREE: u64 = 3;
 
-/// Default live-session count that triggers the migration (fraction of
-/// capacity, see [`AdaptiveBakery::default_capacity_threshold`]).
+/// Number of low bits of the epoch word holding the phase.
+const PHASE_BITS: u32 = 2;
+/// Mask extracting the phase from an epoch word.
+const PHASE_MASK: u64 = (1 << PHASE_BITS) - 1;
+
+/// The phase component of an epoch word ([`EPOCH_FLAT`], [`EPOCH_DRAIN`],
+/// [`EPOCH_TREE`] or [`EPOCH_DRAIN_TREE`]).
+#[inline]
+#[must_use]
+pub fn epoch_phase(word: u64) -> u64 {
+    word & PHASE_MASK
+}
+
+/// The cycle (generation) component of an epoch word: how many full
+/// `FLAT → … → FLAT` round trips precede it.
+#[inline]
+#[must_use]
+pub fn epoch_cycle(word: u64) -> u64 {
+    word >> PHASE_BITS
+}
+
+/// Default live-session count that triggers the forward migration (fraction
+/// of capacity, see [`AdaptiveBakery::default_capacity_threshold`]).
 const DEFAULT_CAPACITY_FRACTION: usize = 2; // capacity / 2
 
-/// Default cumulative flat doorway-wait iterations that trigger migration.
+/// Default per-residency flat doorway-wait iterations that trigger the
+/// forward migration.
 pub const DEFAULT_CONTENTION_THRESHOLD: u64 = 1 << 14;
 
-/// A lock that starts as a flat packed-snapshot Bakery++ and migrates, once,
-/// to a [`TreeBakery`] when leased capacity or observed contention crosses a
-/// threshold.
+/// Default number of consecutive quiet tree releases required to arm the
+/// reverse migration.
+pub const DEFAULT_QUIET_PERIOD: u64 = 64;
+
+/// A lock that starts as a flat packed-snapshot Bakery++, migrates to a
+/// [`TreeBakery`] when leased capacity or observed contention crosses a
+/// threshold, and migrates back to flat once the tree has stayed below the
+/// low watermark for a full quiet period.
 ///
 /// ```
 /// use bakery_core::{AdaptiveBakery, RawMutexAlgorithm};
@@ -89,22 +177,44 @@ pub const DEFAULT_CONTENTION_THRESHOLD: u64 = 1 << 14;
 /// assert!(!lock.has_migrated());
 /// lock.trigger_migration();          // or cross a threshold under load
 /// drop(lock.lock(&slot));
-/// assert!(lock.has_migrated());
+/// assert!(lock.has_migrated());      // currently on the tree plane
+/// assert_eq!(lock.stats().migrations_forward(), 1);
 /// assert_eq!(lock.stats().cs_entries(), 2);
 /// ```
 #[derive(Debug)]
 pub struct AdaptiveBakery {
     flat: BakeryPlusPlusLock,
     tree: TreeBakery,
+    /// The generation-tagged epoch word `(cycle << 2) | phase`; strictly
+    /// monotone (every transition is a `+ 1` CAS).
     epoch: AtomicU64,
-    /// Number of acquisitions currently routed to the flat plane (incremented
-    /// *before* the epoch re-check — the Dekker half of the handshake).
+    /// Number of acquisitions currently routed to the flat plane
+    /// (incremented *before* the epoch re-check — the Dekker half of the
+    /// forward-drain handshake).
     flat_active: AtomicU64,
+    /// Number of acquisitions currently routed to the tree plane — the
+    /// mirror announce counter the reverse drain reads, and the O(1)
+    /// contention proxy of the hysteresis band.
+    tree_active: AtomicU64,
     /// Which plane each pid's current acquisition went through (SWMR: only
     /// pid's own thread writes entry `pid`).
     route: Box<[AtomicU64]>,
     capacity_threshold: usize,
     contention_threshold: u64,
+    /// Hysteresis low watermark; `0` disables the reverse leg entirely.
+    low_watermark: usize,
+    /// Consecutive quiet tree releases required to arm the reverse trigger.
+    quiet_period: u64,
+    /// Current quiet streak, packed `(epoch_word & u32::MAX) << 32 | count`:
+    /// the tag pins every observation to the tree residency it was made in,
+    /// so a release preempted across a whole round trip can never count
+    /// toward (or inflate) a later residency's quiet period — the same
+    /// staleness rule the spec's `NoFlapStaleArming` invariant pins for the
+    /// ARMED bit.  Zeroed by any loud observation and at every forward flip.
+    quiet_streak: AtomicU64,
+    /// Flat doorway waits at the start of the current flat residency; the
+    /// forward contention trigger fires on the delta, not the lifetime sum.
+    flat_waits_baseline: AtomicU64,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
 }
@@ -112,7 +222,9 @@ pub struct AdaptiveBakery {
 impl AdaptiveBakery {
     /// Creates an adaptive lock for `n` processes with the default thresholds
     /// (migrate at `n / 2` live sessions — at least 2 — or after `2^14`
-    /// cumulative flat doorway wait iterations) and default tree arity.
+    /// flat doorway wait iterations per residency; migrate back after
+    /// [`DEFAULT_QUIET_PERIOD`] consecutive quiet tree releases below the
+    /// default low watermark) and default tree arity.
     #[must_use]
     pub fn new(n: usize) -> Self {
         Self::with_mode(n, ScanMode::Packed)
@@ -123,11 +235,13 @@ impl AdaptiveBakery {
     /// locks can never drift from [`AdaptiveBakery::new`]'s tuning.
     #[must_use]
     pub fn with_mode(n: usize, mode: ScanMode) -> Self {
-        Self::with_config(
+        Self::with_hysteresis(
             n,
             mode,
             Self::default_capacity_threshold(n),
             DEFAULT_CONTENTION_THRESHOLD,
+            Self::default_low_watermark(n),
+            DEFAULT_QUIET_PERIOD,
         )
     }
 
@@ -139,9 +253,18 @@ impl AdaptiveBakery {
         (n / DEFAULT_CAPACITY_FRACTION).max(2)
     }
 
-    /// Creates an adaptive lock with every knob explicit.  The [`ScanMode`]
-    /// applies to both planes; the flat plane uses the default Bakery++
-    /// bound, the tree its per-node `M = K + 1`.
+    /// The default hysteresis low watermark: half the capacity threshold,
+    /// but at least 1 — always strictly below the forward threshold, so the
+    /// two triggers can never chase each other.
+    #[must_use]
+    pub fn default_low_watermark(n: usize) -> usize {
+        (Self::default_capacity_threshold(n) / 2).max(1)
+    }
+
+    /// Creates a **forward-only** adaptive lock (PR 4 semantics: the reverse
+    /// leg is disabled, `low_watermark = 0`).  The [`ScanMode`] applies to
+    /// both planes; the flat plane uses the default Bakery++ bound, the tree
+    /// its per-node `M = K + 1`.
     ///
     /// # Panics
     /// Panics if `n == 0`.
@@ -152,7 +275,44 @@ impl AdaptiveBakery {
         capacity_threshold: usize,
         contention_threshold: u64,
     ) -> Self {
+        Self::with_hysteresis(n, mode, capacity_threshold, contention_threshold, 0, 1)
+    }
+
+    /// Creates an adaptive lock with every knob explicit, including the
+    /// hysteresis band of the reverse leg: the reverse trigger arms only
+    /// after `quiet_period` consecutive tree releases during which live
+    /// sessions and concurrently announced tree acquirers both stayed below
+    /// `low_watermark`.  `low_watermark == 0` disables the reverse leg.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.  When the reverse leg is enabled
+    /// (`low_watermark > 0`), additionally panics if `quiet_period` is zero
+    /// (it would fire instantly), exceeds `u32::MAX` (the packed streak
+    /// counter saturates there), or if `low_watermark` is not strictly below
+    /// `capacity_threshold` (the hysteresis band must separate the two
+    /// triggers).
+    #[must_use]
+    pub fn with_hysteresis(
+        n: usize,
+        mode: ScanMode,
+        capacity_threshold: usize,
+        contention_threshold: u64,
+        low_watermark: usize,
+        quiet_period: u64,
+    ) -> Self {
         assert!(n > 0, "a lock needs at least one process slot");
+        if low_watermark > 0 {
+            assert!(quiet_period > 0, "a zero quiet period would fire instantly");
+            assert!(
+                quiet_period <= u64::from(u32::MAX),
+                "quiet_period must fit the packed streak counter"
+            );
+            assert!(
+                low_watermark < capacity_threshold,
+                "the hysteresis band needs low_watermark ({low_watermark}) strictly below \
+                 capacity_threshold ({capacity_threshold}), or the triggers chase each other"
+            );
+        }
         Self {
             flat: BakeryPlusPlusLock::with_bound_and_mode(
                 n,
@@ -162,91 +322,244 @@ impl AdaptiveBakery {
             tree: TreeBakery::with_config(n, DEFAULT_TREE_ARITY.min(n.max(2)), mode),
             epoch: AtomicU64::new(EPOCH_FLAT),
             flat_active: AtomicU64::new(0),
+            tree_active: AtomicU64::new(0),
             route: (0..n).map(|_| AtomicU64::new(EPOCH_FLAT)).collect(),
             capacity_threshold,
             contention_threshold,
+            low_watermark,
+            quiet_period,
+            quiet_streak: AtomicU64::new(0),
+            flat_waits_baseline: AtomicU64::new(0),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
         }
     }
 
-    /// The current migration epoch ([`EPOCH_FLAT`], [`EPOCH_DRAIN`] or
-    /// [`EPOCH_TREE`]).
+    /// The current epoch **word** — `(cycle << 2) | phase`, strictly
+    /// monotone across the lock's lifetime.  Decompose with [`epoch_phase`]
+    /// and [`epoch_cycle`].
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// True once the lock has fully handed off to the tree plane.
+    /// The current phase of the epoch cycle.
     #[must_use]
-    pub fn has_migrated(&self) -> bool {
-        self.epoch() == EPOCH_TREE
+    pub fn epoch_phase(&self) -> u64 {
+        epoch_phase(self.epoch())
     }
 
-    /// The flat plane (pre-migration route).
+    /// How many full `FLAT → TREE → FLAT` round trips have completed before
+    /// the current phase.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        epoch_cycle(self.epoch())
+    }
+
+    /// True while the lock currently resides on the tree plane (`TREE`, or
+    /// `DRAIN_TREE` while the reverse drain is still in flight).  This
+    /// reports the **current plane**, not "ever migrated": after a completed
+    /// reverse migration it is `false` again — use
+    /// [`LockStats::migrations_forward`] for the history.
+    #[must_use]
+    pub fn has_migrated(&self) -> bool {
+        matches!(self.epoch_phase(), EPOCH_TREE | EPOCH_DRAIN_TREE)
+    }
+
+    /// The flat plane (the `FLAT`-phase route).
     #[must_use]
     pub fn flat(&self) -> &BakeryPlusPlusLock {
         &self.flat
     }
 
-    /// The tree plane (post-migration route).
+    /// The tree plane (the `TREE`-phase route).
     #[must_use]
     pub fn tree(&self) -> &TreeBakery {
         &self.tree
     }
 
-    /// The live-session threshold that triggers migration.
+    /// The live-session threshold that triggers the forward migration.
     #[must_use]
     pub fn capacity_threshold(&self) -> usize {
         self.capacity_threshold
     }
 
-    /// The flat doorway-wait threshold that triggers migration.
+    /// The per-residency flat doorway-wait threshold that triggers the
+    /// forward migration.
     #[must_use]
     pub fn contention_threshold(&self) -> u64 {
         self.contention_threshold
     }
 
-    /// Requests the migration now (idempotent; normally fired by the
-    /// thresholds).  The handoff still drains in-flight flat acquisitions
-    /// before any process enters through the tree.
+    /// The hysteresis low watermark of the reverse trigger (0 = reverse leg
+    /// disabled).
+    #[must_use]
+    pub fn low_watermark(&self) -> usize {
+        self.low_watermark
+    }
+
+    /// Consecutive quiet tree releases required to arm the reverse trigger.
+    #[must_use]
+    pub fn quiet_period(&self) -> u64 {
+        self.quiet_period
+    }
+
+    /// Requests the forward (flat→tree) migration now (no-op unless the
+    /// phase is `FLAT`; normally fired by the thresholds).  The handoff
+    /// still drains in-flight flat acquisitions before any process enters
+    /// through the tree.
     pub fn trigger_migration(&self) {
-        let _ = self.epoch.compare_exchange(
-            EPOCH_FLAT,
-            EPOCH_DRAIN,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        let word = self.epoch.load(Ordering::SeqCst);
+        if epoch_phase(word) == EPOCH_FLAT {
+            let _ = self
+                .epoch
+                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
     }
 
-    /// True when either migration trigger currently fires.
+    /// Requests the reverse (tree→flat) migration now, bypassing the
+    /// hysteresis band (no-op unless the phase is `TREE`).  The handoff
+    /// still drains in-flight tree acquisitions before any process re-enters
+    /// through the flat plane.
+    pub fn trigger_reverse_migration(&self) {
+        let word = self.epoch.load(Ordering::SeqCst);
+        if epoch_phase(word) == EPOCH_TREE {
+            let _ = self
+                .epoch
+                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+
+    /// Live leased sessions (`attaches − detaches`).
+    fn live_sessions(&self) -> u64 {
+        self.stats.attaches().saturating_sub(self.stats.detaches())
+    }
+
+    /// True when either forward trigger currently fires.  Contention is
+    /// measured per flat residency: the baseline is re-captured at every
+    /// reverse flip, so waits suffered before a round trip cannot re-trigger
+    /// the next one.
     fn should_migrate(&self) -> bool {
-        let live = self
-            .stats
-            .attaches()
-            .saturating_sub(self.stats.detaches());
-        live as usize >= self.capacity_threshold
-            || self.flat.stats().doorway_waits() >= self.contention_threshold
+        let residency_waits = self
+            .flat
+            .stats()
+            .doorway_waits()
+            .saturating_sub(self.flat_waits_baseline.load(Ordering::SeqCst));
+        self.live_sessions() as usize >= self.capacity_threshold
+            || residency_waits >= self.contention_threshold
     }
 
-    /// One drain-helping step: flip `DRAIN → TREE` once the flat plane is
-    /// quiescent.  Any process that observes `DRAIN` helps, so the handoff
-    /// needs no dedicated migrator thread.
-    fn help_drain(&self) {
-        if self.flat_active.load(Ordering::SeqCst) == 0 {
-            let _ = self.epoch.compare_exchange(
-                EPOCH_DRAIN,
-                EPOCH_TREE,
+    /// Fires the forward trigger if a threshold is crossed while `word` (a
+    /// `FLAT`-phase epoch word) is still current.
+    fn maybe_trigger_forward(&self, word: u64) {
+        if self.should_migrate() {
+            let _ = self
+                .epoch
+                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+
+    /// One hysteresis observation, made on every release through the tree
+    /// route: `remaining` is the number of still-announced tree acquirers
+    /// (the O(1) doorway-contention proxy).  Quiet observations accumulate
+    /// in the residency-tagged streak word; a loud one zeroes it;
+    /// `quiet_period` consecutive quiet ones of the *same* residency fire
+    /// the reverse trigger.
+    fn observe_tree_release(&self, remaining: u64) {
+        if self.low_watermark == 0 {
+            return; // reverse leg disabled
+        }
+        let word = self.epoch.load(Ordering::SeqCst);
+        if epoch_phase(word) != EPOCH_TREE {
+            return;
+        }
+        // The streak word carries the residency it was observed in: tag 0
+        // (used by the forward flip's reset) can never equal a TREE word, so
+        // it always reads as "no streak yet".
+        let tag = (word & u64::from(u32::MAX)) << 32;
+        let low = self.low_watermark as u64;
+        if self.live_sessions() >= low || remaining >= low {
+            // Loud: zero this residency's streak.  The common contended case
+            // finds it already zero — keep the hot release path store-free.
+            if self.quiet_streak.load(Ordering::SeqCst) != tag {
+                self.quiet_streak.store(tag, Ordering::SeqCst);
+            }
+            return;
+        }
+        // Quiet: bump the streak, but only under our own residency's tag — a
+        // count started in another residency (or by a release preempted
+        // across a round trip) restarts at 1 instead of being inherited.
+        let mut current = self.quiet_streak.load(Ordering::SeqCst);
+        loop {
+            let count = if current & !u64::from(u32::MAX) == tag {
+                (current & u64::from(u32::MAX)).saturating_add(1)
+            } else {
+                1
+            };
+            match self.quiet_streak.compare_exchange(
+                current,
+                tag | count.min(u64::from(u32::MAX)),
                 Ordering::SeqCst,
                 Ordering::SeqCst,
-            );
+            ) {
+                Ok(_) => {
+                    if count >= self.quiet_period {
+                        let _ = self.epoch.compare_exchange(
+                            word,
+                            word + 1,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                    }
+                    return;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// One drain-helping step for the drain phase observed in `word`: flip
+    /// `DRAIN_FLAT → TREE` (or `DRAIN_TREE → FLAT`) once the draining plane
+    /// is quiescent.  Any process that observes a drain phase helps, so the
+    /// handoff needs no dedicated migrator thread.
+    fn help_drain(&self, word: u64) {
+        let draining = match epoch_phase(word) {
+            EPOCH_DRAIN => &self.flat_active,
+            EPOCH_DRAIN_TREE => &self.tree_active,
+            _ => return,
+        };
+        if draining.load(Ordering::SeqCst) != 0 {
+            return;
+        }
+        // Re-arm the next residency's trigger baselines *before* the flip:
+        // a stale helper re-running these stores can only delay a later
+        // trigger (it writes current values), never make one fire early.
+        if epoch_phase(word) == EPOCH_DRAIN {
+            // Entering TREE: no quiet streak from an earlier cycle may
+            // survive into this residency (the spec's NoFlapStaleArming).
+            self.quiet_streak.store(0, Ordering::SeqCst);
+        } else {
+            // Entering FLAT: contention restarts from here.
+            self.flat_waits_baseline
+                .store(self.flat.stats().doorway_waits(), Ordering::SeqCst);
+        }
+        if self
+            .epoch
+            .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            if epoch_phase(word) == EPOCH_DRAIN {
+                self.stats.record_migration_forward();
+            } else {
+                self.stats.record_migration_reverse();
+            }
         }
     }
 
     /// Folds the flat plane's and every tree node's statistics, with
     /// `cs_entries` pinned to the adaptive facade's own counter (the PR 3
     /// facade-only rule: entries are counted once, at the outermost facade,
-    /// and never double across the migration).
+    /// and never double across any number of migrations).
     #[must_use]
     pub fn aggregate_snapshot(&self) -> StatsSnapshot {
         let mut total = self.stats.snapshot();
@@ -265,35 +578,40 @@ impl RawMutexAlgorithm for AdaptiveBakery {
 
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.should_migrate() {
-            self.trigger_migration();
+        let word = self.epoch.load(Ordering::SeqCst);
+        if epoch_phase(word) == EPOCH_FLAT {
+            self.maybe_trigger_forward(word);
         }
         let mut backoff = Backoff::new();
         loop {
-            match self.epoch.load(Ordering::SeqCst) {
+            let word = self.epoch.load(Ordering::SeqCst);
+            match epoch_phase(word) {
                 EPOCH_TREE => {
-                    // The epoch is monotone: once TREE, always TREE, so no
-                    // re-check is needed after this load.
-                    self.tree.acquire(pid);
-                    self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
-                    return;
+                    // Announce, then re-check the FULL word (Dekker handshake
+                    // with the reverse drainer's epoch-advance / active-read;
+                    // the cycle tag defeats the stale-TREE ABA).
+                    self.tree_active.fetch_add(1, Ordering::SeqCst);
+                    if self.epoch.load(Ordering::SeqCst) == word {
+                        self.tree.acquire(pid);
+                        self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
+                        return;
+                    }
+                    // Lost the race to the drainer: withdraw and re-route.
+                    self.tree_active.fetch_sub(1, Ordering::SeqCst);
                 }
-                EPOCH_DRAIN => {
-                    self.help_drain();
-                    backoff.snooze();
-                }
-                _ => {
-                    // FLAT: announce, then re-check (Dekker handshake with
-                    // the drainer's DRAIN-store / flat_active-read).
+                EPOCH_FLAT => {
+                    // The mirror handshake against the forward drainer.
                     self.flat_active.fetch_add(1, Ordering::SeqCst);
-                    if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT {
+                    if self.epoch.load(Ordering::SeqCst) == word {
                         self.flat.acquire(pid);
                         self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
                         return;
                     }
-                    // Lost the race to the drainer: withdraw the announcement
-                    // and re-route.
                     self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                }
+                _ => {
+                    self.help_drain(word);
+                    backoff.snooze();
                 }
             }
         }
@@ -302,41 +620,46 @@ impl RawMutexAlgorithm for AdaptiveBakery {
     fn release(&self, pid: usize) {
         if self.route[pid].load(Ordering::SeqCst) == EPOCH_TREE {
             self.tree.release(pid);
+            let remaining = self.tree_active.fetch_sub(1, Ordering::SeqCst) - 1;
+            self.observe_tree_release(remaining);
         } else {
             self.flat.release(pid);
             self.flat_active.fetch_sub(1, Ordering::SeqCst);
-            if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.should_migrate() {
-                self.trigger_migration();
+            let word = self.epoch.load(Ordering::SeqCst);
+            if epoch_phase(word) == EPOCH_FLAT {
+                self.maybe_trigger_forward(word);
             }
         }
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        match self.epoch.load(Ordering::SeqCst) {
+        let word = self.epoch.load(Ordering::SeqCst);
+        match epoch_phase(word) {
             EPOCH_TREE => {
-                if self.tree.try_acquire(pid) {
+                self.tree_active.fetch_add(1, Ordering::SeqCst);
+                if self.epoch.load(Ordering::SeqCst) == word && self.tree.try_acquire(pid) {
                     self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
                     true
                 } else {
+                    self.tree_active.fetch_sub(1, Ordering::SeqCst);
                     false
                 }
             }
-            // Mid-handoff: conservatively fail rather than wait the drain out.
-            EPOCH_DRAIN => {
-                self.help_drain();
-                false
-            }
-            _ => {
+            EPOCH_FLAT => {
                 self.flat_active.fetch_add(1, Ordering::SeqCst);
-                if self.epoch.load(Ordering::SeqCst) == EPOCH_FLAT && self.flat.try_acquire(pid)
-                {
+                if self.epoch.load(Ordering::SeqCst) == word && self.flat.try_acquire(pid) {
                     self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
                     true
                 } else {
                     self.flat_active.fetch_sub(1, Ordering::SeqCst);
                     false
                 }
+            }
+            // Mid-handoff: conservatively fail rather than wait the drain out.
+            _ => {
+                self.help_drain(word);
+                false
             }
         }
     }
@@ -346,9 +669,10 @@ impl RawMutexAlgorithm for AdaptiveBakery {
     }
 
     fn shared_word_count(&self) -> usize {
-        // Both planes exist for the lock's whole lifetime, plus the epoch
-        // and drain-count control words.
-        self.flat.shared_word_count() + self.tree.shared_word_count() + 2
+        // Both planes exist for the lock's whole lifetime, plus the epoch,
+        // the two announce counters, the quiet streak and the contention
+        // baseline.
+        self.flat.shared_word_count() + self.tree.shared_word_count() + 5
     }
 
     fn register_bound(&self) -> Option<u64> {
@@ -372,6 +696,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
 
     #[test]
@@ -385,6 +710,7 @@ mod tests {
         assert_eq!(lock.stats().cs_entries(), 20);
         assert_eq!(lock.flat().stats().fast_path_hits(), 20);
         assert_eq!(lock.tree().aggregate_snapshot().cs_entries, 0);
+        assert_eq!(lock.stats().migrations_forward(), 0);
     }
 
     #[test]
@@ -393,9 +719,11 @@ mod tests {
         let slot = lock.register().unwrap();
         drop(lock.lock(&slot));
         lock.trigger_migration();
-        assert_eq!(lock.epoch(), EPOCH_DRAIN);
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN);
+        assert!(!lock.has_migrated(), "mid forward drain the lock is still flat-resident");
         drop(lock.lock(&slot)); // the acquirer helps drain, then routes tree
         assert!(lock.has_migrated());
+        assert_eq!(lock.stats().migrations_forward(), 1);
         // Post-migration traffic exercises the tree only.
         let before = lock.tree().level_snapshot(0).fast_path_hits;
         drop(lock.lock(&slot));
@@ -429,11 +757,138 @@ mod tests {
     }
 
     #[test]
+    fn quiet_period_drives_the_reverse_migration() {
+        // low_watermark 2, quiet_period 4: with no live sessions and no
+        // concurrent acquirers, the 4th quiet tree release fires the reverse
+        // trigger and the next acquisition helps the drain flip back to FLAT.
+        let lock = AdaptiveBakery::with_hysteresis(4, ScanMode::Packed, 3, u64::MAX, 2, 4);
+        let slot = lock.register().unwrap();
+        lock.trigger_migration();
+        drop(lock.lock(&slot)); // helps the forward drain, enters via tree
+        assert!(lock.has_migrated()); // that release was quiet observation 1
+        for i in 0..2 {
+            drop(lock.lock(&slot));
+            assert_eq!(lock.epoch_phase(), EPOCH_TREE, "streak {} below period", i + 2);
+        }
+        // The 4th quiet release reaches quiet_period: reverse triggered.
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
+        drop(lock.lock(&slot)); // helps the reverse drain, enters via flat
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT);
+        assert_eq!(lock.cycle(), 1, "one full round trip");
+        assert!(!lock.has_migrated(), "has_migrated reports the current plane");
+        assert_eq!(lock.stats().migrations_forward(), 1);
+        assert_eq!(lock.stats().migrations_reverse(), 1);
+        // The facade-only cs_entries rule holds across the whole round trip.
+        assert_eq!(lock.stats().cs_entries(), 5);
+        assert_eq!(lock.aggregate_snapshot().cs_entries, 5);
+        assert_eq!(lock.aggregate_snapshot().migrations_reverse, 1);
+    }
+
+    #[test]
+    fn live_sessions_above_the_low_watermark_hold_the_tree() {
+        let lock = AdaptiveBakery::with_hysteresis(4, ScanMode::Packed, 3, u64::MAX, 1, 2);
+        let slot = lock.register().unwrap();
+        lock.trigger_migration();
+        drop(lock.lock(&slot));
+        assert!(lock.has_migrated());
+        // One live session >= low_watermark 1: every release is loud.
+        lock.stats().record_attach();
+        for _ in 0..10 {
+            drop(lock.lock(&slot));
+        }
+        assert_eq!(lock.epoch_phase(), EPOCH_TREE, "never quiet while leased");
+        // Detach: releases quieten, and the second one triggers the reverse.
+        lock.stats().record_detach();
+        drop(lock.lock(&slot));
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
+    }
+
+    #[test]
+    fn epoch_word_is_strictly_monotone_across_two_round_trips() {
+        let lock = AdaptiveBakery::with_hysteresis(4, ScanMode::Packed, 3, u64::MAX, 2, 1);
+        let slot = lock.register().unwrap();
+        let mut last = lock.epoch();
+        assert_eq!(last, 0);
+        for round in 0..2 {
+            lock.trigger_migration(); // 4c -> 4c+1
+            // Acquire helps the forward drain (-> TREE, 4c+2), enters via the
+            // tree; quiet_period 1 makes its release trigger the reverse
+            // immediately (-> DRAIN_TREE, 4c+3).
+            drop(lock.lock(&slot));
+            assert_eq!(lock.epoch(), 4 * round + 3, "DRAIN_TREE of cycle {round}");
+            drop(lock.lock(&slot)); // reverse drain helper + flat entry
+            assert_eq!(lock.epoch(), 4 * (round + 1), "FLAT of cycle {}", round + 1);
+            assert!(lock.epoch() > last, "the word never repeats");
+            last = lock.epoch();
+        }
+        assert_eq!(lock.stats().migrations_forward(), 2);
+        assert_eq!(lock.stats().migrations_reverse(), 2);
+        assert_eq!(lock.cycle(), 2);
+        assert_eq!(lock.aggregate_snapshot().overflow_attempts, 0);
+    }
+
+    #[test]
+    fn reverse_trigger_is_a_noop_outside_the_tree_phase() {
+        let lock = AdaptiveBakery::new(4);
+        lock.trigger_reverse_migration();
+        assert_eq!(lock.epoch(), EPOCH_FLAT, "no reverse from FLAT");
+        lock.trigger_migration();
+        lock.trigger_reverse_migration();
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN, "no reverse mid forward drain");
+    }
+
+    #[test]
+    fn forward_contention_baseline_resets_across_a_round_trip() {
+        // Trip forward on contention, come back on quiet, and verify the old
+        // contention cannot instantly re-trigger (flap) the next forward leg.
+        let lock = AdaptiveBakery::with_hysteresis(4, ScanMode::Packed, 3, 10, 2, 1);
+        let slot = lock.register().unwrap();
+        lock.flat().stats().record_doorway_waits(50); // past the threshold
+        // This acquire fires the forward trigger, self-helps the drain and
+        // enters via the tree; quiet_period 1 makes its release trigger the
+        // reverse straight away.
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
+        assert_eq!(lock.stats().migrations_forward(), 1);
+        drop(lock.lock(&slot)); // reverse drain helper + flat entry
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT, "round trip complete");
+        // The 50 stale wait iterations are behind the new baseline now.
+        drop(lock.lock(&slot));
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT, "no flap from stale contention");
+        lock.flat().stats().record_doorway_waits(10); // fresh residency waits
+        drop(lock.lock(&slot));
+        assert!(lock.has_migrated(), "fresh contention re-triggers normally");
+        assert_eq!(lock.stats().migrations_forward(), 2);
+    }
+
+    #[test]
+    fn with_config_disables_the_reverse_leg() {
+        let lock = AdaptiveBakery::with_config(4, ScanMode::Packed, 2, u64::MAX);
+        assert_eq!(lock.low_watermark(), 0);
+        let slot = lock.register().unwrap();
+        lock.trigger_migration();
+        for _ in 0..50 {
+            drop(lock.lock(&slot));
+        }
+        assert_eq!(lock.epoch_phase(), EPOCH_TREE, "quiet forever, still tree");
+        assert_eq!(lock.stats().migrations_reverse(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly below")]
+    fn low_watermark_must_sit_below_the_capacity_threshold() {
+        let _ = AdaptiveBakery::with_hysteresis(8, ScanMode::Packed, 3, u64::MAX, 3, 4);
+    }
+
+    #[test]
     fn migration_preserves_mutual_exclusion_mid_workload() {
         // 4 threads hammer the lock; one of them triggers the migration
         // mid-run, so acquisitions cross the FLAT -> DRAIN -> TREE handoff
-        // under real contention.
-        let lock = Arc::new(AdaptiveBakery::new(4));
+        // under real contention.  (Forward-only config: the one-way assertions
+        // below would race a hysteresis-driven reverse on a serialised runner.)
+        let lock = Arc::new(AdaptiveBakery::with_config(4, ScanMode::Packed, 4, u64::MAX));
         let in_cs = StdAtomicU64::new(0);
         let total = StdAtomicU64::new(0);
         std::thread::scope(|scope| {
@@ -463,7 +918,56 @@ mod tests {
         // Facade-only cs_entries across the migration: flat + tree traffic
         // is folded for every other counter, but entries count exactly once.
         assert_eq!(aggregate.cs_entries, 1200);
+        assert_eq!(aggregate.migrations_forward, 1);
         assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.tree_active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_mutual_exclusion_mid_workload() {
+        // The same stress, but across the FULL cycle: the forward leg fires
+        // mid-rush, the reverse leg fires after the churn subsides to one
+        // thread, and a final burst re-exercises the flat plane of cycle 1.
+        let lock = Arc::new(AdaptiveBakery::with_hysteresis(
+            4,
+            ScanMode::Packed,
+            3,
+            u64::MAX,
+            2,
+            8,
+        ));
+        let in_cs = StdAtomicU64::new(0);
+        let total = StdAtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let lock = Arc::clone(&lock);
+                let in_cs = &in_cs;
+                let total = &total;
+                scope.spawn(move || {
+                    let slot = lock.register().unwrap();
+                    let rounds = if t == 0 { 400 } else { 100 };
+                    for i in 0..rounds {
+                        if t == 0 && i == 50 {
+                            lock.trigger_migration();
+                        }
+                        let _g = lock.lock(&slot);
+                        assert_eq!(in_cs.fetch_add(1, StdOrdering::SeqCst), 0);
+                        total.fetch_add(1, StdOrdering::SeqCst);
+                        in_cs.fetch_sub(1, StdOrdering::SeqCst);
+                    }
+                });
+            }
+        });
+        // Thread 0's long solo tail is quiet (no live sessions, no concurrent
+        // acquirers), so the reverse leg must have completed.
+        assert!(!lock.has_migrated(), "the tail must migrate back to flat");
+        assert_eq!(lock.stats().migrations_forward(), 1);
+        assert_eq!(lock.stats().migrations_reverse(), 1);
+        assert_eq!(total.load(StdOrdering::SeqCst), 700);
+        assert_eq!(lock.stats().cs_entries(), 700);
+        assert_eq!(lock.aggregate_snapshot().cs_entries, 700);
+        assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.tree_active.load(Ordering::SeqCst), 0);
     }
 
     #[test]
@@ -485,6 +989,7 @@ mod tests {
         }
         assert_eq!(lock.stats().cs_entries(), 2);
         assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.tree_active.load(Ordering::SeqCst), 0);
     }
 
     #[test]
@@ -501,5 +1006,100 @@ mod tests {
     fn out_of_range_pid_panics() {
         let lock = AdaptiveBakery::new(2);
         lock.acquire(5);
+    }
+
+    proptest! {
+        /// Flapping-proofness under random attach/detach/CS churn with
+        /// adversarial threshold settings: migrations strictly alternate
+        /// (|forward − reverse| ≤ 1), every reverse migration consumed at
+        /// least `quiet_period` releases (so two migrations can never land
+        /// inside one hysteresis quiet period), and no recycled pid is ever
+        /// leased to two live sessions across any number of round trips.
+        #[test]
+        fn hysteresis_never_flaps_under_adversarial_churn(
+            capacity_threshold in 2usize..5,
+            low_fraction in 1usize..4,
+            quiet_period in 1u64..12,
+            threads in 2usize..5,
+            churns in 4u64..20,
+            cs_per_session in 1u64..4,
+            seed in 0u64..u64::MAX,
+        ) {
+            let low_watermark = (capacity_threshold * low_fraction / 4).max(1)
+                .min(capacity_threshold - 1);
+            let lock = Arc::new(AdaptiveBakery::with_hysteresis(
+                4,
+                ScanMode::Packed,
+                capacity_threshold,
+                u64::MAX,
+                low_watermark,
+                quiet_period,
+            ));
+            let plane = crate::session::SessionPlane::new(
+                Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>
+            );
+            let live: std::sync::Mutex<std::collections::HashSet<usize>> =
+                std::sync::Mutex::new(std::collections::HashSet::new());
+            let violations = StdAtomicU64::new(0);
+            let in_cs = StdAtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let plane = &plane;
+                    let lock = &lock;
+                    let live = &live;
+                    let violations = &violations;
+                    let in_cs = &in_cs;
+                    scope.spawn(move || {
+                        let mut state =
+                            seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                        for _ in 0..churns {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            if state & 8 == 0 {
+                                // Adversarial manual triggers race the
+                                // hysteresis machinery from every phase.
+                                lock.trigger_migration();
+                            }
+                            let session = plane.attach();
+                            if !live.lock().unwrap().insert(session.pid()) {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            for _ in 0..cs_per_session {
+                                let g = session.lock();
+                                if in_cs.fetch_add(1, StdOrdering::SeqCst) != 0 {
+                                    violations.fetch_add(1, StdOrdering::SeqCst);
+                                }
+                                in_cs.fetch_sub(1, StdOrdering::SeqCst);
+                                drop(g);
+                            }
+                            if !live.lock().unwrap().remove(&session.pid()) {
+                                violations.fetch_add(1, StdOrdering::SeqCst);
+                            }
+                            drop(session);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(violations.load(StdOrdering::SeqCst), 0,
+                "aliasing or double-CS across a migration");
+            let stats = lock.stats();
+            let forward = stats.migrations_forward();
+            let reverse = stats.migrations_reverse();
+            prop_assert!(forward.abs_diff(reverse) <= 1,
+                "migrations must alternate, got {}/{}", forward, reverse);
+            // Each reverse needed quiet_period consecutive quiet releases
+            // after the preceding forward flip zeroed the streak.
+            prop_assert!(reverse * quiet_period <= stats.cs_entries(),
+                "{} reverses x quiet_period {} exceeds {} total releases",
+                reverse, quiet_period, stats.cs_entries());
+            // Cross-plane bookkeeping drained to zero.
+            prop_assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+            prop_assert_eq!(lock.tree_active.load(Ordering::SeqCst), 0);
+            prop_assert_eq!(plane.live_sessions(), 0);
+            prop_assert_eq!(stats.attaches(), stats.detaches());
+            // Facade-only cs_entries across every migration in the trace.
+            prop_assert_eq!(lock.aggregate_snapshot().cs_entries, stats.cs_entries());
+        }
     }
 }

@@ -52,7 +52,7 @@
 //! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
 //! | [`tree`] | tournament-of-bounded-bakeries: the K-ary [`TreeBakery`] composite |
 //! | [`session`] | dynamic membership: pid-slot leasing with RAII [`Session`]s |
-//! | [`adaptive`] | [`AdaptiveBakery`]: flat Bakery++ that migrates to a tree under load |
+//! | [`adaptive`] | [`AdaptiveBakery`]: flat Bakery++ ⇄ tree round-trip migration under load |
 //! | [`backoff`] | spin/yield backoff shared by the locks |
 //! | [`stats`] | lock statistics (overflows, resets, doorway waits, fast-path hits, …) |
 //!

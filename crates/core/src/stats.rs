@@ -28,6 +28,8 @@ pub struct LockStats {
     fast_path_hits: AtomicU64,
     attaches: AtomicU64,
     detaches: AtomicU64,
+    migrations_forward: AtomicU64,
+    migrations_reverse: AtomicU64,
 }
 
 impl LockStats {
@@ -154,6 +156,32 @@ impl LockStats {
         self.detaches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Number of completed forward (flat→tree) migrations of an adaptive
+    /// lock ([`crate::AdaptiveBakery`]).  Zero for every other algorithm.
+    #[must_use]
+    pub fn migrations_forward(&self) -> u64 {
+        self.migrations_forward.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed reverse (tree→flat) migrations of an adaptive
+    /// lock.  Zero for every other algorithm.  `migrations_forward()` and
+    /// `migrations_reverse()` can never differ by more than one: the epoch
+    /// cycle alternates the two directions by construction.
+    #[must_use]
+    pub fn migrations_reverse(&self) -> u64 {
+        self.migrations_reverse.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed forward (flat→tree) migration.
+    pub fn record_migration_forward(&self) {
+        self.migrations_forward.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed reverse (tree→flat) migration.
+    pub fn record_migration_reverse(&self) {
+        self.migrations_reverse.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters into a plain snapshot struct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -167,6 +195,8 @@ impl LockStats {
             fast_path_hits: self.fast_path_hits(),
             attaches: self.attaches(),
             detaches: self.detaches(),
+            migrations_forward: self.migrations_forward(),
+            migrations_reverse: self.migrations_reverse(),
         }
     }
 }
@@ -192,6 +222,10 @@ pub struct StatsSnapshot {
     pub attaches: u64,
     /// See [`LockStats::detaches`].
     pub detaches: u64,
+    /// See [`LockStats::migrations_forward`].
+    pub migrations_forward: u64,
+    /// See [`LockStats::migrations_reverse`].
+    pub migrations_reverse: u64,
 }
 
 impl StatsSnapshot {
@@ -208,6 +242,8 @@ impl StatsSnapshot {
         self.fast_path_hits += other.fast_path_hits;
         self.attaches += other.attaches;
         self.detaches += other.detaches;
+        self.migrations_forward += other.migrations_forward;
+        self.migrations_reverse += other.migrations_reverse;
     }
 }
 
@@ -216,7 +252,7 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={} \
-             fast_path={} attaches={} detaches={}",
+             fast_path={} attaches={} detaches={} migrations={}/{}",
             self.cs_entries,
             self.overflow_attempts,
             self.resets,
@@ -225,7 +261,9 @@ impl fmt::Display for StatsSnapshot {
             self.max_ticket,
             self.fast_path_hits,
             self.attaches,
-            self.detaches
+            self.detaches,
+            self.migrations_forward,
+            self.migrations_reverse
         )
     }
 }
@@ -304,6 +342,23 @@ mod tests {
         assert_eq!(merged.doorway_waits, 2);
         assert_eq!(merged.max_ticket, 9, "high-water mark takes the max");
         assert_eq!(merged.fast_path_hits, 1);
+    }
+
+    #[test]
+    fn migration_counters_accumulate_and_merge() {
+        let s = LockStats::new();
+        s.record_migration_forward();
+        s.record_migration_reverse();
+        s.record_migration_forward();
+        assert_eq!(s.migrations_forward(), 2);
+        assert_eq!(s.migrations_reverse(), 1);
+        let other = LockStats::new();
+        other.record_migration_reverse();
+        let mut merged = s.snapshot();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.migrations_forward, 2);
+        assert_eq!(merged.migrations_reverse, 2);
+        assert!(s.snapshot().to_string().contains("migrations=2/1"));
     }
 
     #[test]

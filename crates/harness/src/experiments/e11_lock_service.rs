@@ -15,10 +15,23 @@
 //!   leased-capacity threshold fires, so the handoff is exercised under real
 //!   churn, not just in the model checker.
 //!
+//! After the churn the run enters a **subside phase**: the client population
+//! collapses to one at a time, below the adaptive lock's hysteresis low
+//! watermark, until its quiet period elapses and the *reverse* (tree→flat)
+//! handoff fires — so E11 now measures the full round trip.  The adaptive
+//! lock's quiet period is sized to exceed the churn phase's total release
+//! count, which makes the schedule deterministic on any core count: the
+//! reverse cannot complete before the subside phase, and the subside phase
+//! (live = 1, far below the capacity threshold) can never re-trigger the
+//! forward leg — exactly one migration in each direction
+//! ([`ServiceResult::migrations_forward`] / [`ServiceResult::migrations_reverse`]),
+//! asserted in-test by [`run`].
+//!
 //! The runner asserts the session plane's core guarantee **in-test**: a
-//! leased pid is never aliased — no two live sessions on one pid, and never
-//! two concurrent critical sections anywhere ([`ServiceResult::aliasing_violations`]
-//! must be zero, which [`run`] and the conformance suite both check).
+//! leased pid is never aliased — no two live sessions on one pid (across
+//! forward *and* reverse migrations), and never two concurrent critical
+//! sections anywhere ([`ServiceResult::aliasing_violations`] must be zero,
+//! which [`run`] and the conformance suite both check).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -50,19 +63,25 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Busy-work units inside each critical section.
     pub cs_work: u64,
+    /// Clients of the subside phase, served strictly one at a time after the
+    /// churn — enough of them to exhaust the adaptive lock's quiet period
+    /// (see [`ServiceConfig::quiet_period`]) with margin to complete the
+    /// reverse drain.
+    pub subside_clients: usize,
 }
 
 impl ServiceConfig {
     /// The E11 configuration: `64 x slots` clients.
     #[must_use]
     pub fn standard(quick: bool) -> Self {
-        if quick {
+        let mut config = if quick {
             Self {
                 slots: 4,
                 clients: 256,
                 cs_per_session: 4,
                 workers: 8,
                 cs_work: 8,
+                subside_clients: 0,
             }
         } else {
             Self {
@@ -71,14 +90,47 @@ impl ServiceConfig {
                 cs_per_session: 8,
                 workers: 16,
                 cs_work: 16,
+                subside_clients: 0,
             }
-        }
+        };
+        // Enough one-at-a-time releases to exhaust the quiet period even if
+        // the churn never contributed a single quiet observation, plus two
+        // whole sessions of margin for the trigger and the drain flip.
+        config.subside_clients =
+            (config.quiet_period().div_ceil(config.cs_per_session) as usize) + 2;
+        config
     }
 
     /// Client-to-slot ratio (the headline "how oversubscribed" figure).
     #[must_use]
     pub fn oversubscription(&self) -> usize {
         self.clients / self.slots
+    }
+
+    /// The adaptive lock's leased-capacity (forward) threshold for this
+    /// configuration: the rush phase leases every seat, so any value up to
+    /// `slots` fires deterministically; it must also leave room for a low
+    /// watermark of [`Self::low_watermark`] strictly beneath it.
+    #[must_use]
+    pub fn capacity_threshold(&self) -> usize {
+        AdaptiveBakery::default_capacity_threshold(self.slots).max(self.low_watermark() + 1)
+    }
+
+    /// The hysteresis low watermark: the subside phase runs one live session
+    /// at a time, so 2 makes every subside release quiet while any two
+    /// concurrent clients keep the tree resident.
+    #[must_use]
+    pub fn low_watermark(&self) -> usize {
+        2
+    }
+
+    /// The adaptive lock's quiet period, sized past the churn phase's total
+    /// release count so the reverse migration is pinned to the subside phase
+    /// on any scheduler (1-CPU runners serialise the churn into quiet-looking
+    /// solo releases; the oversized period makes that harmless).
+    #[must_use]
+    pub fn quiet_period(&self) -> u64 {
+        self.clients as u64 * self.cs_per_session + 1
     }
 }
 
@@ -102,8 +154,13 @@ pub struct ServiceResult {
     pub aliasing_violations: u64,
     /// Packed-snapshot fast-path hits across all planes.
     pub fast_path_hits: u64,
-    /// `Some(epoch)` for the adaptive lock (2 = migrated to the tree).
-    pub final_epoch: Option<u64>,
+    /// Completed flat→tree handoffs (non-zero only for the adaptive lock).
+    pub migrations_forward: u64,
+    /// Completed tree→flat handoffs (non-zero only for the adaptive lock).
+    pub migrations_reverse: u64,
+    /// `Some(phase)` for the adaptive lock: its epoch phase after the run
+    /// (0 = flat again after the round trip, 2 = still on the tree).
+    pub final_phase: Option<u64>,
 }
 
 impl ServiceResult {
@@ -139,7 +196,10 @@ impl ServiceResult {
 /// single-CPU runner the steady churn alone can serialise into one live
 /// session at a time, which would leave a capacity-triggered migration
 /// schedule-dependent; the rush makes it deterministic.)  The remaining
-/// clients then churn freely across `workers` threads.
+/// clients then churn freely across `workers` threads, and the run closes
+/// with the **subside phase**: `subside_clients` served strictly one at a
+/// time, which takes the adaptive lock below its low watermark for long
+/// enough that the reverse migration provably completes in-run.
 #[must_use]
 pub fn run_service(
     lock: Arc<dyn RawMutexAlgorithm>,
@@ -202,6 +262,14 @@ pub fn run_service(
             });
         }
     });
+    // Phase 3 — the subside: the rush is long over, clients now trickle in
+    // one at a time (live sessions = 1, below the adaptive low watermark of
+    // 2), until the quiet period elapses and the tree drains back to flat.
+    for _ in 0..config.subside_clients {
+        let session = plane.attach();
+        serve_one(&session);
+        drop(session);
+    }
     let elapsed = begun.elapsed();
 
     let stats = plane.stats().snapshot();
@@ -214,24 +282,29 @@ pub fn run_service(
         detaches: stats.detaches,
         aliasing_violations: violations.load(Ordering::SeqCst),
         fast_path_hits: stats.fast_path_hits,
-        final_epoch: adaptive.map(|a| a.epoch()),
+        migrations_forward: stats.migrations_forward,
+        migrations_reverse: stats.migrations_reverse,
+        final_phase: adaptive.map(|a| a.epoch_phase()),
     }
 }
 
-/// Builds the three service locks for `slots` pids.  The adaptive lock's
-/// capacity threshold sits at half the slot count, so the churn (whose rush
-/// phase leases every seat at once) is guaranteed to cross it mid-run.
+/// Builds the three service locks for `config`.  The adaptive lock's
+/// capacity threshold sits within the slot count, so the churn (whose rush
+/// phase leases every seat at once) is guaranteed to cross it mid-run; its
+/// quiet period is sized past the churn's release count so the reverse
+/// migration lands deterministically in the subside phase.  The contention
+/// trigger is disabled: E11 measures the leased-capacity round trip.
 /// Public so the `bench-json` baseline runs the identical lock set.
 #[must_use]
-pub fn service_locks(slots: usize) -> Vec<ServiceLock> {
-    // Default capacity threshold, contention trigger disabled: E11 measures
-    // the leased-capacity migration, and the rush phase satisfies the
-    // default threshold deterministically.
-    let adaptive = Arc::new(AdaptiveBakery::with_config(
+pub fn service_locks(config: &ServiceConfig) -> Vec<ServiceLock> {
+    let slots = config.slots;
+    let adaptive = Arc::new(AdaptiveBakery::with_hysteresis(
         slots,
         ScanMode::Packed,
-        AdaptiveBakery::default_capacity_threshold(slots),
+        config.capacity_threshold(),
         u64::MAX,
+        config.low_watermark(),
+        config.quiet_period(),
     ));
     vec![
         (
@@ -250,8 +323,9 @@ pub fn service_locks(slots: usize) -> Vec<ServiceLock> {
 ///
 /// # Panics
 /// Panics if any run observes a slot-aliasing violation, loses a session, or
-/// (for the adaptive lock) fails to migrate — these are the experiment's
-/// acceptance assertions, not just table rows.
+/// (for the adaptive lock) fails to complete exactly one migration in each
+/// direction across the churn-then-subside schedule — these are the
+/// experiment's acceptance assertions, not just table rows.
 #[must_use]
 pub fn run(quick: bool) -> Vec<Table> {
     let config = ServiceConfig::standard(quick);
@@ -259,13 +333,16 @@ pub fn run(quick: bool) -> Vec<Table> {
         config.oversubscription() >= 64,
         "E11 must run the >= 64x oversubscribed service regime"
     );
+    let expected_sessions = (config.clients + config.subside_clients) as u64;
     let mut table = Table::new(
         format!(
-            "E11 — lock service: {} clients over {} slots ({}x oversubscribed), {} CS each",
+            "E11 — lock service: {} clients over {} slots ({}x oversubscribed), {} CS each, \
+             then a {}-client subside",
             config.clients,
             config.slots,
             config.oversubscription(),
-            config.cs_per_session
+            config.cs_per_session,
+            config.subside_clients,
         ),
         &[
             "algorithm",
@@ -275,25 +352,36 @@ pub fn run(quick: bool) -> Vec<Table> {
             "detaches",
             "aliasing",
             "fast-path hits",
-            "migrated",
+            "migrations",
         ],
     );
-    for (lock, adaptive) in service_locks(config.slots) {
+    for (lock, adaptive) in service_locks(&config) {
         let result = run_service(lock, &config, adaptive.as_ref());
         assert_eq!(result.aliasing_violations, 0, "{}: slot aliasing", result.algorithm);
-        assert_eq!(result.sessions, config.clients as u64, "{}", result.algorithm);
-        assert_eq!(result.attaches, config.clients as u64, "{}", result.algorithm);
-        assert_eq!(result.detaches, config.clients as u64, "{}", result.algorithm);
-        let migrated = match result.final_epoch {
-            Some(epoch) => {
+        assert_eq!(result.sessions, expected_sessions, "{}", result.algorithm);
+        assert_eq!(result.attaches, expected_sessions, "{}", result.algorithm);
+        assert_eq!(result.detaches, expected_sessions, "{}", result.algorithm);
+        let migrations = match result.final_phase {
+            Some(phase) => {
+                // The subside scenario's headline assertion: exactly one
+                // migration in each direction, ending flat-resident.
                 assert_eq!(
-                    epoch,
-                    bakery_core::adaptive::EPOCH_TREE,
-                    "the churn must push the adaptive lock over its threshold"
+                    (result.migrations_forward, result.migrations_reverse),
+                    (1, 1),
+                    "the churn must migrate forward once and the subside back once"
                 );
-                "flat->tree".to_string()
+                assert_eq!(
+                    phase,
+                    bakery_core::adaptive::EPOCH_FLAT,
+                    "the round trip must end on the flat plane"
+                );
+                "flat->tree->flat".to_string()
             }
-            None => "-".to_string(),
+            None => {
+                assert_eq!(result.migrations_forward, 0, "{}", result.algorithm);
+                assert_eq!(result.migrations_reverse, 0, "{}", result.algorithm);
+                "-".to_string()
+            }
         };
         table.push_row(vec![
             result.algorithm.clone(),
@@ -303,14 +391,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             result.detaches.to_string(),
             result.aliasing_violations.to_string(),
             result.fast_path_hits.to_string(),
-            migrated,
+            migrations,
         ]);
     }
     table.push_note(
         "Each client attaches (leases a pid through the session plane), runs its critical \
          sections and detaches; generation-tagged seats recycle pids with zero aliasing \
          (asserted in-test).  The adaptive lock crosses its leased-capacity threshold \
-         mid-churn and hands off flat->tree without dropping a session.",
+         mid-churn, hands off flat->tree without dropping a session, and once the subside \
+         phase stays below its low watermark for a full quiet period it drains the tree \
+         and hands back tree->flat — exactly one migration each way, ending flat.",
     );
     vec![table]
 }
@@ -328,13 +418,34 @@ mod tests {
     }
 
     #[test]
+    fn thresholds_leave_a_hysteresis_band_in_both_configs() {
+        for quick in [true, false] {
+            let config = ServiceConfig::standard(quick);
+            assert!(config.low_watermark() < config.capacity_threshold());
+            assert!(config.capacity_threshold() <= config.slots, "the rush must fire it");
+            assert!(
+                config.quiet_period() > config.clients as u64 * config.cs_per_session,
+                "the reverse must be impossible before the subside phase"
+            );
+            assert!(
+                config.subside_clients as u64 * config.cs_per_session
+                    > config.quiet_period(),
+                "the subside phase must be able to exhaust the quiet period"
+            );
+        }
+    }
+
+    #[test]
     fn churn_over_the_adaptive_lock_migrates_without_aliasing() {
+        // Forward-only adaptive lock (reverse leg disabled): pins the PR 4
+        // one-way behaviour of the same churn, subside included.
         let config = ServiceConfig {
             slots: 4,
             clients: 256,
             cs_per_session: 2,
             workers: 8,
             cs_work: 2,
+            subside_clients: 8,
         };
         let adaptive = Arc::new(AdaptiveBakery::with_config(
             config.slots,
@@ -348,15 +459,42 @@ mod tests {
             Some(&adaptive),
         );
         assert_eq!(result.aliasing_violations, 0);
-        assert_eq!(result.sessions, 256);
-        assert_eq!(result.total_cs, 512);
-        assert_eq!(result.attaches, 256);
-        assert_eq!(result.detaches, 256);
-        assert_eq!(result.final_epoch, Some(bakery_core::adaptive::EPOCH_TREE));
+        assert_eq!(result.sessions, 264);
+        assert_eq!(result.total_cs, 528);
+        assert_eq!(result.attaches, 264);
+        assert_eq!(result.detaches, 264);
+        assert_eq!(result.final_phase, Some(bakery_core::adaptive::EPOCH_TREE));
+        assert_eq!(result.migrations_forward, 1);
+        assert_eq!(result.migrations_reverse, 0, "reverse leg disabled");
         // Facade-only cs_entries across the in-churn migration (the PR 3
         // rule must hold through the handoff).
-        assert_eq!(adaptive.stats().cs_entries(), 512);
-        assert_eq!(adaptive.aggregate_snapshot().cs_entries, 512);
+        assert_eq!(adaptive.stats().cs_entries(), 528);
+        assert_eq!(adaptive.aggregate_snapshot().cs_entries, 528);
+    }
+
+    #[test]
+    fn subside_completes_the_round_trip_exactly_once_each_way() {
+        // The full E11 schedule at quick scale over the real service lock
+        // set: rush fires the forward leg, the subside fires the reverse,
+        // and nothing flaps in between.
+        let config = ServiceConfig::standard(true);
+        let (lock, adaptive) = service_locks(&config).pop().unwrap();
+        let adaptive = adaptive.expect("the last service lock is the adaptive one");
+        let result = run_service(lock, &config, Some(&adaptive));
+        assert_eq!(result.aliasing_violations, 0);
+        assert_eq!(result.migrations_forward, 1, "exactly one forward");
+        assert_eq!(result.migrations_reverse, 1, "exactly one reverse");
+        assert_eq!(result.final_phase, Some(bakery_core::adaptive::EPOCH_FLAT));
+        assert!(!adaptive.has_migrated(), "flat-resident after the subside");
+        assert_eq!(adaptive.cycle(), 1);
+        let expected = (config.clients + config.subside_clients) as u64;
+        assert_eq!(result.sessions, expected);
+        assert_eq!(result.attaches, expected);
+        assert_eq!(result.detaches, expected);
+        // Facade-only cs_entries across BOTH handoffs.
+        assert_eq!(result.total_cs, expected * config.cs_per_session);
+        assert_eq!(adaptive.stats().cs_entries(), result.total_cs);
+        assert_eq!(adaptive.aggregate_snapshot().cs_entries, result.total_cs);
     }
 
     #[test]
@@ -374,6 +512,6 @@ mod tests {
             .find(|r| r[0] == "adaptive-bakery")
             .unwrap();
         assert_eq!(adaptive_row[5], "0", "aliasing column");
-        assert_eq!(adaptive_row[7], "flat->tree");
+        assert_eq!(adaptive_row[7], "flat->tree->flat");
     }
 }

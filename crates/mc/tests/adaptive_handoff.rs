@@ -1,41 +1,55 @@
-//! Exhaustive close-out of the adaptive flat→tree handoff handshake.
+//! Exhaustive close-out of the adaptive flat⇄tree handoff **cycle**.
 //!
-//! The `AdaptiveBakery` migration rests on one Dekker-style handshake
-//! (announce-then-recheck vs. drain-then-read, see
-//! `bakery-core::adaptive`).  Its spec (`bakery-spec::adaptive`) abstracts
-//! the two verified inner locks to single holder registers, so the state
-//! space is tiny and the exploration completes **exhaustively** — every
-//! reachable interleaving of the handshake, with the migration trigger
-//! available at every point — for 2, 3 and 4 processes.
+//! The `AdaptiveBakery` migration rests on one Dekker-style handshake per
+//! direction (announce-then-recheck vs. drain-then-read, see
+//! `bakery-core::adaptive`), stitched into a generation-tagged epoch cycle
+//! `FLAT → DRAIN_FLAT → TREE → DRAIN_TREE → FLAT`.  Its spec
+//! (`bakery-spec::adaptive`) abstracts the two verified inner locks to
+//! single holder registers, so the state space stays small enough for the
+//! PR 3 compact-state store to close out **exhaustively** — every reachable
+//! interleaving of the handshakes, with both migration triggers available at
+//! every point, across a full round trip *plus* a second forward leg — for
+//! 2, 3 and 4 processes.
 //!
 //! Checked on every reachable state:
 //! * `MutualExclusion` — at most one process in *either* critical section
-//!   (this is the cross-plane property: one process in the flat CS and one
-//!   in the tree CS is a violation of the same invariant);
-//! * `NoOverflow` (register bounds) — the epoch/active/holder registers stay
-//!   within their declared ranges;
-//! * `FlatDrainedBeforeTree` — once `epoch == TREE`, the flat plane is and
-//!   stays quiescent;
-//! * `ActiveCountsAnnouncements` — the drain condition's counter agrees with
-//!   the set of announced processes;
+//!   (this is the cross-plane property in both directions: a flat CS
+//!   overlapping a tree CS violates the same invariant no matter which
+//!   migration produced it);
+//! * `NoOverflow` (register bounds) — the epoch word, both announce
+//!   counters and both holder registers stay within their declared ranges
+//!   (the epoch bound doubles as the proof that migrations stay inside the
+//!   modelled trigger budget);
+//! * `FlatDrainedBeforeTree` — the flat plane is quiescent throughout the
+//!   `TREE` and `DRAIN_TREE` phases;
+//! * `TreeDrainedBeforeFlat` — the mirror claim of the reverse leg: the
+//!   tree plane is quiescent throughout `FLAT` and `DRAIN_FLAT`, i.e. a
+//!   reverse migration fully drains the tree before flat traffic resumes;
+//! * `ActiveCountsAnnouncements` — both drain conditions' counters agree
+//!   with the sets of announced processes;
+//! * `NoFlapStaleArming` — the reverse trigger's arming never leaks out of
+//!   the `TREE` phase (the flapping hazard the hysteresis band must kill);
 //! * no deadlock anywhere in the space.
 
 use bakery_mc::ModelChecker;
+use bakery_spec::adaptive::reg;
 use bakery_spec::AdaptiveHandoffSpec;
 
-/// Exhaustively explores the handshake for `n` processes and checks every
-/// safety property plus deadlock freedom.
+/// Exhaustively explores the handoff cycle for `n` processes and checks
+/// every safety property plus deadlock freedom.
 fn close_out(n: usize, expect_states_at_most: usize) {
     let spec = AdaptiveHandoffSpec::new(n);
     let report = ModelChecker::new(&spec)
         .with_paper_invariants()
         .with_invariant(AdaptiveHandoffSpec::drained_invariant())
+        .with_invariant(AdaptiveHandoffSpec::tree_drained_invariant())
         .with_invariant(AdaptiveHandoffSpec::active_count_invariant())
+        .with_invariant(AdaptiveHandoffSpec::no_flap_invariant())
         .with_max_states(expect_states_at_most)
         .run();
     assert!(
         !report.truncated,
-        "n = {n}: the handshake space must close out exhaustively, \
+        "n = {n}: the handoff cycle space must close out exhaustively, \
          got {} states",
         report.states
     );
@@ -46,22 +60,22 @@ fn close_out(n: usize, expect_states_at_most: usize) {
     );
     assert!(report.deadlocks.is_empty(), "n = {n}: {:?}", report.deadlocks);
     assert!(report.states > 0);
-    println!("adaptive handoff n={n}: {report}");
+    println!("adaptive round-trip handoff n={n}: {report}");
 }
 
 #[test]
-fn two_process_handoff_closes_out_exhaustively() {
-    close_out(2, 100_000);
+fn two_process_round_trip_closes_out_exhaustively() {
+    close_out(2, 100_000); // 1,148 reachable states
 }
 
 #[test]
-fn three_process_handoff_closes_out_exhaustively() {
-    close_out(3, 1_000_000);
+fn three_process_round_trip_closes_out_exhaustively() {
+    close_out(3, 1_000_000); // 22,788 reachable states
 }
 
 #[test]
-fn four_process_handoff_closes_out_exhaustively() {
-    close_out(4, 8_000_000);
+fn four_process_round_trip_closes_out_exhaustively() {
+    close_out(4, 4_000_000); // 445,512 reachable states
 }
 
 #[test]
@@ -74,12 +88,11 @@ fn handoff_violation_is_detectable() {
 
     let spec = AdaptiveHandoffSpec::new(2);
     let broken = Invariant::<AdaptiveHandoffSpec>::new("TreeNeverUsed", |_, state: &ProgState| {
-        // Register 3 is the tree holder; it is of course used post-drain.
-        state.read(3) == 0
+        state.read(reg::TREE) == 0
     });
     let report = ModelChecker::new(&spec)
         .with_invariant(broken)
-        .with_max_states(100_000)
+        .with_max_states(1_000_000)
         .run();
     assert!(!report.truncated);
     assert_eq!(report.violated_invariants(), vec!["TreeNeverUsed".to_string()]);
@@ -87,6 +100,42 @@ fn handoff_violation_is_detectable() {
     assert!(
         violation.depth > 0,
         "counterexample must be a real trace, got depth {}",
+        violation.depth
+    );
+}
+
+#[test]
+fn reverse_leg_is_genuinely_explored() {
+    // The round-trip claim would be vacuous if the exploration never made it
+    // back to a cycle-1 flat entry.  Assert it does, the same way: the false
+    // invariant "the flat plane is never re-acquired after a reverse
+    // migration" must yield a counterexample whose trace crosses the whole
+    // cycle — trigger, forward drain, tree era, reverse trigger, reverse
+    // drain, and a fresh flat acquisition.
+    use bakery_sim::{Invariant, ProgState};
+
+    let spec = AdaptiveHandoffSpec::new(2);
+    let broken =
+        Invariant::<AdaptiveHandoffSpec>::new("FlatNeverReused", |_, state: &ProgState| {
+            // Epoch word >= 4 is cycle 1; a non-zero flat holder there is
+            // exactly a post-round-trip flat critical section.
+            state.read(reg::EPOCH) < 4 || state.read(reg::FLAT) == 0
+        });
+    let report = ModelChecker::new(&spec)
+        .with_invariant(broken)
+        .with_max_states(1_000_000)
+        .run();
+    assert!(!report.truncated);
+    assert_eq!(
+        report.violated_invariants(),
+        vec!["FlatNeverReused".to_string()]
+    );
+    let violation = &report.violations[0];
+    // The shortest such trace must at minimum trigger and complete both
+    // drains (2 epoch advances each) and run two full acquisitions.
+    assert!(
+        violation.depth >= 10,
+        "a round trip cannot be this short: depth {}",
         violation.depth
     );
 }

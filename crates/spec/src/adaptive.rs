@@ -1,11 +1,22 @@
-//! Step-machine specification of the adaptive flat→tree **handoff**.
+//! Step-machine specification of the adaptive flat⇄tree **handoff cycle**.
 //!
 //! `bakery-core::adaptive::AdaptiveBakery` routes acquisitions to a flat
-//! Bakery++ until a threshold fires, then performs a quiescent handoff to a
-//! tree: trigger `epoch: FLAT → DRAIN`, wait for `flat_active == 0`, flip
-//! `DRAIN → TREE`.  Mutual exclusion of the composite rests on exactly one
-//! claim: *a flat acquisition can never overlap a tree acquisition across the
-//! migration*.  This module models precisely that claim.
+//! Bakery++ until a threshold fires, performs a quiescent handoff to a tree,
+//! and — once the tree has been quiet for a full hysteresis period — drains
+//! the tree and hands back to flat.  The epoch is one generation-tagged word
+//! `(cycle << 2) | phase` walking
+//!
+//! ```text
+//!   FLAT ──trigger──► DRAIN_FLAT ──flip──► TREE ──trigger──► DRAIN_TREE
+//!    ▲                                                            │
+//!    └───────────────────────────flip────────────────────────────┘
+//! ```
+//!
+//! with every transition a `word → word + 1` CAS, so the word is strictly
+//! monotone even though the phase revisits `FLAT`.  Mutual exclusion of the
+//! composite rests on exactly one claim: *a flat acquisition can never
+//! overlap a tree acquisition, in either migration direction*.  This module
+//! models precisely that claim, round trip included.
 //!
 //! ## Abstraction
 //!
@@ -14,45 +25,85 @@
 //! spec abstracts each to a single holder register acquired in one guarded
 //! atomic step — the same granularity the ticket spec uses for its
 //! fetch-and-add, and justified the same way: the real operation *is* an
-//! already-verified mutual-exclusion primitive (or, for `epoch`/`active`, a
-//! hardware CAS/fetch-add).  What remains concrete, one shared access per
-//! step, is the handoff handshake itself:
+//! already-verified mutual-exclusion primitive (or, for `epoch`/the active
+//! counters, a hardware CAS/fetch-add).  What remains concrete, one shared
+//! access per step, is the handoff handshake itself:
 //!
-//! * the acquirer's Dekker half — `active += 1`, then re-read `epoch`,
-//!   aborting the flat route if it moved;
-//! * the drainer's Dekker half — `epoch := DRAIN`, then read `active`,
-//!   flipping to `TREE` only on zero;
-//! * the migration trigger, modelled as a nondeterministic step any idle
-//!   process may take at any time, so exhaustive exploration covers a
-//!   threshold firing at *every* reachable point.
+//! * the acquirer's Dekker half — bump the route's active counter, then
+//!   re-read `epoch` and compare the **full word** (phase *and* cycle, the
+//!   per-cycle ABA guard) against the word it routed on, aborting if it
+//!   moved;
+//! * the drainer's Dekker half — advance `epoch` into a drain phase, then
+//!   read the draining route's counter, flipping onward only on zero;
+//! * both migration triggers, modelled as nondeterministic steps any idle
+//!   process may take, so exhaustive exploration covers a threshold firing
+//!   at *every* reachable point.  The trigger budget is bounded by the
+//!   epoch-word cap ([`MAX_EPOCH_WORD`]) purely to keep the state space
+//!   finite: the explored prefix covers a full round trip **plus** a second
+//!   forward leg, so re-entering a phase is checked, not assumed.
+//!
+//! The hysteresis band itself (quiet streaks, watermarks) is a liveness
+//! concern and does not participate in the safety argument — the spec is
+//! *sound for any trigger timing* because the triggers fire
+//! nondeterministically.  One bit of it is modelled: the reverse trigger
+//! must be **armed** by a separate quiet-period step, and arming must never
+//! survive out of the `TREE` phase — the [`AdaptiveHandoffSpec::no_flap_invariant`]
+//! pins the staleness rule the real lock implements by zeroing its quiet
+//! streak at every forward flip.
 //!
 //! The paper-style invariants close the argument: `MutualExclusion` over the
 //! two critical sections (one process in the flat CS and one in the tree CS
-//! is a violation of the same invariant), plus the adaptive-specific
-//! [`AdaptiveHandoffSpec::drained_invariant`]: once `epoch == TREE`, the
-//! flat holder register is zero and stays zero.
+//! is a violation of the same invariant), plus the adaptive-specific pair
+//! [`AdaptiveHandoffSpec::drained_invariant`] (flat quiescent throughout
+//! `TREE`/`DRAIN_TREE`) and [`AdaptiveHandoffSpec::tree_drained_invariant`]
+//! (tree quiescent throughout `FLAT`/`DRAIN_FLAT`).
 
 use bakery_sim::{Algorithm, Invariant, Observation, ProcState, ProgState, RegisterSpec, StateBounds};
 
-/// Shared register indices.
-const EPOCH: usize = 0;
-const ACTIVE: usize = 1;
-const FLAT: usize = 2;
-const TREE: usize = 3;
+/// Shared register indices (public so the close-out tests can probe them).
+pub mod reg {
+    /// The generation-tagged epoch word `(cycle << 2) | phase`.
+    pub const EPOCH: usize = 0;
+    /// Announce counter of the flat route (`flat_active`).
+    pub const ACTIVE: usize = 1;
+    /// Announce counter of the tree route (`tree_active`).
+    pub const TACTIVE: usize = 2;
+    /// Holder register of the abstracted flat plane (0 = free, pid + 1).
+    pub const FLAT: usize = 3;
+    /// Holder register of the abstracted tree plane (0 = free, pid + 1).
+    pub const TREE: usize = 4;
+    /// The hysteresis arming bit of the reverse trigger.
+    pub const ARMED: usize = 5;
+}
 
-/// `epoch` values, mirroring `bakery-core::adaptive`.
-const FLAT_EPOCH: u64 = 0;
-const DRAIN_EPOCH: u64 = 1;
-const TREE_EPOCH: u64 = 2;
+/// Epoch phase values, mirroring `bakery-core::adaptive`.
+const FLAT_PHASE: u64 = 0;
+const DRAIN_FLAT_PHASE: u64 = 1;
+const TREE_PHASE: u64 = 2;
+const DRAIN_TREE_PHASE: u64 = 3;
+
+/// The phase component of an epoch word.
+#[inline]
+fn phase(word: u64) -> u64 {
+    word & 3
+}
+
+/// The largest epoch word the spec explores: three triggers (forward,
+/// reverse, forward again) and their three flips — a full round trip plus a
+/// second forward leg, ending in `TREE` of cycle 1.  Bounding the word keeps
+/// the state space finite; every state reachable under unbounded cycling is
+/// a cycle-tag relabelling of a state inside this prefix.
+pub const MAX_EPOCH_WORD: u64 = 6;
 
 /// Program counters.
 mod pc {
     pub const NCS: u32 = 0;
-    /// Read `epoch` and branch on the route.
+    /// Read `epoch` (remembering the full word) and branch on the route.
     pub const READ_EPOCH: u32 = 1;
     /// Announce the flat route: `active += 1`.
     pub const INC_ACTIVE: u32 = 2;
-    /// Dekker re-check: re-read `epoch`; abort the flat route if it moved.
+    /// Dekker re-check: re-read `epoch`; abort the flat route if the *word*
+    /// (phase or cycle) moved.
     pub const RECHECK: u32 = 3;
     /// Acquire the (abstracted) flat plane: guarded `flat := pid + 1`.
     pub const FLAT_ACQ: u32 = 4;
@@ -64,19 +115,30 @@ mod pc {
     pub const DEC_ACTIVE: u32 = 7;
     /// Withdraw the announcement after a lost re-check: `active -= 1`.
     pub const ABORT_DEC: u32 = 8;
-    /// Drain helper: wait for `active == 0`.
+    /// Drain helper: wait for the draining route's counter to reach 0.
     pub const HELP_CHECK: u32 = 9;
-    /// Drain helper: flip `epoch: DRAIN → TREE` (CAS; no-op if already flipped).
+    /// Drain helper: advance `epoch` (CAS; no-op if a helper won already).
     pub const HELP_FLIP: u32 = 10;
+    /// Announce the tree route: `tactive += 1`.
+    pub const INC_TACTIVE: u32 = 11;
+    /// Dekker re-check of the tree route (full-word comparison).
+    pub const TRECHECK: u32 = 12;
     /// Acquire the (abstracted) tree plane: guarded `tree := pid + 1`.
-    pub const TREE_ACQ: u32 = 11;
+    pub const TREE_ACQ: u32 = 13;
     /// Critical section, entered through the tree plane.
-    pub const CS_TREE: u32 = 12;
+    pub const CS_TREE: u32 = 14;
     /// Release the tree plane: `tree := 0`.
-    pub const TREE_REL: u32 = 13;
+    pub const TREE_REL: u32 = 15;
+    /// Withdraw the tree announcement after a release: `tactive -= 1`.
+    pub const TDEC_ACTIVE: u32 = 16;
+    /// Withdraw the tree announcement after a lost re-check: `tactive -= 1`.
+    pub const TABORT_DEC: u32 = 17;
 }
 
-/// The adaptive handoff handshake as a checkable specification.
+/// Local-variable slots.
+const SEEN: usize = 0;
+
+/// The adaptive handoff cycle as a checkable specification.
 #[derive(Debug, Clone)]
 pub struct AdaptiveHandoffSpec {
     n: usize,
@@ -90,23 +152,38 @@ impl AdaptiveHandoffSpec {
         Self { n }
     }
 
-    /// The adaptive-specific safety invariant: once the epoch reads `TREE`,
-    /// the flat plane is and remains quiescent (`flat == 0` — nobody is in,
-    /// or can ever re-enter, the flat critical section).
+    /// The forward-drain safety invariant: throughout the `TREE` and
+    /// `DRAIN_TREE` phases the flat plane is and remains quiescent
+    /// (`flat == 0` — nobody is in, or can re-enter, the flat critical
+    /// section until the cycle returns to `FLAT`).
     #[must_use]
     pub fn drained_invariant() -> Invariant<Self> {
         Invariant::new("FlatDrainedBeforeTree", |_, state: &ProgState| {
-            state.read(EPOCH) != TREE_EPOCH || state.read(FLAT) == 0
+            !matches!(phase(state.read(reg::EPOCH)), TREE_PHASE | DRAIN_TREE_PHASE)
+                || state.read(reg::FLAT) == 0
         })
     }
 
-    /// The announcement-count invariant the drain condition relies on:
-    /// `active` equals the number of processes currently holding a flat-route
-    /// announcement (between their `INC_ACTIVE` and their decrement).
+    /// The reverse-drain safety invariant, the mirror of
+    /// [`Self::drained_invariant`]: throughout the `FLAT` and `DRAIN_FLAT`
+    /// phases of every cycle the tree plane is and remains quiescent.  On a
+    /// fresh lock this is vacuous; after a reverse migration it is the claim
+    /// that the tree was fully drained before flat traffic resumed.
+    #[must_use]
+    pub fn tree_drained_invariant() -> Invariant<Self> {
+        Invariant::new("TreeDrainedBeforeFlat", |_, state: &ProgState| {
+            !matches!(phase(state.read(reg::EPOCH)), FLAT_PHASE | DRAIN_FLAT_PHASE)
+                || state.read(reg::TREE) == 0
+        })
+    }
+
+    /// The announcement-count invariant both drain conditions rely on: each
+    /// route's counter equals the number of processes currently holding that
+    /// route's announcement (between their increment and their decrement).
     #[must_use]
     pub fn active_count_invariant() -> Invariant<Self> {
         Invariant::new("ActiveCountsAnnouncements", |alg: &Self, state: &ProgState| {
-            let announced = (0..alg.n)
+            let flat_announced = (0..alg.n)
                 .filter(|&p| {
                     matches!(
                         state.pc(p),
@@ -119,7 +196,33 @@ impl AdaptiveHandoffSpec {
                     )
                 })
                 .count() as u64;
-            state.read(ACTIVE) == announced
+            let tree_announced = (0..alg.n)
+                .filter(|&p| {
+                    matches!(
+                        state.pc(p),
+                        pc::TRECHECK
+                            | pc::TREE_ACQ
+                            | pc::CS_TREE
+                            | pc::TREE_REL
+                            | pc::TDEC_ACTIVE
+                            | pc::TABORT_DEC
+                    )
+                })
+                .count() as u64;
+            state.read(reg::ACTIVE) == flat_announced
+                && state.read(reg::TACTIVE) == tree_announced
+        })
+    }
+
+    /// The no-flap invariant of the hysteresis band: the reverse trigger's
+    /// arming never survives outside the `TREE` phase.  A violation is
+    /// exactly the stale-arming flap — a quiet period measured in cycle `c`
+    /// authorising the reverse migration of cycle `c + 1` — which the real
+    /// lock prevents by zeroing its quiet streak at every forward flip.
+    #[must_use]
+    pub fn no_flap_invariant() -> Invariant<Self> {
+        Invariant::new("NoFlapStaleArming", |_, state: &ProgState| {
+            state.read(reg::ARMED) == 0 || phase(state.read(reg::EPOCH)) == TREE_PHASE
         })
     }
 }
@@ -136,18 +239,20 @@ impl Algorithm for AdaptiveHandoffSpec {
     fn registers(&self) -> Vec<RegisterSpec> {
         let n = self.n as u64;
         vec![
-            RegisterSpec::shared("epoch", TREE_EPOCH),
+            RegisterSpec::shared("epoch", MAX_EPOCH_WORD),
             RegisterSpec::shared("active", n),
+            RegisterSpec::shared("tactive", n),
             RegisterSpec::shared("flat", n),
             RegisterSpec::shared("tree", n),
+            RegisterSpec::shared("armed", 1),
         ]
     }
 
     fn initial_state(&self) -> ProgState {
         ProgState::new(
-            4,
+            6,
             (0..self.n)
-                .map(|_| ProcState::new(pc::NCS, vec![]))
+                .map(|_| ProcState::new(pc::NCS, vec![0]))
                 .collect(),
         )
     }
@@ -156,49 +261,77 @@ impl Algorithm for AdaptiveHandoffSpec {
         if state.is_crashed(pid) {
             return;
         }
+        let epoch = state.read(reg::EPOCH);
         match state.pc(pid) {
             pc::NCS => {
                 // Start an acquisition…
                 out.push(state.with_pc(pid, pc::READ_EPOCH));
-                // …or fire the migration trigger (threshold crossing modelled
-                // as a nondeterministic choice available at any time).
-                if state.read(EPOCH) == FLAT_EPOCH {
+                // …or fire a migration trigger (threshold crossings modelled
+                // as nondeterministic choices available at any time, bounded
+                // only by the epoch-word cap that keeps the space finite).
+                if epoch + 2 <= MAX_EPOCH_WORD {
+                    if phase(epoch) == FLAT_PHASE {
+                        // Forward trigger: FLAT(c) -> DRAIN_FLAT(c).
+                        let mut next = state.clone();
+                        next.set_shared(reg::EPOCH, epoch + 1);
+                        out.push(next);
+                    }
+                    if phase(epoch) == TREE_PHASE && state.read(reg::ARMED) == 0 {
+                        // The hysteresis quiet period elapses: arm the
+                        // reverse trigger.
+                        let mut next = state.clone();
+                        next.set_shared(reg::ARMED, 1);
+                        out.push(next);
+                    }
+                }
+                if phase(epoch) == TREE_PHASE && state.read(reg::ARMED) == 1 {
+                    // Reverse trigger: TREE(c) -> DRAIN_TREE(c), consuming
+                    // the arming (the real lock's streak resets on firing).
                     let mut next = state.clone();
-                    next.set_shared(EPOCH, DRAIN_EPOCH);
+                    next.set_shared(reg::EPOCH, epoch + 1);
+                    next.set_shared(reg::ARMED, 0);
                     out.push(next);
                 }
             }
             pc::READ_EPOCH => {
-                let route = match state.read(EPOCH) {
-                    FLAT_EPOCH => pc::INC_ACTIVE,
-                    DRAIN_EPOCH => pc::HELP_CHECK,
-                    _ => pc::TREE_ACQ,
+                // One shared read of the full epoch word; remember it for the
+                // Dekker re-check (the per-cycle ABA guard).
+                let route = match phase(epoch) {
+                    FLAT_PHASE => pc::INC_ACTIVE,
+                    TREE_PHASE => pc::INC_TACTIVE,
+                    _ => pc::HELP_CHECK,
                 };
-                out.push(state.with_pc(pid, route));
+                let mut next = state.with_pc(pid, route);
+                next.set_local(pid, SEEN, epoch);
+                out.push(next);
             }
             pc::INC_ACTIVE => {
                 let mut next = state.with_pc(pid, pc::RECHECK);
-                next.set_shared(ACTIVE, state.read(ACTIVE) + 1);
+                next.set_shared(reg::ACTIVE, state.read(reg::ACTIVE) + 1);
                 out.push(next);
             }
             pc::RECHECK => {
-                let target = if state.read(EPOCH) == FLAT_EPOCH {
+                // Full-word comparison: a stale FLAT observation from an
+                // earlier cycle fails here even though the phase matches.
+                let target = if epoch == state.local(pid, SEEN) {
                     pc::FLAT_ACQ
                 } else {
                     pc::ABORT_DEC
                 };
-                out.push(state.with_pc(pid, target));
+                let mut next = state.with_pc(pid, target);
+                next.set_local(pid, SEEN, 0); // dead past this point
+                out.push(next);
             }
-            pc::FLAT_ACQ if state.read(FLAT) == 0 => {
+            pc::FLAT_ACQ if state.read(reg::FLAT) == 0 => {
                 let mut next = state.with_pc(pid, pc::CS_FLAT);
-                next.set_shared(FLAT, pid as u64 + 1);
+                next.set_shared(reg::FLAT, pid as u64 + 1);
                 out.push(next);
             }
             pc::FLAT_ACQ => {}
             pc::CS_FLAT => out.push(state.with_pc(pid, pc::FLAT_REL)),
             pc::FLAT_REL => {
                 let mut next = state.with_pc(pid, pc::DEC_ACTIVE);
-                next.set_shared(FLAT, 0);
+                next.set_shared(reg::FLAT, 0);
                 out.push(next);
             }
             pc::DEC_ACTIVE | pc::ABORT_DEC => {
@@ -208,31 +341,66 @@ impl Algorithm for AdaptiveHandoffSpec {
                     pc::READ_EPOCH
                 };
                 let mut next = state.with_pc(pid, target);
-                next.set_shared(ACTIVE, state.read(ACTIVE) - 1);
+                next.set_shared(reg::ACTIVE, state.read(reg::ACTIVE) - 1);
                 out.push(next);
             }
-            pc::HELP_CHECK if state.read(ACTIVE) == 0 => {
-                out.push(state.with_pc(pid, pc::HELP_FLIP));
-            }
-            pc::HELP_CHECK => {}
-            pc::HELP_FLIP => {
-                // CAS DRAIN -> TREE; a parallel helper may have won already.
-                let mut next = state.with_pc(pid, pc::READ_EPOCH);
-                if state.read(EPOCH) == DRAIN_EPOCH {
-                    next.set_shared(EPOCH, TREE_EPOCH);
-                }
+            pc::INC_TACTIVE => {
+                let mut next = state.with_pc(pid, pc::TRECHECK);
+                next.set_shared(reg::TACTIVE, state.read(reg::TACTIVE) + 1);
                 out.push(next);
             }
-            pc::TREE_ACQ if state.read(TREE) == 0 => {
+            pc::TRECHECK => {
+                let target = if epoch == state.local(pid, SEEN) {
+                    pc::TREE_ACQ
+                } else {
+                    pc::TABORT_DEC
+                };
+                let mut next = state.with_pc(pid, target);
+                next.set_local(pid, SEEN, 0);
+                out.push(next);
+            }
+            pc::TREE_ACQ if state.read(reg::TREE) == 0 => {
                 let mut next = state.with_pc(pid, pc::CS_TREE);
-                next.set_shared(TREE, pid as u64 + 1);
+                next.set_shared(reg::TREE, pid as u64 + 1);
                 out.push(next);
             }
             pc::TREE_ACQ => {}
             pc::CS_TREE => out.push(state.with_pc(pid, pc::TREE_REL)),
             pc::TREE_REL => {
-                let mut next = state.with_pc(pid, pc::NCS);
-                next.set_shared(TREE, 0);
+                let mut next = state.with_pc(pid, pc::TDEC_ACTIVE);
+                next.set_shared(reg::TREE, 0);
+                out.push(next);
+            }
+            pc::TDEC_ACTIVE | pc::TABORT_DEC => {
+                let target = if state.pc(pid) == pc::TDEC_ACTIVE {
+                    pc::NCS
+                } else {
+                    pc::READ_EPOCH
+                };
+                let mut next = state.with_pc(pid, target);
+                next.set_shared(reg::TACTIVE, state.read(reg::TACTIVE) - 1);
+                out.push(next);
+            }
+            pc::HELP_CHECK => {
+                // Read the counter of the route the observed drain phase is
+                // draining; proceed only once it is quiescent (otherwise
+                // wait — the announced processes can always step).
+                let counter = if phase(state.local(pid, SEEN)) == DRAIN_FLAT_PHASE {
+                    reg::ACTIVE
+                } else {
+                    reg::TACTIVE
+                };
+                if state.read(counter) == 0 {
+                    out.push(state.with_pc(pid, pc::HELP_FLIP));
+                }
+            }
+            pc::HELP_FLIP => {
+                // CAS `seen -> seen + 1`; a parallel helper may have won.
+                let mut next = state.with_pc(pid, pc::READ_EPOCH);
+                if epoch == state.local(pid, SEEN) {
+                    next.set_shared(reg::EPOCH, epoch + 1);
+                }
+                next.set_local(pid, SEEN, 0);
                 out.push(next);
             }
             _ => {}
@@ -253,7 +421,10 @@ impl Algorithm for AdaptiveHandoffSpec {
                 | pc::ABORT_DEC
                 | pc::HELP_CHECK
                 | pc::HELP_FLIP
+                | pc::INC_TACTIVE
+                | pc::TRECHECK
                 | pc::TREE_ACQ
+                | pc::TABORT_DEC
         )
     }
 
@@ -270,9 +441,13 @@ impl Algorithm for AdaptiveHandoffSpec {
             pc::ABORT_DEC => "abort-dec-active",
             pc::HELP_CHECK => "help-check-active",
             pc::HELP_FLIP => "help-flip-epoch",
+            pc::INC_TACTIVE => "inc-tree-active",
+            pc::TRECHECK => "recheck-epoch-tree",
             pc::TREE_ACQ => "tree-acquire",
             pc::CS_TREE => "cs-tree",
             pc::TREE_REL => "tree-release",
+            pc::TDEC_ACTIVE => "dec-tree-active",
+            pc::TABORT_DEC => "abort-dec-tree-active",
             _ => "?",
         }
     }
@@ -290,7 +465,7 @@ impl Algorithm for AdaptiveHandoffSpec {
     }
 
     fn state_bounds(&self) -> StateBounds {
-        StateBounds::new(pc::TREE_REL, Vec::new())
+        StateBounds::new(pc::TABORT_DEC, vec![MAX_EPOCH_WORD])
     }
 }
 
@@ -299,27 +474,67 @@ mod tests {
     use super::*;
     use bakery_sim::{RandomScheduler, RoundRobinScheduler, RunConfig, Simulator};
 
+    /// Walks `pid` forward, always taking the first successor, until `stop`
+    /// says so; panics if the process blocks or the budget runs out.
+    fn walk_until(
+        spec: &AdaptiveHandoffSpec,
+        state: &mut ProgState,
+        pid: usize,
+        mut stop: impl FnMut(&ProgState) -> bool,
+    ) {
+        let mut budget = 40;
+        while !stop(state) {
+            let succs = spec.successors_vec(state, pid);
+            assert!(!succs.is_empty(), "pid {pid} blocked at pc {}", state.pc(pid));
+            *state = succs.into_iter().next().unwrap();
+            budget -= 1;
+            assert!(budget > 0, "walk did not terminate");
+        }
+    }
+
     #[test]
     fn single_process_migrates_and_keeps_entering() {
         let spec = AdaptiveHandoffSpec::new(1);
         let mut state = spec.initial_state();
-        // Fire the trigger (second NCS successor), then walk the process
-        // through drain-help and a tree entry.
+        // Fire the forward trigger (second NCS successor), then walk the
+        // process through drain-help and a tree entry.
         let succs = spec.successors_vec(&state, 0);
-        assert_eq!(succs.len(), 2, "acquire or trigger");
+        assert_eq!(succs.len(), 2, "acquire or forward trigger");
         state = succs.into_iter().nth(1).unwrap();
-        assert_eq!(state.read(EPOCH), DRAIN_EPOCH);
-        let mut budget = 20;
-        while !spec.in_critical_section(&state, 0) {
-            let succs = spec.successors_vec(&state, 0);
-            assert!(!succs.is_empty(), "lone process can never block");
-            state = succs.into_iter().next().unwrap();
-            budget -= 1;
-            assert!(budget > 0);
-        }
+        assert_eq!(state.read(reg::EPOCH), 1, "DRAIN_FLAT of cycle 0");
+        walk_until(&spec, &mut state, 0, |s| spec.in_critical_section(s, 0));
         assert_eq!(state.pc(0), pc::CS_TREE, "post-drain entry routes to the tree");
-        assert_eq!(state.read(EPOCH), TREE_EPOCH);
-        assert_eq!(state.read(TREE), 1);
+        assert_eq!(state.read(reg::EPOCH), 2, "TREE of cycle 0");
+        assert_eq!(state.read(reg::TREE), 1);
+        assert_eq!(state.read(reg::FLAT), 0);
+    }
+
+    #[test]
+    fn single_process_round_trip_returns_to_flat() {
+        let spec = AdaptiveHandoffSpec::new(1);
+        let mut state = spec.initial_state();
+        // Forward: trigger, drain, enter through the tree, release.
+        state = spec.successors_vec(&state, 0).into_iter().nth(1).unwrap();
+        walk_until(&spec, &mut state, 0, |s| s.pc(0) == pc::CS_TREE);
+        walk_until(&spec, &mut state, 0, |s| s.pc(0) == pc::NCS);
+        assert_eq!(state.read(reg::EPOCH), 2);
+        assert_eq!(state.read(reg::TACTIVE), 0, "announcement withdrawn");
+        // Reverse: arm (second successor), trigger (now the third), drain,
+        // and the next entry routes through the flat plane of cycle 1.
+        let succs = spec.successors_vec(&state, 0);
+        assert_eq!(succs.len(), 2, "acquire or arm");
+        state = succs.into_iter().nth(1).unwrap();
+        assert_eq!(state.read(reg::ARMED), 1);
+        let succs = spec.successors_vec(&state, 0);
+        assert_eq!(succs.len(), 2, "acquire or reverse trigger (already armed)");
+        state = succs.into_iter().nth(1).unwrap();
+        assert_eq!(state.read(reg::EPOCH), 3, "DRAIN_TREE of cycle 0");
+        assert_eq!(state.read(reg::ARMED), 0, "trigger consumed the arming");
+        walk_until(&spec, &mut state, 0, |s| spec.in_critical_section(s, 0));
+        assert_eq!(state.pc(0), pc::CS_FLAT, "cycle 1 routes flat again");
+        assert_eq!(state.read(reg::EPOCH), 4, "FLAT of cycle 1");
+        assert_eq!(state.read(reg::FLAT), 1);
+        assert_eq!(state.read(reg::TREE), 0, "tree fully drained");
     }
 
     #[test]
@@ -332,9 +547,36 @@ mod tests {
             state = spec.successors_vec(&state, 0).into_iter().next().unwrap();
         }
         assert_eq!(state.pc(0), pc::CS_FLAT);
-        assert_eq!(state.read(FLAT), 1);
-        assert_eq!(state.read(ACTIVE), 1);
-        assert_eq!(state.read(EPOCH), FLAT_EPOCH);
+        assert_eq!(state.read(reg::FLAT), 1);
+        assert_eq!(state.read(reg::ACTIVE), 1);
+        assert_eq!(state.read(reg::EPOCH), 0);
+    }
+
+    #[test]
+    fn stale_flat_observation_fails_the_full_word_recheck() {
+        // A process reads FLAT(c0), parks before announcing, and the world
+        // completes a full round trip back to FLAT(c1).  The phase matches
+        // again, but the full-word comparison must rout the stale process to
+        // the abort path — the per-cycle ABA guard.
+        let spec = AdaptiveHandoffSpec::new(2);
+        let mut state = spec.initial_state();
+        // pid 1: NCS -> READ_EPOCH -> (reads word 0) -> INC_ACTIVE.
+        state = state.with_pc(1, pc::READ_EPOCH);
+        state = spec.successors_vec(&state, 1).into_iter().next().unwrap();
+        assert_eq!(state.pc(1), pc::INC_ACTIVE);
+        assert_eq!(state.local(1, SEEN), 0, "saw FLAT of cycle 0");
+        // The world moves on without pid 1: a full round trip to FLAT(c1).
+        state.set_shared(reg::EPOCH, 4);
+        // pid 1 wakes up: announce, then re-check.
+        state = spec.successors_vec(&state, 1).into_iter().next().unwrap();
+        assert_eq!(state.pc(1), pc::RECHECK);
+        assert_eq!(state.read(reg::ACTIVE), 1);
+        state = spec.successors_vec(&state, 1).into_iter().next().unwrap();
+        assert_eq!(
+            state.pc(1),
+            pc::ABORT_DEC,
+            "phase is FLAT again but the cycle moved: the full word must fail"
+        );
     }
 
     #[test]
@@ -343,7 +585,9 @@ mod tests {
         for seed in 0..10 {
             let config = RunConfig::<AdaptiveHandoffSpec>::checked(4_000)
                 .with_invariant(AdaptiveHandoffSpec::drained_invariant())
-                .with_invariant(AdaptiveHandoffSpec::active_count_invariant());
+                .with_invariant(AdaptiveHandoffSpec::tree_drained_invariant())
+                .with_invariant(AdaptiveHandoffSpec::active_count_invariant())
+                .with_invariant(AdaptiveHandoffSpec::no_flap_invariant());
             let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
             assert!(
                 outcome.report.violations.is_empty(),
@@ -368,13 +612,29 @@ mod tests {
     fn metadata_and_labels() {
         let spec = AdaptiveHandoffSpec::new(2);
         assert_eq!(spec.processes(), 2);
-        assert_eq!(spec.registers().len(), 4);
+        assert_eq!(spec.registers().len(), 6);
+        assert_eq!(spec.registers()[reg::EPOCH].bound, MAX_EPOCH_WORD);
+        assert_eq!(spec.registers()[reg::ARMED].bound, 1);
         assert_eq!(spec.pc_label(pc::HELP_FLIP), "help-flip-epoch");
+        assert_eq!(spec.pc_label(pc::TABORT_DEC), "abort-dec-tree-active");
         assert_eq!(spec.pc_label(99), "?");
         let s = spec.initial_state();
         assert!(!spec.is_trying(&s, 0));
         assert!(!spec.in_critical_section(&s, 0));
         assert!(spec.crash(&s, 0).is_none(), "the handoff spec models no crashes");
-        assert_eq!(spec.state_bounds().max_pc, pc::TREE_REL);
+        assert_eq!(spec.state_bounds().max_pc, pc::TABORT_DEC);
+        assert_eq!(spec.state_bounds().local_bound(SEEN), MAX_EPOCH_WORD);
+    }
+
+    #[test]
+    fn trigger_budget_caps_the_epoch_word() {
+        // At the cap (TREE of cycle 1) neither trigger nor arming is offered:
+        // the only NCS successor is starting an acquisition.
+        let spec = AdaptiveHandoffSpec::new(1);
+        let mut state = spec.initial_state();
+        state.set_shared(reg::EPOCH, MAX_EPOCH_WORD);
+        let succs = spec.successors_vec(&state, 0);
+        assert_eq!(succs.len(), 1, "no trigger fuel at the cap");
+        assert_eq!(succs[0].pc(0), pc::READ_EPOCH);
     }
 }

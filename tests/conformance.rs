@@ -149,7 +149,9 @@ fn spec_plane_adaptive_handoff() {
     for seed in 0..8 {
         let config = RunConfig::<AdaptiveHandoffSpec>::checked(4_000)
             .with_invariant(AdaptiveHandoffSpec::drained_invariant())
-            .with_invariant(AdaptiveHandoffSpec::active_count_invariant());
+            .with_invariant(AdaptiveHandoffSpec::tree_drained_invariant())
+            .with_invariant(AdaptiveHandoffSpec::active_count_invariant())
+            .with_invariant(AdaptiveHandoffSpec::no_flap_invariant());
         let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);
         assert!(
             outcome.report.violations.is_empty(),
@@ -645,6 +647,152 @@ fn adaptive_session_churn_pins_facade_cs_entries_across_migration() {
             "{mode:?}: cs_entries counted once at the adaptive facade, never doubled during the handoff"
         );
         assert_eq!(plane.live_sessions(), 0, "{mode:?}");
+    }
+}
+
+/// The full round trip through the conformance lens, in both scan modes: a
+/// rush leases every seat (the capacity trigger fires, flat→tree), a churn
+/// era holds the lock loud and tree-resident, a subside era drops below the
+/// low watermark until the hysteresis band fires the reverse (tree→flat) —
+/// with mutual exclusion asserted across both handoffs, the facade-only
+/// `cs_entries` rule pinned over the whole cycle, and the post-round-trip
+/// flat plane required to agree **step-for-step** with a *fresh* Bakery++
+/// specification on doorway outcomes and ticket values (a completed round
+/// trip is observationally indistinguishable from a fresh flat lock).
+#[test]
+fn adaptive_round_trip_pins_facade_cs_entries_and_doorway_agreement() {
+    for mode in scan_modes() {
+        let quiet_period = 6;
+        let adaptive = Arc::new(AdaptiveBakery::with_hysteresis(
+            4,
+            mode,
+            3,
+            u64::MAX,
+            2,
+            quiet_period,
+        ));
+        let plane = SessionPlane::new(Arc::clone(&adaptive) as Arc<dyn RawMutexAlgorithm>);
+        let in_cs = std::sync::atomic::AtomicU64::new(0);
+        let cs_done = std::sync::atomic::AtomicU64::new(0);
+        // Rush + churn: all four seats leased at once and held for the whole
+        // era, so live sessions sit at 4 — above the capacity threshold (the
+        // forward trigger must fire) and above the low watermark (the
+        // reverse must NOT fire, every release is loud).
+        let all_attached = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let plane = &plane;
+                let in_cs = &in_cs;
+                let cs_done = &cs_done;
+                let all_attached = &all_attached;
+                scope.spawn(move || {
+                    let session = plane.attach();
+                    all_attached.wait();
+                    for _ in 0..30 {
+                        let _g = session.lock();
+                        assert_eq!(
+                            in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+                            0,
+                            "mutual exclusion across the forward handoff"
+                        );
+                        cs_done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    drop(session);
+                });
+            }
+        });
+        assert_eq!(
+            adaptive.stats().migrations_forward(),
+            1,
+            "{mode:?}: the rush must fire the forward trigger exactly once"
+        );
+        assert!(
+            adaptive.stats().migrations_reverse() <= 1,
+            "{mode:?}: at most one reverse (the era's tail may already have gone quiet)"
+        );
+
+        // Subside: one client at a time (live = 1, below the low watermark of
+        // 2), until the quiet streak arms and completes the reverse handoff.
+        // (If the churn era finished unevenly enough that its tail already
+        // migrated back, the loop is a no-op — the assertions below hold
+        // either way.)
+        let mut subside_sessions = 0u64;
+        while adaptive.has_migrated() {
+            let session = plane.attach();
+            let _g = session.lock();
+            assert_eq!(in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst), 0);
+            cs_done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            drop(_g);
+            drop(session);
+            subside_sessions += 1;
+            assert!(
+                subside_sessions <= 4 * quiet_period,
+                "{mode:?}: the reverse migration never fired"
+            );
+        }
+        assert_eq!(adaptive.stats().migrations_reverse(), 1, "{mode:?}");
+        assert_eq!(adaptive.cycle(), 1, "{mode:?}: exactly one full round trip");
+        assert!(!adaptive.has_migrated(), "{mode:?}: flat-resident again");
+
+        // The facade-only cs_entries rule, pinned across the FULL cycle.
+        let total = cs_done.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(total, 120 + subside_sessions, "{mode:?}");
+        assert_eq!(adaptive.stats().cs_entries(), total, "{mode:?}");
+        assert_eq!(
+            adaptive.aggregate_snapshot().cs_entries,
+            total,
+            "{mode:?}: cs_entries counted once at the facade, never doubled by either handoff"
+        );
+        assert_eq!(adaptive.aggregate_snapshot().overflow_attempts, 0, "{mode:?}");
+        assert_eq!(plane.live_sessions(), 0, "{mode:?}");
+
+        // Doorway differential: the post-round-trip flat plane vs a FRESH
+        // Bakery++ spec, step for step.  Any residue the reverse drain left
+        // in the flat registers would break the very first outcome.
+        let flat = adaptive.flat();
+        let spec = BakeryPlusPlusSpec::new(4, flat.bound());
+        let mut state = spec.initial_state();
+        let mut rng = Lcg::new(0xC1C1E ^ total);
+        let mut holders: Vec<(u64, usize)> = Vec::new();
+        for step in 0..60 {
+            let idle: Vec<usize> =
+                (0..4).filter(|p| !holders.iter().any(|&(_, h)| h == *p)).collect();
+            let serve = holders.len() == 4 || (idle.is_empty() || rng.next().is_multiple_of(3));
+            if serve && !holders.is_empty() {
+                holders.sort_unstable();
+                let (_, pid) = holders.remove(0);
+                flat.await_turn(pid);
+                flat.release(pid);
+                spec_serve(&spec, &mut state, pid);
+            } else {
+                let pid = idle[(rng.next() as usize) % idle.len()];
+                let real = flat.try_doorway(pid);
+                let speced = pp_spec_doorway(&spec, &mut state, pid, 4);
+                match (&real, &speced) {
+                    (DoorwayOutcome::Ticket(a), SpecDoorway::Ticket(b)) => {
+                        assert_eq!(
+                            a, b,
+                            "{mode:?} step {step}: post-round-trip flat plane drew a \
+                             different ticket than a fresh spec"
+                        );
+                        holders.push((*a, pid));
+                    }
+                    (DoorwayOutcome::Blocked, SpecDoorway::Blocked)
+                    | (DoorwayOutcome::Reset, SpecDoorway::Reset) => {}
+                    other => panic!(
+                        "{mode:?} step {step}: post-round-trip flat plane and fresh \
+                         spec disagree: {other:?}"
+                    ),
+                }
+            }
+        }
+        holders.sort_unstable();
+        for (_, pid) in holders {
+            flat.await_turn(pid);
+            flat.release(pid);
+        }
     }
 }
 
