@@ -625,6 +625,8 @@ struct E11Entry {
     fast_path_hits: u64,
     migrations_forward: u64,
     migrations_reverse: u64,
+    crash_aborts: u64,
+    seat_recoveries: u64,
     round_trip: bool,
 }
 bakery_json::json_object!(E11Entry {
@@ -641,6 +643,8 @@ bakery_json::json_object!(E11Entry {
     fast_path_hits,
     migrations_forward,
     migrations_reverse,
+    crash_aborts,
+    seat_recoveries,
     round_trip,
 });
 
@@ -691,17 +695,178 @@ fn run_e11(quick: bool) -> E11Report {
             fast_path_hits: result.fast_path_hits,
             migrations_forward: result.migrations_forward,
             migrations_reverse: result.migrations_reverse,
+            crash_aborts: result.crash_aborts,
+            seat_recoveries: result.seat_recoveries,
             round_trip: result.final_phase == Some(bakery_core::adaptive::EPOCH_FLAT)
                 && result.migrations_forward == 1
                 && result.migrations_reverse == 1,
         });
     }
     E11Report {
-        schema: "bakery-bench/e11/v2".to_string(),
+        // v3: carries the crash-recovery counters (crash_aborts /
+        // seat_recoveries) introduced with the E12 kill-and-recover plane.
+        schema: "bakery-bench/e11/v3".to_string(),
         experiment: "E11 lock-service session churn with round-trip subside".to_string(),
         quick,
         oversubscription: config.oversubscription(),
         entries,
+    }
+}
+
+/// One kill-and-recover measurement (experiment E12): E11's churn with
+/// crashes injected on a fixed schedule at one swept rate.
+#[derive(Debug, Clone)]
+struct E12Entry {
+    algorithm: String,
+    /// `0` = the crash-free baseline, otherwise every `crash_period`-th
+    /// client of a round is killed.
+    crash_period: u64,
+    completed_sessions: u64,
+    injected_crashes: u64,
+    cs_crashes: u64,
+    cs_per_sec: f64,
+    /// Throughput delta vs the same lock's crash-free baseline, percent
+    /// (0 for the baseline row itself).
+    vs_crash_free_pct: f64,
+    recycled_idle: u64,
+    quarantined: u64,
+    refused: u64,
+    crash_aborts: u64,
+    seat_recoveries: u64,
+    aliasing_violations: u64,
+    recovery_ns_mean: f64,
+    recovery_ns_max: u64,
+    waiter_blocked_ns_mean: f64,
+    waiter_blocked_ns_max: u64,
+}
+bakery_json::json_object!(E12Entry {
+    algorithm,
+    crash_period,
+    completed_sessions,
+    injected_crashes,
+    cs_crashes,
+    cs_per_sec,
+    vs_crash_free_pct,
+    recycled_idle,
+    quarantined,
+    refused,
+    crash_aborts,
+    seat_recoveries,
+    aliasing_violations,
+    recovery_ns_mean,
+    recovery_ns_max,
+    waiter_blocked_ns_mean,
+    waiter_blocked_ns_max,
+});
+
+/// One raw ticket-holder probe measurement (E12's `l2`/`l3` crash sites).
+#[derive(Debug, Clone)]
+struct E12ProbeEntry {
+    site: String,
+    mode: String,
+    samples: u64,
+    recovery_ns_mean: f64,
+    recovery_ns_max: u64,
+}
+bakery_json::json_object!(E12ProbeEntry {
+    site,
+    mode,
+    samples,
+    recovery_ns_mean,
+    recovery_ns_max,
+});
+
+#[derive(Debug, Clone)]
+struct E12Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    entries: Vec<E12Entry>,
+    probe: Vec<E12ProbeEntry>,
+}
+bakery_json::json_object!(E12Report {
+    schema,
+    experiment,
+    quick,
+    entries,
+    probe,
+});
+
+fn run_e12(quick: bool) -> E12Report {
+    use bakery_harness::experiments::e12_kill_recover::{
+        kill_locks, run_kill, run_probe, CrashSite, KillConfig,
+    };
+    let slots = KillConfig::standard(quick, None).slots;
+    let mut entries = Vec::new();
+    for which in 0..kill_locks(slots).len() {
+        let mut baseline = 0.0_f64;
+        for period in KillConfig::swept_periods() {
+            // Killed clients leak their plane by design, so every run gets
+            // a fresh lock (see `kill_locks`).
+            let lock = kill_locks(slots).swap_remove(which);
+            let config = KillConfig::standard(quick, period);
+            let result = run_kill(lock, &config);
+            assert_eq!(
+                result.aliasing_violations, 0,
+                "{}: crash recovery must never alias a seat",
+                result.algorithm
+            );
+            assert_eq!(
+                result.seat_recoveries,
+                result.injected_crashes + result.cs_crashes,
+                "{}: every injected crash must be recovered",
+                result.algorithm
+            );
+            let cs_per_sec = result.cs_per_sec();
+            let vs_crash_free_pct = if period.is_none() {
+                baseline = cs_per_sec;
+                0.0
+            } else if baseline > 0.0 {
+                (cs_per_sec - baseline) / baseline * 100.0
+            } else {
+                0.0
+            };
+            entries.push(E12Entry {
+                algorithm: result.algorithm.clone(),
+                crash_period: period.unwrap_or(0) as u64,
+                completed_sessions: result.completed_sessions,
+                injected_crashes: result.injected_crashes,
+                cs_crashes: result.cs_crashes,
+                cs_per_sec,
+                vs_crash_free_pct,
+                recycled_idle: result.recycled_idle,
+                quarantined: result.quarantined,
+                refused: result.refused,
+                crash_aborts: result.crash_aborts,
+                seat_recoveries: result.seat_recoveries,
+                aliasing_violations: result.aliasing_violations,
+                recovery_ns_mean: result.recovery.mean_ns(),
+                recovery_ns_max: result.recovery.max_ns(),
+                waiter_blocked_ns_mean: result.waiter_blocked.mean_ns(),
+                waiter_blocked_ns_max: result.waiter_blocked.max_ns(),
+            });
+        }
+    }
+    let samples = if quick { 8 } else { 32 };
+    let mut probe = Vec::new();
+    for mode in [bakery_core::ScanMode::Packed, bakery_core::ScanMode::Padded] {
+        for site in [CrashSite::L2, CrashSite::L3] {
+            let result = run_probe(site, mode, samples);
+            probe.push(E12ProbeEntry {
+                site: result.site.name().to_string(),
+                mode: format!("{mode:?}").to_lowercase(),
+                samples: result.recovery.len() as u64,
+                recovery_ns_mean: result.recovery.mean_ns(),
+                recovery_ns_max: result.recovery.max_ns(),
+            });
+        }
+    }
+    E12Report {
+        schema: "bakery-bench/e12/v1".to_string(),
+        experiment: "E12 kill-and-recover: crash injection over the live lock stack".to_string(),
+        quick,
+        entries,
+        probe,
     }
 }
 
@@ -736,6 +901,8 @@ fn main() -> ExitCode {
     let e7 = run_e7(quick);
     eprintln!("bench-json: measuring E11 (lock-service churn)...");
     let e11 = run_e11(quick);
+    eprintln!("bench-json: measuring E12 (kill-and-recover)...");
+    let e12 = run_e12(quick);
 
     print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
     print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
@@ -779,10 +946,48 @@ fn main() -> ExitCode {
         );
     }
 
+    println!("\n## E12 kill-and-recover (crash injection over the session plane)");
+    println!("| algorithm | period | crashes | cs/s | vs crash-free | recovered | aliasing | recovery µs mean/max |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for entry in &e12.entries {
+        println!(
+            "| {} | {} | {}+{} | {:.0} | {:+.1}% | {}/{} | {} | {:.1}/{:.1} |",
+            entry.algorithm,
+            if entry.crash_period == 0 {
+                "-".to_string()
+            } else {
+                format!("1/{}", entry.crash_period)
+            },
+            entry.injected_crashes,
+            entry.cs_crashes,
+            entry.cs_per_sec,
+            entry.vs_crash_free_pct,
+            entry.recycled_idle,
+            entry.quarantined,
+            entry.aliasing_violations,
+            entry.recovery_ns_mean / 1_000.0,
+            entry.recovery_ns_max as f64 / 1_000.0,
+        );
+    }
+    println!("\n## E12 probe — dead ticket holders (raw bakery++)");
+    println!("| site | mode | samples | recovery µs mean/max |");
+    println!("|---|---|---|---|");
+    for entry in &e12.probe {
+        println!(
+            "| {} | {} | {} | {:.1}/{:.1} |",
+            entry.site,
+            entry.mode,
+            entry.samples,
+            entry.recovery_ns_mean / 1_000.0,
+            entry.recovery_ns_max as f64 / 1_000.0,
+        );
+    }
+
     for (name, json) in [
         ("BENCH_e6.json", bakery_json::to_string_pretty(&e6)),
         ("BENCH_e7.json", bakery_json::to_string_pretty(&e7)),
         ("BENCH_e11.json", bakery_json::to_string_pretty(&e11)),
+        ("BENCH_e12.json", bakery_json::to_string_pretty(&e12)),
     ] {
         let path = format!("{out_dir}/{name}");
         let text = match json {

@@ -130,6 +130,14 @@ pub const EPOCH_TREE: u64 = 2;
 /// Epoch phase: reverse migration triggered; the tree plane is draining.
 pub const EPOCH_DRAIN_TREE: u64 = 3;
 
+/// Announce-ledger value: `pid` holds no outstanding announce-counter
+/// increment.
+const ANNOUNCE_NONE: u64 = 0;
+/// Announce-ledger value: `pid`'s outstanding increment is on `flat_active`.
+const ANNOUNCE_FLAT: u64 = 1;
+/// Announce-ledger value: `pid`'s outstanding increment is on `tree_active`.
+const ANNOUNCE_TREE: u64 = 2;
+
 /// Number of low bits of the epoch word holding the phase.
 const PHASE_BITS: u32 = 2;
 /// Mask extracting the phase from an epoch word.
@@ -199,6 +207,14 @@ pub struct AdaptiveBakery {
     /// Which plane each pid's current acquisition went through (SWMR: only
     /// pid's own thread writes entry `pid`).
     route: Box<[AtomicU64]>,
+    /// Per-pid announce ledger ([`ANNOUNCE_NONE`] / [`ANNOUNCE_FLAT`] /
+    /// [`ANNOUNCE_TREE`]): which announce counter currently carries an
+    /// increment on `pid`'s behalf.  Written by `pid`'s own thread on the
+    /// acquire/release paths and *read by the reaper* after a crash — the
+    /// record [`AdaptiveBakery::crash_abort`] needs to roll the drain
+    /// handshake back for a pid that died mid-doorway (a leaked increment
+    /// would wedge every later drain at `active != 0`).
+    announce: Box<[AtomicU64]>,
     capacity_threshold: usize,
     contention_threshold: u64,
     /// Hysteresis low watermark; `0` disables the reverse leg entirely.
@@ -324,6 +340,7 @@ impl AdaptiveBakery {
             flat_active: AtomicU64::new(0),
             tree_active: AtomicU64::new(0),
             route: (0..n).map(|_| AtomicU64::new(EPOCH_FLAT)).collect(),
+            announce: (0..n).map(|_| AtomicU64::new(ANNOUNCE_NONE)).collect(),
             capacity_threshold,
             contention_threshold,
             low_watermark,
@@ -589,7 +606,10 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                 EPOCH_TREE => {
                     // Announce, then re-check the FULL word (Dekker handshake
                     // with the reverse drainer's epoch-advance / active-read;
-                    // the cycle tag defeats the stale-TREE ABA).
+                    // the cycle tag defeats the stale-TREE ABA).  The ledger
+                    // write precedes the increment so a crashed pid's reaper
+                    // rolls back at most what was announced for it.
+                    self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst);
                     self.tree_active.fetch_add(1, Ordering::SeqCst);
                     if self.epoch.load(Ordering::SeqCst) == word {
                         self.tree.acquire(pid);
@@ -598,9 +618,11 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                     }
                     // Lost the race to the drainer: withdraw and re-route.
                     self.tree_active.fetch_sub(1, Ordering::SeqCst);
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
                 }
                 EPOCH_FLAT => {
                     // The mirror handshake against the forward drainer.
+                    self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst);
                     self.flat_active.fetch_add(1, Ordering::SeqCst);
                     if self.epoch.load(Ordering::SeqCst) == word {
                         self.flat.acquire(pid);
@@ -608,6 +630,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                         return;
                     }
                     self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
                 }
                 _ => {
                     self.help_drain(word);
@@ -621,10 +644,12 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         if self.route[pid].load(Ordering::SeqCst) == EPOCH_TREE {
             self.tree.release(pid);
             let remaining = self.tree_active.fetch_sub(1, Ordering::SeqCst) - 1;
+            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
             self.observe_tree_release(remaining);
         } else {
             self.flat.release(pid);
             self.flat_active.fetch_sub(1, Ordering::SeqCst);
+            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
             let word = self.epoch.load(Ordering::SeqCst);
             if epoch_phase(word) == EPOCH_FLAT {
                 self.maybe_trigger_forward(word);
@@ -637,22 +662,26 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         let word = self.epoch.load(Ordering::SeqCst);
         match epoch_phase(word) {
             EPOCH_TREE => {
+                self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst);
                 self.tree_active.fetch_add(1, Ordering::SeqCst);
                 if self.epoch.load(Ordering::SeqCst) == word && self.tree.try_acquire(pid) {
                     self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
                     true
                 } else {
                     self.tree_active.fetch_sub(1, Ordering::SeqCst);
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
                     false
                 }
             }
             EPOCH_FLAT => {
+                self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst);
                 self.flat_active.fetch_add(1, Ordering::SeqCst);
                 if self.epoch.load(Ordering::SeqCst) == word && self.flat.try_acquire(pid) {
                     self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
                     true
                 } else {
                     self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
                     false
                 }
             }
@@ -662,6 +691,37 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                 false
             }
         }
+    }
+
+    fn crash_abort(&self, pid: usize) -> bool {
+        assert!(pid < self.capacity(), "pid {pid} out of range");
+        // Epoch-aware rollback, ledger first: if the crashed pid died with an
+        // outstanding announce-counter increment (announced, then blocked in
+        // a plane doorway), every later drain would wedge at `active != 0`.
+        // The ledger says exactly which counter carries it — the epoch may
+        // have moved on since the pid announced, so the *current* phase must
+        // not be consulted.
+        match self.announce[pid].swap(ANNOUNCE_NONE, Ordering::SeqCst) {
+            ANNOUNCE_FLAT => {
+                self.flat_active.fetch_sub(1, Ordering::SeqCst);
+            }
+            ANNOUNCE_TREE => {
+                self.tree_active.fetch_sub(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        // Pre-CS the pid holds no node on either plane, so a blanket
+        // register reset is safe and covers every crash point — including a
+        // pid that died before announcing at all (both resets are then
+        // writes of zero over zero).
+        self.flat.crash_reset(pid);
+        self.tree.crash_reset_path(pid);
+        self.stats.record_crash_abort();
+        // The rollback may have been the last announce the in-flight drain
+        // was waiting on; help it over the line rather than leaving the flip
+        // to the next live acquirer.
+        self.help_drain(self.epoch.load(Ordering::SeqCst));
+        true
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -729,6 +789,41 @@ mod tests {
         drop(lock.lock(&slot));
         assert!(lock.tree().level_snapshot(0).fast_path_hits > before);
         assert_eq!(lock.stats().cs_entries(), 3);
+    }
+
+    #[test]
+    fn crash_abort_rolls_back_the_announce_ledger_and_helps_the_drain() {
+        let lock = AdaptiveBakery::new(8);
+        // Emulate pid 3 dying right after its flat-plane announce: the
+        // increment is outstanding, the registers never got written.
+        lock.announce[3].store(ANNOUNCE_FLAT, Ordering::SeqCst);
+        lock.flat_active.fetch_add(1, Ordering::SeqCst);
+        // A forward migration now wedges in DRAIN_FLAT: the drain waits on
+        // `flat_active == 0`, which the dead pid can never deliver…
+        lock.trigger_migration();
+        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN);
+        // …until the reaper crash-aborts it: ledger rollback + drain help.
+        assert!(lock.crash_abort(3));
+        assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.announce[3].load(Ordering::SeqCst), ANNOUNCE_NONE);
+        assert_eq!(lock.epoch_phase(), EPOCH_TREE, "the abort completed the drain");
+        assert_eq!(lock.stats().crash_aborts(), 1);
+        assert_eq!(lock.stats().migrations_forward(), 1);
+        // The lock flows again, now on the tree plane.
+        let slot = lock.register_exact(0).unwrap();
+        drop(lock.lock(&slot));
+        assert_eq!(lock.stats().cs_entries(), 1);
+    }
+
+    #[test]
+    fn crash_abort_on_an_unannounced_pid_is_a_clean_register_wipe() {
+        let lock = AdaptiveBakery::new(4);
+        assert!(lock.crash_abort(2));
+        assert_eq!(lock.flat_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.tree_active.load(Ordering::SeqCst), 0);
+        assert_eq!(lock.stats().crash_aborts(), 1);
+        let slot = lock.register_exact(2).unwrap();
+        drop(lock.lock(&slot));
     }
 
     #[test]

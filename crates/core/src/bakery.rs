@@ -218,6 +218,15 @@ impl RawMutexAlgorithm for BakeryLock {
         }
     }
 
+    fn crash_abort(&self, pid: usize) -> bool {
+        // The paper's crash rule, identical to `crash_reset`: the pid's
+        // `choosing`/`number` registers (and packed-mirror lanes) read zero
+        // and the restarted process re-enters from its noncritical section.
+        self.crash_reset(pid);
+        self.stats.record_crash_abort();
+        true
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "bakery"
     }

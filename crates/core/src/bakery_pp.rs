@@ -291,6 +291,17 @@ impl RawMutexAlgorithm for BakeryPlusPlusLock {
         }
     }
 
+    fn crash_abort(&self, pid: usize) -> bool {
+        // The paper's crash rule is exactly `crash_reset`: zero the pid's
+        // `choosing`/`number` registers (and their packed-mirror lanes) so
+        // the restarted process re-enters from the noncritical section.
+        // This is the same backout `try_acquire` performs on its failure
+        // path, applicable from *any* pre-CS point.
+        self.crash_reset(pid);
+        self.stats.record_crash_abort();
+        true
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "bakery++"
     }

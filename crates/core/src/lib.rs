@@ -133,7 +133,9 @@ pub use guard::CriticalSectionGuard;
 pub use raw::{DoorwayOutcome, LockError, RawMutexAlgorithm};
 
 pub use registers::{BoundedRegister, OverflowEvent, OverflowPolicy, RegisterFile};
-pub use session::{Session, SessionError, SessionGuard, SessionPlane};
+pub use session::{
+    ReapReport, RecoveredSeat, Session, SessionError, SessionGuard, SessionPlane, LEASE_FOREVER,
+};
 pub use slots::{Slot, SlotError};
 pub use snapshot::{LaneWidth, PackedSnapshot, ScanMode};
 pub use stats::LockStats;

@@ -156,6 +156,27 @@ pub trait RawMutexAlgorithm: Send + Sync {
         false
     }
 
+    /// Applies the paper's crash rule (assumptions 1.5–1.7) to `pid`: the
+    /// process is assumed to have failed at an arbitrary **pre-CS** point —
+    /// idle, inside the doorway, or waiting — and restarts in its noncritical
+    /// section with all of its own registers reading zero.
+    ///
+    /// Returns `true` when the abort completed: every register owned by
+    /// `pid` (including any packed-mirror lanes) reads zero and the pid may
+    /// re-enter from scratch.  Returns `false` when the algorithm cannot
+    /// implement the rule — the conservative default, used by baseline locks
+    /// whose protocol state is not per-process resettable.
+    ///
+    /// # Safety contract
+    /// The caller must guarantee that `pid`'s driving thread is **dead or
+    /// will never touch the lock again**, and that `pid` is *not* inside the
+    /// critical section (a crash inside the CS must be quarantined instead —
+    /// see [`crate::session::SessionPlane::reap`]; zeroing the holder's
+    /// registers there would silently break mutual exclusion).
+    fn crash_abort(&self, _pid: usize) -> bool {
+        false
+    }
+
     // --- metadata surface -------------------------------------------------
 
     /// A short human-readable algorithm name used in reports.

@@ -12,17 +12,50 @@
 //! Each pid has one **seat word** (an `AtomicU64`):
 //!
 //! ```text
-//! bit 0      LEASED   a session currently owns this pid
-//! bit 1      BUSY     the owning session is inside acquire…release
-//! bits 2..   GEN      bumped once per detach (lease generation)
+//! bit 0      LEASED       a session currently owns this pid
+//! bit 1      BUSY         the owning session is inside acquire…release
+//! bit 2      IN_CS        the owning session holds the critical section
+//! bit 3      QUARANTINED  the holder died inside the CS; recovery pending
+//! bits 4..   GEN          bumped once per detach (lease generation)
 //! ```
 //!
 //! * **attach** — one CAS per probed seat, `free(g) → leased(g)`; lock-free
 //!   (a failed CAS means another client won that seat, move to the next).
 //! * **lock** — CAS `leased(g) → leased(g)|BUSY`, then the underlying
-//!   [`RawMutexAlgorithm::acquire`]; the guard clears `BUSY` after `release`.
+//!   [`RawMutexAlgorithm::acquire`], then CAS `… → …|IN_CS`; the guard
+//!   retraces the transitions in reverse around `release`.
 //! * **detach** — CAS `leased(g) → free(g+1)`: the generation bump is what
 //!   makes recycling safe (below).
+//!
+//! ## Seat lifecycle (crash recovery included)
+//!
+//! ```text
+//!                 attach                  mark_busy                acquire
+//!   FREE(g) ───────────────► LEASED(g) ───────────► BUSY(g) ───────────────► IN_CS(g)
+//!      ▲                        │  ▲                   │                        │
+//!      │        detach /        │  │    release +      │                        │
+//!      │◄───────────────────────┘  └───────────────────┘                        │
+//!      │        Session::drop           clear_busy                              │
+//!      │                                                                        │
+//!      │                       reap() on an expired lease:                      │
+//!      │   LEASED / BUSY seat: crash_abort(pid) + recycle ──► FREE(g+1)         │
+//!      │   IN_CS seat: the CS must survive the holder ──────────────┐           │
+//!      │                                                            ▼           ▼
+//!      └───────────────────────────────────────────────────── QUARANTINED(g) ◄──
+//!                recover_quarantined → RecoveredSeat drop               force_detach
+//!                (release on the dead holder's behalf)                  while IN_CS
+//! ```
+//!
+//! Every transition is a CAS on the full seat word, so each edge is taken by
+//! exactly one contender.  The one that matters for crash recovery: the
+//! quarantine CAS (`IN_CS(g) → QUARANTINED(g)`) *transfers ownership of the
+//! release*.  A holder whose exit CAS fails — because a reaper quarantined
+//! its seat between `release`-intent and the CAS — walks away **without**
+//! touching the lock; the [`RecoveredSeat`] guard performs the one and only
+//! release.  Mutual exclusion is therefore never silently broken: a
+//! quarantined seat keeps the underlying lock held (blocking, not aliasing)
+//! until an operator explicitly recovers it, exactly like a poisoned
+//! `std::sync::Mutex`.
 //!
 //! ## Why the generation tag
 //!
@@ -59,11 +92,22 @@ use crate::stats::LockStats;
 use crate::sync::{AtomicU64, Ordering};
 
 /// Seat-word bit: a session currently owns this pid.
-const LEASED: u64 = 0b01;
+const LEASED: u64 = 0b0001;
 /// Seat-word bit: the owning session is between acquire and release.
-const BUSY: u64 = 0b10;
+const BUSY: u64 = 0b0010;
+/// Seat-word bit: the owning session currently holds the critical section
+/// (set after `acquire` returns, cleared before `release` starts) — the bit
+/// that tells the reaper "this crash needs quarantine, not a register wipe".
+const IN_CS: u64 = 0b0100;
+/// Seat-word bit: the holder died inside the CS; the underlying lock is
+/// still held on its pid until [`SessionPlane::recover_quarantined`].
+const QUARANTINED: u64 = 0b1000;
 /// Shift of the lease generation within the seat word.
-const GEN_SHIFT: u32 = 2;
+const GEN_SHIFT: u32 = 4;
+
+/// Lease duration meaning "never expires" (the default: planes built with
+/// [`SessionPlane::new`] have no failure detector and `reap` is a no-op).
+pub const LEASE_FOREVER: u64 = u64::MAX;
 
 #[inline]
 fn seat_word(gen: u64, flags: u64) -> u64 {
@@ -117,9 +161,42 @@ impl std::error::Error for SessionError {}
 pub struct SessionPlane {
     lock: Arc<dyn RawMutexAlgorithm>,
     seats: Box<[AtomicU64]>,
+    /// Absolute expiry tick of each seat's lease, renewed on attach and on
+    /// every lock-path transition.  Only meaningful while the seat is leased.
+    deadlines: Box<[AtomicU64]>,
+    /// Logical failure-detector clock (caller-advanced; the plane never
+    /// reads wall time so tests and experiments stay deterministic).
+    clock: AtomicU64,
+    /// Lease duration in clock ticks; [`LEASE_FOREVER`] disables expiry.
+    lease_ticks: u64,
     /// Exclusive claim on every pid of the underlying lock: holding the
     /// `Slot`s makes the plane the only way to drive the lock.
     _slots: Vec<Slot>,
+}
+
+/// What one [`SessionPlane::reap`] sweep did, seat by seat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReapReport {
+    /// Seats whose holder died in its NCS (leased, not busy): recycled.
+    pub recycled_idle: usize,
+    /// Seats whose holder died in the doorway or while waiting: recovered
+    /// via [`RawMutexAlgorithm::crash_abort`] and recycled.
+    pub crash_aborted: usize,
+    /// Seats whose holder died inside the CS: moved to `QUARANTINED`
+    /// (awaiting [`SessionPlane::recover_quarantined`]).
+    pub quarantined: usize,
+    /// Expired doorway seats the underlying algorithm refused to
+    /// crash-abort (conservative [`RawMutexAlgorithm::crash_abort`]
+    /// default): left untouched.
+    pub refused: usize,
+}
+
+impl ReapReport {
+    /// Total seats this sweep recovered or quarantined.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.recycled_idle + self.crash_aborted + self.quarantined
+    }
 }
 
 impl fmt::Debug for SessionPlane {
@@ -140,6 +217,26 @@ impl SessionPlane {
     /// the lock's sole driver for the leasing guarantees to hold.
     #[must_use]
     pub fn new(lock: Arc<dyn RawMutexAlgorithm>) -> Arc<Self> {
+        Self::with_lease(lock, LEASE_FOREVER)
+    }
+
+    /// Builds a session plane whose leases expire `lease_ticks` logical
+    /// clock ticks after their last renewal (attach, any lock-path
+    /// transition, or [`Session::renew_lease`]).  Drive the clock with
+    /// [`SessionPlane::advance_clock`] and sweep expired seats with
+    /// [`SessionPlane::reap`].
+    ///
+    /// The lease is the failure-detector contract: a seat is presumed dead
+    /// only once its deadline passes, so `lease_ticks` must exceed the
+    /// longest attach-to-renewal gap of a *live* client — including its
+    /// worst-case doorway wait and critical section.  [`LEASE_FOREVER`]
+    /// disables expiry entirely.
+    ///
+    /// # Panics
+    /// Panics if any slot of `lock` is already claimed — the plane must be
+    /// the lock's sole driver for the leasing guarantees to hold.
+    #[must_use]
+    pub fn with_lease(lock: Arc<dyn RawMutexAlgorithm>, lease_ticks: u64) -> Arc<Self> {
         let capacity = lock.capacity();
         let slots: Vec<Slot> = (0..capacity)
             .map(|pid| {
@@ -150,6 +247,9 @@ impl SessionPlane {
         Arc::new(Self {
             lock,
             seats: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            deadlines: (0..capacity).map(|_| AtomicU64::new(LEASE_FOREVER)).collect(),
+            clock: AtomicU64::new(0),
+            lease_ticks,
             _slots: slots,
         })
     }
@@ -182,6 +282,38 @@ impl SessionPlane {
             .count()
     }
 
+    /// The current logical failure-detector time.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advances the logical clock to `now` (monotone: a lagging caller can
+    /// never rewind it).  The plane itself never reads wall time — whoever
+    /// runs the service loop owns the notion of "now", which is what keeps
+    /// the E12 fault-injection schedules deterministic.
+    pub fn advance_clock(&self, now: u64) {
+        self.clock.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// The lease duration this plane was built with ([`LEASE_FOREVER`] when
+    /// expiry is disabled).
+    #[must_use]
+    pub fn lease_ticks(&self) -> u64 {
+        self.lease_ticks
+    }
+
+    /// Stamps seat `pid`'s deadline `lease_ticks` past the current clock.
+    fn renew_deadline(&self, pid: usize) {
+        let deadline = self.clock().saturating_add(self.lease_ticks);
+        self.deadlines[pid].store(deadline, Ordering::SeqCst);
+    }
+
+    /// True when seat `pid`'s lease deadline has passed.
+    fn lease_expired(&self, pid: usize) -> bool {
+        self.clock() >= self.deadlines[pid].load(Ordering::SeqCst)
+    }
+
     /// Leases a free pid, or reports exhaustion without blocking.
     pub fn try_attach(self: &Arc<Self>) -> Result<Session, SessionError> {
         for pid in 0..self.capacity() {
@@ -191,6 +323,10 @@ impl SessionPlane {
                 continue;
             }
             let gen = seat_gen(word);
+            // Stamp the deadline *before* publishing the lease: a reaper
+            // must never observe a fresh lease against a stale deadline.
+            // Losing the CAS below leaves a harmlessly-fresh stamp behind.
+            self.renew_deadline(pid);
             if seat
                 .compare_exchange(
                     seat_word(gen, 0),
@@ -228,15 +364,18 @@ impl SessionPlane {
         }
     }
 
-    /// Evicts the session on `pid`, if any, making its seat leasable again.
+    /// Evicts the session on `pid`, if any.
     ///
     /// Models the operator action for a client that crashed in its
-    /// noncritical section (paper assumptions 1.5–1.7).  Spins out an
-    /// acquisition that is still in flight (`BUSY`), then bumps the lease
-    /// generation so every later operation of the stale [`Session`] handle
-    /// fails its seat-word comparison instead of aliasing the next lease.
+    /// noncritical section (paper assumptions 1.5–1.7).  A seat whose holder
+    /// is **inside the critical section** is not recycled — that would hand
+    /// the CS-holding pid to a new client while the CS is occupied — but
+    /// moved to `QUARANTINED`, awaiting
+    /// [`SessionPlane::recover_quarantined`].  A seat mid-doorway (`BUSY`
+    /// without `IN_CS`) is spun out: the acquisition completes into the CS
+    /// (and quarantines) or retreats (and detaches) promptly.
     ///
-    /// Returns `true` when a lease was evicted.
+    /// Returns `true` when the lease was ended (detached *or* quarantined).
     pub fn force_detach(&self, pid: usize) -> bool {
         let seat = &self.seats[pid];
         let mut backoff = Backoff::new();
@@ -245,8 +384,22 @@ impl SessionPlane {
             if word & LEASED == 0 {
                 return false;
             }
+            if word & QUARANTINED != 0 {
+                return false; // already evicted; recovery is pending
+            }
+            if word & IN_CS != 0 {
+                // The holder occupies the CS: quarantine instead of
+                // recycling (the latent aliasing hole this path used to
+                // have).  The CAS transfers release-ownership to the
+                // recovery guard; a concurrently-releasing live holder that
+                // loses it walks away without touching the lock.
+                if self.quarantine_seat(pid, word) {
+                    return true;
+                }
+                continue; // raced with the holder's exit; re-read
+            }
             if word & BUSY != 0 {
-                // Never reclaim mid-acquisition: wait for the guard to drop.
+                // Mid-doorway: wait for the acquisition to land or retreat.
                 backoff.snooze();
                 continue;
             }
@@ -254,6 +407,140 @@ impl SessionPlane {
                 return true;
             }
         }
+    }
+
+    /// CAS `IN_CS(gen) → QUARANTINED(gen)` — the edge that transfers
+    /// ownership of the pending `release` from the (presumed dead) holder to
+    /// the future [`RecoveredSeat`] guard.
+    fn quarantine_seat(&self, pid: usize, word: u64) -> bool {
+        debug_assert!(word & IN_CS != 0);
+        self.seats[pid]
+            .compare_exchange(
+                word,
+                seat_word(seat_gen(word), LEASED | QUARANTINED),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    /// Sweeps every seat whose lease deadline has passed, applying the
+    /// paper's crash rule to each presumed-dead holder:
+    ///
+    /// * **idle** (leased, not busy) — the holder died in its NCS; its
+    ///   registers are already zero, so the seat is simply recycled;
+    /// * **doorway / waiting** (`BUSY`, not `IN_CS`) — recovered via
+    ///   [`RawMutexAlgorithm::crash_abort`] (registers and packed mirror
+    ///   zeroed) and recycled; if the algorithm's conservative default
+    ///   refuses, the seat is left untouched and counted as `refused`;
+    /// * **inside the CS** (`IN_CS`) — moved to `QUARANTINED`: mutual
+    ///   exclusion is never silently broken, the lock stays held on that pid
+    ///   until [`SessionPlane::recover_quarantined`].
+    ///
+    /// Every recovered seat is counted in [`LockStats::seat_recoveries`];
+    /// the sweep is driven entirely by the caller-advanced logical clock, so
+    /// a reaper thread calling `reap` at a fixed cadence is deterministic
+    /// under the E12 fault schedules.
+    ///
+    /// The failure-detector contract is the lease itself: a live client that
+    /// lets its deadline lapse (e.g. a doorway wait longer than
+    /// `lease_ticks`) is indistinguishable from a dead one and will be
+    /// reaped — its next seat transition then fails loudly (stale-session
+    /// panic) instead of aliasing the recycled pid.
+    pub fn reap(&self) -> ReapReport {
+        let mut report = ReapReport::default();
+        for pid in 0..self.capacity() {
+            let seat = &self.seats[pid];
+            let word = seat.load(Ordering::SeqCst);
+            if word & LEASED == 0 || word & QUARANTINED != 0 {
+                continue;
+            }
+            if !self.lease_expired(pid) {
+                continue;
+            }
+            if word & IN_CS != 0 {
+                if self.quarantine_seat(pid, word) {
+                    report.quarantined += 1;
+                }
+                continue;
+            }
+            if word & BUSY != 0 {
+                // Crashed in the doorway or while waiting: wipe the pid's
+                // registers first — the seat must never re-lease while they
+                // are dirty — then recycle.
+                if !self.lock.crash_abort(pid) {
+                    report.refused += 1;
+                    continue;
+                }
+                if seat
+                    .compare_exchange(
+                        word,
+                        seat_word(seat_gen(word).wrapping_add(1), 0),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    self.lock.stats().record_detach();
+                    self.lock.stats().record_seat_recovery();
+                    report.crash_aborted += 1;
+                }
+                continue;
+            }
+            // Idle seat: the holder died in its NCS with clean registers.
+            if self.detach_seat(pid, seat_gen(word)) {
+                self.lock.stats().record_seat_recovery();
+                report.recycled_idle += 1;
+            }
+        }
+        report
+    }
+
+    /// Takes over a `QUARANTINED` seat: the returned [`RecoveredSeat`] guard
+    /// *owns the critical section* the dead holder left occupied — the
+    /// operator inspects or repairs shared state under its protection, and
+    /// dropping it performs the one release on the dead pid's behalf and
+    /// recycles the seat (generation bumped).  Mirrors
+    /// `std::sync::Mutex` poisoning: the CS is handed back explicitly, never
+    /// silently.
+    ///
+    /// Returns `None` when seat `pid` is not quarantined, or when another
+    /// recoverer won the takeover CAS.
+    pub fn recover_quarantined(&self, pid: usize) -> Option<RecoveredSeat<'_>> {
+        let seat = &self.seats[pid];
+        let word = seat.load(Ordering::SeqCst);
+        if word & QUARANTINED == 0 {
+            return None;
+        }
+        let gen = seat_gen(word);
+        // Re-stamp the deadline before taking over, so a concurrent reaper
+        // treats the recovery like any other live holder's lease.
+        self.renew_deadline(pid);
+        if seat
+            .compare_exchange(
+                word,
+                seat_word(gen, LEASED | BUSY | IN_CS),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            Some(RecoveredSeat {
+                plane: self,
+                pid,
+                gen,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Pids currently in the `QUARANTINED` state (awaiting recovery).
+    #[must_use]
+    pub fn quarantined_seats(&self) -> Vec<usize> {
+        (0..self.capacity())
+            .filter(|&pid| self.seats[pid].load(Ordering::SeqCst) & QUARANTINED != 0)
+            .collect()
     }
 
     /// CAS `leased(gen) → free(gen + 1)`.  Fails (returns `false`) when the
@@ -305,13 +592,22 @@ impl Session {
         &self.plane
     }
 
+    /// Re-stamps this session's lease deadline `lease_ticks` past the
+    /// plane's current clock — the explicit heartbeat for a client that is
+    /// alive but between lock operations.
+    pub fn renew_lease(&self) {
+        self.plane.renew_deadline(self.pid);
+    }
+
     /// Marks the seat `BUSY` for the duration of an acquisition.
     ///
     /// # Panics
     /// Panics if the session was evicted by [`SessionPlane::force_detach`]
-    /// and its seat re-leased — the generation mismatch is detected here,
-    /// which is exactly the aliasing the tag exists to prevent.
+    /// or reaped after its lease expired, and its seat possibly re-leased —
+    /// the seat-word mismatch is detected here, which is exactly the
+    /// aliasing the generation tag exists to prevent.
     fn mark_busy(&self) {
+        self.plane.renew_deadline(self.pid);
         let leased = seat_word(self.gen, LEASED);
         self.plane.seats[self.pid]
             .compare_exchange(
@@ -329,10 +625,42 @@ impl Session {
             });
     }
 
+    /// CAS `BUSY(gen) → IN_CS(gen)` after `acquire` returns: from here on a
+    /// crash is a crash-*inside-CS* and must quarantine, not register-wipe.
+    ///
+    /// # Panics
+    /// Panics if the seat was reaped mid-acquisition (a lease-contract
+    /// violation: the doorway wait outlived `lease_ticks`).
+    fn enter_cs(&self) {
+        self.plane.renew_deadline(self.pid);
+        let busy = seat_word(self.gen, LEASED | BUSY);
+        self.plane.seats[self.pid]
+            .compare_exchange(
+                busy,
+                busy | IN_CS,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap_or_else(|actual| {
+                panic!(
+                    "session pid {} generation {} was reaped mid-acquisition \
+                     (seat word is now {actual:#x}); lease_ticks must exceed \
+                     the worst-case doorway wait",
+                    self.pid, self.gen
+                )
+            });
+    }
+
+    /// CAS the `BUSY` bit away after a completed (or abandoned) lock
+    /// operation.  Failure is tolerated: it means a reaper already ended
+    /// this lease, and the next operation will fail loudly in `mark_busy`.
     fn clear_busy(&self) {
-        // Only this session's thread sets BUSY, so a plain store suffices; a
-        // concurrent force_detach is spinning on this bit and will observe it.
-        self.plane.seats[self.pid].store(seat_word(self.gen, LEASED), Ordering::SeqCst);
+        let _ = self.plane.seats[self.pid].compare_exchange(
+            seat_word(self.gen, LEASED | BUSY),
+            seat_word(self.gen, LEASED),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
     }
 
     /// Enters the critical section, blocking until granted.
@@ -343,6 +671,7 @@ impl Session {
     pub fn lock(&self) -> SessionGuard<'_> {
         self.mark_busy();
         self.plane.lock.acquire(self.pid);
+        self.enter_cs();
         self.plane.lock.stats().record_cs_entry();
         SessionGuard { session: self }
     }
@@ -356,6 +685,7 @@ impl Session {
     pub fn try_lock(&self) -> Option<SessionGuard<'_>> {
         self.mark_busy();
         if self.plane.lock.try_acquire(self.pid) {
+            self.enter_cs();
             self.plane.lock.stats().record_cs_entry();
             Some(SessionGuard { session: self })
         } else {
@@ -407,8 +737,72 @@ impl fmt::Debug for SessionGuard<'_> {
 
 impl Drop for SessionGuard<'_> {
     fn drop(&mut self) {
-        self.session.plane.lock.release(self.session.pid);
-        self.session.clear_busy();
+        let session = self.session;
+        // Leave the CS in two CAS steps.  Step 1 (`IN_CS → BUSY`) races the
+        // reaper's quarantine CAS on the same word: exactly one wins.  Losing
+        // means the seat is QUARANTINED and ownership of the release has
+        // transferred to the future `RecoveredSeat` guard — walk away WITHOUT
+        // touching the lock, or the recovery path would double-release.
+        let in_cs = seat_word(session.gen, LEASED | BUSY | IN_CS);
+        if session.plane.seats[session.pid]
+            .compare_exchange(
+                in_cs,
+                seat_word(session.gen, LEASED | BUSY),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            return;
+        }
+        session.plane.lock.release(session.pid);
+        session.clear_busy();
+    }
+}
+
+/// Ownership of the critical section a dead (or evicted) holder left
+/// occupied, obtained from [`SessionPlane::recover_quarantined`].
+///
+/// While the guard lives, the underlying lock is still held on the dead
+/// pid — the recovering operator inspects or repairs shared state under the
+/// same mutual exclusion the crashed client had.  Dropping the guard
+/// performs the release on the dead holder's behalf and recycles the seat at
+/// a bumped generation.
+pub struct RecoveredSeat<'a> {
+    plane: &'a SessionPlane,
+    pid: usize,
+    gen: u64,
+}
+
+impl RecoveredSeat<'_> {
+    /// The pid whose critical section this guard holds.
+    #[must_use]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+impl fmt::Debug for RecoveredSeat<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveredSeat")
+            .field("pid", &self.pid)
+            .field("generation", &self.gen)
+            .finish()
+    }
+}
+
+impl Drop for RecoveredSeat<'_> {
+    fn drop(&mut self) {
+        // The one release the dead holder never performed.
+        self.plane.lock.release(self.pid);
+        // Free the seat at a bumped generation; the takeover CAS in
+        // `recover_quarantined` made this guard the word's sole owner.
+        self.plane.seats[self.pid].store(
+            seat_word(self.gen.wrapping_add(1), 0),
+            Ordering::SeqCst,
+        );
+        self.plane.lock.stats().record_detach();
+        self.plane.lock.stats().record_seat_recovery();
     }
 }
 
@@ -556,6 +950,167 @@ mod tests {
         assert_eq!(plane.stats().detaches(), 256);
         assert_eq!(plane.stats().cs_entries(), 768);
         assert_eq!(plane.live_sessions(), 0);
+    }
+
+    #[test]
+    fn reap_is_a_noop_without_expiry_or_before_the_deadline() {
+        let plane = plane_over_pp(2);
+        let _s = plane.attach();
+        plane.advance_clock(u64::MAX - 1);
+        assert_eq!(plane.reap(), ReapReport::default(), "LEASE_FOREVER never expires");
+
+        let plane = SessionPlane::with_lease(
+            Arc::new(BakeryPlusPlusLock::with_bound(2, 255)),
+            10,
+        );
+        let _s = plane.attach();
+        plane.advance_clock(9);
+        assert_eq!(plane.reap(), ReapReport::default(), "deadline not reached");
+        assert_eq!(plane.live_sessions(), 1);
+    }
+
+    #[test]
+    fn reap_recycles_an_idle_crashed_seat() {
+        let plane = SessionPlane::with_lease(
+            Arc::new(BakeryPlusPlusLock::with_bound(2, 255)),
+            10,
+        );
+        let dead = plane.attach();
+        std::mem::forget(dead); // the client vanishes without detaching
+        plane.advance_clock(10);
+        let report = plane.reap();
+        assert_eq!(report.recycled_idle, 1);
+        assert_eq!(report.total(), 1);
+        assert_eq!(plane.live_sessions(), 0);
+        assert_eq!(plane.stats().seat_recoveries(), 1);
+        // The seat re-leases at a bumped generation.
+        let fresh = plane.attach();
+        assert_eq!(fresh.pid(), 0);
+        assert_eq!(fresh.generation(), 1);
+        assert!(fresh.try_lock().is_some());
+    }
+
+    #[test]
+    fn reap_crash_aborts_a_doorway_crashed_seat() {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(2, 255));
+        let plane = SessionPlane::with_lease(
+            Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>,
+            10,
+        );
+        let dead = plane.attach();
+        let pid = dead.pid();
+        // Simulate a doorway crash: the seat goes BUSY and the pid's number
+        // register is written, but the client dies before entering the CS.
+        dead.mark_busy();
+        lock.registers().write_number(pid, 3, plane.stats());
+        std::mem::forget(dead);
+        plane.advance_clock(10);
+        let report = plane.reap();
+        assert_eq!(report.crash_aborted, 1);
+        assert_eq!(plane.stats().crash_aborts(), 1);
+        assert_eq!(plane.stats().seat_recoveries(), 1);
+        // The paper's crash rule held: registers read zero again…
+        assert_eq!(lock.registers().read_number(pid), 0);
+        assert!(!lock.registers().read_choosing(pid));
+        // …and the seat re-leases cleanly.
+        let fresh = plane.attach();
+        assert_eq!(fresh.pid(), pid);
+        assert!(fresh.try_lock().is_some());
+    }
+
+    #[test]
+    fn reap_quarantines_a_cs_crashed_seat_and_recovery_hands_the_cs_back() {
+        let plane = SessionPlane::with_lease(
+            Arc::new(BakeryPlusPlusLock::with_bound(2, 255)),
+            10,
+        );
+        let dead = plane.attach();
+        let survivor = plane.attach();
+        let pid = dead.pid();
+        let guard = dead.lock();
+        std::mem::forget(guard); // the client dies INSIDE the CS
+        std::mem::forget(dead);
+        plane.advance_clock(10);
+        survivor.renew_lease(); // the survivor heartbeats; only `dead` expires
+        let report = plane.reap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(plane.quarantined_seats(), vec![pid]);
+        // Mutual exclusion is not silently broken: the seat is not leasable
+        // and the lock is still held on the dead pid.
+        assert!(matches!(
+            plane.try_attach(),
+            Err(SessionError::Exhausted { .. })
+        ));
+        survivor.renew_lease();
+        assert!(survivor.try_lock().is_none(), "the dead pid still holds the CS");
+        // A second sweep leaves the quarantined seat alone.
+        plane.advance_clock(20);
+        survivor.renew_lease();
+        assert_eq!(plane.reap().total(), 0);
+        // Explicit recovery hands the CS back…
+        let recovered = plane.recover_quarantined(pid).expect("quarantined");
+        assert_eq!(recovered.pid(), pid);
+        assert!(plane.recover_quarantined(pid).is_none(), "takeover is exclusive");
+        // …and dropping the guard releases on the dead holder's behalf.
+        drop(recovered);
+        assert_eq!(plane.quarantined_seats(), Vec::<usize>::new());
+        assert_eq!(plane.stats().seat_recoveries(), 1);
+        survivor.renew_lease();
+        assert!(survivor.try_lock().is_some(), "the CS flows again");
+        let fresh = plane.attach();
+        assert_eq!(fresh.pid(), pid);
+        assert_eq!(fresh.generation(), 1);
+    }
+
+    #[test]
+    fn force_detach_quarantines_instead_of_recycling_a_held_cs() {
+        // Regression for the latent aliasing hole: force_detach used to spin
+        // the BUSY bit out and recycle the seat even while the holder sat
+        // inside the CS, handing the CS-holding pid to a new client.
+        let plane = plane_over_pp(2);
+        let holder = plane.attach();
+        let pid = holder.pid();
+        let guard = holder.lock();
+        assert!(plane.force_detach(pid), "the lease is ended by quarantine");
+        assert_eq!(plane.quarantined_seats(), vec![pid]);
+        // The seat must NOT be re-leasable while the CS is occupied.
+        let other = plane.attach();
+        assert_ne!(other.pid(), pid, "quarantined seat must not re-lease");
+        assert!(matches!(
+            plane.try_attach(),
+            Err(SessionError::Exhausted { .. })
+        ));
+        // The evicted (live) holder loses the exit race by design: its guard
+        // drop walks away, release-ownership belongs to the recovery guard.
+        drop(guard);
+        drop(holder);
+        assert!(other.try_lock().is_none(), "CS still held until recovery");
+        drop(plane.recover_quarantined(pid).expect("quarantined"));
+        assert!(other.try_lock().is_some());
+        assert_eq!(plane.stats().seat_recoveries(), 1);
+    }
+
+    #[test]
+    fn recovered_seat_guard_excludes_other_sessions_until_dropped() {
+        let plane = SessionPlane::with_lease(
+            Arc::new(BakeryPlusPlusLock::with_bound(2, 255)),
+            5,
+        );
+        let dead = plane.attach();
+        std::mem::forget(dead.lock());
+        std::mem::forget(dead);
+        plane.advance_clock(5);
+        assert_eq!(plane.reap().quarantined, 1);
+        let other = plane.attach();
+        let recovered = plane.recover_quarantined(0).expect("quarantined");
+        other.renew_lease();
+        assert!(
+            other.try_lock().is_none(),
+            "the recovery guard owns the CS while it repairs state"
+        );
+        drop(recovered);
+        other.renew_lease();
+        assert!(other.try_lock().is_some());
     }
 
     proptest! {

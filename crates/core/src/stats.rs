@@ -30,6 +30,8 @@ pub struct LockStats {
     detaches: AtomicU64,
     migrations_forward: AtomicU64,
     migrations_reverse: AtomicU64,
+    crash_aborts: AtomicU64,
+    seat_recoveries: AtomicU64,
 }
 
 impl LockStats {
@@ -182,6 +184,32 @@ impl LockStats {
         self.migrations_reverse.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Number of completed crash aborts: a pre-CS acquisition torn down via
+    /// [`crate::raw::RawMutexAlgorithm::crash_abort`], leaving the pid's own
+    /// registers reading zero (the paper's crash rule, assumptions 1.5–1.7).
+    #[must_use]
+    pub fn crash_aborts(&self) -> u64 {
+        self.crash_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Number of seats the session plane's reaper recovered from dead
+    /// holders ([`crate::session::SessionPlane::reap`]) — crash-aborted and
+    /// recycled, or quarantined for explicit recovery.
+    #[must_use]
+    pub fn seat_recoveries(&self) -> u64 {
+        self.seat_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed crash abort.
+    pub fn record_crash_abort(&self) {
+        self.crash_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one seat recovered by the reaper.
+    pub fn record_seat_recovery(&self) {
+        self.seat_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters into a plain snapshot struct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -197,6 +225,8 @@ impl LockStats {
             detaches: self.detaches(),
             migrations_forward: self.migrations_forward(),
             migrations_reverse: self.migrations_reverse(),
+            crash_aborts: self.crash_aborts(),
+            seat_recoveries: self.seat_recoveries(),
         }
     }
 }
@@ -226,6 +256,10 @@ pub struct StatsSnapshot {
     pub migrations_forward: u64,
     /// See [`LockStats::migrations_reverse`].
     pub migrations_reverse: u64,
+    /// See [`LockStats::crash_aborts`].
+    pub crash_aborts: u64,
+    /// See [`LockStats::seat_recoveries`].
+    pub seat_recoveries: u64,
 }
 
 impl StatsSnapshot {
@@ -244,6 +278,8 @@ impl StatsSnapshot {
         self.detaches += other.detaches;
         self.migrations_forward += other.migrations_forward;
         self.migrations_reverse += other.migrations_reverse;
+        self.crash_aborts += other.crash_aborts;
+        self.seat_recoveries += other.seat_recoveries;
     }
 }
 
@@ -252,7 +288,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "cs={} overflows={} resets={} l1_waits={} doorway_waits={} max_ticket={} \
-             fast_path={} attaches={} detaches={} migrations={}/{}",
+             fast_path={} attaches={} detaches={} migrations={}/{} crash_aborts={} \
+             seat_recoveries={}",
             self.cs_entries,
             self.overflow_attempts,
             self.resets,
@@ -263,7 +300,9 @@ impl fmt::Display for StatsSnapshot {
             self.attaches,
             self.detaches,
             self.migrations_forward,
-            self.migrations_reverse
+            self.migrations_reverse,
+            self.crash_aborts,
+            self.seat_recoveries
         )
     }
 }
@@ -359,6 +398,26 @@ mod tests {
         assert_eq!(merged.migrations_forward, 2);
         assert_eq!(merged.migrations_reverse, 2);
         assert!(s.snapshot().to_string().contains("migrations=2/1"));
+    }
+
+    #[test]
+    fn crash_counters_accumulate_merge_and_display() {
+        let s = LockStats::new();
+        s.record_crash_abort();
+        s.record_crash_abort();
+        s.record_seat_recovery();
+        assert_eq!(s.crash_aborts(), 2);
+        assert_eq!(s.seat_recoveries(), 1);
+        let other = LockStats::new();
+        other.record_crash_abort();
+        other.record_seat_recovery();
+        let mut merged = s.snapshot();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.crash_aborts, 3);
+        assert_eq!(merged.seat_recoveries, 2);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("crash_aborts=2"));
+        assert!(text.contains("seat_recoveries=1"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ use crate::raw::{RawMutexAlgorithm};
 use crate::slots::SlotAllocator;
 use crate::snapshot::ScanMode;
 use crate::stats::{LockStats, StatsSnapshot};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Default tree arity: eight children per node keeps every node's packed
 /// ticket array within one cache line while already giving depth 4 at
@@ -80,6 +81,17 @@ pub struct TreeBakery {
     /// Per-node register bound `M = arity + 1`.
     bound: u64,
     mode: ScanMode,
+    /// How many levels of its path each pid is currently *engaged* on
+    /// (doorway entered or node won): `engaged[pid] == e` means levels
+    /// `0..e` may carry this pid's register writes and levels `e..` are
+    /// untouched by it.  SWMR (only pid's own thread stores on the lock
+    /// paths), read by the crash reaper: slot ownership is dynamic above the
+    /// leaves, so a crash recovery may only wipe the levels the pid actually
+    /// reached — blindly clearing the whole path could destroy a *sibling's*
+    /// tickets in the shared upper slots.  Each store happens *before* the
+    /// node access it covers, so the recorded value is always a safe upper
+    /// bound at every crash point.
+    engaged: Box<[AtomicU64]>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
 }
@@ -130,6 +142,7 @@ impl TreeBakery {
             capacity: n,
             bound,
             mode,
+            engaged: (0..n).map(|_| AtomicU64::new(0)).collect(),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
         }
@@ -233,6 +246,29 @@ impl TreeBakery {
         total
     }
 
+    /// Applies the paper's crash rule (assumptions 1.5–1.7) to the levels of
+    /// `pid`'s leaf-to-root path the pid was engaged on: each such slot's
+    /// choosing *and* number words — plus the packed mirror — are zeroed,
+    /// highest engaged level first (the same root-first order `release`
+    /// uses, so a node is never re-opened to contenders while an ancestor
+    /// slot still carries the crashed process's registers).  Levels above
+    /// the engagement mark are deliberately left alone: their slots may
+    /// legitimately hold a *sibling's* tickets (slot ownership above the
+    /// leaves follows whoever holds the subtree).
+    ///
+    /// This is the stats-free primitive shared by [`TreeBakery`]'s own
+    /// `crash_abort` and the adaptive facade's crash path (which accounts the
+    /// abort once, on its own counters).
+    pub fn crash_reset_path(&self, pid: usize) {
+        assert!(pid < self.capacity, "pid {pid} out of range");
+        let engaged = self.engaged[pid].load(Ordering::SeqCst) as usize;
+        for level in (0..engaged.min(self.depth())).rev() {
+            let (node, slot) = self.position(pid, level);
+            self.levels[level][node].crash_reset(slot);
+        }
+        self.engaged[pid].store(0, Ordering::SeqCst);
+    }
+
     /// Words one uncontended acquisition reads in the doorway scans across
     /// all levels — the figure the E6/E10 sub-linearity comparison reports.
     ///
@@ -259,15 +295,22 @@ impl RawMutexAlgorithm for TreeBakery {
         assert!(pid < self.capacity, "pid {pid} out of range");
         for level in 0..self.depth() {
             let (node, slot) = self.position(pid, level);
+            // Raise the engagement mark before touching the node, so a
+            // crash at any point inside it is covered by the recovery wipe.
+            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst);
             self.levels[level][node].acquire(slot);
         }
     }
 
     fn release(&self, pid: usize) {
         // Root first, leaf last: a node is never exposed to new contenders
-        // while one of its ancestors is still held by this process.
+        // while one of its ancestors is still held by this process.  The
+        // engagement mark drops *before* each node release — once released,
+        // the slot may be re-won by a sibling, and a later crash recovery
+        // must not wipe the sibling's tickets out of it.
         for level in (0..self.depth()).rev() {
             let (node, slot) = self.position(pid, level);
+            self.engaged[pid].store(level as u64, Ordering::SeqCst);
             self.levels[level][node].release(slot);
         }
     }
@@ -279,14 +322,25 @@ impl RawMutexAlgorithm for TreeBakery {
         // release walks back down.
         for level in 0..self.depth() {
             let (node, slot) = self.position(pid, level);
+            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst);
             if !self.levels[level][node].try_acquire(slot) {
                 for held in (0..level).rev() {
                     let (node, slot) = self.position(pid, held);
+                    self.engaged[pid].store(held as u64, Ordering::SeqCst);
                     self.levels[held][node].release(slot);
+                }
+                if level == 0 {
+                    self.engaged[pid].store(0, Ordering::SeqCst);
                 }
                 return false;
             }
         }
+        true
+    }
+
+    fn crash_abort(&self, pid: usize) -> bool {
+        self.crash_reset_path(pid);
+        self.stats.record_crash_abort();
         true
     }
 
@@ -336,6 +390,51 @@ mod tests {
         assert_eq!(lock.nodes_at(2), 1);
         assert_eq!(lock.node_count(), 21);
         assert_eq!(lock.shared_word_count(), 21 * 8);
+    }
+
+    #[test]
+    fn crash_abort_clears_the_engaged_path_and_unblocks_the_neighbor() {
+        let lock = TreeBakery::with_arity(4, 2);
+        assert_eq!(lock.depth(), 2);
+        // pid 0 "crashes" while holding its full path (engaged on both
+        // levels); before the recovery its sibling cannot get past the leaf.
+        lock.acquire(0);
+        assert!(!lock.try_acquire(1), "pid 1 shares the held leaf");
+        assert!(lock.crash_abort(0));
+        assert_eq!(lock.stats().crash_aborts(), 1);
+        // The paper's crash rule held at every engaged level: the neighbor
+        // sails through, and the whole path reads zero.
+        assert!(lock.try_acquire(1), "the crash freed the path");
+        lock.release(1);
+        for level in 0..lock.depth() {
+            let (node, slot) = lock.position(0, level);
+            let file = lock.node(level, node).registers();
+            assert_eq!(file.read_number(slot), 0);
+            assert!(!file.read_choosing(slot));
+        }
+    }
+
+    #[test]
+    fn crash_abort_never_wipes_a_siblings_upper_level_tickets() {
+        // pid 0 and pid 1 share their leaf node AND the root slot (slot
+        // ownership above the leaves follows whoever holds the subtree).
+        // pid 1 holds the full path; pid 0 never got past a failed try —
+        // its crash recovery must not touch the shared root slot.
+        let lock = TreeBakery::with_arity(4, 2);
+        assert_eq!(lock.position(0, 1), lock.position(1, 1), "shared root slot");
+        lock.acquire(1);
+        assert!(!lock.try_acquire(0), "the leaf is contended");
+        assert!(lock.crash_abort(0));
+        let (root, slot) = lock.position(1, 1);
+        assert_ne!(
+            lock.node(1, root).registers().read_number(slot),
+            0,
+            "pid 1's root ticket must survive pid 0's crash recovery"
+        );
+        // pid 1's critical section is intact and releases normally.
+        lock.release(1);
+        assert!(lock.try_acquire(0), "the path is free after the release");
+        lock.release(0);
     }
 
     #[test]

@@ -302,6 +302,64 @@ fn loom_session_reverse_drain_handshake() {
     });
 }
 
+/// The PR 6 reap-vs-release race on the seat word: the holder's guard drop
+/// (CAS `IN_CS → BUSY`, then release) races a reaper that considers the
+/// lease expired.  The quarantine CAS and the exit CAS target the same seat
+/// word, so exactly one wins, and that winner owns the single `release`:
+///
+/// * reaper wins (`quarantined`): the holder's exit CAS fails and it walks
+///   away **without releasing**; `recover_quarantined` must then hand the
+///   still-held CS back, and dropping the `RecoveredSeat` performs the one
+///   release;
+/// * holder wins: it releases normally; the reaper either misses its stale
+///   quarantine CAS (no-op sweep), catches the momentary post-release `BUSY`
+///   window (crash-abort: a register wipe of an already-clean pid), or finds
+///   the seat idle-expired and recycles it.
+///
+/// In every interleaving at most one recovery action is taken and the lock
+/// ends up free — no double release, no lost release, no aliasing.
+#[test]
+fn loom_session_reap_vs_release_exactly_once() {
+    use bakery_core::SessionPlane;
+    loom::model(|| {
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound(1, 8));
+        let plane = SessionPlane::with_lease(
+            Arc::clone(&lock) as Arc<dyn RawMutexAlgorithm>,
+            1,
+        );
+        let session = plane.attach();
+        let guard = session.lock(); // IN_CS; the lease expires at clock 1
+        let reaper = {
+            let plane = Arc::clone(&plane);
+            thread::spawn(move || {
+                plane.advance_clock(10);
+                plane.reap()
+            })
+        };
+        drop(guard); // races the reaper's quarantine CAS on the seat word
+        let report = reaper.join().unwrap();
+        assert!(report.total() <= 1, "at most one recovery action per seat");
+        assert_eq!(report.refused, 0, "bakery++ supports crash_abort");
+        if report.quarantined == 1 {
+            // The reaper won the word: the walk-away holder left the lock
+            // held, and recovery must be able to take the CS over.
+            let recovered = plane
+                .recover_quarantined(0)
+                .expect("quarantined seat is recoverable");
+            assert_eq!(recovered.pid(), 0);
+            drop(recovered); // the one release, on the dead holder's behalf
+        } else {
+            assert!(plane.quarantined_seats().is_empty());
+        }
+        drop(session); // stale if the seat was recycled: must not free it
+        // Whatever the interleaving, the lock ends up free for a fresh
+        // acquisition — the release happened exactly once.
+        assert!(lock.try_acquire(0), "lock must be free after recovery");
+        lock.release(0);
+        assert_eq!(plane.live_sessions(), 0, "every lease ended exactly once");
+    });
+}
+
 /// Generation-tag ABA guard under interleaving: thread A holds a session
 /// while thread B force-detaches it and immediately re-leases the seat.  A's
 /// subsequent detach (the stale drop) must not free B's fresh lease, in any

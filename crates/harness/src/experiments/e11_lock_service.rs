@@ -158,6 +158,12 @@ pub struct ServiceResult {
     pub migrations_forward: u64,
     /// Completed tree→flat handoffs (non-zero only for the adaptive lock).
     pub migrations_reverse: u64,
+    /// Crash aborts recorded by the lock (zero in E11's crash-free churn;
+    /// E12 is the experiment that injects them).
+    pub crash_aborts: u64,
+    /// Seat recoveries performed by the reaper (zero in E11's crash-free
+    /// churn).
+    pub seat_recoveries: u64,
     /// `Some(phase)` for the adaptive lock: its epoch phase after the run
     /// (0 = flat again after the round trip, 2 = still on the tree).
     pub final_phase: Option<u64>,
@@ -284,6 +290,8 @@ pub fn run_service(
         fast_path_hits: stats.fast_path_hits,
         migrations_forward: stats.migrations_forward,
         migrations_reverse: stats.migrations_reverse,
+        crash_aborts: stats.crash_aborts,
+        seat_recoveries: stats.seat_recoveries,
         final_phase: adaptive.map(|a| a.epoch_phase()),
     }
 }

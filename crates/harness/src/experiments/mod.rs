@@ -5,6 +5,7 @@
 
 pub mod e10_tree_scale;
 pub mod e11_lock_service;
+pub mod e12_kill_recover;
 pub mod e1_overflow;
 pub mod e2_model_check;
 pub mod e3_safety;
@@ -32,6 +33,7 @@ pub enum ExperimentId {
     E9,
     E10,
     E11,
+    E12,
 }
 
 impl ExperimentId {
@@ -39,7 +41,7 @@ impl ExperimentId {
     #[must_use]
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
-        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11]
+        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12]
     }
 
     /// Parses an experiment id such as `"e4"` / `"E4"` / `"4"`.
@@ -58,6 +60,7 @@ impl ExperimentId {
             "9" => Some(E9),
             "10" => Some(E10),
             "11" => Some(E11),
+            "12" => Some(E12),
             _ => None,
         }
     }
@@ -77,6 +80,7 @@ impl ExperimentId {
             ExperimentId::E9 => "E9 §4: time to overflow per register width",
             ExperimentId::E10 => "E10 beyond the paper: flat Bakery++ vs the tree composite at large N",
             ExperimentId::E11 => "E11 beyond the paper: session churn through the lock service plane",
+            ExperimentId::E12 => "E12 beyond the paper: kill-and-recover — crash injection over the live lock stack",
         }
     }
 
@@ -95,6 +99,7 @@ impl ExperimentId {
             ExperimentId::E9 => e9_overflow_time::run(quick),
             ExperimentId::E10 => e10_tree_scale::run(quick),
             ExperimentId::E11 => e11_lock_service::run(quick),
+            ExperimentId::E12 => e12_kill_recover::run(quick),
         }
     }
 }

@@ -1,0 +1,287 @@
+//! Exhaustive close-out of the **crash-recovery plane** (paper assumptions
+//! 1.5–1.7) over the live lock stack's three verified specifications.
+//!
+//! PR 6 gives every spec a real `Algorithm::crash` transition — crash and
+//! restart collapsed into one atomic step that zeroes the victim's owned
+//! registers (for the tree: exactly the slots of the levels it had engaged;
+//! for the adaptive handoff: its announce-counter contribution and any plane
+//! it held) and returns it to its noncritical section.  These tests explore
+//! the crash-*extended* state spaces exhaustively and check, on every
+//! reachable state:
+//!
+//! * **MutualExclusion** and **NoOverflow** — the paper invariants must
+//!   survive a crash at *every* protocol point, including mid-doorway and
+//!   inside the critical section;
+//! * **CrashResetsOwnRegisters** — every available crash transition lands
+//!   the victim in its NCS with all the registers it owns reading zero
+//!   (assumption 1.7 as a checkable predicate);
+//! * **CrashedPidMayReenter** — a freshly crashed process is never wedged:
+//!   it has at least one program successor, i.e. it can re-enter its doorway
+//!   (assumption 1.5's "restarts in its noncritical section");
+//! * spec-specific safety (`cs_holder_owns_path`, the drain/flap invariants
+//!   of the handoff cycle) — in particular the tree close-out is the proof
+//!   that a crash wipes only the *victim's* engaged slots and never a
+//!   sibling's tickets in the shared upper-level slots (the aliasing hazard
+//!   the live lock's `engaged[]` mark exists to prevent);
+//! * no deadlock anywhere in the extended space — a crash may abandon a
+//!   drain or a scan, but someone can always move.
+//!
+//! As everywhere in this suite, a passing close-out is only meaningful if
+//! the harness would catch a lie, so a deliberately-false crash claim is
+//! checked to produce a counterexample.
+
+use bakery_mc::ModelChecker;
+use bakery_sim::{Algorithm, Invariant, ProgState};
+use bakery_spec::{AdaptiveHandoffSpec, BakeryPlusPlusSpec, TreeBakerySpec};
+
+/// *CrashResetsOwnRegisters*: from every reachable state, every crash
+/// transition on offer leaves the victim at its NCS (pc 0 across all shipped
+/// specs) with each register it owns reading zero.
+///
+/// The owned-register indices are precomputed from `alg` — rebuilding the
+/// full `RegisterSpec` list per checked state would dominate a
+/// multi-million-state exploration (same reasoning as
+/// [`Invariant::register_bounds_for`]).
+fn crash_resets_own_registers<A: Algorithm>(alg: &A) -> Invariant<A> {
+    let owned: Vec<Vec<usize>> = {
+        let specs = alg.registers();
+        (0..alg.processes())
+            .map(|pid| {
+                specs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, spec)| spec.owner == Some(pid))
+                    .map(|(idx, _)| idx)
+                    .collect()
+            })
+            .collect()
+    };
+    Invariant::new(
+        "CrashResetsOwnRegisters",
+        move |alg: &A, state: &ProgState| {
+            (0..owned.len()).all(|pid| match alg.crash(state, pid) {
+                None => true,
+                Some(next) => {
+                    next.pc(pid) == 0 && owned[pid].iter().all(|&idx| next.read(idx) == 0)
+                }
+            })
+        },
+    )
+}
+
+/// *CrashedPidMayReenter*: a crash never wedges its victim — from the
+/// post-crash state the victim has at least one enabled program step, so it
+/// can start a fresh doorway.
+fn crashed_pid_may_reenter<A: Algorithm>() -> Invariant<A> {
+    Invariant::new("CrashedPidMayReenter", |alg: &A, state: &ProgState| {
+        (0..alg.processes()).all(|pid| match alg.crash(state, pid) {
+            None => true,
+            Some(next) => !alg.successors_vec(&next, pid).is_empty(),
+        })
+    })
+}
+
+/// Asserts a crash-extended exploration closed out clean.
+fn assert_clean(report: &bakery_mc::ExplorationReport, what: &str) {
+    assert!(
+        !report.truncated,
+        "{what}: the crash-extended space must close out exhaustively, got {} states",
+        report.states
+    );
+    assert!(
+        report.violations.is_empty(),
+        "{what}: {:?}",
+        report.violated_invariants()
+    );
+    assert!(report.deadlocks.is_empty(), "{what}: {:?}", report.deadlocks);
+    assert!(report.states > 0, "{what}");
+}
+
+fn close_out_bakery_pp(n: usize, bound: u64, budget: usize) {
+    let spec = BakeryPlusPlusSpec::new(n, bound);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(crash_resets_own_registers(&spec))
+        .with_invariant(crashed_pid_may_reenter())
+        .with_crashes(true)
+        .with_max_states(budget)
+        .run();
+    assert_clean(&report, &format!("bakery++ n={n} M={bound} + crashes"));
+    println!("bakery++ crash close-out n={n}: {report}");
+}
+
+#[test]
+fn bakery_pp_two_processes_close_out_with_crashes() {
+    close_out_bakery_pp(2, 2, 500_000);
+}
+
+#[test]
+fn bakery_pp_three_processes_close_out_with_crashes() {
+    close_out_bakery_pp(3, 3, 8_000_000);
+}
+
+#[test]
+fn crashes_strictly_enlarge_the_explored_behaviour() {
+    // The close-outs above would be vacuous if `with_crashes(true)` were a
+    // no-op: the crash-extended run must take strictly more transitions
+    // (every non-NCS configuration offers a crash) over at least as many
+    // states.
+    let spec = BakeryPlusPlusSpec::new(2, 2);
+    let plain = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_max_states(500_000)
+        .run();
+    let crashed = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_crashes(true)
+        .with_max_states(500_000)
+        .run();
+    assert!(!plain.truncated && !crashed.truncated);
+    assert!(
+        crashed.transitions > plain.transitions,
+        "crash transitions must show up: {} vs {}",
+        crashed.transitions,
+        plain.transitions
+    );
+    assert!(crashed.states >= plain.states);
+}
+
+/// The two interesting two-process placements of the 2-level binary tree
+/// (sharing a leaf vs meeting only at the root), crash-extended.  The root
+/// slots are *shared* between sibling pids, so these close-outs are the
+/// exhaustive proof that a crash transition zeroes only the victim's engaged
+/// prefix and never a ticket the surviving sibling holds in the same slot.
+#[test]
+fn tree_two_process_placements_close_out_with_crashes() {
+    for active in [[0usize, 1], [0, 2]] {
+        let spec = TreeBakerySpec::new(2, 2).with_active_processes(&active);
+        let report = ModelChecker::new(&spec)
+            .with_paper_invariants()
+            .with_invariant(TreeBakerySpec::cs_holder_owns_path())
+            .with_invariant(crash_resets_own_registers(&spec))
+            .with_invariant(crashed_pid_may_reenter())
+            .with_crashes(true)
+            .with_max_states(4_000_000)
+            .run();
+        assert_clean(&report, &format!("tree active={active:?} + crashes"));
+        println!("tree crash close-out active={active:?}: {report}");
+    }
+}
+
+#[test]
+fn full_four_process_tree_shows_no_crash_violation_within_budget() {
+    // Debug-friendly bounded prefix of the full crash-extended tree; the
+    // release-only close-out below covers the whole space.
+    let spec = TreeBakerySpec::new(2, 2);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(TreeBakerySpec::cs_holder_owns_path())
+        .with_invariant(crash_resets_own_registers(&spec))
+        .with_invariant(crashed_pid_may_reenter())
+        .with_symmetry_reduction(true)
+        .with_crashes(true)
+        .with_max_states(120_000)
+        .run();
+    assert!(report.violations.is_empty(), "{report}");
+    assert!(report.deadlocks.is_empty(), "{report}");
+}
+
+/// **The crash close-out** (PR 6 tentpole): the full 4-process, 2-level tree
+/// with a crash transition available from every non-NCS configuration is
+/// explored exhaustively — `truncated == false` — with zero violations of
+/// the paper invariants, the path-ownership invariant and both crash
+/// invariants, and zero deadlocks.
+///
+/// The crash-extended space is a superset of the 39.6 M-state crash-free
+/// close-out, so this runs in release only (the `crash-matrix` CI job);
+/// `cargo test --release -p bakery-mc crash` exercises it locally.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs in release only (crash-matrix CI job): larger than the 40 M-state crash-free space"
+)]
+fn full_four_process_tree_closes_out_with_crashes() {
+    let spec = TreeBakerySpec::new(2, 2);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(TreeBakerySpec::cs_holder_owns_path())
+        .with_invariant(crash_resets_own_registers(&spec))
+        .with_invariant(crashed_pid_may_reenter())
+        .with_symmetry_reduction(true)
+        .with_crashes(true)
+        .with_max_states(150_000_000)
+        .run();
+    assert_clean(&report, "full 4-process tree + crashes");
+    assert_eq!(report.symmetry_order, 8, "full wreath group S2 wr S2");
+    println!("tree crash close-out n=4: {report}");
+    if let Ok(path) = std::env::var("MC_CRASH_SUMMARY_OUT") {
+        let json = bakery_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(&path, json).expect("failed to write the crash close-out summary");
+    }
+}
+
+fn close_out_adaptive(n: usize, budget: usize) {
+    let spec = AdaptiveHandoffSpec::new(n);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(AdaptiveHandoffSpec::drained_invariant())
+        .with_invariant(AdaptiveHandoffSpec::tree_drained_invariant())
+        .with_invariant(AdaptiveHandoffSpec::active_count_invariant())
+        .with_invariant(AdaptiveHandoffSpec::no_flap_invariant())
+        .with_invariant(crash_resets_own_registers(&spec))
+        .with_invariant(crashed_pid_may_reenter())
+        .with_crashes(true)
+        .with_max_states(budget)
+        .run();
+    assert_clean(&report, &format!("adaptive handoff n={n} + crashes"));
+    println!("adaptive crash close-out n={n}: {report}");
+}
+
+/// The adaptive handoff cycle with crashes: a victim may die announced (its
+/// counter contribution is rolled back — `ActiveCountsAnnouncements` must
+/// keep holding), holding a plane (the plane is freed), or mid-help — and
+/// the epoch machine must neither deadlock (a crashed drainer cannot wedge a
+/// drain: the rollback is what completes it) nor flap.
+#[test]
+fn adaptive_two_process_cycle_closes_out_with_crashes() {
+    close_out_adaptive(2, 500_000);
+}
+
+#[test]
+fn adaptive_three_process_cycle_closes_out_with_crashes() {
+    close_out_adaptive(3, 4_000_000);
+}
+
+#[test]
+fn a_false_crash_claim_is_detectable() {
+    // Harness sanity: the crash invariants above call `Algorithm::crash`
+    // inside their predicates, so a checker bug that never evaluated them on
+    // the crash-extended space would green-light anything.  Tighten
+    // CrashResetsOwnRegisters into a claim that is genuinely false — "a
+    // crash zeroes *every* shared register" — and demand a counterexample
+    // (any state where the survivor holds a ticket refutes it).
+    let spec = BakeryPlusPlusSpec::new(2, 2);
+    let broken = Invariant::<BakeryPlusPlusSpec>::new(
+        "CrashZeroesTheWholeFile",
+        |alg: &BakeryPlusPlusSpec, state: &ProgState| {
+            (0..alg.processes()).all(|pid| match alg.crash(state, pid) {
+                None => true,
+                Some(next) => (0..next.shared.len()).all(|idx| next.read(idx) == 0),
+            })
+        },
+    );
+    let report = ModelChecker::new(&spec)
+        .with_invariant(broken)
+        .with_crashes(true)
+        .with_max_states(500_000)
+        .run();
+    assert!(!report.truncated);
+    assert_eq!(
+        report.violated_invariants(),
+        vec!["CrashZeroesTheWholeFile".to_string()]
+    );
+    assert!(
+        report.violations[0].depth > 0,
+        "counterexample must be a real trace"
+    );
+}

@@ -22,6 +22,10 @@ pub struct FaultPlan {
     pub victims: Vec<usize>,
     /// RNG seed so fault schedules are reproducible.
     pub seed: u64,
+    /// A fixed `(step, victim)` schedule (see [`FaultPlan::at_steps`]).  When
+    /// non-empty it *replaces* the probabilistic draw: crashes fire exactly
+    /// at the listed steps, nowhere else.
+    pub schedule: Vec<(u64, usize)>,
 }
 
 impl FaultPlan {
@@ -33,6 +37,7 @@ impl FaultPlan {
             max_crashes: 0,
             victims: Vec::new(),
             seed: 0,
+            schedule: Vec::new(),
         }
     }
 
@@ -46,6 +51,29 @@ impl FaultPlan {
             max_crashes,
             victims: Vec::new(),
             seed,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// A fully deterministic plan: crash exactly `victim` at exactly `step`
+    /// (0-based, counted in calls to [`FaultInjector::maybe_crash`]) for each
+    /// `(step, victim)` pair — no RNG anywhere.  This is what the E12
+    /// kill-and-recover harness and the regression suites want: the same
+    /// schedule replays the same run, bit for bit.
+    ///
+    /// Pairs may be given in any order (they are sorted by step); duplicate
+    /// steps keep their relative order and fire on consecutive calls from
+    /// that step on (one crash per call).
+    #[must_use]
+    pub fn at_steps(schedule: impl IntoIterator<Item = (u64, usize)>) -> Self {
+        let mut schedule: Vec<(u64, usize)> = schedule.into_iter().collect();
+        schedule.sort_by_key(|&(step, _)| step);
+        Self {
+            crash_probability: 0.0,
+            max_crashes: schedule.len() as u64,
+            victims: Vec::new(),
+            seed: 0,
+            schedule,
         }
     }
 
@@ -59,6 +87,9 @@ impl FaultPlan {
     /// True when the plan can never produce a crash.
     #[must_use]
     pub fn is_disabled(&self) -> bool {
+        if !self.schedule.is_empty() {
+            return false;
+        }
         self.crash_probability <= 0.0 || self.max_crashes == 0
     }
 
@@ -74,6 +105,8 @@ impl FaultPlan {
             plan: self.clone(),
             victims,
             injected: 0,
+            step: 0,
+            cursor: 0,
             rng: StdRng::seed_from_u64(self.seed),
         }
     }
@@ -91,12 +124,29 @@ pub struct FaultInjector {
     plan: FaultPlan,
     victims: Vec<usize>,
     injected: u64,
+    step: u64,
+    cursor: usize,
     rng: StdRng,
 }
 
 impl FaultInjector {
     /// Decides whether to crash a process at this step; returns the victim.
+    /// Each call advances the injector's step counter by one, whether or not
+    /// a crash fires.
     pub fn maybe_crash(&mut self) -> Option<usize> {
+        let step = self.step;
+        self.step += 1;
+        if !self.plan.schedule.is_empty() {
+            // Deterministic mode: fire exactly the scheduled entries whose
+            // step has arrived, one per call, in order.
+            let &(due, victim) = self.plan.schedule.get(self.cursor)?;
+            if due <= step {
+                self.cursor += 1;
+                self.injected += 1;
+                return Some(victim);
+            }
+            return None;
+        }
         if self.plan.is_disabled() || self.injected >= self.plan.max_crashes {
             return None;
         }
@@ -116,6 +166,12 @@ impl FaultInjector {
     #[must_use]
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Number of [`FaultInjector::maybe_crash`] calls made so far.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
     }
 }
 
@@ -176,5 +232,50 @@ mod tests {
     #[should_panic(expected = "probability must be in [0, 1]")]
     fn out_of_range_probability_rejected() {
         let _ = FaultPlan::random(1.5, 1, 0);
+    }
+
+    #[test]
+    fn at_steps_fires_exactly_on_schedule() {
+        let plan = FaultPlan::at_steps([(2, 1), (5, 0)]);
+        assert!(!plan.is_disabled());
+        let mut injector = plan.injector(2);
+        let fired: Vec<Option<usize>> = (0..8).map(|_| injector.maybe_crash()).collect();
+        assert_eq!(
+            fired,
+            vec![None, None, Some(1), None, None, Some(0), None, None]
+        );
+        assert_eq!(injector.injected(), 2);
+        assert_eq!(injector.step(), 8);
+    }
+
+    #[test]
+    fn at_steps_sorts_and_replays_identically() {
+        let run = || {
+            let mut injector = FaultPlan::at_steps([(6, 2), (1, 0), (3, 1)]).injector(4);
+            (0..10).map(|_| injector.maybe_crash()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "a fixed schedule replays bit for bit");
+        assert_eq!(
+            a.iter().flatten().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "victims fire in step order regardless of construction order"
+        );
+    }
+
+    #[test]
+    fn at_steps_duplicate_steps_fire_on_consecutive_calls() {
+        let mut injector = FaultPlan::at_steps([(2, 0), (2, 1)]).injector(2);
+        let fired: Vec<Option<usize>> = (0..5).map(|_| injector.maybe_crash()).collect();
+        assert_eq!(fired, vec![None, None, Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn empty_schedule_is_a_none_plan() {
+        let plan = FaultPlan::at_steps([]);
+        assert!(plan.is_disabled());
+        let mut injector = plan.injector(3);
+        assert_eq!(injector.maybe_crash(), None);
+        assert_eq!(injector.step(), 1);
     }
 }

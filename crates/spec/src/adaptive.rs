@@ -428,6 +428,52 @@ impl Algorithm for AdaptiveHandoffSpec {
         )
     }
 
+    fn crash(&self, state: &ProgState, pid: usize) -> Option<ProgState> {
+        // One atomic crash+recovery transition, mirroring what the live
+        // stack's reaper does for a dead pid: roll back its outstanding
+        // announce-counter increment (the ledger rollback of
+        // `AdaptiveBakery::crash_abort`), and — when the pid died holding a
+        // plane — perform the release on its behalf (the session plane's
+        // quarantine + `RecoveredSeat` drop, collapsed into the same step).
+        // A process in its NCS holds neither an announcement nor a plane,
+        // so it offers no distinct crash successor.
+        if state.pc(pid) == pc::NCS {
+            return None;
+        }
+        let mut next = state.clone();
+        match state.pc(pid) {
+            // Between its `active += 1` and its decrement: withdraw — these
+            // are exactly the announced sets of `active_count_invariant`,
+            // which therefore survives the crash.
+            pc::RECHECK
+            | pc::FLAT_ACQ
+            | pc::CS_FLAT
+            | pc::FLAT_REL
+            | pc::DEC_ACTIVE
+            | pc::ABORT_DEC => {
+                next.set_shared(reg::ACTIVE, state.read(reg::ACTIVE) - 1);
+            }
+            pc::TRECHECK
+            | pc::TREE_ACQ
+            | pc::CS_TREE
+            | pc::TREE_REL
+            | pc::TDEC_ACTIVE
+            | pc::TABORT_DEC => {
+                next.set_shared(reg::TACTIVE, state.read(reg::TACTIVE) - 1);
+            }
+            _ => {}
+        }
+        if state.read(reg::FLAT) == pid as u64 + 1 {
+            next.set_shared(reg::FLAT, 0);
+        }
+        if state.read(reg::TREE) == pid as u64 + 1 {
+            next.set_shared(reg::TREE, 0);
+        }
+        next.set_local(pid, SEEN, 0);
+        next.set_pc(pid, pc::NCS);
+        Some(next)
+    }
+
     fn pc_label(&self, pc_value: u32) -> &'static str {
         match pc_value {
             pc::NCS => "ncs",
@@ -621,9 +667,46 @@ mod tests {
         let s = spec.initial_state();
         assert!(!spec.is_trying(&s, 0));
         assert!(!spec.in_critical_section(&s, 0));
-        assert!(spec.crash(&s, 0).is_none(), "the handoff spec models no crashes");
+        assert!(spec.crash(&s, 0).is_none(), "an NCS process offers no crash");
         assert_eq!(spec.state_bounds().max_pc, pc::TABORT_DEC);
         assert_eq!(spec.state_bounds().local_bound(SEEN), MAX_EPOCH_WORD);
+    }
+
+    #[test]
+    fn crash_rolls_back_the_announcement_and_frees_a_held_plane() {
+        let spec = AdaptiveHandoffSpec::new(2);
+        let mut state = spec.initial_state();
+
+        // pid 0 crashed inside the flat critical section: announced and
+        // holding the flat plane.
+        state.set_pc(0, pc::CS_FLAT);
+        state.set_shared(reg::ACTIVE, 1);
+        state.set_shared(reg::FLAT, 1);
+        state.set_local(0, SEEN, 2);
+        let crashed = spec.crash(&state, 0).expect("mid-protocol crash exists");
+        assert_eq!(crashed.pc(0), pc::NCS);
+        assert_eq!(crashed.read(reg::ACTIVE), 0, "flat announcement withdrawn");
+        assert_eq!(crashed.read(reg::FLAT), 0, "held flat plane released");
+        assert_eq!(crashed.local(0, SEEN), 0);
+
+        // pid 1 crashed while merely spinning for the tree plane: its
+        // tree-side announcement rolls back but pid 0's registers and the
+        // plane holders are untouched.
+        let mut spinning = spec.initial_state();
+        spinning.set_pc(1, pc::TREE_ACQ);
+        spinning.set_shared(reg::TACTIVE, 1);
+        spinning.set_shared(reg::TREE, 1); // held by pid 0, not the crasher
+        let crashed = spec.crash(&spinning, 1).expect("mid-protocol crash exists");
+        assert_eq!(crashed.read(reg::TACTIVE), 0, "tree announcement withdrawn");
+        assert_eq!(crashed.read(reg::TREE), 1, "another pid's plane survives");
+
+        // Before the announce increment lands (READ_EPOCH) nothing is owed.
+        let mut early = spec.initial_state();
+        early.set_pc(0, pc::READ_EPOCH);
+        let crashed = spec.crash(&early, 0).expect("mid-protocol crash exists");
+        assert_eq!(crashed.read(reg::ACTIVE), 0);
+        assert_eq!(crashed.read(reg::TACTIVE), 0);
+        assert_eq!(crashed.pc(0), pc::NCS);
     }
 
     #[test]

@@ -452,6 +452,46 @@ impl Algorithm for TreeBakerySpec {
         p != pc::NCS && p < self.cs_pc()
     }
 
+    fn crash(&self, state: &ProgState, pid: usize) -> Option<ProgState> {
+        if !self.active[pid] {
+            return None;
+        }
+        // One atomic crash+restart transition (paper assumptions 1.5–1.7
+        // applied per node): the process restarts in its NCS and every
+        // register it *owns* reads zero.  Ownership is dynamic in the tree —
+        // a slot at level `l` belongs to whoever holds the whole subtree
+        // below it — so the crash may only wipe the levels this pid actually
+        // reached: zeroing higher levels would destroy a *sibling's* tickets
+        // (the sibling shares those `(node, slot)` positions once it holds
+        // the subtree).  A process in its NCS owns nothing (every level it
+        // touched was released or crash-cleared) and offers no distinct
+        // crash successor.
+        let pc_value = state.pc(pid);
+        if pc_value == pc::NCS {
+            return None;
+        }
+        let cs = self.cs_pc();
+        let owned_levels = if pc_value >= cs {
+            // CS holds the full path; release step i has already cleared the
+            // top i levels (root-first), leaving levels 0 ..= levels-1-i.
+            self.levels - (pc_value - cs) as usize
+        } else {
+            // Trying at (level, _): won levels 0..level, writing at `level`.
+            let (level, _) = self.decode(pc_value)?;
+            level + 1
+        };
+        let mut next = state.clone();
+        for level in 0..owned_levels {
+            let (node, slot) = self.position(pid, level);
+            next.set_shared(self.choosing_idx(level, node, slot), 0);
+            next.set_shared(self.number_idx(level, node, slot), 0);
+        }
+        next.set_local(pid, LOCAL_J, 0);
+        next.set_local(pid, LOCAL_MAX, 0);
+        next.set_pc(pid, pc::NCS);
+        Some(next)
+    }
+
     fn pc_label(&self, pc_value: u32) -> &'static str {
         if pc_value == pc::NCS {
             return "ncs";

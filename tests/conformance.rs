@@ -837,3 +837,145 @@ fn real_locks_match_the_spec_planes_invariant_profile() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// 5. Crash-rule conformance of the try path (assumptions 1.5–1.7): a failed
+//    `try_acquire` must be indistinguishable from a crash that restarted in
+//    the noncritical section — registers (and packed-mirror lanes) zero, and
+//    the pid's next doorway identical to a brand-new process's.
+// ---------------------------------------------------------------------------
+
+/// Asserts pid's `choosing`/`number` registers *and* their packed-mirror
+/// lanes read zero on `file`.
+fn assert_pid_file_zero(file: &bakery_suite::locks::RegisterFile, pid: usize, ctx: &str) {
+    assert_eq!(file.read_number(pid), 0, "{ctx}: number residue");
+    assert!(!file.read_choosing(pid), "{ctx}: choosing residue");
+    if let Some(packed) = file.packed() {
+        assert_eq!(packed.number(pid), 0, "{ctx}: packed number lane residue");
+        assert!(!packed.choosing(pid), "{ctx}: packed choosing bit residue");
+    }
+}
+
+#[test]
+fn failed_try_acquire_leaves_no_residue_across_the_registry() {
+    use bakery_suite::baselines::registry::{AlgorithmId, LockFactory};
+    for mode in scan_modes() {
+        let factory = LockFactory::new().with_bound(4).with_scan_mode(mode);
+        for &id in AlgorithmId::all() {
+            let n = id.entry().exact_n.unwrap_or(2);
+            let lock = factory.build(id, n);
+            // Algorithms without a real try path keep the conservative
+            // always-fail default — detectable as an uncontended failure —
+            // and have no backout to test.
+            if !lock.try_acquire(0) {
+                continue;
+            }
+            lock.release(0);
+            // Contended: pid 1 cannot enter while pid 0 holds the CS, and
+            // its failed try must back fully out.
+            lock.acquire(0);
+            assert!(!lock.try_acquire(1), "{id:?} ({mode:?}): mutual exclusion");
+            lock.release(0);
+            // No residue in either direction: the failed pid enters freely,
+            // and the old holder re-enters freely after it.
+            assert!(
+                lock.try_acquire(1),
+                "{id:?} ({mode:?}): backout residue blocked the retry"
+            );
+            lock.release(1);
+            lock.acquire(0);
+            lock.release(0);
+        }
+    }
+}
+
+#[test]
+fn failed_try_acquire_resets_registers_and_matches_a_fresh_spec_doorway() {
+    let n = 2;
+    let bound = 4;
+    for mode in scan_modes() {
+        // --- Bakery++: registers + packed mirror zero, then the crashed
+        //     pid's next doorway replayed against a FRESH spec.
+        let lock = BakeryPlusPlusLock::with_bound_and_mode(n, bound, mode);
+        lock.acquire(0);
+        assert!(!lock.try_acquire(1), "{mode:?}: contended try must fail");
+        assert_pid_file_zero(lock.registers(), 1, &format!("bakery++ {mode:?}"));
+        lock.release(0);
+        // Assumption 1.5: the backed-out pid restarts "as a new process".
+        // Its next doorway on the real lock must agree step-for-step with a
+        // fresh spec started from the all-zero initial state — any surviving
+        // residue would surface as a diverging ticket value.
+        let spec = BakeryPlusPlusSpec::new(n, bound);
+        let mut state = spec.initial_state();
+        match (lock.try_doorway(1), pp_spec_doorway(&spec, &mut state, 1, n)) {
+            (DoorwayOutcome::Ticket(real), SpecDoorway::Ticket(speced)) => {
+                assert_eq!(real, speced, "{mode:?}: post-backout doorway diverged");
+                assert_eq!(real, 1, "{mode:?}: a fresh doorway draws ticket 1");
+            }
+            other => panic!("{mode:?}: lock and fresh spec disagree: {other:?}"),
+        }
+        lock.await_turn(1);
+        lock.release(1);
+
+        // --- classic Bakery: same doorway registers, same crash rule.
+        let classic = BakeryLock::with_config(n, bound, OverflowPolicy::Wrap, mode);
+        classic.acquire(0);
+        assert!(!classic.try_acquire(1), "{mode:?}");
+        assert_pid_file_zero(classic.registers(), 1, &format!("bakery {mode:?}"));
+        classic.release(0);
+        classic.acquire(1);
+        classic.release(1);
+
+        // --- TreeBakery: the backout must drain every engaged level of the
+        //     loser's path, leaf to root, without touching the holder's.
+        let tree = TreeBakery::with_config(4, 2, mode);
+        tree.acquire(0);
+        assert!(!tree.try_acquire(1), "{mode:?}: sibling blocked at the leaf");
+        // The loser's exclusive leaf slot must be clean.  Its *upper*-level
+        // slots are shared with the winning sibling — pid 0's root ticket
+        // lives in the very slot pid 1 would have used — so they are checked
+        // for the holder's ticket instead: the backout must not have wiped
+        // a shared slot it never engaged.
+        let (leaf_node, leaf_slot) = tree.position(1, 0);
+        assert_pid_file_zero(
+            tree.node(0, leaf_node).registers(),
+            leaf_slot,
+            &format!("tree leaf {mode:?}"),
+        );
+        let (root_node, root_slot) = tree.position(0, tree.depth() - 1);
+        assert_ne!(
+            tree.node(tree.depth() - 1, root_node)
+                .registers()
+                .read_number(root_slot),
+            0,
+            "{mode:?}: backout wiped the holder's root ticket"
+        );
+        tree.release(0);
+        // Quiescent: with the holder gone, the loser's whole path (leaf and
+        // the shared upper slots) reads zero.
+        for level in 0..tree.depth() {
+            let (node, slot) = tree.position(1, level);
+            assert_pid_file_zero(
+                tree.node(level, node).registers(),
+                slot,
+                &format!("tree level {level} post-release {mode:?}"),
+            );
+        }
+        tree.acquire(1);
+        tree.release(1);
+
+        // --- AdaptiveBakery (flat-resident): the failed try backs out of
+        //     the flat plane and withdraws its announcement.
+        let adaptive = AdaptiveBakery::with_mode(n, mode);
+        adaptive.acquire(0);
+        assert!(!adaptive.try_acquire(1), "{mode:?}");
+        assert_pid_file_zero(
+            adaptive.flat().registers(),
+            1,
+            &format!("adaptive flat {mode:?}"),
+        );
+        adaptive.release(0);
+        adaptive.acquire(1);
+        adaptive.release(1);
+    }
+}
