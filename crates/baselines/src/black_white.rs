@@ -19,7 +19,8 @@ use std::sync::Arc;
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
 use bakery_core::ticket::{Ticket, TicketOrder};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -46,6 +47,7 @@ pub struct BlackWhiteBakeryLock {
     number: Box<[CachePadded<AtomicU64>]>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl BlackWhiteBakeryLock {
@@ -66,6 +68,7 @@ impl BlackWhiteBakeryLock {
                 .collect(),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -115,12 +118,16 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
             if j == pid {
                 continue;
             }
-            let mut backoff = Backoff::new();
+            // Fresh token per watched contender; a second fresh one for the
+            // ticket stage (the L2/L3 split of the episode policy).
+            let mut token = WaitToken::new();
             while self.choosing[j].load(Ordering::SeqCst) {
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.choosing(j), &mut token, &mut || {
+                    self.choosing[j].load(Ordering::SeqCst)
+                });
             }
-            backoff.reset();
+            let mut token = WaitToken::new();
             loop {
                 let nj = self.number[j].load(Ordering::SeqCst);
                 if nj == 0 {
@@ -142,7 +149,9 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
                     }
                 }
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.ticket(j), &mut token, &mut || {
+                    self.number[j].load(Ordering::SeqCst) != 0
+                });
             }
         }
         self.stats.record_doorway_waits(waits);
@@ -153,6 +162,10 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
         let my_color = self.mycolor[pid].load(Ordering::SeqCst);
         self.color.store(!my_color, Ordering::SeqCst);
         self.number[pid].store(0, Ordering::SeqCst);
+        // Wake scans parked on our ticket word (the colour flip also unblocks
+        // different-colour waiters watching other tickets; their 1ms park
+        // timeout bounds that window under the Park strategy).
+        self.waits.notify(self.waits.ticket(pid));
     }
 
     fn algorithm_name(&self) -> &'static str {

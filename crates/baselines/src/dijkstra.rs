@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -37,6 +38,7 @@ pub struct DijkstraLock {
     k: CachePadded<AtomicUsize>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl DijkstraLock {
@@ -54,6 +56,7 @@ impl DijkstraLock {
             k: CachePadded::new(AtomicUsize::new(0)),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -72,7 +75,10 @@ impl RawMutexAlgorithm for DijkstraLock {
     fn acquire(&self, pid: usize) {
         let n = self.capacity();
         assert!(pid < n, "pid {pid} out of range");
-        let mut backoff = Backoff::new();
+        // The whole two-phase retry loop is one wait episode: both phases
+        // contend for the same shared variable `k`, so the token (and its
+        // escalation towards parking) carries across phase switches.
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
 
         self.b[pid].store(false, Ordering::SeqCst);
@@ -86,7 +92,9 @@ impl RawMutexAlgorithm for DijkstraLock {
                     self.k.store(pid, Ordering::SeqCst);
                 }
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                    self.k.load(Ordering::SeqCst) != pid
+                });
             } else {
                 // Second phase: announce and verify we are alone in it.
                 self.c[pid].store(false, Ordering::SeqCst);
@@ -95,7 +103,9 @@ impl RawMutexAlgorithm for DijkstraLock {
                     break;
                 }
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                    !(0..n).all(|j| j == pid || self.c[j].load(Ordering::SeqCst))
+                });
             }
         }
         self.stats.record_doorway_waits(waits);
@@ -104,6 +114,7 @@ impl RawMutexAlgorithm for DijkstraLock {
     fn release(&self, pid: usize) {
         self.c[pid].store(true, Ordering::SeqCst);
         self.b[pid].store(true, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn algorithm_name(&self) -> &'static str {

@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -38,6 +39,7 @@ pub struct FilterLock {
     victim: Box<[CachePadded<AtomicUsize>]>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl FilterLock {
@@ -54,6 +56,7 @@ impl FilterLock {
                 .collect(),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -82,10 +85,13 @@ impl RawMutexAlgorithm for FilterLock {
         for l in 1..n {
             self.level[pid].store(l, Ordering::SeqCst);
             self.victim[l].store(pid, Ordering::SeqCst);
-            let mut backoff = Backoff::new();
+            // Fresh token per level: each level is its own wait episode.
+            let mut token = WaitToken::new();
             while self.exists_conflict(pid, l) {
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                    self.exists_conflict(pid, l)
+                });
             }
         }
         // With a single slot the loop body never runs; the lock is still
@@ -95,6 +101,7 @@ impl RawMutexAlgorithm for FilterLock {
 
     fn release(&self, pid: usize) {
         self.level[pid].store(0, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn algorithm_name(&self) -> &'static str {

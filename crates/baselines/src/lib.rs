@@ -53,9 +53,10 @@ pub use tournament::TournamentLock;
 pub use bakery_core::{LockStats, RawMutexAlgorithm, Slot};
 
 /// Expands to the [`RawMutexAlgorithm`] accessor methods for a lock struct
-/// that stores its slot allocator in a field named `slots` and its statistics
-/// in `stats`.  Invoked *inside* each lock's `impl RawMutexAlgorithm` block,
-/// so every algorithm has exactly one trait impl and zero facade boilerplate.
+/// that stores its slot allocator in a field named `slots`, its statistics
+/// in `stats` and its [`bakery_core::wait::WaitHandle`] in `waits`.  Invoked
+/// *inside* each lock's `impl RawMutexAlgorithm` block, so every algorithm
+/// has exactly one trait impl and zero facade boilerplate.
 macro_rules! lock_accessors {
     () => {
         fn slot_allocator(&self) -> &std::sync::Arc<bakery_core::slots::SlotAllocator> {
@@ -64,6 +65,10 @@ macro_rules! lock_accessors {
 
         fn stats(&self) -> &bakery_core::LockStats {
             &self.stats
+        }
+
+        fn wait_handle(&self) -> Option<&bakery_core::wait::WaitHandle> {
+            Some(&self.waits)
         }
 
         fn as_raw(&self) -> &dyn bakery_core::RawMutexAlgorithm {

@@ -22,7 +22,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicU64, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -83,6 +84,7 @@ pub struct ModuloBakeryLock {
     ring: u64,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl ModuloBakeryLock {
@@ -116,6 +118,7 @@ impl ModuloBakeryLock {
             ring,
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -168,12 +171,16 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
             if j == pid {
                 continue;
             }
-            let mut backoff = Backoff::new();
+            // Fresh token per watched contender; a second fresh one for the
+            // ticket stage (the L2/L3 split of the episode policy).
+            let mut token = WaitToken::new();
             while self.choosing[j].load(Ordering::SeqCst) {
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.choosing(j), &mut token, &mut || {
+                    self.choosing[j].load(Ordering::SeqCst)
+                });
             }
-            backoff.reset();
+            let mut token = WaitToken::new();
             loop {
                 let me_num = self.number[pid].load(Ordering::SeqCst);
                 let other_num = self.number[j].load(Ordering::SeqCst);
@@ -181,7 +188,10 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
                     break;
                 }
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.ticket(j), &mut token, &mut || {
+                    let other_num = self.number[j].load(Ordering::SeqCst);
+                    self.must_wait_for(me_num, pid, other_num, j)
+                });
             }
         }
         self.stats.record_doorway_waits(waits);
@@ -189,6 +199,7 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
 
     fn release(&self, pid: usize) {
         self.number[pid].store(0, Ordering::SeqCst);
+        self.waits.notify(self.waits.ticket(pid));
     }
 
     fn algorithm_name(&self) -> &'static str {

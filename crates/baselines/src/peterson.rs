@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -32,6 +33,7 @@ pub struct PetersonLock {
     turn: CachePadded<AtomicUsize>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl PetersonLock {
@@ -46,6 +48,7 @@ impl PetersonLock {
             turn: CachePadded::new(AtomicUsize::new(0)),
             slots: SlotAllocator::new(2),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -72,18 +75,22 @@ impl RawMutexAlgorithm for PetersonLock {
         let other = 1 - pid;
         self.flag[pid].store(true, Ordering::SeqCst);
         self.turn.store(other, Ordering::SeqCst);
-        let mut backoff = Backoff::new();
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
         {
             waits += 1;
-            backoff.snooze();
+            self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                self.flag[other].load(Ordering::SeqCst)
+                    && self.turn.load(Ordering::SeqCst) == other
+            });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, pid: usize) {
         self.flag[pid].store(false, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn algorithm_name(&self) -> &'static str {

@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -22,6 +23,7 @@ pub struct TasLock {
     locked: CachePadded<AtomicBool>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl TasLock {
@@ -32,6 +34,7 @@ impl TasLock {
             locked: CachePadded::new(AtomicBool::new(false)),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -49,17 +52,20 @@ impl RawMutexAlgorithm for TasLock {
 
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        let mut backoff = Backoff::new();
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         while self.locked.swap(true, Ordering::SeqCst) {
             waits += 1;
-            backoff.snooze();
+            self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                self.locked.load(Ordering::SeqCst)
+            });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, _pid: usize) {
         self.locked.store(false, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
@@ -85,6 +91,7 @@ pub struct TtasLock {
     locked: CachePadded<AtomicBool>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl TtasLock {
@@ -95,6 +102,7 @@ impl TtasLock {
             locked: CachePadded::new(AtomicBool::new(false)),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -112,13 +120,15 @@ impl RawMutexAlgorithm for TtasLock {
 
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        let mut backoff = Backoff::new();
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         loop {
             // Spin on the cached value first.
             while self.locked.load(Ordering::SeqCst) {
                 waits += 1;
-                backoff.snooze();
+                self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                    self.locked.load(Ordering::SeqCst)
+                });
             }
             if !self.locked.swap(true, Ordering::SeqCst) {
                 break;
@@ -129,6 +139,7 @@ impl RawMutexAlgorithm for TtasLock {
 
     fn release(&self, _pid: usize) {
         self.locked.store(false, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {

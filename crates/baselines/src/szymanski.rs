@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -40,6 +41,7 @@ pub struct SzymanskiLock {
     flag: Box<[CachePadded<AtomicUsize>]>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl SzymanskiLock {
@@ -53,6 +55,7 @@ impl SzymanskiLock {
                 .collect(),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -66,12 +69,15 @@ impl SzymanskiLock {
         self.flag[j].load(Ordering::SeqCst)
     }
 
+    /// One wait episode: spins (then parks, strategy permitting) until `cond`
+    /// holds, returning the number of wait rounds.
     fn wait_until<F: Fn() -> bool>(&self, cond: F) -> u64 {
-        let mut backoff = Backoff::new();
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         while !cond() {
             waits += 1;
-            backoff.snooze();
+            self.waits
+                .wait(self.waits.guard(), &mut token, &mut || !cond());
         }
         waits
     }
@@ -115,14 +121,14 @@ impl RawMutexAlgorithm for SzymanskiLock {
         let n = self.capacity();
         // Make sure every higher-numbered process in the doorway has noticed
         // that the door is closed before reopening it.
-        let mut backoff = Backoff::new();
-        while !((pid + 1..n).all(|j| {
-            let f = self.flag_of(j);
-            f < 2 || f == 4
-        })) {
-            backoff.snooze();
-        }
+        let _ = self.wait_until(|| {
+            (pid + 1..n).all(|j| {
+                let f = self.flag_of(j);
+                f < 2 || f == 4
+            })
+        });
         self.flag[pid].store(0, Ordering::SeqCst);
+        self.waits.notify(self.waits.guard());
     }
 
     fn algorithm_name(&self) -> &'static str {

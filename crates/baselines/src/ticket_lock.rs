@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicU64, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -38,6 +39,7 @@ pub struct TicketLock {
     now_serving: CachePadded<AtomicU64>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl TicketLock {
@@ -49,6 +51,7 @@ impl TicketLock {
             now_serving: CachePadded::new(AtomicU64::new(0)),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -74,17 +77,23 @@ impl RawMutexAlgorithm for TicketLock {
         assert!(pid < self.capacity(), "pid {pid} out of range");
         let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
         self.stats.record_ticket(ticket);
-        let mut backoff = Backoff::new();
+        // FIFO handoff: each waiter parks on its own ticket's site, so a
+        // release wakes exactly the next holder rather than the whole queue.
+        let site = self.waits.ticket(ticket as usize);
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         while self.now_serving.load(Ordering::SeqCst) != ticket {
             waits += 1;
-            backoff.snooze();
+            self.waits.wait(site, &mut token, &mut || {
+                self.now_serving.load(Ordering::SeqCst) != ticket
+            });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, _pid: usize) {
-        self.now_serving.fetch_add(1, Ordering::SeqCst);
+        let next = self.now_serving.fetch_add(1, Ordering::SeqCst) + 1;
+        self.waits.notify(self.waits.ticket(next as usize));
     }
 
     fn try_acquire(&self, pid: usize) -> bool {

@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use bakery_core::slots::SlotAllocator;
 use bakery_core::sync::{AtomicBool, AtomicUsize, Ordering};
-use bakery_core::{backoff::Backoff, LockStats, RawMutexAlgorithm};
+use bakery_core::wait::{WaitHandle, WaitToken};
+use bakery_core::{LockStats, RawMutexAlgorithm};
 use crossbeam::utils::CachePadded;
 
 use crate::lock_accessors;
@@ -35,22 +36,29 @@ impl Node {
         }
     }
 
-    fn acquire(&self, side: usize, stats: &LockStats) {
+    /// Acquires this node, parking (strategy permitting) on the node's own
+    /// wait site `idx` so a release wakes only the sibling contender.
+    fn acquire(&self, side: usize, idx: usize, waits_plane: &WaitHandle, stats: &LockStats) {
         let other = 1 - side;
         self.flag[side].store(true, Ordering::SeqCst);
         self.turn.store(other, Ordering::SeqCst);
-        let mut backoff = Backoff::new();
+        // Fresh token per node: each tree level is its own wait episode.
+        let mut token = WaitToken::new();
         let mut waits = 0u64;
         while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
         {
             waits += 1;
-            backoff.snooze();
+            waits_plane.wait(waits_plane.ticket(idx), &mut token, &mut || {
+                self.flag[other].load(Ordering::SeqCst)
+                    && self.turn.load(Ordering::SeqCst) == other
+            });
         }
         stats.record_doorway_waits(waits);
     }
 
-    fn release(&self, side: usize) {
+    fn release(&self, side: usize, idx: usize, waits_plane: &WaitHandle) {
         self.flag[side].store(false, Ordering::SeqCst);
+        waits_plane.notify(waits_plane.ticket(idx));
     }
 }
 
@@ -74,6 +82,7 @@ pub struct TournamentLock {
     capacity: usize,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl TournamentLock {
@@ -90,6 +99,7 @@ impl TournamentLock {
             capacity: n,
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::default_handle(),
         }
     }
 
@@ -121,7 +131,7 @@ impl RawMutexAlgorithm for TournamentLock {
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity, "pid {pid} out of range");
         for (node, side) in self.path(pid) {
-            self.nodes[node].acquire(side, &self.stats);
+            self.nodes[node].acquire(side, node, &self.waits, &self.stats);
         }
     }
 
@@ -130,7 +140,7 @@ impl RawMutexAlgorithm for TournamentLock {
         // order) so a descendant node is never exposed while an ancestor is
         // still held.
         for (node, side) in self.path(pid).into_iter().rev() {
-            self.nodes[node].release(side);
+            self.nodes[node].release(side, node, &self.waits);
         }
     }
 

@@ -10,16 +10,20 @@
 //!   modes at 2 and 4 threads;
 //! * **E11** (lock-service churn): sessions attached/detached through the
 //!   session plane at a ≥ 64× client-to-slot ratio, flat vs tree vs the
-//!   adaptive lock (whose flat→tree migration fires mid-run).
+//!   adaptive lock (whose flat→tree migration fires mid-run);
+//! * **E13** (async echo service): 10⁵ async clients multiplexed as futures
+//!   over a ≤ 64-slot plane, swept across the wait strategies
+//!   (spin / yield / park), reporting sessions/sec and attach-latency
+//!   percentiles.
 //!
 //! ```text
 //! bench-json [--quick] [--out-dir DIR]
 //! ```
 //!
-//! Output files: `BENCH_e6.json`, `BENCH_e7.json` and `BENCH_e11.json` in
-//! `--out-dir` (default: the current directory).  The summary — including
-//! the packed-vs-padded improvement percentages — is also printed as
-//! Markdown-ish text.
+//! Output files: `BENCH_e6.json`, `BENCH_e7.json`, `BENCH_e11.json`,
+//! `BENCH_e12.json` and `BENCH_e13.json` in `--out-dir` (default: the
+//! current directory).  The summary — including the packed-vs-padded
+//! improvement percentages — is also printed as Markdown-ish text.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -870,9 +874,116 @@ fn run_e12(quick: bool) -> E12Report {
     }
 }
 
+/// One async-echo measurement (experiment E13): the churn under one wait
+/// strategy.
+#[derive(Debug, Clone)]
+struct E13Entry {
+    strategy: String,
+    slots: usize,
+    clients: usize,
+    connections: usize,
+    echoes_per_client: u64,
+    executor_workers: usize,
+    sessions_per_sec: f64,
+    echoes_per_sec: f64,
+    attach_p50_ns: u64,
+    attach_p99_ns: u64,
+    attach_max_ns: u64,
+    attach_mean_ns: f64,
+    parks: u64,
+    notifies: u64,
+    park_timeouts: u64,
+    aliasing_violations: u64,
+}
+bakery_json::json_object!(E13Entry {
+    strategy,
+    slots,
+    clients,
+    connections,
+    echoes_per_client,
+    executor_workers,
+    sessions_per_sec,
+    echoes_per_sec,
+    attach_p50_ns,
+    attach_p99_ns,
+    attach_max_ns,
+    attach_mean_ns,
+    parks,
+    notifies,
+    park_timeouts,
+    aliasing_violations,
+});
+
+#[derive(Debug, Clone)]
+struct E13Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    cpus: usize,
+    /// Concurrent connection futures per plane slot.
+    oversubscription: usize,
+    entries: Vec<E13Entry>,
+}
+bakery_json::json_object!(E13Report {
+    schema,
+    experiment,
+    quick,
+    cpus,
+    oversubscription,
+    entries,
+});
+
+fn run_e13(quick: bool) -> E13Report {
+    use bakery_harness::experiments::e13_async_echo::{run_echo, EchoConfig, STRATEGIES};
+    let config = EchoConfig::standard(quick);
+    let mut entries = Vec::new();
+    for strategy in STRATEGIES {
+        let result = run_echo(strategy, &config);
+        assert_eq!(
+            result.aliasing_violations, 0,
+            "{strategy}: the async session plane must never alias a seat"
+        );
+        assert_eq!(
+            result.completed_sessions, config.clients as u64,
+            "{strategy}: every async client must complete"
+        );
+        entries.push(E13Entry {
+            strategy: result.strategy.clone(),
+            slots: config.slots,
+            clients: config.clients,
+            connections: config.connections,
+            echoes_per_client: config.echoes_per_client,
+            executor_workers: config.workers,
+            sessions_per_sec: result.sessions_per_sec(),
+            echoes_per_sec: result.echoes_per_sec(),
+            attach_p50_ns: result.attach_latency.quantile_ns(0.5),
+            attach_p99_ns: result.attach_latency.quantile_ns(0.99),
+            attach_max_ns: result.attach_latency.max_ns(),
+            attach_mean_ns: result.attach_latency.mean_ns() as f64,
+            parks: result.parks,
+            notifies: result.notifies,
+            park_timeouts: result.park_timeouts,
+            aliasing_violations: result.aliasing_violations,
+        });
+    }
+    E13Report {
+        schema: "bakery-bench/e13/v1".to_string(),
+        experiment: "E13 async echo service: wait-strategy sweep over the session plane"
+            .to_string(),
+        quick,
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        oversubscription: config.oversubscription(),
+        entries,
+    }
+}
+
+/// The experiment keys `--only` accepts, in run order.
+const SECTIONS: [&str; 5] = ["e6", "e7", "e11", "e12", "e13"];
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut out_dir = ".".to_string();
+    let mut only: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -884,8 +995,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--only" => match args.next() {
+                Some(list) => {
+                    let keys: Vec<String> = list
+                        .split(',')
+                        .map(|k| k.trim().to_ascii_lowercase())
+                        .filter(|k| !k.is_empty())
+                        .collect();
+                    if let Some(bad) = keys.iter().find(|k| !SECTIONS.contains(&k.as_str())) {
+                        eprintln!("--only: unknown experiment {bad:?} (expected one of {SECTIONS:?})");
+                        return ExitCode::FAILURE;
+                    }
+                    only = Some(keys);
+                }
+                None => {
+                    eprintln!("--only requires a comma-separated experiment list, e.g. e6,e13");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: bench-json [--quick] [--out-dir DIR]");
+                println!("usage: bench-json [--quick] [--out-dir DIR] [--only e6,e7,e11,e12,e13]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -894,101 +1023,160 @@ fn main() -> ExitCode {
             }
         }
     }
+    let want = |key: &str| only.as_ref().is_none_or(|keys| keys.iter().any(|k| k == key));
 
-    eprintln!("bench-json: measuring E6 (uncontended latency)...");
-    let e6 = run_e6(quick);
-    eprintln!("bench-json: measuring E7 (contended throughput)...");
-    let e7 = run_e7(quick);
-    eprintln!("bench-json: measuring E11 (lock-service churn)...");
-    let e11 = run_e11(quick);
-    eprintln!("bench-json: measuring E12 (kill-and-recover)...");
-    let e12 = run_e12(quick);
+    let e6 = want("e6").then(|| {
+        eprintln!("bench-json: measuring E6 (uncontended latency)...");
+        run_e6(quick)
+    });
+    let e7 = want("e7").then(|| {
+        eprintln!("bench-json: measuring E7 (contended throughput)...");
+        run_e7(quick)
+    });
+    let e11 = want("e11").then(|| {
+        eprintln!("bench-json: measuring E11 (lock-service churn)...");
+        run_e11(quick)
+    });
+    let e12 = want("e12").then(|| {
+        eprintln!("bench-json: measuring E12 (kill-and-recover)...");
+        run_e12(quick)
+    });
+    let e13 = want("e13").then(|| {
+        eprintln!("bench-json: measuring E13 (async echo service)...");
+        run_e13(quick)
+    });
 
-    print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
-    print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
-
-    println!("\n## E6 large-N: flat bakery++ vs tree-bakery (K={TREE_ARITY})");
-    println!("| N | flat ns | tree ns | speedup | flat scan words | tree scan words |");
-    println!("|---|---|---|---|---|---|");
-    for c in &e6.tree_comparisons {
-        println!(
-            "| {} | {:.0} | {:.0} | {:+.1}% | {} | {} |",
-            c.processes, c.flat_ns, c.tree_ns, c.speedup_pct, c.flat_scan_words, c.tree_scan_words
-        );
+    if let Some(e6) = &e6 {
+        print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
     }
-    println!("\n## E7 large-N: 4 live threads, flat vs tree (acq/s)");
-    println!("| N | flat acq/s | tree acq/s | gain |");
-    println!("|---|---|---|---|");
-    for c in &e7.tree_comparisons {
-        println!(
-            "| {} | {:.0} | {:.0} | {:+.1}% |",
-            c.capacity, c.flat_acq_per_sec, c.tree_acq_per_sec, c.gain_pct
-        );
+    if let Some(e7) = &e7 {
+        print_comparisons("E7 contended throughput (acq/s)", "acq/s", &e7.comparisons);
+    }
+
+    if let Some(e6) = &e6 {
+        println!("\n## E6 large-N: flat bakery++ vs tree-bakery (K={TREE_ARITY})");
+        println!("| N | flat ns | tree ns | speedup | flat scan words | tree scan words |");
+        println!("|---|---|---|---|---|---|");
+        for c in &e6.tree_comparisons {
+            println!(
+                "| {} | {:.0} | {:.0} | {:+.1}% | {} | {} |",
+                c.processes, c.flat_ns, c.tree_ns, c.speedup_pct, c.flat_scan_words, c.tree_scan_words
+            );
+        }
+    }
+    if let Some(e7) = &e7 {
+        println!("\n## E7 large-N: 4 live threads, flat vs tree (acq/s)");
+        println!("| N | flat acq/s | tree acq/s | gain |");
+        println!("|---|---|---|---|");
+        for c in &e7.tree_comparisons {
+            println!(
+                "| {} | {:.0} | {:.0} | {:+.1}% |",
+                c.capacity, c.flat_acq_per_sec, c.tree_acq_per_sec, c.gain_pct
+            );
+        }
     }
 
     if let Err(err) = std::fs::create_dir_all(&out_dir) {
         eprintln!("failed to create {out_dir}: {err}");
         return ExitCode::FAILURE;
     }
-    println!("\n## E11 lock-service churn ({}x oversubscribed)", e11.oversubscription);
-    println!("| algorithm | sessions/s | cs/s | aliasing | migrations (fwd/rev) | round trip |");
-    println!("|---|---|---|---|---|---|");
-    for entry in &e11.entries {
-        println!(
-            "| {} | {:.0} | {:.0} | {} | {}/{} | {} |",
-            entry.algorithm,
-            entry.sessions_per_sec,
-            entry.cs_per_sec,
-            entry.aliasing_violations,
-            entry.migrations_forward,
-            entry.migrations_reverse,
-            entry.round_trip
-        );
+    if let Some(e11) = &e11 {
+        println!("\n## E11 lock-service churn ({}x oversubscribed)", e11.oversubscription);
+        println!("| algorithm | sessions/s | cs/s | aliasing | migrations (fwd/rev) | round trip |");
+        println!("|---|---|---|---|---|---|");
+        for entry in &e11.entries {
+            println!(
+                "| {} | {:.0} | {:.0} | {} | {}/{} | {} |",
+                entry.algorithm,
+                entry.sessions_per_sec,
+                entry.cs_per_sec,
+                entry.aliasing_violations,
+                entry.migrations_forward,
+                entry.migrations_reverse,
+                entry.round_trip
+            );
+        }
     }
 
-    println!("\n## E12 kill-and-recover (crash injection over the session plane)");
-    println!("| algorithm | period | crashes | cs/s | vs crash-free | recovered | aliasing | recovery µs mean/max |");
-    println!("|---|---|---|---|---|---|---|---|");
-    for entry in &e12.entries {
-        println!(
-            "| {} | {} | {}+{} | {:.0} | {:+.1}% | {}/{} | {} | {:.1}/{:.1} |",
-            entry.algorithm,
-            if entry.crash_period == 0 {
-                "-".to_string()
-            } else {
-                format!("1/{}", entry.crash_period)
-            },
-            entry.injected_crashes,
-            entry.cs_crashes,
-            entry.cs_per_sec,
-            entry.vs_crash_free_pct,
-            entry.recycled_idle,
-            entry.quarantined,
-            entry.aliasing_violations,
-            entry.recovery_ns_mean / 1_000.0,
-            entry.recovery_ns_max as f64 / 1_000.0,
-        );
-    }
-    println!("\n## E12 probe — dead ticket holders (raw bakery++)");
-    println!("| site | mode | samples | recovery µs mean/max |");
-    println!("|---|---|---|---|");
-    for entry in &e12.probe {
-        println!(
-            "| {} | {} | {} | {:.1}/{:.1} |",
-            entry.site,
-            entry.mode,
-            entry.samples,
-            entry.recovery_ns_mean / 1_000.0,
-            entry.recovery_ns_max as f64 / 1_000.0,
-        );
+    if let Some(e12) = &e12 {
+        println!("\n## E12 kill-and-recover (crash injection over the session plane)");
+        println!("| algorithm | period | crashes | cs/s | vs crash-free | recovered | aliasing | recovery µs mean/max |");
+        println!("|---|---|---|---|---|---|---|---|");
+        for entry in &e12.entries {
+            println!(
+                "| {} | {} | {}+{} | {:.0} | {:+.1}% | {}/{} | {} | {:.1}/{:.1} |",
+                entry.algorithm,
+                if entry.crash_period == 0 {
+                    "-".to_string()
+                } else {
+                    format!("1/{}", entry.crash_period)
+                },
+                entry.injected_crashes,
+                entry.cs_crashes,
+                entry.cs_per_sec,
+                entry.vs_crash_free_pct,
+                entry.recycled_idle,
+                entry.quarantined,
+                entry.aliasing_violations,
+                entry.recovery_ns_mean / 1_000.0,
+                entry.recovery_ns_max as f64 / 1_000.0,
+            );
+        }
+        println!("\n## E12 probe — dead ticket holders (raw bakery++)");
+        println!("| site | mode | samples | recovery µs mean/max |");
+        println!("|---|---|---|---|");
+        for entry in &e12.probe {
+            println!(
+                "| {} | {} | {} | {:.1}/{:.1} |",
+                entry.site,
+                entry.mode,
+                entry.samples,
+                entry.recovery_ns_mean / 1_000.0,
+                entry.recovery_ns_max as f64 / 1_000.0,
+            );
+        }
     }
 
-    for (name, json) in [
-        ("BENCH_e6.json", bakery_json::to_string_pretty(&e6)),
-        ("BENCH_e7.json", bakery_json::to_string_pretty(&e7)),
-        ("BENCH_e11.json", bakery_json::to_string_pretty(&e11)),
-        ("BENCH_e12.json", bakery_json::to_string_pretty(&e12)),
-    ] {
+    if let Some(e13) = &e13 {
+        println!(
+            "\n## E13 async echo service ({} clients / {} slots, {}x oversubscribed futures)",
+            e13.entries.first().map_or(0, |e| e.clients),
+            e13.entries.first().map_or(0, |e| e.slots),
+            e13.oversubscription
+        );
+        println!("| strategy | sessions/s | echoes/s | attach p50 µs | attach p99 µs | notifies | aliasing |");
+        println!("|---|---|---|---|---|---|---|");
+        for entry in &e13.entries {
+            println!(
+                "| {} | {:.0} | {:.0} | {:.1} | {:.1} | {} | {} |",
+                entry.strategy,
+                entry.sessions_per_sec,
+                entry.echoes_per_sec,
+                entry.attach_p50_ns as f64 / 1_000.0,
+                entry.attach_p99_ns as f64 / 1_000.0,
+                entry.notifies,
+                entry.aliasing_violations,
+            );
+        }
+    }
+
+    let mut outputs: Vec<(&str, Result<String, bakery_json::Error>)> = Vec::new();
+    if let Some(e6) = &e6 {
+        outputs.push(("BENCH_e6.json", bakery_json::to_string_pretty(e6)));
+    }
+    if let Some(e7) = &e7 {
+        outputs.push(("BENCH_e7.json", bakery_json::to_string_pretty(e7)));
+    }
+    if let Some(e11) = &e11 {
+        outputs.push(("BENCH_e11.json", bakery_json::to_string_pretty(e11)));
+    }
+    if let Some(e12) = &e12 {
+        outputs.push(("BENCH_e12.json", bakery_json::to_string_pretty(e12)));
+    }
+    if let Some(e13) = &e13 {
+        outputs.push(("BENCH_e13.json", bakery_json::to_string_pretty(e13)));
+    }
+    for (name, json) in outputs {
         let path = format!("{out_dir}/{name}");
         let text = match json {
             Ok(text) => text,
@@ -1008,18 +1196,21 @@ fn main() -> ExitCode {
     // Bakery++ must never overflow, and the packed mode must not be slower
     // uncontended at any measured size.
     let pp_overflows: u64 = e6
-        .entries
         .iter()
-        .filter(|e| e.algorithm == "bakery++")
-        .map(|e| e.overflow_attempts)
-        .chain(
+        .flat_map(|e6| {
+            e6.entries
+                .iter()
+                .filter(|e| e.algorithm == "bakery++")
+                .map(|e| e.overflow_attempts)
+                .chain(e6.tree_entries.iter().map(|e| e.overflow_attempts))
+        })
+        .chain(e7.iter().flat_map(|e7| {
             e7.entries
                 .iter()
                 .filter(|e| e.algorithm == "bakery++")
-                .map(|e| e.overflow_attempts),
-        )
-        .chain(e6.tree_entries.iter().map(|e| e.overflow_attempts))
-        .chain(e7.tree_entries.iter().map(|e| e.overflow_attempts))
+                .map(|e| e.overflow_attempts)
+                .chain(e7.tree_entries.iter().map(|e| e.overflow_attempts))
+        }))
         .sum();
     if pp_overflows > 0 {
         eprintln!("bakery++ reported {pp_overflows} overflow attempts");
@@ -1030,10 +1221,12 @@ fn main() -> ExitCode {
     // arithmetic (flat linearity included) is unit-tested in
     // e10_tree_scale::tests; this gate only guards the headline inequality.
     let words_of = |n: usize| {
-        e6.tree_comparisons
-            .iter()
-            .find(|c| c.processes == n)
-            .map(|c| c.tree_scan_words)
+        e6.as_ref().and_then(|e6| {
+            e6.tree_comparisons
+                .iter()
+                .find(|c| c.processes == n)
+                .map(|c| c.tree_scan_words)
+        })
     };
     if let (Some(tree_small), Some(tree_large)) = (
         words_of(*TREE_SIZES.first().unwrap_or(&0)),

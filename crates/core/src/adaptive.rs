@@ -112,7 +112,6 @@
 
 use std::sync::Arc;
 
-use crate::backoff::Backoff;
 use crate::bakery_pp::BakeryPlusPlusLock;
 use crate::raw::RawMutexAlgorithm;
 use crate::slots::SlotAllocator;
@@ -120,6 +119,7 @@ use crate::snapshot::ScanMode;
 use crate::stats::{LockStats, StatsSnapshot};
 use crate::sync::{AtomicU64, Ordering};
 use crate::tree::{TreeBakery, DEFAULT_TREE_ARITY};
+use crate::wait::{WaitHandle, WaitStrategy, WaitToken};
 
 /// Epoch phase: all acquisitions route to the flat Bakery++.
 pub const EPOCH_FLAT: u64 = 0;
@@ -231,6 +231,11 @@ pub struct AdaptiveBakery {
     /// Flat doorway waits at the start of the current flat residency; the
     /// forward contention trigger fires on the delta, not the lifetime sum.
     flat_waits_baseline: AtomicU64,
+    /// Facade-level wait plane: the guard site is the drain-phase predicate
+    /// (parked acquirers are woken by every successful epoch CAS), and both
+    /// planes share this handle's strategy so one `BAKERY_WAIT_STRATEGY`
+    /// choice governs the whole composite.
+    waits: WaitHandle,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
 }
@@ -316,6 +321,36 @@ impl AdaptiveBakery {
         low_watermark: usize,
         quiet_period: u64,
     ) -> Self {
+        Self::with_hysteresis_and_strategy(
+            n,
+            mode,
+            capacity_threshold,
+            contention_threshold,
+            low_watermark,
+            quiet_period,
+            crate::wait::default_strategy(),
+        )
+    }
+
+    /// [`AdaptiveBakery::with_hysteresis`] with an explicit [`WaitStrategy`].
+    ///
+    /// One strategy instance is shared by the flat plane, every tree node and
+    /// the facade's own drain-phase guard site (each in its own namespace), so
+    /// a parked waiter anywhere in the composite answers to the same waiter
+    /// table.
+    ///
+    /// # Panics
+    /// As [`AdaptiveBakery::with_hysteresis`].
+    #[must_use]
+    pub fn with_hysteresis_and_strategy(
+        n: usize,
+        mode: ScanMode,
+        capacity_threshold: usize,
+        contention_threshold: u64,
+        low_watermark: usize,
+        quiet_period: u64,
+        strategy: Arc<dyn WaitStrategy>,
+    ) -> Self {
         assert!(n > 0, "a lock needs at least one process slot");
         if low_watermark > 0 {
             assert!(quiet_period > 0, "a zero quiet period would fire instantly");
@@ -330,12 +365,18 @@ impl AdaptiveBakery {
             );
         }
         Self {
-            flat: BakeryPlusPlusLock::with_bound_and_mode(
+            flat: BakeryPlusPlusLock::with_bound_mode_and_strategy(
                 n,
                 crate::bakery_pp::DEFAULT_PP_BOUND,
                 mode,
+                Arc::clone(&strategy),
             ),
-            tree: TreeBakery::with_config(n, DEFAULT_TREE_ARITY.min(n.max(2)), mode),
+            tree: TreeBakery::with_config_and_strategy(
+                n,
+                DEFAULT_TREE_ARITY.min(n.max(2)),
+                mode,
+                Arc::clone(&strategy),
+            ),
             epoch: AtomicU64::new(EPOCH_FLAT),
             flat_active: AtomicU64::new(0),
             tree_active: AtomicU64::new(0),
@@ -347,9 +388,16 @@ impl AdaptiveBakery {
             quiet_period,
             quiet_streak: AtomicU64::new(0),
             flat_waits_baseline: AtomicU64::new(0),
+            waits: WaitHandle::new(strategy),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
         }
+    }
+
+    /// The facade's wait plane (drain-phase guard site).
+    #[must_use]
+    pub fn wait_plane(&self) -> &WaitHandle {
+        &self.waits
     }
 
     /// The current epoch **word** — `(cycle << 2) | phase`, strictly
@@ -428,9 +476,7 @@ impl AdaptiveBakery {
     pub fn trigger_migration(&self) {
         let word = self.epoch.load(Ordering::SeqCst);
         if epoch_phase(word) == EPOCH_FLAT {
-            let _ = self
-                .epoch
-                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+            self.advance_epoch(word);
         }
     }
 
@@ -441,10 +487,23 @@ impl AdaptiveBakery {
     pub fn trigger_reverse_migration(&self) {
         let word = self.epoch.load(Ordering::SeqCst);
         if epoch_phase(word) == EPOCH_TREE {
-            let _ = self
-                .epoch
-                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+            self.advance_epoch(word);
         }
+    }
+
+    /// The one epoch transition: CAS `word → word + 1`, then wake every
+    /// acquirer parked on the drain-phase guard site (the flip is exactly the
+    /// store their predicate watches).  Returns whether this caller won the
+    /// CAS.
+    fn advance_epoch(&self, word: u64) -> bool {
+        let won = self
+            .epoch
+            .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if won {
+            self.waits.notify(self.waits.guard());
+        }
+        won
     }
 
     /// Live leased sessions (`attaches − detaches`).
@@ -470,9 +529,7 @@ impl AdaptiveBakery {
     /// `FLAT`-phase epoch word) is still current.
     fn maybe_trigger_forward(&self, word: u64) {
         if self.should_migrate() {
-            let _ = self
-                .epoch
-                .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst);
+            self.advance_epoch(word);
         }
     }
 
@@ -521,12 +578,7 @@ impl AdaptiveBakery {
             ) {
                 Ok(_) => {
                     if count >= self.quiet_period {
-                        let _ = self.epoch.compare_exchange(
-                            word,
-                            word + 1,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
-                        );
+                        self.advance_epoch(word);
                     }
                     return;
                 }
@@ -560,11 +612,7 @@ impl AdaptiveBakery {
             self.flat_waits_baseline
                 .store(self.flat.stats().doorway_waits(), Ordering::SeqCst);
         }
-        if self
-            .epoch
-            .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
+        if self.advance_epoch(word) {
             if epoch_phase(word) == EPOCH_DRAIN {
                 self.stats.record_migration_forward();
             } else {
@@ -599,7 +647,10 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         if epoch_phase(word) == EPOCH_FLAT {
             self.maybe_trigger_forward(word);
         }
-        let mut backoff = Backoff::new();
+        // One episode: every arm of the loop waits on the same epoch word,
+        // so escalation carries across route retries (like Bakery++'s
+        // `L1`/`Reset` loop).
+        let mut token = WaitToken::new();
         loop {
             let word = self.epoch.load(Ordering::SeqCst);
             match epoch_phase(word) {
@@ -634,7 +685,11 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                 }
                 _ => {
                     self.help_drain(word);
-                    backoff.snooze();
+                    // Park on the guard site until the epoch moves: the flip
+                    // CAS (ours just above, or any helper's) notifies it.
+                    self.waits.wait(self.waits.guard(), &mut token, &mut || {
+                        self.epoch.load(Ordering::SeqCst) == word
+                    });
                 }
             }
         }
@@ -655,6 +710,17 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                 self.maybe_trigger_forward(word);
             }
         }
+        // This decrement may have been the one an in-flight drain was
+        // waiting on; finishing the flip here (instead of leaving it to the
+        // next live acquirer) is what wakes acquirers parked on the guard
+        // site, since the draining plane has no acquirer left to help.
+        let word = self.epoch.load(Ordering::SeqCst);
+        if matches!(epoch_phase(word), EPOCH_DRAIN | EPOCH_DRAIN_TREE) {
+            self.help_drain(word);
+        }
+        // Facade-level release pulse for async lock futures registered via
+        // `wait_handle()` (the planes pulse their own namespaces only).
+        self.waits.notify(self.waits.release());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
@@ -746,6 +812,10 @@ impl RawMutexAlgorithm for AdaptiveBakery {
 
     fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    fn wait_handle(&self) -> Option<&WaitHandle> {
+        Some(&self.waits)
     }
 
     fn as_raw(&self) -> &dyn RawMutexAlgorithm {
@@ -865,10 +935,12 @@ mod tests {
             drop(lock.lock(&slot));
             assert_eq!(lock.epoch_phase(), EPOCH_TREE, "streak {} below period", i + 2);
         }
-        // The 4th quiet release reaches quiet_period: reverse triggered.
+        // The 4th quiet release reaches quiet_period: reverse triggered —
+        // and the releasing thread itself completes the drain (tree_active
+        // is already zero at that point), so the flip lands at release time.
         drop(lock.lock(&slot));
-        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
-        drop(lock.lock(&slot)); // helps the reverse drain, enters via flat
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT);
+        drop(lock.lock(&slot)); // enters via the flat plane again
         assert_eq!(lock.epoch_phase(), EPOCH_FLAT);
         assert_eq!(lock.cycle(), 1, "one full round trip");
         assert!(!lock.has_migrated(), "has_migrated reports the current plane");
@@ -893,11 +965,13 @@ mod tests {
             drop(lock.lock(&slot));
         }
         assert_eq!(lock.epoch_phase(), EPOCH_TREE, "never quiet while leased");
-        // Detach: releases quieten, and the second one triggers the reverse.
+        // Detach: releases quieten; the second one triggers the reverse and
+        // completes the drain on its own release path.
         lock.stats().record_detach();
         drop(lock.lock(&slot));
         drop(lock.lock(&slot));
-        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT);
+        assert_eq!(lock.stats().migrations_reverse(), 1);
     }
 
     #[test]
@@ -910,11 +984,13 @@ mod tests {
             lock.trigger_migration(); // 4c -> 4c+1
             // Acquire helps the forward drain (-> TREE, 4c+2), enters via the
             // tree; quiet_period 1 makes its release trigger the reverse
-            // immediately (-> DRAIN_TREE, 4c+3).
+            // (-> DRAIN_TREE, 4c+3) and complete the drain in the same
+            // release (-> FLAT, 4(c+1)) — the whole round trip in one
+            // lock/unlock.
             drop(lock.lock(&slot));
-            assert_eq!(lock.epoch(), 4 * round + 3, "DRAIN_TREE of cycle {round}");
-            drop(lock.lock(&slot)); // reverse drain helper + flat entry
             assert_eq!(lock.epoch(), 4 * (round + 1), "FLAT of cycle {}", round + 1);
+            drop(lock.lock(&slot)); // plain flat entry
+            assert_eq!(lock.epoch(), 4 * (round + 1));
             assert!(lock.epoch() > last, "the word never repeats");
             last = lock.epoch();
         }
@@ -943,19 +1019,21 @@ mod tests {
         lock.flat().stats().record_doorway_waits(50); // past the threshold
         // This acquire fires the forward trigger, self-helps the drain and
         // enters via the tree; quiet_period 1 makes its release trigger the
-        // reverse straight away.
+        // reverse straight away and complete the drain on the way out.
         drop(lock.lock(&slot));
-        assert_eq!(lock.epoch_phase(), EPOCH_DRAIN_TREE);
-        assert_eq!(lock.stats().migrations_forward(), 1);
-        drop(lock.lock(&slot)); // reverse drain helper + flat entry
         assert_eq!(lock.epoch_phase(), EPOCH_FLAT, "round trip complete");
+        assert_eq!(lock.stats().migrations_forward(), 1);
+        drop(lock.lock(&slot)); // plain flat entry
+        assert_eq!(lock.epoch_phase(), EPOCH_FLAT);
         // The 50 stale wait iterations are behind the new baseline now.
         drop(lock.lock(&slot));
         assert_eq!(lock.epoch_phase(), EPOCH_FLAT, "no flap from stale contention");
         lock.flat().stats().record_doorway_waits(10); // fresh residency waits
+        // With quiet_period 1 the re-triggered round trip completes inside
+        // this one lock/unlock; the forward counter is the evidence.
         drop(lock.lock(&slot));
-        assert!(lock.has_migrated(), "fresh contention re-triggers normally");
-        assert_eq!(lock.stats().migrations_forward(), 2);
+        assert_eq!(lock.stats().migrations_forward(), 2, "fresh contention re-triggers");
+        assert_eq!(lock.stats().migrations_reverse(), 2);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! `spin_loop` hints with exponentially increasing repetition, followed by OS
 //! `yield_now` calls once the spin budget is exhausted.
 //!
-//! The policy is deliberately identical across algorithms so that the
-//! throughput comparisons in experiment **E7** measure the protocols, not the
-//! waiting strategy.
+//! Since PR 7 the locks reach this type through the pluggable
+//! [`crate::wait::WaitStrategy`] plane ([`crate::wait::Spin`] wraps it as the
+//! baseline discipline); the cross-algorithm policy contract — including the
+//! "identical across algorithms so E7 measures protocols, not waiting"
+//! caveat — lives in the [`crate::wait`] module docs.
 
 use crate::sync;
 
@@ -74,9 +76,14 @@ impl Backoff {
         }
     }
 
-    /// Resets the escalation state (used when a wait condition makes progress).
+    /// Resets the escalation state (used when a wait condition makes
+    /// progress).  The round count restarts too, as the documentation of
+    /// [`Backoff::rounds`] promises: a reset begins a new wait episode, so a
+    /// caller metering one episode through `rounds()` must not inherit the
+    /// previous episode's count.
     pub fn reset(&mut self) {
         self.step = 0;
+        self.rounds = 0;
     }
 }
 
@@ -116,8 +123,11 @@ mod tests {
         assert!(b.is_yielding());
         b.reset();
         assert!(!b.is_yielding());
-        // rounds are cumulative and not reset
-        assert_eq!(b.rounds(), 20);
+        // A reset starts a new wait episode: the round count restarts with
+        // the escalation state ("since creation or the last `reset`").
+        assert_eq!(b.rounds(), 0);
+        b.snooze();
+        assert_eq!(b.rounds(), 1);
     }
 
     #[test]

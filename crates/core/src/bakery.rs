@@ -26,7 +26,6 @@
 
 use std::sync::Arc;
 
-use crate::backoff::Backoff;
 use crate::raw::{DoorwayOutcome, RawMutexAlgorithm};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
@@ -34,6 +33,7 @@ use crate::snapshot::{PackedSnapshot, ScanMode};
 use crate::stats::LockStats;
 use crate::sync::{fence, Ordering};
 use crate::ticket::{Ticket, TicketOrder};
+use crate::wait::{WaitHandle, WaitSite, WaitStrategy, WaitToken};
 use crate::DEFAULT_BOUND;
 
 /// Lamport's Bakery lock for up to `N` processes.
@@ -50,6 +50,7 @@ pub struct BakeryLock {
     file: RegisterFile,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    waits: WaitHandle,
 }
 
 impl BakeryLock {
@@ -79,10 +80,24 @@ impl BakeryLock {
     /// SeqCst scan for baseline measurements and ablations).
     #[must_use]
     pub fn with_config(n: usize, bound: u64, policy: OverflowPolicy, mode: ScanMode) -> Self {
+        Self::with_config_and_strategy(n, bound, policy, mode, crate::wait::default_strategy())
+    }
+
+    /// Creates a Bakery lock with an explicit [`WaitStrategy`] for its
+    /// `L2`/`L3` wait loops (on top of every [`Self::with_config`] knob).
+    #[must_use]
+    pub fn with_config_and_strategy(
+        n: usize,
+        bound: u64,
+        policy: OverflowPolicy,
+        mode: ScanMode,
+        strategy: Arc<dyn WaitStrategy>,
+    ) -> Self {
         Self {
             file: RegisterFile::with_mode(n, bound, policy, mode),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::new(strategy),
         }
     }
 
@@ -90,6 +105,12 @@ impl BakeryLock {
     #[must_use]
     pub fn scan_mode(&self) -> ScanMode {
         self.file.mode()
+    }
+
+    /// The wait plane this lock's blocking paths run through.
+    #[must_use]
+    pub fn wait_plane(&self) -> &WaitHandle {
+        &self.waits
     }
 
     /// The shared register file (read-only view used by tests and experiments).
@@ -108,6 +129,11 @@ impl BakeryLock {
     /// (paper assumptions 1.5–1.7): both of its registers are reset to zero.
     pub fn crash_reset(&self, pid: usize) {
         self.file.reset_process(pid);
+        // Both registers flipped to zero: wake L2 waiters on the choosing
+        // word, L3 waiters on the ticket word, and async lock futures.
+        self.waits.notify(choosing_site(&self.waits, &self.file, pid));
+        self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+        self.waits.notify(self.waits.release());
     }
 
     /// One pass through the doorway: draw the ticket `1 + maximum(...)`.
@@ -146,6 +172,10 @@ impl BakeryLock {
             fence(Ordering::SeqCst);
         }
         self.file.write_choosing(pid, false);
+        // `choosing[i] := 0` releases every L2 waiter watching this word.
+        // The ticket store needs no notify: a doorway write only raises a
+        // register from zero, which can never flip an L3 wait to "pass".
+        self.waits.notify(choosing_site(&self.waits, &self.file, pid));
         match event {
             Some(ev) => DoorwayOutcome::Overflowed {
                 attempted: ev.attempted,
@@ -164,8 +194,8 @@ impl BakeryLock {
     /// `O(N/8)` words instead of `2N` padded cache lines.
     pub fn await_turn(&self, pid: usize) {
         match self.file.packed() {
-            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats),
-            None => await_turn_padded(&self.file, pid, &self.stats),
+            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats, &self.waits),
+            None => await_turn_padded(&self.file, pid, &self.stats, &self.waits),
         }
     }
 
@@ -202,6 +232,10 @@ impl RawMutexAlgorithm for BakeryLock {
 
     fn release(&self, pid: usize) {
         self.file.write_number(pid, 0, &self.stats);
+        // The zero store flips the L3 predicate of every waiter ordered
+        // behind this ticket; the release pulse serves the async futures.
+        self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+        self.waits.notify(self.waits.release());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
@@ -214,6 +248,7 @@ impl RawMutexAlgorithm for BakeryLock {
             true
         } else {
             self.file.write_number(pid, 0, &self.stats);
+            self.waits.notify(ticket_site(&self.waits, &self.file, pid));
             false
         }
     }
@@ -248,8 +283,30 @@ impl RawMutexAlgorithm for BakeryLock {
         &self.stats
     }
 
+    fn wait_handle(&self) -> Option<&WaitHandle> {
+        Some(&self.waits)
+    }
+
     fn as_raw(&self) -> &dyn RawMutexAlgorithm {
         self
+    }
+}
+
+/// The `L2` wait site for `pid`'s choosing register (one packed bitmap word
+/// covers 64 pids; padded mode keys per pid).
+pub(crate) fn choosing_site(wh: &WaitHandle, file: &RegisterFile, pid: usize) -> WaitSite {
+    match file.packed() {
+        Some(_) => wh.choosing(pid / 64),
+        None => wh.choosing(pid),
+    }
+}
+
+/// The `L3` wait site for `pid`'s ticket register (packed mode keys per lane
+/// word; padded mode per pid).
+pub(crate) fn ticket_site(wh: &WaitHandle, file: &RegisterFile, pid: usize) -> WaitSite {
+    match file.packed() {
+        Some(packed) => wh.ticket(packed.lane_word(pid)),
+        None => wh.ticket(pid),
     }
 }
 
@@ -266,6 +323,7 @@ pub(crate) fn await_turn_packed(
     packed: &PackedSnapshot,
     pid: usize,
     stats: &LockStats,
+    wh: &WaitHandle,
 ) {
     if !packed.has_other_contenders(pid) {
         stats.record_fast_path_hit();
@@ -277,13 +335,17 @@ pub(crate) fn await_turn_packed(
         if j == pid {
             continue;
         }
-        let mut backoff = Backoff::new();
+        // Fresh escalation state per watched contender, reset between the L2
+        // and L3 predicates — the episode policy the wait contract pins.
+        let mut token = WaitToken::new();
+        let l2 = wh.choosing(j / 64);
         // L2: wait while process j is choosing (one bitmap word covers 64 js).
         while packed.choosing(j) {
             waits += 1;
-            backoff.snooze();
+            wh.wait(l2, &mut token, &mut || packed.choosing(j));
         }
-        backoff.reset();
+        token.reset();
+        let l3 = wh.ticket(packed.lane_word(j));
         // L3: wait while process j holds a smaller (number, pid) pair.
         loop {
             let me = Ticket::new(packed.number(pid), pid);
@@ -292,7 +354,11 @@ pub(crate) fn await_turn_packed(
                 break;
             }
             waits += 1;
-            backoff.snooze();
+            wh.wait(l3, &mut token, &mut || {
+                let me = Ticket::new(packed.number(pid), pid);
+                let other = Ticket::new(packed.number(j), j);
+                TicketOrder::must_wait_for(me, other)
+            });
         }
     }
     stats.record_doorway_waits(waits);
@@ -300,20 +366,23 @@ pub(crate) fn await_turn_packed(
 
 /// The `L2`/`L3` scan against the padded authoritative registers with SeqCst
 /// loads — the seed's exact wait loop, kept for [`ScanMode::Padded`].
-pub(crate) fn await_turn_padded(file: &RegisterFile, pid: usize, stats: &LockStats) {
+pub(crate) fn await_turn_padded(file: &RegisterFile, pid: usize, stats: &LockStats, wh: &WaitHandle) {
     let n = file.len();
     let mut waits = 0u64;
     for j in 0..n {
         if j == pid {
             continue;
         }
-        let mut backoff = Backoff::new();
+        // Fresh escalation state per watched contender (see the packed scan).
+        let mut token = WaitToken::new();
+        let l2 = wh.choosing(j);
         // L2: wait while process j is choosing.
         while file.read_choosing(j) {
             waits += 1;
-            backoff.snooze();
+            wh.wait(l2, &mut token, &mut || file.read_choosing(j));
         }
-        backoff.reset();
+        token.reset();
+        let l3 = wh.ticket(j);
         // L3: wait while process j holds a smaller (number, pid) pair.
         loop {
             let me = Ticket::new(file.read_number(pid), pid);
@@ -322,7 +391,11 @@ pub(crate) fn await_turn_padded(file: &RegisterFile, pid: usize, stats: &LockSta
                 break;
             }
             waits += 1;
-            backoff.snooze();
+            wh.wait(l3, &mut token, &mut || {
+                let me = Ticket::new(file.read_number(pid), pid);
+                let other = Ticket::new(file.read_number(j), j);
+                TicketOrder::must_wait_for(me, other)
+            });
         }
     }
     stats.record_doorway_waits(waits);

@@ -36,8 +36,7 @@
 
 use std::sync::Arc;
 
-use crate::backoff::Backoff;
-use crate::bakery::{await_turn_packed, await_turn_padded};
+use crate::bakery::{await_turn_packed, await_turn_padded, choosing_site, ticket_site};
 use crate::raw::{DoorwayOutcome, RawMutexAlgorithm};
 use crate::registers::{OverflowPolicy, RegisterFile};
 use crate::slots::SlotAllocator;
@@ -45,6 +44,7 @@ use crate::snapshot::ScanMode;
 use crate::stats::LockStats;
 use crate::sync::{fence, Ordering};
 use crate::ticket::{Ticket, TicketOrder};
+use crate::wait::{WaitHandle, WaitStrategy, WaitToken};
 
 /// Default register bound used by [`BakeryPlusPlusLock::new`]: the largest
 /// value a 16-bit register can hold.  Small enough that the overflow-avoidance
@@ -71,6 +71,7 @@ pub struct BakeryPlusPlusLock {
     slots: Arc<SlotAllocator>,
     stats: LockStats,
     bound: u64,
+    waits: WaitHandle,
 }
 
 impl BakeryPlusPlusLock {
@@ -101,6 +102,22 @@ impl BakeryPlusPlusLock {
     /// Panics if `bound == 0` (see [`BakeryPlusPlusLock::with_bound`]).
     #[must_use]
     pub fn with_bound_and_mode(n: usize, bound: u64, mode: ScanMode) -> Self {
+        Self::with_bound_mode_and_strategy(n, bound, mode, crate::wait::default_strategy())
+    }
+
+    /// Creates a Bakery++ lock with an explicit [`WaitStrategy`] for its
+    /// `L1`/`L2`/`L3` wait loops (on top of every
+    /// [`BakeryPlusPlusLock::with_bound_and_mode`] knob).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0` (see [`BakeryPlusPlusLock::with_bound`]).
+    #[must_use]
+    pub fn with_bound_mode_and_strategy(
+        n: usize,
+        bound: u64,
+        mode: ScanMode,
+        strategy: Arc<dyn WaitStrategy>,
+    ) -> Self {
         assert!(bound >= 1, "the register bound M must be at least 1");
         Self {
             // The Panic policy documents the Theorem: if Bakery++ ever asked
@@ -110,6 +127,7 @@ impl BakeryPlusPlusLock {
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
             bound,
+            waits: WaitHandle::new(strategy),
         }
     }
 
@@ -117,6 +135,12 @@ impl BakeryPlusPlusLock {
     #[must_use]
     pub fn scan_mode(&self) -> ScanMode {
         self.file.mode()
+    }
+
+    /// The wait plane this lock's blocking paths run through.
+    #[must_use]
+    pub fn wait_plane(&self) -> &WaitHandle {
+        &self.waits
     }
 
     /// The register bound `M`.
@@ -141,6 +165,13 @@ impl BakeryPlusPlusLock {
     /// (paper assumptions 1.5–1.7): both of its registers are reset to zero.
     pub fn crash_reset(&self, pid: usize) {
         self.file.reset_process(pid);
+        // Both registers flipped to zero: wake L2/L3 waiters on the affected
+        // words, L1 waiters (the crashed register may have been the one
+        // holding the situation illegitimate) and async lock futures.
+        self.waits.notify(choosing_site(&self.waits, &self.file, pid));
+        self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+        self.waits.notify(self.waits.guard());
+        self.waits.notify(self.waits.release());
     }
 
     /// True when some register currently holds a value `≥ M` — the paper's
@@ -198,6 +229,12 @@ impl BakeryPlusPlusLock {
             self.file.write_number(pid, 0, &self.stats);
             self.file.write_choosing(pid, false);
             self.stats.record_reset();
+            // The transient `number[i] := max` parked at M was itself an
+            // illegitimate-situation source; zeroing it may unblock both L1
+            // waiters and L3 waiters ordered behind the transient value.
+            self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+            self.waits.notify(choosing_site(&self.waits, &self.file, pid));
+            self.waits.notify(self.waits.guard());
             return DoorwayOutcome::Reset;
         }
 
@@ -210,6 +247,12 @@ impl BakeryPlusPlusLock {
             fence(Ordering::SeqCst);
         }
         self.file.write_choosing(pid, false);
+        // Unlike the classic doorway, the `max → max + 1` increment *can*
+        // flip a tie-breaking L3 wait to "pass" (a waiter with the same
+        // ticket and a higher pid stops losing the lexicographic comparison
+        // to the transient `max`), so the ticket site is notified too.
+        self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+        self.waits.notify(choosing_site(&self.waits, &self.file, pid));
         DoorwayOutcome::Ticket(max + 1)
     }
 
@@ -218,8 +261,8 @@ impl BakeryPlusPlusLock {
     /// [`crate::bakery::BakeryLock::await_turn`]).
     pub fn await_turn(&self, pid: usize) {
         match self.file.packed() {
-            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats),
-            None => await_turn_padded(&self.file, pid, &self.stats),
+            Some(packed) => await_turn_packed(&self.file, packed, pid, &self.stats, &self.waits),
+            None => await_turn_padded(&self.file, pid, &self.stats, &self.waits),
         }
     }
 
@@ -250,17 +293,24 @@ impl RawMutexAlgorithm for BakeryPlusPlusLock {
     }
 
     fn acquire(&self, pid: usize) {
-        let mut backoff = Backoff::new();
+        // One wait episode across the whole doorway retry loop: Blocked and
+        // Reset both re-watch the same admission predicate, so escalation
+        // carries across retries (the episode-policy exception the wait
+        // contract documents).
+        let mut token = WaitToken::new();
+        let guard = self.waits.guard();
         let mut l1_rounds = 0u64;
         loop {
             match self.try_doorway(pid) {
                 DoorwayOutcome::Ticket(_) => break,
                 DoorwayOutcome::Blocked => {
                     l1_rounds += 1;
-                    backoff.snooze();
+                    self.waits
+                        .wait(guard, &mut token, &mut || self.situation_is_illegitimate());
                 }
                 DoorwayOutcome::Reset => {
-                    backoff.snooze();
+                    self.waits
+                        .wait(guard, &mut token, &mut || self.situation_is_illegitimate());
                 }
                 DoorwayOutcome::Overflowed { .. } => {
                     unreachable!("Bakery++ never overflows (paper §6.1)")
@@ -273,6 +323,11 @@ impl RawMutexAlgorithm for BakeryPlusPlusLock {
 
     fn release(&self, pid: usize) {
         self.file.write_number(pid, 0, &self.stats);
+        // The zero store may flip L3 waits behind this ticket, re-legitimise
+        // the situation for L1 waiters, and release async lock futures.
+        self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+        self.waits.notify(self.waits.guard());
+        self.waits.notify(self.waits.release());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
@@ -287,6 +342,8 @@ impl RawMutexAlgorithm for BakeryPlusPlusLock {
             true
         } else {
             self.file.write_number(pid, 0, &self.stats);
+            self.waits.notify(ticket_site(&self.waits, &self.file, pid));
+            self.waits.notify(self.waits.guard());
             false
         }
     }
@@ -322,6 +379,10 @@ impl RawMutexAlgorithm for BakeryPlusPlusLock {
 
     fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    fn wait_handle(&self) -> Option<&WaitHandle> {
+        Some(&self.waits)
     }
 
     fn as_raw(&self) -> &dyn RawMutexAlgorithm {

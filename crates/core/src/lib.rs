@@ -52,8 +52,10 @@
 //! | [`bakery_pp`] | Bakery++ (Algorithm 2 of the paper) |
 //! | [`tree`] | tournament-of-bounded-bakeries: the K-ary [`TreeBakery`] composite |
 //! | [`session`] | dynamic membership: pid-slot leasing with RAII [`Session`]s |
+//! | [`asession`] | async session clients: cancellation-safe `attach().await` / `lock().await` |
 //! | [`adaptive`] | [`AdaptiveBakery`]: flat Bakery++ ⇄ tree round-trip migration under load |
-//! | [`backoff`] | spin/yield backoff shared by the locks |
+//! | [`wait`] | pluggable wait strategies (spin / yield / park) behind every busy-wait |
+//! | [`backoff`] | spin/yield backoff, the [`wait::Spin`] baseline discipline |
 //! | [`stats`] | lock statistics (overflows, resets, doorway waits, fast-path hits, …) |
 //!
 //! ## The packed snapshot plane
@@ -112,6 +114,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
+pub mod asession;
 pub mod backoff;
 pub mod bakery;
 pub mod bakery_pp;
@@ -125,6 +128,7 @@ pub mod stats;
 pub mod sync;
 pub mod ticket;
 pub mod tree;
+pub mod wait;
 
 pub use adaptive::AdaptiveBakery;
 pub use bakery::BakeryLock;
@@ -139,8 +143,10 @@ pub use session::{
 pub use slots::{Slot, SlotError};
 pub use snapshot::{LaneWidth, PackedSnapshot, ScanMode};
 pub use stats::LockStats;
+pub use asession::{AttachBatchFuture, AttachFuture, SessionLockFuture};
 pub use ticket::{Ticket, TicketOrder};
 pub use tree::{TreeBakery, DEFAULT_TREE_ARITY};
+pub use wait::{Park, SiteKind, Spin, WaitHandle, WaitSite, WaitStrategy, WaitToken, Yield};
 
 /// Convenience prelude importing the traits and the two headline locks.
 pub mod prelude {

@@ -194,6 +194,19 @@ pub trait RawMutexAlgorithm: Send + Sync {
     /// The lock's statistics block.
     fn stats(&self) -> &LockStats;
 
+    /// The wait plane the lock's blocking paths run through, when the lock
+    /// participates in the pluggable [`crate::wait::WaitStrategy`] machinery.
+    ///
+    /// The session plane uses this to share the lock's strategy (so its
+    /// attach waits park alongside the lock's `L2`/`L3` waits), and the async
+    /// clients use it to register wakers on the lock's release pulse.  The
+    /// conservative default — baseline locks whose release stores are not
+    /// instrumented with notifies — returns `None`; their callers fall back
+    /// to the process-wide default strategy.
+    fn wait_handle(&self) -> Option<&crate::wait::WaitHandle> {
+        None
+    }
+
     /// The lock's slot allocator.
     fn slot_allocator(&self) -> &Arc<SlotAllocator>;
 

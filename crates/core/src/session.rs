@@ -85,11 +85,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::backoff::Backoff;
 use crate::raw::RawMutexAlgorithm;
 use crate::slots::Slot;
 use crate::stats::LockStats;
 use crate::sync::{AtomicU64, Ordering};
+use crate::wait::{WaitHandle, WaitToken};
 
 /// Seat-word bit: a session currently owns this pid.
 const LEASED: u64 = 0b0001;
@@ -172,7 +172,17 @@ pub struct SessionPlane {
     /// Exclusive claim on every pid of the underlying lock: holding the
     /// `Slot`s makes the plane the only way to drive the lock.
     _slots: Vec<Slot>,
+    /// The plane's wait plane: attach waiters park on its attach site and
+    /// are woken by every detach/recycle.  Shares the underlying lock's
+    /// [`crate::wait::WaitStrategy`] when the lock exposes one.
+    waits: WaitHandle,
 }
+
+/// How many parked attach waiters one detach/recycle wakes.  One freed seat
+/// can admit only one client, but waking a few tolerates woken clients that
+/// lose the race (or cancelled async waiters whose stale registrations soak
+/// up wakes) without thundering the whole herd on every detach.
+const ATTACH_WAKE_BATCH: usize = 4;
 
 /// What one [`SessionPlane::reap`] sweep did, seat by seat.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -244,6 +254,13 @@ impl SessionPlane {
                     .expect("the session plane must own every slot of its lock")
             })
             .collect();
+        // Share the lock's wait strategy (so attach waiters park under the
+        // same discipline as its L2/L3 waiters) in a namespace of our own;
+        // locks outside the wait machinery get the process-wide default.
+        let waits = match lock.wait_handle() {
+            Some(handle) => WaitHandle::new(Arc::clone(handle.strategy())),
+            None => WaitHandle::default_handle(),
+        };
         Arc::new(Self {
             lock,
             seats: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
@@ -251,7 +268,24 @@ impl SessionPlane {
             clock: AtomicU64::new(0),
             lease_ticks,
             _slots: slots,
+            waits,
         })
+    }
+
+    /// The plane's wait plane (attach waiters and seat-state waits).
+    #[must_use]
+    pub fn wait_plane(&self) -> &WaitHandle {
+        &self.waits
+    }
+
+    /// True when at least one seat is currently free — the attach-wait
+    /// predicate (a false may be stale the instant it is read; only the
+    /// attach CAS decides).
+    #[must_use]
+    pub fn has_free_seat(&self) -> bool {
+        self.seats
+            .iter()
+            .any(|seat| seat.load(Ordering::SeqCst) & LEASED == 0)
     }
 
     /// Number of pid slots (the maximum number of concurrently live
@@ -349,19 +383,69 @@ impl SessionPlane {
         })
     }
 
-    /// Leases a pid, backing off until one frees up.
+    /// Leases a pid, waiting (through the plane's [`crate::wait::WaitStrategy`])
+    /// until one frees up.
     ///
     /// This is the client-facing entry point of the E11 "lock service"
     /// regime: far more clients than seats, each waiting its turn to attach.
+    /// Under a parking strategy a fully-leased plane costs the waiter a
+    /// bounded number of rounds — every detach and seat recycle wakes parked
+    /// attach waiters — instead of the unbounded 100%-CPU spin this method
+    /// performed before the wait plane existed.
     #[must_use]
     pub fn attach(self: &Arc<Self>) -> Session {
-        let mut backoff = Backoff::new();
+        let site = self.waits.attach();
+        let mut token = WaitToken::new();
         loop {
             match self.try_attach() {
                 Ok(session) => return session,
-                Err(SessionError::Exhausted { .. }) => backoff.snooze(),
+                Err(SessionError::Exhausted { .. }) => {
+                    self.waits
+                        .wait(site, &mut token, &mut || !self.has_free_seat());
+                }
             }
         }
+    }
+
+    /// Leases up to `max` pids in one seat sweep — the connection-storm
+    /// batch path.  One pass over the seat words claims every free seat it
+    /// can CAS (at most `max`); an empty vec means the plane was fully
+    /// leased at every probed instant.  Never blocks.
+    #[must_use]
+    pub fn try_attach_batch(self: &Arc<Self>, max: usize) -> Vec<Session> {
+        let mut sessions = Vec::new();
+        if max == 0 {
+            return sessions;
+        }
+        for pid in 0..self.capacity() {
+            let seat = &self.seats[pid];
+            let word = seat.load(Ordering::SeqCst);
+            if word & LEASED != 0 {
+                continue;
+            }
+            let gen = seat_gen(word);
+            self.renew_deadline(pid);
+            if seat
+                .compare_exchange(
+                    seat_word(gen, 0),
+                    seat_word(gen, LEASED),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                self.lock.stats().record_attach();
+                sessions.push(Session {
+                    plane: Arc::clone(self),
+                    pid,
+                    gen,
+                });
+                if sessions.len() == max {
+                    break;
+                }
+            }
+        }
+        sessions
     }
 
     /// Evicts the session on `pid`, if any.
@@ -378,7 +462,8 @@ impl SessionPlane {
     /// Returns `true` when the lease was ended (detached *or* quarantined).
     pub fn force_detach(&self, pid: usize) -> bool {
         let seat = &self.seats[pid];
-        let mut backoff = Backoff::new();
+        let site = self.waits.guard();
+        let mut token = WaitToken::new();
         loop {
             let word = seat.load(Ordering::SeqCst);
             if word & LEASED == 0 {
@@ -399,8 +484,12 @@ impl SessionPlane {
                 continue; // raced with the holder's exit; re-read
             }
             if word & BUSY != 0 {
-                // Mid-doorway: wait for the acquisition to land or retreat.
-                backoff.snooze();
+                // Mid-doorway: wait for the acquisition to land or retreat
+                // (enter_cs and clear_busy both notify the guard site).
+                self.waits.wait(site, &mut token, &mut || {
+                    let w = seat.load(Ordering::SeqCst);
+                    w & BUSY != 0 && w & IN_CS == 0
+                });
                 continue;
             }
             if self.detach_seat(pid, seat_gen(word)) {
@@ -483,6 +572,7 @@ impl SessionPlane {
                 {
                     self.lock.stats().record_detach();
                     self.lock.stats().record_seat_recovery();
+                    self.waits.notify_some(self.waits.attach(), ATTACH_WAKE_BATCH);
                     report.crash_aborted += 1;
                 }
                 continue;
@@ -557,6 +647,8 @@ impl SessionPlane {
             .is_ok();
         if freed {
             self.lock.stats().record_detach();
+            // A seat just freed: wake a bounded batch of attach waiters.
+            self.waits.notify_some(self.waits.attach(), ATTACH_WAKE_BATCH);
         }
         freed
     }
@@ -649,6 +741,8 @@ impl Session {
                     self.pid, self.gen
                 )
             });
+        // The seat left the BUSY-without-IN_CS window force_detach waits on.
+        self.plane.waits.notify(self.plane.waits.guard());
     }
 
     /// CAS the `BUSY` bit away after a completed (or abandoned) lock
@@ -661,6 +755,8 @@ impl Session {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+        // Win or lose, the BUSY window is over: wake force_detach waiters.
+        self.plane.waits.notify(self.plane.waits.guard());
     }
 
     /// Enters the critical section, blocking until granted.
@@ -803,6 +899,9 @@ impl Drop for RecoveredSeat<'_> {
         );
         self.plane.lock.stats().record_detach();
         self.plane.lock.stats().record_seat_recovery();
+        self.plane
+            .waits
+            .notify_some(self.plane.waits.attach(), ATTACH_WAKE_BATCH);
     }
 }
 
@@ -1111,6 +1210,43 @@ mod tests {
         drop(recovered);
         other.renew_lease();
         assert!(other.try_lock().is_some());
+    }
+
+    /// Regression for the 100%-CPU attach spin (PR 7 satellite): a blocking
+    /// `attach` against a fully leased plane must park instead of burning
+    /// rounds until a seat frees.  With the `Park` strategy, ~50ms of
+    /// oversubscription must produce at least one real park and a *bounded*
+    /// number of wait rounds — pure spinning would run millions.
+    #[test]
+    fn blocked_attach_parks_instead_of_spinning() {
+        use crate::wait::Park;
+        let park = Arc::new(Park::new());
+        let lock = BakeryPlusPlusLock::with_bound_mode_and_strategy(
+            1,
+            255,
+            crate::snapshot::ScanMode::Packed,
+            park.clone(),
+        );
+        let plane = SessionPlane::new(Arc::new(lock));
+        let holder = plane.attach();
+        let waiter = {
+            let plane = Arc::clone(&plane);
+            std::thread::spawn(move || plane.attach())
+        };
+        // Give the waiter time to exhaust its spin phase and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(holder); // detach notifies the attach site
+        let session = waiter.join().unwrap();
+        assert_eq!(session.pid(), 0);
+        assert!(park.parks() >= 1, "the blocked attach never parked");
+        // Each wait round is a park (~1ms timeout) once the spin phase ends,
+        // so 50ms of waiting is a few dozen rounds — not the ~10^6 of a
+        // busy-spin.  A loose ceiling keeps the check robust on slow CI.
+        assert!(
+            park.wait_calls() < 10_000,
+            "attach burned {} wait rounds — it is spinning, not parking",
+            park.wait_calls()
+        );
     }
 
     proptest! {

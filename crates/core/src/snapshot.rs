@@ -199,6 +199,15 @@ impl PackedSnapshot {
         self.choosing.len() + self.lanes.len()
     }
 
+    /// The lane-plane word index holding `pid`'s ticket — the granularity at
+    /// which the wait plane keys its `L3` park sites (every store to the word
+    /// wakes the waiters keyed on it; same-word neighbours surface as
+    /// spurious wakeups, which the wait contract permits).
+    #[must_use]
+    pub fn lane_word(&self, pid: usize) -> usize {
+        self.lane_pos(pid).0
+    }
+
     /// (word index, bit shift, lane mask) of `pid`'s ticket lane.
     fn lane_pos(&self, pid: usize) -> (usize, u32, u64) {
         let lpw = self.width.lanes_per_word();

@@ -56,6 +56,7 @@ use crate::slots::SlotAllocator;
 use crate::snapshot::ScanMode;
 use crate::stats::{LockStats, StatsSnapshot};
 use crate::sync::{AtomicU64, Ordering};
+use crate::wait::{WaitHandle, WaitStrategy};
 
 /// Default tree arity: eight children per node keeps every node's packed
 /// ticket array within one cache line while already giving depth 4 at
@@ -94,6 +95,9 @@ pub struct TreeBakery {
     engaged: Box<[AtomicU64]>,
     slots: Arc<SlotAllocator>,
     stats: LockStats,
+    /// Facade-level wait handle: shares the nodes' strategy, used by the
+    /// session plane and async clients (the nodes own the actual wait loops).
+    waits: WaitHandle,
 }
 
 impl TreeBakery {
@@ -120,6 +124,22 @@ impl TreeBakery {
     /// Panics if `n == 0` or `arity < 2`.
     #[must_use]
     pub fn with_config(n: usize, arity: usize, mode: ScanMode) -> Self {
+        Self::with_config_and_strategy(n, arity, mode, crate::wait::default_strategy())
+    }
+
+    /// Creates a tree lock whose nodes all share one [`WaitStrategy`]
+    /// instance (each node keeps its own wait-site namespace, so waiters on
+    /// different nodes never alias).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `arity < 2`.
+    #[must_use]
+    pub fn with_config_and_strategy(
+        n: usize,
+        arity: usize,
+        mode: ScanMode,
+        strategy: Arc<dyn WaitStrategy>,
+    ) -> Self {
         assert!(n > 0, "a lock needs at least one process slot");
         assert!(arity >= 2, "a tree node needs at least two children");
         let bound = arity as u64 + 1;
@@ -130,7 +150,14 @@ impl TreeBakery {
             let nodes = n.div_ceil(group).max(1);
             levels.push(
                 (0..nodes)
-                    .map(|_| BakeryPlusPlusLock::with_bound_and_mode(arity, bound, mode))
+                    .map(|_| {
+                        BakeryPlusPlusLock::with_bound_mode_and_strategy(
+                            arity,
+                            bound,
+                            mode,
+                            Arc::clone(&strategy),
+                        )
+                    })
                     .collect::<Vec<_>>()
                     .into_boxed_slice(),
             );
@@ -145,6 +172,7 @@ impl TreeBakery {
             engaged: (0..n).map(|_| AtomicU64::new(0)).collect(),
             slots: SlotAllocator::new(n),
             stats: LockStats::new(),
+            waits: WaitHandle::new(strategy),
         }
     }
 
@@ -313,6 +341,9 @@ impl RawMutexAlgorithm for TreeBakery {
             self.engaged[pid].store(level as u64, Ordering::SeqCst);
             self.levels[level][node].release(slot);
         }
+        // Facade-level release pulse for async lock futures (the per-node
+        // L2/L3 wakes happened inside each node's release above).
+        self.waits.notify(self.waits.release());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
@@ -363,6 +394,10 @@ impl RawMutexAlgorithm for TreeBakery {
 
     fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    fn wait_handle(&self) -> Option<&WaitHandle> {
+        Some(&self.waits)
     }
 
     fn as_raw(&self) -> &dyn RawMutexAlgorithm {

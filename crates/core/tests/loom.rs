@@ -360,6 +360,94 @@ fn loom_session_reap_vs_release_exactly_once() {
     });
 }
 
+/// The park/wake handshake of the [`bakery_core::wait::Park`] strategy (PR 7):
+/// a waiter's enlist → fence → revalidate → park sequence races the notifier's
+/// state store → fence → registered-read → unpark sequence.  The strategy is
+/// built with **no park timeout**, so a lost wakeup does not degrade into a
+/// 1ms stall — it hangs the test.  Whatever the interleaving, either the
+/// waiter revalidates and sees the flipped flag (never parks) or its parked
+/// handle is found and unparked by the notifier.
+#[test]
+fn loom_park_wake_handshake_no_lost_wakeup() {
+    use bakery_core::wait::{Park, WaitHandle, WaitToken};
+    loom::model(|| {
+        let handle = Arc::new(WaitHandle::new(Arc::new(Park::with_timeout(None))));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let handle = Arc::clone(&handle);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                let mut token = WaitToken::new();
+                while flag.load(Ordering::SeqCst) == 0 {
+                    handle.wait(handle.guard(), &mut token, &mut || {
+                        flag.load(Ordering::SeqCst) == 0
+                    });
+                }
+            })
+        };
+        let notifier = {
+            let handle = Arc::clone(&handle);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                flag.store(1, Ordering::SeqCst);
+                handle.notify(handle.guard());
+            })
+        };
+        waiter.join().unwrap();
+        notifier.join().unwrap();
+    });
+}
+
+/// Same handshake with two waiters parked on one site: a single `notify`
+/// must drain every matching entry — a waiter left behind hangs the test
+/// (no timeout safety net).
+#[test]
+fn loom_park_notify_drains_every_waiter() {
+    use bakery_core::wait::{Park, WaitHandle, WaitToken};
+    loom::model(|| {
+        let handle = Arc::new(WaitHandle::new(Arc::new(Park::with_timeout(None))));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let mut waiters = Vec::new();
+        for _ in 0..2 {
+            let handle = Arc::clone(&handle);
+            let flag = Arc::clone(&flag);
+            waiters.push(thread::spawn(move || {
+                let mut token = WaitToken::new();
+                while flag.load(Ordering::SeqCst) == 0 {
+                    handle.wait(handle.guard(), &mut token, &mut || {
+                        flag.load(Ordering::SeqCst) == 0
+                    });
+                }
+            }));
+        }
+        flag.store(1, Ordering::SeqCst);
+        handle.notify(handle.guard());
+        for waiter in waiters {
+            waiter.join().unwrap();
+        }
+    });
+}
+
+/// End-to-end wakeup-chain completeness for the headline lock: a two-thread
+/// mutex through [`BakeryLock`] built on a timeout-free [`Park`] strategy.
+/// Every blocking site in the L2/L3 scan must have a matching notify on the
+/// path that falsifies its predicate (doorway exit or release) — a missing
+/// pulse is a hang, not a stall.
+#[test]
+fn loom_bakery_park_strategy_two_threads_timeout_free() {
+    use bakery_core::wait::Park;
+    use bakery_core::{registers::OverflowPolicy, ScanMode};
+    check_two_thread_mutex(|| {
+        BakeryLock::with_config_and_strategy(
+            2,
+            u64::MAX,
+            OverflowPolicy::Wrap,
+            ScanMode::Packed,
+            Arc::new(Park::with_timeout(None)),
+        )
+    });
+}
+
 /// Generation-tag ABA guard under interleaving: thread A holds a session
 /// while thread B force-detaches it and immediately re-leases the seat.  A's
 /// subsequent detach (the stale drop) must not free B's fresh lease, in any

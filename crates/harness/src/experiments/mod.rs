@@ -6,6 +6,7 @@
 pub mod e10_tree_scale;
 pub mod e11_lock_service;
 pub mod e12_kill_recover;
+pub mod e13_async_echo;
 pub mod e1_overflow;
 pub mod e2_model_check;
 pub mod e3_safety;
@@ -34,6 +35,7 @@ pub enum ExperimentId {
     E10,
     E11,
     E12,
+    E13,
 }
 
 impl ExperimentId {
@@ -41,7 +43,7 @@ impl ExperimentId {
     #[must_use]
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
-        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12]
+        &[E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13]
     }
 
     /// Parses an experiment id such as `"e4"` / `"E4"` / `"4"`.
@@ -61,6 +63,7 @@ impl ExperimentId {
             "10" => Some(E10),
             "11" => Some(E11),
             "12" => Some(E12),
+            "13" => Some(E13),
             _ => None,
         }
     }
@@ -81,6 +84,7 @@ impl ExperimentId {
             ExperimentId::E10 => "E10 beyond the paper: flat Bakery++ vs the tree composite at large N",
             ExperimentId::E11 => "E11 beyond the paper: session churn through the lock service plane",
             ExperimentId::E12 => "E12 beyond the paper: kill-and-recover — crash injection over the live lock stack",
+            ExperimentId::E13 => "E13 beyond the paper: async echo service — wait-strategy sweep over the session plane",
         }
     }
 
@@ -100,6 +104,7 @@ impl ExperimentId {
             ExperimentId::E10 => e10_tree_scale::run(quick),
             ExperimentId::E11 => e11_lock_service::run(quick),
             ExperimentId::E12 => e12_kill_recover::run(quick),
+            ExperimentId::E13 => e13_async_echo::run(quick),
         }
     }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod executor;
 pub mod experiments;
 pub mod histogram;
 pub mod report;

@@ -889,6 +889,136 @@ fn failed_try_acquire_leaves_no_residue_across_the_registry() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// 6. Wait-strategy conformance (PR 7): how a process *waits* must never
+//    change what the algorithm *does*.  The same seeded schedule under
+//    `Spin`, `Yield` and `Park` must produce bit-identical doorway traces,
+//    and the Park strategy must honour the episode policy — a fresh wait
+//    episode starts in its spin phase, so uncontended paths never park.
+// ---------------------------------------------------------------------------
+
+/// One seeded sequential doorway schedule, recorded as a comparable trace.
+fn doorway_trace(lock: &BakeryPlusPlusLock, n: usize, seed: u64) -> Vec<(String, u64)> {
+    let mut rng = Lcg::new(seed);
+    let mut holders: Vec<(u64, usize)> = Vec::new();
+    let mut trace = Vec::new();
+    for _ in 0..200 {
+        let idle: Vec<usize> =
+            (0..n).filter(|p| !holders.iter().any(|&(_, h)| h == *p)).collect();
+        let serve = holders.len() == n || (idle.is_empty() || rng.next().is_multiple_of(3));
+        if serve && !holders.is_empty() {
+            holders.sort_unstable();
+            let (_, pid) = holders.remove(0);
+            lock.await_turn(pid);
+            lock.release(pid);
+            trace.push(("serve".into(), pid as u64));
+        } else {
+            let pid = idle[(rng.next() as usize) % idle.len()];
+            match lock.try_doorway(pid) {
+                DoorwayOutcome::Ticket(t) => {
+                    holders.push((t, pid));
+                    trace.push(("ticket".into(), t));
+                }
+                DoorwayOutcome::Blocked => trace.push(("blocked".into(), 0)),
+                DoorwayOutcome::Reset => trace.push(("reset".into(), 0)),
+                DoorwayOutcome::Overflowed { attempted, .. } => {
+                    trace.push(("overflow".into(), attempted));
+                }
+            }
+        }
+    }
+    holders.sort_unstable();
+    for (_, pid) in holders {
+        lock.await_turn(pid);
+        lock.release(pid);
+    }
+    trace
+}
+
+#[test]
+fn wait_strategies_are_behaviour_invariant() {
+    use bakery_suite::locks::wait::strategy_by_name;
+    for mode in scan_modes() {
+        for seed in 0..6u64 {
+            let traces: Vec<Vec<(String, u64)>> = ["spin", "yield", "park"]
+                .iter()
+                .map(|name| {
+                    let strategy =
+                        strategy_by_name(name).expect("built-in strategy name");
+                    let lock =
+                        BakeryPlusPlusLock::with_bound_mode_and_strategy(3, 4, mode, strategy);
+                    let trace = doorway_trace(&lock, 3, seed);
+                    assert_eq!(lock.stats().overflow_attempts(), 0, "{name} ({mode:?})");
+                    assert!(lock.stats().max_ticket() <= 4, "{name} ({mode:?})");
+                    trace
+                })
+                .collect();
+            assert_eq!(
+                traces[0], traces[1],
+                "seed {seed} ({mode:?}): spin and yield traces diverged"
+            );
+            assert_eq!(
+                traces[0], traces[2],
+                "seed {seed} ({mode:?}): spin and park traces diverged"
+            );
+        }
+    }
+    // Under real contention the strategies must also agree on the observable
+    // profile: same entry totals, same overflow freedom, mutual exclusion.
+    for name in ["spin", "yield", "park"] {
+        let strategy = bakery_suite::locks::wait::strategy_by_name(name).unwrap();
+        let lock = Arc::new(BakeryPlusPlusLock::with_bound_mode_and_strategy(
+            4,
+            8,
+            ScanMode::Packed,
+            strategy,
+        ));
+        let total = stress(Arc::clone(&lock), 4, 250);
+        assert_eq!(total, 1_000, "{name}");
+        assert_eq!(lock.stats().overflow_attempts(), 0, "{name}");
+    }
+}
+
+#[test]
+fn park_episode_policy_uncontended_paths_never_park() {
+    use bakery_suite::locks::wait::Park;
+    // The episode policy's observable half: every wait episode starts with a
+    // fresh token in its spin phase, so a sequential workload — where no
+    // predicate ever holds long enough to escalate — must record zero parks
+    // and zero wait rounds, under every lock in the headline family.
+    let park = Arc::new(Park::new());
+    let pp = BakeryPlusPlusLock::with_bound_mode_and_strategy(
+        2,
+        8,
+        ScanMode::Packed,
+        park.clone(),
+    );
+    for _ in 0..50 {
+        pp.acquire(0);
+        pp.release(0);
+        pp.acquire(1);
+        pp.release(1);
+    }
+    assert_eq!(park.parks(), 0, "uncontended bakery++ must not park");
+    assert_eq!(park.wait_calls(), 0, "uncontended bakery++ must not wait at all");
+
+    let park = Arc::new(Park::new());
+    let adaptive = AdaptiveBakery::with_hysteresis_and_strategy(
+        2,
+        ScanMode::Packed,
+        usize::MAX,
+        u64::MAX,
+        1,
+        1_000_000,
+        park.clone(),
+    );
+    for _ in 0..50 {
+        adaptive.acquire(0);
+        adaptive.release(0);
+    }
+    assert_eq!(park.parks(), 0, "uncontended adaptive must not park");
+}
+
 #[test]
 fn failed_try_acquire_resets_registers_and_matches_a_fresh_spec_doorway() {
     let n = 2;

@@ -61,7 +61,7 @@ fn e1_experiment_tables_capture_the_headline_contrast() {
 
 #[test]
 fn experiment_registry_is_complete_and_parsable() {
-    assert_eq!(ExperimentId::all().len(), 12);
+    assert_eq!(ExperimentId::all().len(), 13);
     for id in ExperimentId::all() {
         let round_trip = ExperimentId::parse(&id.to_string()).unwrap();
         assert_eq!(round_trip, *id);
