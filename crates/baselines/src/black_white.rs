@@ -75,17 +75,17 @@ impl BlackWhiteBakeryLock {
     /// The current shared colour (false = black, true = white).
     #[must_use]
     pub fn shared_color(&self) -> bool {
-        self.color.load(Ordering::SeqCst)
+        self.color.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     /// The ticket number currently held by `pid` (0 when idle).
     #[must_use]
     pub fn number_of(&self, pid: usize) -> u64 {
-        self.number[pid].load(Ordering::SeqCst)
+        self.number[pid].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn color_of(&self, j: usize) -> bool {
-        self.mycolor[j].load(Ordering::SeqCst)
+        self.mycolor[j].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -101,17 +101,17 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
 
         // Doorway: take the shared colour, then a ticket one larger than the
         // maximum among same-coloured processes.
-        self.choosing[pid].store(true, Ordering::SeqCst);
-        let my_color = self.color.load(Ordering::SeqCst);
-        self.mycolor[pid].store(my_color, Ordering::SeqCst);
+        self.choosing[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
+        let my_color = self.color.load(Ordering::SeqCst); // mem: baseline-seqcst
+        self.mycolor[pid].store(my_color, Ordering::SeqCst); // mem: baseline-seqcst
         let same_color_numbers: Vec<u64> = (0..n)
             .filter(|&j| self.color_of(j) == my_color)
-            .map(|j| self.number[j].load(Ordering::SeqCst))
+            .map(|j| self.number[j].load(Ordering::SeqCst)) // mem: baseline-seqcst
             .collect();
         let ticket = TicketOrder::maximum(&same_color_numbers) + 1;
-        self.number[pid].store(ticket, Ordering::SeqCst);
+        self.number[pid].store(ticket, Ordering::SeqCst); // mem: baseline-seqcst
         self.stats.record_ticket(ticket);
-        self.choosing[pid].store(false, Ordering::SeqCst);
+        self.choosing[pid].store(false, Ordering::SeqCst); // mem: baseline-seqcst
 
         // Scan.
         for j in 0..n {
@@ -121,22 +121,22 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
             // Fresh token per watched contender; a second fresh one for the
             // ticket stage (the L2/L3 split of the episode policy).
             let mut token = WaitToken::new();
-            while self.choosing[j].load(Ordering::SeqCst) {
+            while self.choosing[j].load(Ordering::SeqCst) { // mem: baseline-seqcst
                 waits += 1;
                 self.waits.wait(self.waits.choosing(j), &mut token, &mut || {
-                    self.choosing[j].load(Ordering::SeqCst)
+                    self.choosing[j].load(Ordering::SeqCst) // mem: baseline-seqcst
                 });
             }
             let mut token = WaitToken::new();
             loop {
-                let nj = self.number[j].load(Ordering::SeqCst);
+                let nj = self.number[j].load(Ordering::SeqCst); // mem: baseline-seqcst
                 if nj == 0 {
                     break;
                 }
                 let cj = self.color_of(j);
                 if cj == my_color {
                     // Same colour: ordinary Bakery priority check.
-                    let me = Ticket::new(self.number[pid].load(Ordering::SeqCst), pid);
+                    let me = Ticket::new(self.number[pid].load(Ordering::SeqCst), pid); // mem: baseline-seqcst
                     let other = Ticket::new(nj, j);
                     if !TicketOrder::must_wait_for(me, other) || cj != self.color_of(j) {
                         break;
@@ -144,13 +144,13 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
                 } else {
                     // Different colour: j goes first only while the shared
                     // colour still equals my colour.
-                    if self.color.load(Ordering::SeqCst) != my_color || cj == self.color_of(pid) {
+                    if self.color.load(Ordering::SeqCst) != my_color || cj == self.color_of(pid) { // mem: baseline-seqcst
                         break;
                     }
                 }
                 waits += 1;
                 self.waits.wait(self.waits.ticket(j), &mut token, &mut || {
-                    self.number[j].load(Ordering::SeqCst) != 0
+                    self.number[j].load(Ordering::SeqCst) != 0 // mem: baseline-seqcst
                 });
             }
         }
@@ -159,9 +159,9 @@ impl RawMutexAlgorithm for BlackWhiteBakeryLock {
 
     fn release(&self, pid: usize) {
         // Flip the shared colour away from our own, then retire the ticket.
-        let my_color = self.mycolor[pid].load(Ordering::SeqCst);
-        self.color.store(!my_color, Ordering::SeqCst);
-        self.number[pid].store(0, Ordering::SeqCst);
+        let my_color = self.mycolor[pid].load(Ordering::SeqCst); // mem: baseline-seqcst
+        self.color.store(!my_color, Ordering::SeqCst); // mem: baseline-seqcst
+        self.number[pid].store(0, Ordering::SeqCst); // mem: baseline-seqcst
         // Wake scans parked on our ticket word (the colour flip also unblocks
         // different-colour waiters watching other tickets; their 1ms park
         // timeout bounds that window under the Park strategy).

@@ -63,7 +63,7 @@ impl DijkstraLock {
     /// The process id currently stored in the shared priority variable `k`.
     #[must_use]
     pub fn priority_holder(&self) -> usize {
-        self.k.load(Ordering::SeqCst)
+        self.k.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -81,30 +81,30 @@ impl RawMutexAlgorithm for DijkstraLock {
         let mut token = WaitToken::new();
         let mut waits = 0u64;
 
-        self.b[pid].store(false, Ordering::SeqCst);
+        self.b[pid].store(false, Ordering::SeqCst); // mem: baseline-seqcst
         loop {
-            if self.k.load(Ordering::SeqCst) != pid {
+            if self.k.load(Ordering::SeqCst) != pid { // mem: baseline-seqcst
                 // First phase: try to claim priority once its current holder
                 // is no longer interested.
-                self.c[pid].store(true, Ordering::SeqCst);
-                let holder = self.k.load(Ordering::SeqCst);
-                if self.b[holder].load(Ordering::SeqCst) {
-                    self.k.store(pid, Ordering::SeqCst);
+                self.c[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
+                let holder = self.k.load(Ordering::SeqCst); // mem: baseline-seqcst
+                if self.b[holder].load(Ordering::SeqCst) { // mem: baseline-seqcst
+                    self.k.store(pid, Ordering::SeqCst); // mem: baseline-seqcst
                 }
                 waits += 1;
                 self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                    self.k.load(Ordering::SeqCst) != pid
+                    self.k.load(Ordering::SeqCst) != pid // mem: baseline-seqcst
                 });
             } else {
                 // Second phase: announce and verify we are alone in it.
-                self.c[pid].store(false, Ordering::SeqCst);
-                let alone = (0..n).all(|j| j == pid || self.c[j].load(Ordering::SeqCst));
+                self.c[pid].store(false, Ordering::SeqCst); // mem: baseline-seqcst
+                let alone = (0..n).all(|j| j == pid || self.c[j].load(Ordering::SeqCst)); // mem: baseline-seqcst
                 if alone {
                     break;
                 }
                 waits += 1;
                 self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                    !(0..n).all(|j| j == pid || self.c[j].load(Ordering::SeqCst))
+                    !(0..n).all(|j| j == pid || self.c[j].load(Ordering::SeqCst)) // mem: baseline-seqcst
                 });
             }
         }
@@ -112,8 +112,8 @@ impl RawMutexAlgorithm for DijkstraLock {
     }
 
     fn release(&self, pid: usize) {
-        self.c[pid].store(true, Ordering::SeqCst);
-        self.b[pid].store(true, Ordering::SeqCst);
+        self.c[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
+        self.b[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 

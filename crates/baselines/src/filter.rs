@@ -63,13 +63,13 @@ impl FilterLock {
     /// The level process `pid` currently occupies (0 when idle).
     #[must_use]
     pub fn level_of(&self, pid: usize) -> usize {
-        self.level[pid].load(Ordering::SeqCst)
+        self.level[pid].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn exists_conflict(&self, pid: usize, l: usize) -> bool {
         let n = self.level.len();
-        (0..n).any(|k| k != pid && self.level[k].load(Ordering::SeqCst) >= l)
-            && self.victim[l].load(Ordering::SeqCst) == pid
+        (0..n).any(|k| k != pid && self.level[k].load(Ordering::SeqCst) >= l) // mem: baseline-seqcst
+            && self.victim[l].load(Ordering::SeqCst) == pid // mem: baseline-seqcst
     }
 }
 
@@ -83,8 +83,8 @@ impl RawMutexAlgorithm for FilterLock {
         assert!(pid < n, "pid {pid} out of range");
         let mut waits = 0u64;
         for l in 1..n {
-            self.level[pid].store(l, Ordering::SeqCst);
-            self.victim[l].store(pid, Ordering::SeqCst);
+            self.level[pid].store(l, Ordering::SeqCst); // mem: baseline-seqcst
+            self.victim[l].store(pid, Ordering::SeqCst); // mem: baseline-seqcst
             // Fresh token per level: each level is its own wait episode.
             let mut token = WaitToken::new();
             while self.exists_conflict(pid, l) {
@@ -100,7 +100,7 @@ impl RawMutexAlgorithm for FilterLock {
     }
 
     fn release(&self, pid: usize) {
-        self.level[pid].store(0, Ordering::SeqCst);
+        self.level[pid].store(0, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 

@@ -85,7 +85,7 @@ pub(crate) use lock_accessors;
 /// unit tests use.
 #[doc(hidden)]
 pub mod testutil {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use bakery_core::sync::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     use bakery_core::RawMutexAlgorithm;
@@ -111,14 +111,14 @@ pub mod testutil {
                     let slot = lock.register().expect("a free slot");
                     for _ in 0..iterations {
                         let _guard = lock.lock(&slot);
-                        let inside = in_cs.fetch_add(1, Ordering::SeqCst);
+                        let inside = in_cs.fetch_add(1, Ordering::SeqCst); // mem: baseline-seqcst
                         assert_eq!(inside, 0, "mutual exclusion violated");
-                        counter.fetch_add(1, Ordering::SeqCst);
-                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        counter.fetch_add(1, Ordering::SeqCst); // mem: baseline-seqcst
+                        in_cs.fetch_sub(1, Ordering::SeqCst); // mem: baseline-seqcst
                     }
                 });
             }
         });
-        counter.load(Ordering::SeqCst)
+        counter.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }

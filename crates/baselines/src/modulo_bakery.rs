@@ -131,7 +131,7 @@ impl ModuloBakeryLock {
     /// The ticket number currently held by `pid` (0 when idle).
     #[must_use]
     pub fn number_of(&self, pid: usize) -> u64 {
-        self.number[pid].load(Ordering::SeqCst)
+        self.number[pid].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn must_wait_for(&self, me_num: u64, me_pid: usize, other_num: u64, other_pid: usize) -> bool {
@@ -156,15 +156,15 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
         let mut waits = 0u64;
 
         // Doorway with the redefined maximum and successor.
-        self.choosing[pid].store(true, Ordering::SeqCst);
+        self.choosing[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
         let snapshot: Vec<u64> = (0..n)
-            .map(|j| self.number[j].load(Ordering::SeqCst))
+            .map(|j| self.number[j].load(Ordering::SeqCst)) // mem: baseline-seqcst
             .collect();
         let max = mod_maximum(&snapshot, self.ring);
         let ticket = mod_successor(max, self.ring);
-        self.number[pid].store(ticket, Ordering::SeqCst);
+        self.number[pid].store(ticket, Ordering::SeqCst); // mem: baseline-seqcst
         self.stats.record_ticket(ticket);
-        self.choosing[pid].store(false, Ordering::SeqCst);
+        self.choosing[pid].store(false, Ordering::SeqCst); // mem: baseline-seqcst
 
         // Scan with the redefined comparison.
         for j in 0..n {
@@ -174,22 +174,22 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
             // Fresh token per watched contender; a second fresh one for the
             // ticket stage (the L2/L3 split of the episode policy).
             let mut token = WaitToken::new();
-            while self.choosing[j].load(Ordering::SeqCst) {
+            while self.choosing[j].load(Ordering::SeqCst) { // mem: baseline-seqcst
                 waits += 1;
                 self.waits.wait(self.waits.choosing(j), &mut token, &mut || {
-                    self.choosing[j].load(Ordering::SeqCst)
+                    self.choosing[j].load(Ordering::SeqCst) // mem: baseline-seqcst
                 });
             }
             let mut token = WaitToken::new();
             loop {
-                let me_num = self.number[pid].load(Ordering::SeqCst);
-                let other_num = self.number[j].load(Ordering::SeqCst);
+                let me_num = self.number[pid].load(Ordering::SeqCst); // mem: baseline-seqcst
+                let other_num = self.number[j].load(Ordering::SeqCst); // mem: baseline-seqcst
                 if !self.must_wait_for(me_num, pid, other_num, j) {
                     break;
                 }
                 waits += 1;
                 self.waits.wait(self.waits.ticket(j), &mut token, &mut || {
-                    let other_num = self.number[j].load(Ordering::SeqCst);
+                    let other_num = self.number[j].load(Ordering::SeqCst); // mem: baseline-seqcst
                     self.must_wait_for(me_num, pid, other_num, j)
                 });
             }
@@ -198,7 +198,7 @@ impl RawMutexAlgorithm for ModuloBakeryLock {
     }
 
     fn release(&self, pid: usize) {
-        self.number[pid].store(0, Ordering::SeqCst);
+        self.number[pid].store(0, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.ticket(pid));
     }
 

@@ -55,7 +55,7 @@ impl PetersonLock {
     /// True when process `pid` currently signals interest.
     #[must_use]
     pub fn is_interested(&self, pid: usize) -> bool {
-        self.flag[pid].load(Ordering::SeqCst)
+        self.flag[pid].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -73,23 +73,23 @@ impl RawMutexAlgorithm for PetersonLock {
     fn acquire(&self, pid: usize) {
         assert!(pid < 2, "Peterson's algorithm supports exactly two processes");
         let other = 1 - pid;
-        self.flag[pid].store(true, Ordering::SeqCst);
-        self.turn.store(other, Ordering::SeqCst);
+        self.flag[pid].store(true, Ordering::SeqCst); // mem: baseline-seqcst
+        self.turn.store(other, Ordering::SeqCst); // mem: baseline-seqcst
         let mut token = WaitToken::new();
         let mut waits = 0u64;
-        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
+        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other // mem: baseline-seqcst
         {
             waits += 1;
             self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                self.flag[other].load(Ordering::SeqCst)
-                    && self.turn.load(Ordering::SeqCst) == other
+                self.flag[other].load(Ordering::SeqCst) // mem: baseline-seqcst
+                    && self.turn.load(Ordering::SeqCst) == other // mem: baseline-seqcst
             });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, pid: usize) {
-        self.flag[pid].store(false, Ordering::SeqCst);
+        self.flag[pid].store(false, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 

@@ -41,7 +41,7 @@ impl TasLock {
     /// True when some process currently holds the lock.
     #[must_use]
     pub fn is_locked(&self) -> bool {
-        self.locked.load(Ordering::SeqCst)
+        self.locked.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -54,23 +54,23 @@ impl RawMutexAlgorithm for TasLock {
         assert!(pid < self.capacity(), "pid {pid} out of range");
         let mut token = WaitToken::new();
         let mut waits = 0u64;
-        while self.locked.swap(true, Ordering::SeqCst) {
+        while self.locked.swap(true, Ordering::SeqCst) { // mem: baseline-seqcst
             waits += 1;
             self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                self.locked.load(Ordering::SeqCst)
+                self.locked.load(Ordering::SeqCst) // mem: baseline-seqcst
             });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, _pid: usize) {
-        self.locked.store(false, Ordering::SeqCst);
+        self.locked.store(false, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 
     fn try_acquire(&self, pid: usize) -> bool {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        !self.locked.swap(true, Ordering::SeqCst)
+        !self.locked.swap(true, Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn algorithm_name(&self) -> &'static str {
@@ -109,7 +109,7 @@ impl TtasLock {
     /// True when some process currently holds the lock.
     #[must_use]
     pub fn is_locked(&self) -> bool {
-        self.locked.load(Ordering::SeqCst)
+        self.locked.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -124,13 +124,13 @@ impl RawMutexAlgorithm for TtasLock {
         let mut waits = 0u64;
         loop {
             // Spin on the cached value first.
-            while self.locked.load(Ordering::SeqCst) {
+            while self.locked.load(Ordering::SeqCst) { // mem: baseline-seqcst
                 waits += 1;
                 self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                    self.locked.load(Ordering::SeqCst)
+                    self.locked.load(Ordering::SeqCst) // mem: baseline-seqcst
                 });
             }
-            if !self.locked.swap(true, Ordering::SeqCst) {
+            if !self.locked.swap(true, Ordering::SeqCst) { // mem: baseline-seqcst
                 break;
             }
         }
@@ -138,7 +138,7 @@ impl RawMutexAlgorithm for TtasLock {
     }
 
     fn release(&self, _pid: usize) {
-        self.locked.store(false, Ordering::SeqCst);
+        self.locked.store(false, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 
@@ -146,7 +146,7 @@ impl RawMutexAlgorithm for TtasLock {
         assert!(pid < self.capacity(), "pid {pid} out of range");
         // Test, then test-and-set: the cheap load filters the common
         // contended case before paying for the RMW.
-        !self.locked.load(Ordering::SeqCst) && !self.locked.swap(true, Ordering::SeqCst)
+        !self.locked.load(Ordering::SeqCst) && !self.locked.swap(true, Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn algorithm_name(&self) -> &'static str {

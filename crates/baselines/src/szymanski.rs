@@ -62,11 +62,11 @@ impl SzymanskiLock {
     /// The waiting-room state of process `pid`.
     #[must_use]
     pub fn state_of(&self, pid: usize) -> usize {
-        self.flag[pid].load(Ordering::SeqCst)
+        self.flag[pid].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     fn flag_of(&self, j: usize) -> usize {
-        self.flag[j].load(Ordering::SeqCst)
+        self.flag[j].load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     /// One wait episode: spins (then parks, strategy permitting) until `cond`
@@ -94,22 +94,22 @@ impl RawMutexAlgorithm for SzymanskiLock {
         let mut waits = 0u64;
 
         // Stand outside the waiting room and wait for the door to be open.
-        self.flag[pid].store(1, Ordering::SeqCst);
+        self.flag[pid].store(1, Ordering::SeqCst); // mem: baseline-seqcst
         waits += self.wait_until(|| (0..n).all(|j| self.flag_of(j) < 3));
 
         // Step into the doorway.
-        self.flag[pid].store(3, Ordering::SeqCst);
+        self.flag[pid].store(3, Ordering::SeqCst); // mem: baseline-seqcst
 
         // If someone else is still outside waiting (state 1), step back into
         // the waiting room (state 2) and wait for a peer to close the door
         // (state 4).
         if (0..n).any(|j| j != pid && self.flag_of(j) == 1) {
-            self.flag[pid].store(2, Ordering::SeqCst);
+            self.flag[pid].store(2, Ordering::SeqCst); // mem: baseline-seqcst
             waits += self.wait_until(|| (0..n).any(|j| self.flag_of(j) == 4));
         }
 
         // Close the door behind us.
-        self.flag[pid].store(4, Ordering::SeqCst);
+        self.flag[pid].store(4, Ordering::SeqCst); // mem: baseline-seqcst
 
         // Wait for every lower-numbered process to finish its exit protocol.
         waits += self.wait_until(|| (0..pid).all(|j| self.flag_of(j) < 2));
@@ -127,7 +127,7 @@ impl RawMutexAlgorithm for SzymanskiLock {
                 f < 2 || f == 4
             })
         });
-        self.flag[pid].store(0, Ordering::SeqCst);
+        self.flag[pid].store(0, Ordering::SeqCst); // mem: baseline-seqcst
         self.waits.notify(self.waits.guard());
     }
 

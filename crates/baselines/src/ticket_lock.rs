@@ -58,13 +58,13 @@ impl TicketLock {
     /// The ticket that will be handed to the next arrival.
     #[must_use]
     pub fn next_ticket(&self) -> u64 {
-        self.next_ticket.load(Ordering::SeqCst)
+        self.next_ticket.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 
     /// The ticket currently being served.
     #[must_use]
     pub fn now_serving(&self) -> u64 {
-        self.now_serving.load(Ordering::SeqCst)
+        self.now_serving.load(Ordering::SeqCst) // mem: baseline-seqcst
     }
 }
 
@@ -75,24 +75,24 @@ impl RawMutexAlgorithm for TicketLock {
 
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst); // mem: baseline-seqcst
         self.stats.record_ticket(ticket);
         // FIFO handoff: each waiter parks on its own ticket's site, so a
         // release wakes exactly the next holder rather than the whole queue.
         let site = self.waits.ticket(ticket as usize);
         let mut token = WaitToken::new();
         let mut waits = 0u64;
-        while self.now_serving.load(Ordering::SeqCst) != ticket {
+        while self.now_serving.load(Ordering::SeqCst) != ticket { // mem: baseline-seqcst
             waits += 1;
             self.waits.wait(site, &mut token, &mut || {
-                self.now_serving.load(Ordering::SeqCst) != ticket
+                self.now_serving.load(Ordering::SeqCst) != ticket // mem: baseline-seqcst
             });
         }
         self.stats.record_doorway_waits(waits);
     }
 
     fn release(&self, _pid: usize) {
-        let next = self.now_serving.fetch_add(1, Ordering::SeqCst) + 1;
+        let next = self.now_serving.fetch_add(1, Ordering::SeqCst) + 1; // mem: baseline-seqcst
         self.waits.notify(self.waits.ticket(next as usize));
     }
 
@@ -100,13 +100,13 @@ impl RawMutexAlgorithm for TicketLock {
         assert!(pid < self.capacity(), "pid {pid} out of range");
         // Only draw a ticket when it would be served immediately; the CAS
         // closes the window against a concurrent arrival.
-        let ticket = self.next_ticket.load(Ordering::SeqCst);
-        if self.now_serving.load(Ordering::SeqCst) != ticket {
+        let ticket = self.next_ticket.load(Ordering::SeqCst); // mem: baseline-seqcst
+        if self.now_serving.load(Ordering::SeqCst) != ticket { // mem: baseline-seqcst
             return false;
         }
         let won = self
             .next_ticket
-            .compare_exchange(ticket, ticket + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(ticket, ticket + 1, Ordering::SeqCst, Ordering::SeqCst) // mem: baseline-seqcst
             .is_ok();
         if won {
             self.stats.record_ticket(ticket);

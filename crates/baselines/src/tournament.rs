@@ -40,24 +40,24 @@ impl Node {
     /// wait site `idx` so a release wakes only the sibling contender.
     fn acquire(&self, side: usize, idx: usize, waits_plane: &WaitHandle, stats: &LockStats) {
         let other = 1 - side;
-        self.flag[side].store(true, Ordering::SeqCst);
-        self.turn.store(other, Ordering::SeqCst);
+        self.flag[side].store(true, Ordering::SeqCst); // mem: baseline-seqcst
+        self.turn.store(other, Ordering::SeqCst); // mem: baseline-seqcst
         // Fresh token per node: each tree level is its own wait episode.
         let mut token = WaitToken::new();
         let mut waits = 0u64;
-        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other
+        while self.flag[other].load(Ordering::SeqCst) && self.turn.load(Ordering::SeqCst) == other // mem: baseline-seqcst
         {
             waits += 1;
             waits_plane.wait(waits_plane.ticket(idx), &mut token, &mut || {
-                self.flag[other].load(Ordering::SeqCst)
-                    && self.turn.load(Ordering::SeqCst) == other
+                self.flag[other].load(Ordering::SeqCst) // mem: baseline-seqcst
+                    && self.turn.load(Ordering::SeqCst) == other // mem: baseline-seqcst
             });
         }
         stats.record_doorway_waits(waits);
     }
 
     fn release(&self, side: usize, idx: usize, waits_plane: &WaitHandle) {
-        self.flag[side].store(false, Ordering::SeqCst);
+        self.flag[side].store(false, Ordering::SeqCst); // mem: baseline-seqcst
         waits_plane.notify(waits_plane.ticket(idx));
     }
 }

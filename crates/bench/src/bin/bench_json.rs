@@ -25,6 +25,8 @@
 //! current directory).  The summary — including the packed-vs-padded
 //! improvement percentages — is also printed as Markdown-ish text.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::sync::Arc;
 

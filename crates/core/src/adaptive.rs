@@ -405,7 +405,7 @@ impl AdaptiveBakery {
     /// and [`epoch_cycle`].
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+        self.epoch.load(Ordering::SeqCst) // mem: epoch-cycle
     }
 
     /// The current phase of the epoch cycle.
@@ -474,7 +474,7 @@ impl AdaptiveBakery {
     /// still drains in-flight flat acquisitions before any process enters
     /// through the tree.
     pub fn trigger_migration(&self) {
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         if epoch_phase(word) == EPOCH_FLAT {
             self.advance_epoch(word);
         }
@@ -485,7 +485,7 @@ impl AdaptiveBakery {
     /// still drains in-flight tree acquisitions before any process re-enters
     /// through the flat plane.
     pub fn trigger_reverse_migration(&self) {
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         if epoch_phase(word) == EPOCH_TREE {
             self.advance_epoch(word);
         }
@@ -498,7 +498,7 @@ impl AdaptiveBakery {
     fn advance_epoch(&self, word: u64) -> bool {
         let won = self
             .epoch
-            .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(word, word + 1, Ordering::SeqCst, Ordering::SeqCst) // mem: epoch-cycle
             .is_ok();
         if won {
             self.waits.notify(self.waits.guard());
@@ -520,7 +520,7 @@ impl AdaptiveBakery {
             .flat
             .stats()
             .doorway_waits()
-            .saturating_sub(self.flat_waits_baseline.load(Ordering::SeqCst));
+            .saturating_sub(self.flat_waits_baseline.load(Ordering::SeqCst)); // mem: epoch-cycle
         self.live_sessions() as usize >= self.capacity_threshold
             || residency_waits >= self.contention_threshold
     }
@@ -543,7 +543,7 @@ impl AdaptiveBakery {
         if self.low_watermark == 0 {
             return; // reverse leg disabled
         }
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         if epoch_phase(word) != EPOCH_TREE {
             return;
         }
@@ -555,15 +555,15 @@ impl AdaptiveBakery {
         if self.live_sessions() >= low || remaining >= low {
             // Loud: zero this residency's streak.  The common contended case
             // finds it already zero — keep the hot release path store-free.
-            if self.quiet_streak.load(Ordering::SeqCst) != tag {
-                self.quiet_streak.store(tag, Ordering::SeqCst);
+            if self.quiet_streak.load(Ordering::SeqCst) != tag { // mem: epoch-cycle
+                self.quiet_streak.store(tag, Ordering::SeqCst); // mem: epoch-cycle
             }
             return;
         }
         // Quiet: bump the streak, but only under our own residency's tag — a
         // count started in another residency (or by a release preempted
         // across a round trip) restarts at 1 instead of being inherited.
-        let mut current = self.quiet_streak.load(Ordering::SeqCst);
+        let mut current = self.quiet_streak.load(Ordering::SeqCst); // mem: epoch-cycle
         loop {
             let count = if current & !u64::from(u32::MAX) == tag {
                 (current & u64::from(u32::MAX)).saturating_add(1)
@@ -573,8 +573,8 @@ impl AdaptiveBakery {
             match self.quiet_streak.compare_exchange(
                 current,
                 tag | count.min(u64::from(u32::MAX)),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: epoch-cycle
+                Ordering::SeqCst, // mem: epoch-cycle
             ) {
                 Ok(_) => {
                     if count >= self.quiet_period {
@@ -597,7 +597,7 @@ impl AdaptiveBakery {
             EPOCH_DRAIN_TREE => &self.tree_active,
             _ => return,
         };
-        if draining.load(Ordering::SeqCst) != 0 {
+        if draining.load(Ordering::SeqCst) != 0 { // mem: epoch-cycle
             return;
         }
         // Re-arm the next residency's trigger baselines *before* the flip:
@@ -606,11 +606,11 @@ impl AdaptiveBakery {
         if epoch_phase(word) == EPOCH_DRAIN {
             // Entering TREE: no quiet streak from an earlier cycle may
             // survive into this residency (the spec's NoFlapStaleArming).
-            self.quiet_streak.store(0, Ordering::SeqCst);
+            self.quiet_streak.store(0, Ordering::SeqCst); // mem: epoch-cycle
         } else {
             // Entering FLAT: contention restarts from here.
             self.flat_waits_baseline
-                .store(self.flat.stats().doorway_waits(), Ordering::SeqCst);
+                .store(self.flat.stats().doorway_waits(), Ordering::SeqCst); // mem: epoch-cycle
         }
         if self.advance_epoch(word) {
             if epoch_phase(word) == EPOCH_DRAIN {
@@ -643,7 +643,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
 
     fn acquire(&self, pid: usize) {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         if epoch_phase(word) == EPOCH_FLAT {
             self.maybe_trigger_forward(word);
         }
@@ -652,7 +652,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         // `L1`/`Reset` loop).
         let mut token = WaitToken::new();
         loop {
-            let word = self.epoch.load(Ordering::SeqCst);
+            let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
             match epoch_phase(word) {
                 EPOCH_TREE => {
                     // Announce, then re-check the FULL word (Dekker handshake
@@ -660,35 +660,35 @@ impl RawMutexAlgorithm for AdaptiveBakery {
                     // the cycle tag defeats the stale-TREE ABA).  The ledger
                     // write precedes the increment so a crashed pid's reaper
                     // rolls back at most what was announced for it.
-                    self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst);
-                    self.tree_active.fetch_add(1, Ordering::SeqCst);
-                    if self.epoch.load(Ordering::SeqCst) == word {
+                    self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst); // mem: epoch-cycle
+                    self.tree_active.fetch_add(1, Ordering::SeqCst); // mem: epoch-cycle
+                    if self.epoch.load(Ordering::SeqCst) == word { // mem: epoch-cycle
                         self.tree.acquire(pid);
-                        self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
+                        self.route[pid].store(EPOCH_TREE, Ordering::SeqCst); // mem: epoch-cycle
                         return;
                     }
                     // Lost the race to the drainer: withdraw and re-route.
-                    self.tree_active.fetch_sub(1, Ordering::SeqCst);
-                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
+                    self.tree_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
                 }
                 EPOCH_FLAT => {
                     // The mirror handshake against the forward drainer.
-                    self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst);
-                    self.flat_active.fetch_add(1, Ordering::SeqCst);
-                    if self.epoch.load(Ordering::SeqCst) == word {
+                    self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst); // mem: epoch-cycle
+                    self.flat_active.fetch_add(1, Ordering::SeqCst); // mem: epoch-cycle
+                    if self.epoch.load(Ordering::SeqCst) == word { // mem: epoch-cycle
                         self.flat.acquire(pid);
-                        self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
+                        self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst); // mem: epoch-cycle
                         return;
                     }
-                    self.flat_active.fetch_sub(1, Ordering::SeqCst);
-                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
+                    self.flat_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
                 }
                 _ => {
                     self.help_drain(word);
                     // Park on the guard site until the epoch moves: the flip
                     // CAS (ours just above, or any helper's) notifies it.
                     self.waits.wait(self.waits.guard(), &mut token, &mut || {
-                        self.epoch.load(Ordering::SeqCst) == word
+                        self.epoch.load(Ordering::SeqCst) == word // mem: epoch-cycle
                     });
                 }
             }
@@ -696,16 +696,16 @@ impl RawMutexAlgorithm for AdaptiveBakery {
     }
 
     fn release(&self, pid: usize) {
-        if self.route[pid].load(Ordering::SeqCst) == EPOCH_TREE {
+        if self.route[pid].load(Ordering::SeqCst) == EPOCH_TREE { // mem: epoch-cycle
             self.tree.release(pid);
-            let remaining = self.tree_active.fetch_sub(1, Ordering::SeqCst) - 1;
-            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
+            let remaining = self.tree_active.fetch_sub(1, Ordering::SeqCst) - 1; // mem: epoch-cycle
+            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
             self.observe_tree_release(remaining);
         } else {
             self.flat.release(pid);
-            self.flat_active.fetch_sub(1, Ordering::SeqCst);
-            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
-            let word = self.epoch.load(Ordering::SeqCst);
+            self.flat_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
+            self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
+            let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
             if epoch_phase(word) == EPOCH_FLAT {
                 self.maybe_trigger_forward(word);
             }
@@ -714,7 +714,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         // waiting on; finishing the flip here (instead of leaving it to the
         // next live acquirer) is what wakes acquirers parked on the guard
         // site, since the draining plane has no acquirer left to help.
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         if matches!(epoch_phase(word), EPOCH_DRAIN | EPOCH_DRAIN_TREE) {
             self.help_drain(word);
         }
@@ -725,29 +725,29 @@ impl RawMutexAlgorithm for AdaptiveBakery {
 
     fn try_acquire(&self, pid: usize) -> bool {
         assert!(pid < self.capacity(), "pid {pid} out of range");
-        let word = self.epoch.load(Ordering::SeqCst);
+        let word = self.epoch.load(Ordering::SeqCst); // mem: epoch-cycle
         match epoch_phase(word) {
             EPOCH_TREE => {
-                self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst);
-                self.tree_active.fetch_add(1, Ordering::SeqCst);
-                if self.epoch.load(Ordering::SeqCst) == word && self.tree.try_acquire(pid) {
-                    self.route[pid].store(EPOCH_TREE, Ordering::SeqCst);
+                self.announce[pid].store(ANNOUNCE_TREE, Ordering::SeqCst); // mem: epoch-cycle
+                self.tree_active.fetch_add(1, Ordering::SeqCst); // mem: epoch-cycle
+                if self.epoch.load(Ordering::SeqCst) == word && self.tree.try_acquire(pid) { // mem: epoch-cycle
+                    self.route[pid].store(EPOCH_TREE, Ordering::SeqCst); // mem: epoch-cycle
                     true
                 } else {
-                    self.tree_active.fetch_sub(1, Ordering::SeqCst);
-                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
+                    self.tree_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
                     false
                 }
             }
             EPOCH_FLAT => {
-                self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst);
-                self.flat_active.fetch_add(1, Ordering::SeqCst);
-                if self.epoch.load(Ordering::SeqCst) == word && self.flat.try_acquire(pid) {
-                    self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst);
+                self.announce[pid].store(ANNOUNCE_FLAT, Ordering::SeqCst); // mem: epoch-cycle
+                self.flat_active.fetch_add(1, Ordering::SeqCst); // mem: epoch-cycle
+                if self.epoch.load(Ordering::SeqCst) == word && self.flat.try_acquire(pid) { // mem: epoch-cycle
+                    self.route[pid].store(EPOCH_FLAT, Ordering::SeqCst); // mem: epoch-cycle
                     true
                 } else {
-                    self.flat_active.fetch_sub(1, Ordering::SeqCst);
-                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst);
+                    self.flat_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
+                    self.announce[pid].store(ANNOUNCE_NONE, Ordering::SeqCst); // mem: epoch-cycle
                     false
                 }
             }
@@ -767,12 +767,12 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         // The ledger says exactly which counter carries it — the epoch may
         // have moved on since the pid announced, so the *current* phase must
         // not be consulted.
-        match self.announce[pid].swap(ANNOUNCE_NONE, Ordering::SeqCst) {
+        match self.announce[pid].swap(ANNOUNCE_NONE, Ordering::SeqCst) { // mem: epoch-cycle
             ANNOUNCE_FLAT => {
-                self.flat_active.fetch_sub(1, Ordering::SeqCst);
+                self.flat_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
             }
             ANNOUNCE_TREE => {
-                self.tree_active.fetch_sub(1, Ordering::SeqCst);
+                self.tree_active.fetch_sub(1, Ordering::SeqCst); // mem: epoch-cycle
             }
             _ => {}
         }
@@ -786,7 +786,7 @@ impl RawMutexAlgorithm for AdaptiveBakery {
         // The rollback may have been the last announce the in-flight drain
         // was waiting on; help it over the line rather than leaving the flip
         // to the next live acquirer.
-        self.help_drain(self.epoch.load(Ordering::SeqCst));
+        self.help_drain(self.epoch.load(Ordering::SeqCst)); // mem: epoch-cycle
         true
     }
 

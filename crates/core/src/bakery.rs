@@ -152,7 +152,7 @@ impl BakeryLock {
                 // miss each other — the SC-fence pairing with fence #2 / the
                 // scan of the other process guarantees at least one side
                 // observes the other (the Dekker store-load lemma).
-                fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst); // mem: doorway-dekker.choosing
                 packed.max_number()
             }
             // Padded baseline: the seed's per-register SeqCst scan.
@@ -169,7 +169,7 @@ impl BakeryLock {
             // Handshake fence #2: the ticket store must be visible before
             // this process's L2/L3 loads (including the fast-path emptiness
             // check), pairing with fence #1 of any concurrent chooser.
-            fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst); // mem: doorway-dekker.ticket
         }
         self.file.write_choosing(pid, false);
         // `choosing[i] := 0` releases every L2 waiter watching this word.

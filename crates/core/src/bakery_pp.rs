@@ -212,7 +212,7 @@ impl BakeryPlusPlusLock {
                 // `choosing[i] := 1` store must be visible before the scan's
                 // loads, so two concurrent choosers cannot both miss each
                 // other.
-                fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst); // mem: doorway-dekker.choosing
                 packed.max_number()
             }
             // Padded baseline: the seed's per-register SeqCst scan.
@@ -244,7 +244,7 @@ impl BakeryPlusPlusLock {
         if self.file.packed().is_some() {
             // Handshake fence #2: the ticket store must be visible before the
             // L2/L3 loads (including the fast-path emptiness check).
-            fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst); // mem: doorway-dekker.ticket
         }
         self.file.write_choosing(pid, false);
         // Unlike the classic doorway, the `max → max + 1` increment *can*

@@ -140,7 +140,7 @@ impl BoundedRegister {
     /// padded scan mode and for the experiment-facing accessors).
     #[must_use]
     pub fn read(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.load(Ordering::SeqCst) // mem: padded-register
     }
 
     /// Reads the register with acquire ordering (packed scan mode; the
@@ -157,7 +157,7 @@ impl BoundedRegister {
     /// the policy had to be applied — callers that believe they never overflow
     /// (Bakery++) treat `Some` as a bug.
     pub fn write(&self, index: usize, value: u64) -> Option<OverflowEvent> {
-        self.write_with(index, value, Ordering::SeqCst)
+        self.write_with(index, value, Ordering::SeqCst) // mem: padded-register
     }
 
     /// Stores with release ordering (packed scan mode).
@@ -183,7 +183,7 @@ impl BoundedRegister {
 
     /// Resets the register to 0 (crash/restart semantics, assumption 1.5).
     pub fn reset(&self) {
-        self.cell.store(0, Ordering::SeqCst);
+        self.cell.store(0, Ordering::SeqCst); // mem: padded-register
     }
 }
 

@@ -285,7 +285,7 @@ impl SessionPlane {
     pub fn has_free_seat(&self) -> bool {
         self.seats
             .iter()
-            .any(|seat| seat.load(Ordering::SeqCst) & LEASED == 0)
+            .any(|seat| seat.load(Ordering::SeqCst) & LEASED == 0) // mem: seat-word
     }
 
     /// Number of pid slots (the maximum number of concurrently live
@@ -312,14 +312,14 @@ impl SessionPlane {
     pub fn live_sessions(&self) -> usize {
         self.seats
             .iter()
-            .filter(|seat| seat.load(Ordering::SeqCst) & LEASED != 0)
+            .filter(|seat| seat.load(Ordering::SeqCst) & LEASED != 0) // mem: seat-word
             .count()
     }
 
     /// The current logical failure-detector time.
     #[must_use]
     pub fn clock(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst)
+        self.clock.load(Ordering::SeqCst) // mem: seat-word
     }
 
     /// Advances the logical clock to `now` (monotone: a lagging caller can
@@ -327,7 +327,7 @@ impl SessionPlane {
     /// runs the service loop owns the notion of "now", which is what keeps
     /// the E12 fault-injection schedules deterministic.
     pub fn advance_clock(&self, now: u64) {
-        self.clock.fetch_max(now, Ordering::SeqCst);
+        self.clock.fetch_max(now, Ordering::SeqCst); // mem: seat-word
     }
 
     /// The lease duration this plane was built with ([`LEASE_FOREVER`] when
@@ -340,19 +340,19 @@ impl SessionPlane {
     /// Stamps seat `pid`'s deadline `lease_ticks` past the current clock.
     fn renew_deadline(&self, pid: usize) {
         let deadline = self.clock().saturating_add(self.lease_ticks);
-        self.deadlines[pid].store(deadline, Ordering::SeqCst);
+        self.deadlines[pid].store(deadline, Ordering::SeqCst); // mem: seat-word
     }
 
     /// True when seat `pid`'s lease deadline has passed.
     fn lease_expired(&self, pid: usize) -> bool {
-        self.clock() >= self.deadlines[pid].load(Ordering::SeqCst)
+        self.clock() >= self.deadlines[pid].load(Ordering::SeqCst) // mem: seat-word
     }
 
     /// Leases a free pid, or reports exhaustion without blocking.
     pub fn try_attach(self: &Arc<Self>) -> Result<Session, SessionError> {
         for pid in 0..self.capacity() {
             let seat = &self.seats[pid];
-            let word = seat.load(Ordering::SeqCst);
+            let word = seat.load(Ordering::SeqCst); // mem: seat-word
             if word & LEASED != 0 {
                 continue;
             }
@@ -365,8 +365,8 @@ impl SessionPlane {
                 .compare_exchange(
                     seat_word(gen, 0),
                     seat_word(gen, LEASED),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::SeqCst, // mem: seat-word
+                    Ordering::SeqCst, // mem: seat-word
                 )
                 .is_ok()
             {
@@ -419,7 +419,7 @@ impl SessionPlane {
         }
         for pid in 0..self.capacity() {
             let seat = &self.seats[pid];
-            let word = seat.load(Ordering::SeqCst);
+            let word = seat.load(Ordering::SeqCst); // mem: seat-word
             if word & LEASED != 0 {
                 continue;
             }
@@ -429,8 +429,8 @@ impl SessionPlane {
                 .compare_exchange(
                     seat_word(gen, 0),
                     seat_word(gen, LEASED),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::SeqCst, // mem: seat-word
+                    Ordering::SeqCst, // mem: seat-word
                 )
                 .is_ok()
             {
@@ -465,7 +465,7 @@ impl SessionPlane {
         let site = self.waits.guard();
         let mut token = WaitToken::new();
         loop {
-            let word = seat.load(Ordering::SeqCst);
+            let word = seat.load(Ordering::SeqCst); // mem: seat-word
             if word & LEASED == 0 {
                 return false;
             }
@@ -487,7 +487,7 @@ impl SessionPlane {
                 // Mid-doorway: wait for the acquisition to land or retreat
                 // (enter_cs and clear_busy both notify the guard site).
                 self.waits.wait(site, &mut token, &mut || {
-                    let w = seat.load(Ordering::SeqCst);
+                    let w = seat.load(Ordering::SeqCst); // mem: seat-word
                     w & BUSY != 0 && w & IN_CS == 0
                 });
                 continue;
@@ -507,8 +507,8 @@ impl SessionPlane {
             .compare_exchange(
                 word,
                 seat_word(seat_gen(word), LEASED | QUARANTINED),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .is_ok()
     }
@@ -540,7 +540,7 @@ impl SessionPlane {
         let mut report = ReapReport::default();
         for pid in 0..self.capacity() {
             let seat = &self.seats[pid];
-            let word = seat.load(Ordering::SeqCst);
+            let word = seat.load(Ordering::SeqCst); // mem: seat-word
             if word & LEASED == 0 || word & QUARANTINED != 0 {
                 continue;
             }
@@ -565,8 +565,8 @@ impl SessionPlane {
                     .compare_exchange(
                         word,
                         seat_word(seat_gen(word).wrapping_add(1), 0),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::SeqCst, // mem: seat-word
+                        Ordering::SeqCst, // mem: seat-word
                     )
                     .is_ok()
                 {
@@ -598,7 +598,7 @@ impl SessionPlane {
     /// recoverer won the takeover CAS.
     pub fn recover_quarantined(&self, pid: usize) -> Option<RecoveredSeat<'_>> {
         let seat = &self.seats[pid];
-        let word = seat.load(Ordering::SeqCst);
+        let word = seat.load(Ordering::SeqCst); // mem: seat-word
         if word & QUARANTINED == 0 {
             return None;
         }
@@ -610,8 +610,8 @@ impl SessionPlane {
             .compare_exchange(
                 word,
                 seat_word(gen, LEASED | BUSY | IN_CS),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .is_ok()
         {
@@ -629,7 +629,7 @@ impl SessionPlane {
     #[must_use]
     pub fn quarantined_seats(&self) -> Vec<usize> {
         (0..self.capacity())
-            .filter(|&pid| self.seats[pid].load(Ordering::SeqCst) & QUARANTINED != 0)
+            .filter(|&pid| self.seats[pid].load(Ordering::SeqCst) & QUARANTINED != 0) // mem: seat-word
             .collect()
     }
 
@@ -641,8 +641,8 @@ impl SessionPlane {
             .compare_exchange(
                 seat_word(gen, LEASED),
                 seat_word(gen.wrapping_add(1), 0),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .is_ok();
         if freed {
@@ -705,8 +705,8 @@ impl Session {
             .compare_exchange(
                 leased,
                 leased | BUSY,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .unwrap_or_else(|actual| {
                 panic!(
@@ -730,8 +730,8 @@ impl Session {
             .compare_exchange(
                 busy,
                 busy | IN_CS,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .unwrap_or_else(|actual| {
                 panic!(
@@ -752,8 +752,8 @@ impl Session {
         let _ = self.plane.seats[self.pid].compare_exchange(
             seat_word(self.gen, LEASED | BUSY),
             seat_word(self.gen, LEASED),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::SeqCst, // mem: seat-word
+            Ordering::SeqCst, // mem: seat-word
         );
         // Win or lose, the BUSY window is over: wake force_detach waiters.
         self.plane.waits.notify(self.plane.waits.guard());
@@ -844,8 +844,8 @@ impl Drop for SessionGuard<'_> {
             .compare_exchange(
                 in_cs,
                 seat_word(session.gen, LEASED | BUSY),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // mem: seat-word
+                Ordering::SeqCst, // mem: seat-word
             )
             .is_err()
         {
@@ -895,7 +895,7 @@ impl Drop for RecoveredSeat<'_> {
         // `recover_quarantined` made this guard the word's sole owner.
         self.plane.seats[self.pid].store(
             seat_word(self.gen.wrapping_add(1), 0),
-            Ordering::SeqCst,
+            Ordering::SeqCst, // mem: seat-word
         );
         self.plane.lock.stats().record_detach();
         self.plane.lock.stats().record_seat_recovery();

@@ -92,7 +92,7 @@ impl SlotAllocator {
     pub fn claimed_count(&self) -> usize {
         self.claimed
             .iter()
-            .filter(|c| c.load(Ordering::SeqCst))
+            .filter(|c| c.load(Ordering::SeqCst)) // mem: slot-claim
             .count()
     }
 
@@ -131,12 +131,12 @@ impl SlotAllocator {
 
     fn try_claim_index(&self, pid: usize) -> bool {
         self.claimed[pid]
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst) // mem: slot-claim
             .is_ok()
     }
 
     fn release_index(&self, pid: usize) {
-        self.claimed[pid].store(false, Ordering::SeqCst);
+        self.claimed[pid].store(false, Ordering::SeqCst); // mem: slot-claim
     }
 }
 

@@ -236,7 +236,7 @@ impl PackedSnapshot {
         if self.width.bits() == 64 {
             self.lanes[word].store(value, Ordering::Release);
         } else {
-            let _ = self.lanes[word].fetch_update(Ordering::Release, Ordering::Relaxed, |w| {
+            let _ = self.lanes[word].fetch_update(Ordering::Release, Ordering::Relaxed, |w| { // mem: mirror-publish
                 Some((w & !mask) | (value << shift))
             });
         }

@@ -44,7 +44,7 @@ impl LockStats {
     /// Number of completed critical-section entries.
     #[must_use]
     pub fn cs_entries(&self) -> u64 {
-        self.cs_entries.load(Ordering::Relaxed)
+        self.cs_entries.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of attempts to store a ticket above the register bound.
@@ -54,32 +54,32 @@ impl LockStats {
     /// Section 3 failures.
     #[must_use]
     pub fn overflow_attempts(&self) -> u64 {
-        self.overflow_attempts.load(Ordering::Relaxed)
+        self.overflow_attempts.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of times the Bakery++ reset branch (`number[i] := 0; goto L1`)
     /// was taken.
     #[must_use]
     pub fn resets(&self) -> u64 {
-        self.resets.load(Ordering::Relaxed)
+        self.resets.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of wait iterations spent at Bakery++'s `L1` admission guard.
     #[must_use]
     pub fn l1_waits(&self) -> u64 {
-        self.l1_waits.load(Ordering::Relaxed)
+        self.l1_waits.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of wait iterations spent in the `L2`/`L3` scan loops.
     #[must_use]
     pub fn doorway_waits(&self) -> u64 {
-        self.doorway_waits.load(Ordering::Relaxed)
+        self.doorway_waits.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// The largest ticket value this lock ever stored in a `number` register.
     #[must_use]
     pub fn max_ticket(&self) -> u64 {
-        self.max_ticket.load(Ordering::Relaxed)
+        self.max_ticket.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of acquisitions that took the packed-snapshot fast path (the
@@ -90,47 +90,47 @@ impl LockStats {
     /// reports compare all locks like for like.
     #[must_use]
     pub fn fast_path_hits(&self) -> u64 {
-        self.fast_path_hits.load(Ordering::Relaxed)
+        self.fast_path_hits.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Records a completed critical-section entry.
     pub fn record_cs_entry(&self) {
-        self.cs_entries.fetch_add(1, Ordering::Relaxed);
+        self.cs_entries.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records an attempt to store `attempted` above the bound.
     pub fn record_overflow(&self, attempted: u64) {
-        self.overflow_attempts.fetch_add(1, Ordering::Relaxed);
+        self.overflow_attempts.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
         self.record_ticket(attempted);
     }
 
     /// Records one Bakery++ reset branch.
     pub fn record_reset(&self) {
-        self.resets.fetch_add(1, Ordering::Relaxed);
+        self.resets.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records `iterations` wait rounds at the `L1` admission guard.
     pub fn record_l1_waits(&self, iterations: u64) {
         if iterations > 0 {
-            self.l1_waits.fetch_add(iterations, Ordering::Relaxed);
+            self.l1_waits.fetch_add(iterations, Ordering::Relaxed); // mem: stats-relaxed
         }
     }
 
     /// Records `iterations` wait rounds in the `L2`/`L3` loops.
     pub fn record_doorway_waits(&self, iterations: u64) {
         if iterations > 0 {
-            self.doorway_waits.fetch_add(iterations, Ordering::Relaxed);
+            self.doorway_waits.fetch_add(iterations, Ordering::Relaxed); // mem: stats-relaxed
         }
     }
 
     /// Records a stored (or attempted) ticket value for the high-water mark.
     pub fn record_ticket(&self, value: u64) {
-        self.max_ticket.fetch_max(value, Ordering::Relaxed);
+        self.max_ticket.fetch_max(value, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records one fast-path acquisition.
     pub fn record_fast_path_hit(&self) {
-        self.fast_path_hits.fetch_add(1, Ordering::Relaxed);
+        self.fast_path_hits.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Number of sessions ever attached to this lock through the session
@@ -138,31 +138,31 @@ impl LockStats {
     /// through plain [`crate::Slot`]s.
     #[must_use]
     pub fn attaches(&self) -> u64 {
-        self.attaches.load(Ordering::Relaxed)
+        self.attaches.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of sessions ever detached from this lock through the session
     /// plane.  `attaches() - detaches()` is the live-session count.
     #[must_use]
     pub fn detaches(&self) -> u64 {
-        self.detaches.load(Ordering::Relaxed)
+        self.detaches.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Records one session attach.
     pub fn record_attach(&self) {
-        self.attaches.fetch_add(1, Ordering::Relaxed);
+        self.attaches.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records one session detach.
     pub fn record_detach(&self) {
-        self.detaches.fetch_add(1, Ordering::Relaxed);
+        self.detaches.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Number of completed forward (flat→tree) migrations of an adaptive
     /// lock ([`crate::AdaptiveBakery`]).  Zero for every other algorithm.
     #[must_use]
     pub fn migrations_forward(&self) -> u64 {
-        self.migrations_forward.load(Ordering::Relaxed)
+        self.migrations_forward.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of completed reverse (tree→flat) migrations of an adaptive
@@ -171,17 +171,17 @@ impl LockStats {
     /// cycle alternates the two directions by construction.
     #[must_use]
     pub fn migrations_reverse(&self) -> u64 {
-        self.migrations_reverse.load(Ordering::Relaxed)
+        self.migrations_reverse.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Records one completed forward (flat→tree) migration.
     pub fn record_migration_forward(&self) {
-        self.migrations_forward.fetch_add(1, Ordering::Relaxed);
+        self.migrations_forward.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records one completed reverse (tree→flat) migration.
     pub fn record_migration_reverse(&self) {
-        self.migrations_reverse.fetch_add(1, Ordering::Relaxed);
+        self.migrations_reverse.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Number of completed crash aborts: a pre-CS acquisition torn down via
@@ -189,7 +189,7 @@ impl LockStats {
     /// registers reading zero (the paper's crash rule, assumptions 1.5–1.7).
     #[must_use]
     pub fn crash_aborts(&self) -> u64 {
-        self.crash_aborts.load(Ordering::Relaxed)
+        self.crash_aborts.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Number of seats the session plane's reaper recovered from dead
@@ -197,17 +197,17 @@ impl LockStats {
     /// recycled, or quarantined for explicit recovery.
     #[must_use]
     pub fn seat_recoveries(&self) -> u64 {
-        self.seat_recoveries.load(Ordering::Relaxed)
+        self.seat_recoveries.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Records one completed crash abort.
     pub fn record_crash_abort(&self) {
-        self.crash_aborts.fetch_add(1, Ordering::Relaxed);
+        self.crash_aborts.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Records one seat recovered by the reaper.
     pub fn record_seat_recovery(&self) {
-        self.seat_recoveries.fetch_add(1, Ordering::Relaxed);
+        self.seat_recoveries.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
     }
 
     /// Copies the counters into a plain snapshot struct.

@@ -289,12 +289,12 @@ impl TreeBakery {
     /// abort once, on its own counters).
     pub fn crash_reset_path(&self, pid: usize) {
         assert!(pid < self.capacity, "pid {pid} out of range");
-        let engaged = self.engaged[pid].load(Ordering::SeqCst) as usize;
+        let engaged = self.engaged[pid].load(Ordering::SeqCst) as usize; // mem: engaged-mark
         for level in (0..engaged.min(self.depth())).rev() {
             let (node, slot) = self.position(pid, level);
             self.levels[level][node].crash_reset(slot);
         }
-        self.engaged[pid].store(0, Ordering::SeqCst);
+        self.engaged[pid].store(0, Ordering::SeqCst); // mem: engaged-mark
     }
 
     /// Words one uncontended acquisition reads in the doorway scans across
@@ -325,7 +325,7 @@ impl RawMutexAlgorithm for TreeBakery {
             let (node, slot) = self.position(pid, level);
             // Raise the engagement mark before touching the node, so a
             // crash at any point inside it is covered by the recovery wipe.
-            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst);
+            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst); // mem: engaged-mark
             self.levels[level][node].acquire(slot);
         }
     }
@@ -338,7 +338,7 @@ impl RawMutexAlgorithm for TreeBakery {
         // must not wipe the sibling's tickets out of it.
         for level in (0..self.depth()).rev() {
             let (node, slot) = self.position(pid, level);
-            self.engaged[pid].store(level as u64, Ordering::SeqCst);
+            self.engaged[pid].store(level as u64, Ordering::SeqCst); // mem: engaged-mark
             self.levels[level][node].release(slot);
         }
         // Facade-level release pulse for async lock futures (the per-node
@@ -353,15 +353,15 @@ impl RawMutexAlgorithm for TreeBakery {
         // release walks back down.
         for level in 0..self.depth() {
             let (node, slot) = self.position(pid, level);
-            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst);
+            self.engaged[pid].store(level as u64 + 1, Ordering::SeqCst); // mem: engaged-mark
             if !self.levels[level][node].try_acquire(slot) {
                 for held in (0..level).rev() {
                     let (node, slot) = self.position(pid, held);
-                    self.engaged[pid].store(held as u64, Ordering::SeqCst);
+                    self.engaged[pid].store(held as u64, Ordering::SeqCst); // mem: engaged-mark
                     self.levels[held][node].release(slot);
                 }
                 if level == 0 {
-                    self.engaged[pid].store(0, Ordering::SeqCst);
+                    self.engaged[pid].store(0, Ordering::SeqCst); // mem: engaged-mark
                 }
                 return false;
             }

@@ -53,7 +53,7 @@
 //! workload under all three strategies.
 
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::task::Waker;
 use std::thread::{self, Thread};
@@ -341,26 +341,26 @@ impl Park {
     /// Times a waiter actually parked its thread.
     #[must_use]
     pub fn parks(&self) -> u64 {
-        self.parks.load(Ordering::Relaxed)
+        self.parks.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Waiters woken by a notify (threads unparked + wakers woken).
     #[must_use]
     pub fn notifies(&self) -> u64 {
-        self.notifies.load(Ordering::Relaxed)
+        self.notifies.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Parks that ended by timeout or spurious unpark (entry still queued).
     #[must_use]
     pub fn timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Relaxed)
+        self.timeouts.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     /// Total [`WaitStrategy::wait`] rounds served — the "wasted rounds"
     /// metric the oversubscription regression test bounds.
     #[must_use]
     pub fn wait_calls(&self) -> u64 {
-        self.wait_calls.load(Ordering::Relaxed)
+        self.wait_calls.load(Ordering::Relaxed) // mem: stats-relaxed
     }
 
     fn shard(&self, key: u64) -> &Mutex<Vec<Entry>> {
@@ -369,12 +369,12 @@ impl Park {
 
     /// Enqueues a waiter handle under `key` and publishes the registration.
     fn enlist(&self, key: u64, handle: Handle) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // mem: id-alloc
         self.shard(key)
             .lock()
             .expect("park shard poisoned")
             .push(Entry { key, id, handle });
-        self.registered.fetch_add(1, Ordering::SeqCst);
+        self.registered.fetch_add(1, Ordering::SeqCst); // mem: park-handshake.waiter
         id
     }
 
@@ -385,7 +385,7 @@ impl Park {
         if let Some(pos) = shard.iter().position(|e| e.id == id) {
             shard.swap_remove(pos);
             drop(shard);
-            self.registered.fetch_sub(1, Ordering::SeqCst);
+            self.registered.fetch_sub(1, Ordering::SeqCst); // mem: park-handshake.waiter
             true
         } else {
             false
@@ -399,7 +399,7 @@ impl WaitStrategy for Park {
     }
 
     fn wait(&self, site: WaitSite, token: &mut WaitToken, still_waiting: &mut dyn FnMut() -> bool) {
-        self.wait_calls.fetch_add(1, Ordering::Relaxed);
+        self.wait_calls.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
         if !token.is_yielding() {
             // Short spin phase: a predicate about to flip is cheaper to catch
             // without a round trip through the waiter table.
@@ -413,20 +413,20 @@ impl WaitStrategy for Park {
         // the predicate.  A notifier that missed our registration must have
         // read `registered` before our increment, which orders its predicate
         // flip before this re-read — we see it and never park.
-        fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst); // mem: park-handshake.waiter
         if !still_waiting() {
             self.delist(key, id);
             return;
         }
         token.note_park();
-        self.parks.fetch_add(1, Ordering::Relaxed);
+        self.parks.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
         match self.timeout {
             Some(limit) => thread::park_timeout(limit),
             None => thread::park(),
         }
         if self.delist(key, id) {
             // Nobody consumed the entry: we woke by timeout or spuriously.
-            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.timeouts.fetch_add(1, Ordering::Relaxed); // mem: stats-relaxed
         }
     }
 
@@ -436,8 +436,8 @@ impl WaitStrategy for Park {
 
     fn notify_some(&self, site: WaitSite, n: usize) {
         // Pairs with the waiter-side fence in `wait`/`register_waker`.
-        fence(Ordering::SeqCst);
-        if self.registered.load(Ordering::SeqCst) == 0 {
+        fence(Ordering::SeqCst); // mem: park-handshake.notifier
+        if self.registered.load(Ordering::SeqCst) == 0 { // mem: park-handshake.notifier
             return;
         }
         let key = site.key();
@@ -456,8 +456,8 @@ impl WaitStrategy for Park {
         if woken.is_empty() {
             return;
         }
-        self.registered.fetch_sub(woken.len(), Ordering::SeqCst);
-        self.notifies.fetch_add(woken.len() as u64, Ordering::Relaxed);
+        self.registered.fetch_sub(woken.len(), Ordering::SeqCst); // mem: park-handshake.notifier
+        self.notifies.fetch_add(woken.len() as u64, Ordering::Relaxed); // mem: stats-relaxed
         for entry in woken {
             match entry.handle {
                 Handle::Thread(t) => t.unpark(),
@@ -475,7 +475,7 @@ impl WaitStrategy for Park {
         let key = site.key();
         let id = self.enlist(key, Handle::Task(waker.clone()));
         // Same handshake as the thread path: publish, fence, revalidate.
-        fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst); // mem: park-handshake.waiter
         if !still_waiting() {
             self.delist(key, id);
             return false;
@@ -608,7 +608,7 @@ impl WaitHandle {
 #[must_use]
 pub fn new_namespace() -> u64 {
     static NAMESPACE: AtomicU64 = AtomicU64::new(1);
-    NAMESPACE.fetch_add(1, Ordering::Relaxed)
+    NAMESPACE.fetch_add(1, Ordering::Relaxed) // mem: id-alloc
 }
 
 /// Builds a strategy by name: `"spin"`, `"yield"` or `"park"`.

@@ -10,6 +10,8 @@
 //! bakery-experiments --list
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use bakery_harness::experiments::{run_experiments, ExperimentId};

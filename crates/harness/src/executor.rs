@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, Ordering};
+use bakery_core::sync::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -58,7 +58,7 @@ struct Task {
 impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Task")
-            .field("queued", &self.queued.load(Ordering::Relaxed))
+            .field("queued", &self.queued.load(Ordering::Relaxed)) // mem: stats-relaxed
             .finish_non_exhaustive()
     }
 }
@@ -67,7 +67,7 @@ impl Wake for Task {
     fn wake(self: Arc<Self>) {
         // First wake wins; the flag is cleared by the worker just before it
         // polls, so a wake landing mid-poll re-enqueues for one more poll.
-        if !self.queued.swap(true, Ordering::SeqCst) {
+        if !self.queued.swap(true, Ordering::SeqCst) { // mem: harness-probe
             let core = Arc::clone(&self.core);
             core.ready.lock().unwrap().push_back(self);
             core.work_cv.notify_one();
@@ -156,7 +156,7 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
-        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.core.shutdown.store(true, Ordering::SeqCst); // mem: harness-probe
         self.core.work_cv.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -172,7 +172,7 @@ fn worker_loop(core: &Arc<Core>) {
                 if let Some(task) = ready.pop_front() {
                     break task;
                 }
-                if core.shutdown.load(Ordering::SeqCst) {
+                if core.shutdown.load(Ordering::SeqCst) { // mem: harness-probe
                     return;
                 }
                 ready = core.work_cv.wait(ready).unwrap();
@@ -189,7 +189,7 @@ fn poll_task(core: &Arc<Core>, task: &Arc<Task>) {
     let mut slot = task.future.lock().unwrap();
     // Clear *after* taking the lock and *before* polling: any wake from the
     // poll itself (or from another thread during it) re-enqueues.
-    task.queued.store(false, Ordering::SeqCst);
+    task.queued.store(false, Ordering::SeqCst); // mem: harness-probe
     let Some(future) = slot.as_mut() else {
         return; // completed by an earlier poll; this was a late wake
     };

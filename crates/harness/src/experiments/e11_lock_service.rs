@@ -33,7 +33,7 @@
 //! sections anywhere ([`ServiceResult::aliasing_violations`] must be zero,
 //! which [`run`] and the conformance suite both check).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use bakery_core::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -225,21 +225,21 @@ pub fn run_service(
     let in_cs = AtomicU64::new(0);
 
     let serve_one = |session: &bakery_core::Session| {
-        if leased[session.pid()].fetch_add(1, Ordering::SeqCst) != 0 {
-            violations.fetch_add(1, Ordering::SeqCst);
+        if leased[session.pid()].fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+            violations.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
         }
         for _ in 0..config.cs_per_session {
             let guard = session.lock();
-            if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
-                violations.fetch_add(1, Ordering::SeqCst);
+            if in_cs.fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+                violations.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
             }
             busy_work(config.cs_work);
-            in_cs.fetch_sub(1, Ordering::SeqCst);
+            in_cs.fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
             drop(guard);
         }
-        total_cs.fetch_add(config.cs_per_session, Ordering::SeqCst);
-        leased[session.pid()].fetch_sub(1, Ordering::SeqCst);
-        sessions.fetch_add(1, Ordering::SeqCst);
+        total_cs.fetch_add(config.cs_per_session, Ordering::SeqCst); // mem: harness-probe
+        leased[session.pid()].fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
+        sessions.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
     };
 
     let begun = Instant::now();
@@ -259,7 +259,7 @@ pub fn run_service(
     std::thread::scope(|scope| {
         for _ in 0..config.workers {
             scope.spawn(|| loop {
-                if next_client.fetch_add(1, Ordering::SeqCst) >= config.clients {
+                if next_client.fetch_add(1, Ordering::SeqCst) >= config.clients { // mem: harness-probe
                     return;
                 }
                 let session = plane.attach();
@@ -282,11 +282,11 @@ pub fn run_service(
     ServiceResult {
         algorithm,
         elapsed,
-        sessions: sessions.load(Ordering::SeqCst),
-        total_cs: total_cs.load(Ordering::SeqCst),
+        sessions: sessions.load(Ordering::SeqCst), // mem: harness-probe
+        total_cs: total_cs.load(Ordering::SeqCst), // mem: harness-probe
         attaches: stats.attaches,
         detaches: stats.detaches,
-        aliasing_violations: violations.load(Ordering::SeqCst),
+        aliasing_violations: violations.load(Ordering::SeqCst), // mem: harness-probe
         fast_path_hits: stats.fast_path_hits,
         migrations_forward: stats.migrations_forward,
         migrations_reverse: stats.migrations_reverse,

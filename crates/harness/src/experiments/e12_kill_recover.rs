@@ -63,7 +63,7 @@
 //!   protocol guarantees it, the probe asserts it on real threads).
 
 use std::mem;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use bakery_core::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -344,14 +344,14 @@ pub fn run_kill(lock: Arc<dyn RawMutexAlgorithm>, config: &KillConfig) -> KillRe
     let serve_cs = |session: &bakery_core::Session| {
         for _ in 0..config.cs_per_session {
             let guard = session.lock();
-            if in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
-                violations.fetch_add(1, Ordering::SeqCst);
+            if in_cs.fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+                violations.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
             }
             busy_work(config.cs_work);
-            in_cs.fetch_sub(1, Ordering::SeqCst);
+            in_cs.fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
             drop(guard);
         }
-        total_cs.fetch_add(config.cs_per_session, Ordering::SeqCst);
+        total_cs.fetch_add(config.cs_per_session, Ordering::SeqCst); // mem: harness-probe
     };
 
     let mut injected_crashes = 0u64;
@@ -371,19 +371,19 @@ pub fn run_kill(lock: Arc<dyn RawMutexAlgorithm>, config: &KillConfig) -> KillRe
         std::thread::scope(|scope| {
             for _ in 0..config.workers {
                 scope.spawn(|| loop {
-                    let client = next_client.fetch_add(1, Ordering::SeqCst);
+                    let client = next_client.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
                     if client >= config.clients_per_round {
                         return;
                     }
                     let session = plane.attach();
-                    if leased[session.pid()].fetch_add(1, Ordering::SeqCst) != 0 {
-                        violations.fetch_add(1, Ordering::SeqCst);
+                    if leased[session.pid()].fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+                        violations.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
                     }
                     let crash = site_of[client];
                     if crash != Some(CrashSite::Doorway) {
                         serve_cs(&session);
                     }
-                    leased[session.pid()].fetch_sub(1, Ordering::SeqCst);
+                    leased[session.pid()].fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
                     match crash {
                         // The kill: the seat stays leased, nobody heartbeats
                         // it again.  (The leaked session is the point — a
@@ -391,7 +391,7 @@ pub fn run_kill(lock: Arc<dyn RawMutexAlgorithm>, config: &KillConfig) -> KillRe
                         Some(_) => mem::forget(session),
                         None => {
                             drop(session);
-                            completed.fetch_add(1, Ordering::SeqCst);
+                            completed.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
                         }
                     }
                 });
@@ -449,7 +449,7 @@ pub fn run_kill(lock: Arc<dyn RawMutexAlgorithm>, config: &KillConfig) -> KillRe
                 waiter.join().expect("waiter thread")
             });
             waiter_blocked.push(blocked);
-            completed.fetch_add(1, Ordering::SeqCst); // the waiter's session
+            completed.fetch_add(1, Ordering::SeqCst); // the waiter's session // mem: harness-probe
             quarantined += 1;
             cs_crashes += 1;
         }
@@ -464,17 +464,17 @@ pub fn run_kill(lock: Arc<dyn RawMutexAlgorithm>, config: &KillConfig) -> KillRe
     KillResult {
         algorithm,
         crash_period: config.crash_period,
-        completed_sessions: completed.load(Ordering::SeqCst),
+        completed_sessions: completed.load(Ordering::SeqCst), // mem: harness-probe
         injected_crashes,
         cs_crashes,
-        total_cs: total_cs.load(Ordering::SeqCst),
+        total_cs: total_cs.load(Ordering::SeqCst), // mem: harness-probe
         churn_elapsed,
         recycled_idle,
         quarantined,
         refused,
         seat_recoveries: stats.seat_recoveries,
         crash_aborts: stats.crash_aborts,
-        aliasing_violations: violations.load(Ordering::SeqCst),
+        aliasing_violations: violations.load(Ordering::SeqCst), // mem: harness-probe
         recovery,
         waiter_blocked,
     }
@@ -536,7 +536,7 @@ pub fn run_probe(site: CrashSite, mode: ScanMode, samples: usize) -> ProbeResult
             move || {
                 lock.acquire(0);
                 let entered = begun.elapsed();
-                let abort_ns = aborted.load(Ordering::SeqCst);
+                let abort_ns = aborted.load(Ordering::SeqCst); // mem: harness-probe
                 lock.release(0);
                 (entered, abort_ns)
             }
@@ -546,7 +546,7 @@ pub fn run_probe(site: CrashSite, mode: ScanMode, samples: usize) -> ProbeResult
         // only see number[1] == 0 after this store (same-thread program
         // order, SeqCst throughout), so a zero stamp at its CS entry would
         // be a genuine FCFS-under-crash violation.
-        aborted.store(begun.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        aborted.store(begun.elapsed().as_nanos() as u64, Ordering::SeqCst); // mem: harness-probe
         assert!(lock.crash_abort(1), "bakery++ supports the crash rule");
         let (entered, abort_ns) = waiter.join().expect("waiter thread");
         assert_eq!(lock.registers().read_number(1), 0, "dead ticket cleared");

@@ -31,7 +31,7 @@
 //! * no two critical sections overlap anywhere (the locks' mutual
 //!   exclusion, observed through a global in-CS counter).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bakery_core::sync::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -201,7 +201,7 @@ pub fn run_echo(strategy: &str, config: &EchoConfig) -> EchoResult {
             // One connection serves clients until the population is drained.
             while state
                 .remaining
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1)) // mem: harness-probe
                 .is_ok()
             {
                 let requested = Instant::now();
@@ -213,24 +213,24 @@ pub fn run_echo(strategy: &str, config: &EchoConfig) -> EchoResult {
                     .expect("attach histogram poisoned")
                     .record(attach_ns);
                 let pid = session.pid();
-                if state.leased[pid].fetch_add(1, Ordering::SeqCst) != 0 {
-                    state.aliasing.fetch_add(1, Ordering::SeqCst);
+                if state.leased[pid].fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+                    state.aliasing.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
                 }
                 for _ in 0..echoes {
                     let guard = session.lock_async().await;
-                    if state.in_cs.fetch_add(1, Ordering::SeqCst) != 0 {
-                        state.aliasing.fetch_add(1, Ordering::SeqCst);
+                    if state.in_cs.fetch_add(1, Ordering::SeqCst) != 0 { // mem: harness-probe
+                        state.aliasing.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
                     }
                     busy_work(payload);
-                    state.echoes.fetch_add(1, Ordering::SeqCst);
-                    state.in_cs.fetch_sub(1, Ordering::SeqCst);
+                    state.echoes.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
+                    state.in_cs.fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
                     drop(guard);
                 }
                 // Clear the marker strictly before the seat can be re-leased
                 // (the session drop below is what frees it).
-                state.leased[pid].fetch_sub(1, Ordering::SeqCst);
+                state.leased[pid].fetch_sub(1, Ordering::SeqCst); // mem: harness-probe
                 drop(session);
-                state.sessions.fetch_add(1, Ordering::SeqCst);
+                state.sessions.fetch_add(1, Ordering::SeqCst); // mem: harness-probe
             }
         });
     }
@@ -242,11 +242,11 @@ pub fn run_echo(strategy: &str, config: &EchoConfig) -> EchoResult {
         std::mem::take(&mut *state.attach.lock().expect("attach histogram poisoned"));
     EchoResult {
         strategy: strategy.to_string(),
-        completed_sessions: state.sessions.load(Ordering::SeqCst),
-        echoes: state.echoes.load(Ordering::SeqCst),
+        completed_sessions: state.sessions.load(Ordering::SeqCst), // mem: harness-probe
+        echoes: state.echoes.load(Ordering::SeqCst), // mem: harness-probe
         elapsed,
         attach_latency,
-        aliasing_violations: state.aliasing.load(Ordering::SeqCst),
+        aliasing_violations: state.aliasing.load(Ordering::SeqCst), // mem: harness-probe
         parks: park.as_ref().map_or(0, |p| p.parks()),
         notifies: park.as_ref().map_or(0, |p| p.notifies()),
         park_timeouts: park.as_ref().map_or(0, |p| p.timeouts()),

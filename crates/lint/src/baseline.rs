@@ -1,0 +1,177 @@
+//! The ratchet baseline: per-file ordering counts pinned in
+//! `lint-baseline.json` (bakery-json wire format).
+//!
+//! The baseline makes unjustified-`SeqCst` debt one-directional: a file's
+//! `SeqCst` count may shrink freely but can only grow through an explicit
+//! `--update-baseline`, which shows up in review as a diff to the committed
+//! file.
+
+use std::collections::BTreeMap;
+
+use bakery_json::Value;
+
+use crate::lexer::{FileScan, TokenKind};
+
+/// Schema tag written into the baseline file.
+pub const SCHEMA: &str = "bakery-lint-baseline/v1";
+
+/// Ordering counts for one file (non-test scope only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileCounts {
+    /// `Ordering::SeqCst` tokens.
+    pub seqcst: u64,
+    /// `Ordering::Relaxed` tokens.
+    pub relaxed: u64,
+    /// `Ordering::Acquire` tokens.
+    pub acquire: u64,
+    /// `Ordering::Release` tokens.
+    pub release: u64,
+    /// `Ordering::AcqRel` tokens.
+    pub acqrel: u64,
+    /// `fence(` calls.
+    pub fences: u64,
+}
+
+impl FileCounts {
+    /// Counts a scan's non-test events.
+    #[must_use]
+    pub fn of(scan: &FileScan) -> Self {
+        let mut c = Self::default();
+        for e in scan.events.iter().filter(|e| !e.in_test) {
+            match e.kind {
+                TokenKind::SeqCst => c.seqcst += 1,
+                TokenKind::Relaxed => c.relaxed += 1,
+                TokenKind::Acquire => c.acquire += 1,
+                TokenKind::Release => c.release += 1,
+                TokenKind::AcqRel => c.acqrel += 1,
+                TokenKind::Fence => c.fences += 1,
+                TokenKind::Unsafe | TokenKind::AtomicImport => {}
+            }
+        }
+        c
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// The parsed (or freshly computed) baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-file counts, keyed by workspace-relative path.
+    pub files: BTreeMap<String, FileCounts>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a fresh scan (files with all-zero counts are
+    /// omitted, so the committed JSON stays small and diff-friendly).
+    #[must_use]
+    pub fn from_scans(scans: &[FileScan]) -> Self {
+        let mut files = BTreeMap::new();
+        for scan in scans {
+            let counts = FileCounts::of(scan);
+            if !counts.is_zero() {
+                files.insert(scan.rel.clone(), counts);
+            }
+        }
+        Self { files }
+    }
+
+    /// The ratcheted `SeqCst` allowance for `path` (0 for unknown files).
+    #[must_use]
+    pub fn seqcst_for(&self, path: &str) -> u64 {
+        self.files.get(path).map_or(0, |c| c.seqcst)
+    }
+
+    /// Serializes to the committed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let files = self
+            .files
+            .iter()
+            .map(|(path, c)| {
+                Value::Object(vec![
+                    ("path".into(), Value::Str(path.clone())),
+                    ("seqcst".into(), Value::Int(c.seqcst.into())),
+                    ("relaxed".into(), Value::Int(c.relaxed.into())),
+                    ("acquire".into(), Value::Int(c.acquire.into())),
+                    ("release".into(), Value::Int(c.release.into())),
+                    ("acqrel".into(), Value::Int(c.acqrel.into())),
+                    ("fences".into(), Value::Int(c.fences.into())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("files".into(), Value::Array(files)),
+        ])
+    }
+
+    /// Parses the committed JSON document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = bakery_json::parse(text).map_err(|e| e.to_string())?;
+        let schema = value.get("schema").and_then(Value::as_str).unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(format!("unexpected baseline schema `{schema}`"));
+        }
+        let mut files = BTreeMap::new();
+        let entries = value
+            .get("files")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "baseline has no `files` array".to_string())?;
+        for entry in entries {
+            let path = entry
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "baseline entry without `path`".to_string())?
+                .to_string();
+            let count = |key: &str| -> u64 {
+                entry.get(key).and_then(Value::as_i128).unwrap_or(0).max(0) as u64
+            };
+            files.insert(
+                path,
+                FileCounts {
+                    seqcst: count("seqcst"),
+                    relaxed: count("relaxed"),
+                    acquire: count("acquire"),
+                    release: count("release"),
+                    acqrel: count("acqrel"),
+                    fences: count("fences"),
+                },
+            );
+        }
+        Ok(Self { files })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan_str;
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let scans = vec![
+            scan_str("a.rs", "fn f() { a.load(Ordering::SeqCst); fence(Ordering::SeqCst); }", false),
+            scan_str("b.rs", "fn g() { b.load(Ordering::Relaxed); }", false),
+            scan_str("c.rs", "fn h() {}", false),
+        ];
+        let baseline = Baseline::from_scans(&scans);
+        assert_eq!(baseline.seqcst_for("a.rs"), 2);
+        assert_eq!(baseline.seqcst_for("c.rs"), 0, "all-zero files are omitted");
+        let text = baseline.to_json().to_pretty_string();
+        let reparsed = Baseline::from_json(&text).unwrap();
+        assert_eq!(reparsed, baseline);
+    }
+
+    #[test]
+    fn test_scope_does_not_count() {
+        let scans = vec![scan_str(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn f() { a.load(Ordering::SeqCst); } }",
+            false,
+        )];
+        assert_eq!(Baseline::from_scans(&scans).seqcst_for("a.rs"), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Parser for the `MEMORY_ORDERING.md` protocol catalog.
+//!
+//! The catalog is ordinary markdown; the lint only reads the `## `-level
+//! entry headings, which look like:
+//!
+//! ```markdown
+//! ## `doorway-dekker` (paired: publish/scan)
+//! ## `stats-relaxed`
+//! ```
+//!
+//! A `(paired: a/b)` suffix declares a two-sided handshake whose annotations
+//! must carry a `.a` / `.b` side tag, and whose sides must *both* appear
+//! somewhere in the workspace.
+
+use std::collections::BTreeMap;
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct Protocol {
+    /// Entry name (the annotation spells this exactly).
+    pub name: String,
+    /// Declared sides for paired protocols, empty for unpaired ones.
+    pub sides: Vec<String>,
+}
+
+/// The parsed catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, Protocol>,
+}
+
+impl Catalog {
+    /// Parses the catalog out of `MEMORY_ORDERING.md` text.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("## `") else {
+                continue;
+            };
+            let Some(tick) = rest.find('`') else {
+                continue;
+            };
+            let name = rest[..tick].to_string();
+            let suffix = &rest[tick + 1..];
+            let sides = suffix
+                .find("(paired:")
+                .map(|p| {
+                    suffix[p + 8..]
+                        .trim_end()
+                        .trim_end_matches(')')
+                        .split('/')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.insert(name.clone(), Protocol { name, sides });
+        }
+        Self { entries }
+    }
+
+    /// Looks up an entry by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Protocol> {
+        self.entries.get(name)
+    }
+
+    /// All entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Protocol> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paired_and_unpaired_entries() {
+        let cat = Catalog::parse(
+            "# title\n## `doorway-dekker` (paired: publish/scan)\nprose\n## `stats-relaxed`\n",
+        );
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("doorway-dekker").unwrap().sides, vec!["publish", "scan"]);
+        assert!(cat.get("stats-relaxed").unwrap().sides.is_empty());
+        assert!(cat.get("nope").is_none());
+    }
+}

@@ -1,0 +1,571 @@
+//! A tiny comment/string/raw-string aware Rust scanner.
+//!
+//! `bakery-lint` deliberately does not parse Rust (`syn` is not in the
+//! vendored dependency set, and the build is offline): it lexes just enough
+//! of the language to separate *code* from comments and string literals, and
+//! then extracts the handful of tokens the rules care about — ordering
+//! names, `fence` calls, `unsafe`, direct `std::sync::atomic` import paths,
+//! `#![forbid(unsafe_code)]`, `// mem:` annotations, and `#[cfg(test)] mod`
+//! regions (whose contents are exempt from the source-code rules).
+
+/// What kind of interesting token an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `Ordering::SeqCst` (through any `*Ordering`-named path segment).
+    SeqCst,
+    /// `Ordering::Relaxed`.
+    Relaxed,
+    /// `Ordering::Acquire`.
+    Acquire,
+    /// `Ordering::Release`.
+    Release,
+    /// `Ordering::AcqRel`.
+    AcqRel,
+    /// A `fence(` call.
+    Fence,
+    /// The `unsafe` keyword.
+    Unsafe,
+    /// A direct `std::sync::atomic` / `core::sync::atomic` /
+    /// `loom::sync::atomic` path (a facade bypass unless allowlisted).
+    AtomicImport,
+}
+
+impl TokenKind {
+    /// True for the two orderings that require a `// mem:` justification.
+    #[must_use]
+    pub fn needs_justification(self) -> bool {
+        matches!(self, TokenKind::SeqCst | TokenKind::Relaxed)
+    }
+}
+
+/// One interesting token in a scanned file.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// 1-based line number.
+    pub line: usize,
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Whether the token sits in test-exempt scope (a `#[cfg(test)]` module,
+    /// or a file under `tests/` / `examples/`).
+    pub in_test: bool,
+}
+
+/// A `// mem: <protocol>[.<side>]` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line number of the comment itself.
+    pub line: usize,
+    /// The line the annotation covers: its own line for trailing comments,
+    /// the next line for standalone comment lines.
+    pub covers: usize,
+    /// Protocol name (before the optional `.side`).
+    pub protocol: String,
+    /// Optional side tag for paired protocols.
+    pub side: Option<String>,
+    /// Whether the annotation sits in test-exempt scope.
+    pub in_test: bool,
+}
+
+/// The scan result for one file.
+#[derive(Debug, Clone)]
+pub struct FileScan {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Interesting tokens, in file order.
+    pub events: Vec<Event>,
+    /// `// mem:` annotations, in file order.
+    pub annotations: Vec<Annotation>,
+    /// Whether the file contains `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+    /// Whether the whole file is test-exempt (path under `tests/`,
+    /// `examples/` or a benches directory).
+    pub test_path: bool,
+}
+
+/// Replaces comments and string/char literals with spaces (newlines kept) so
+/// token extraction can treat the result as pure code, and collects plain
+/// `//` line comments (doc comments excluded) as `(byte_offset, text)`.
+fn strip(content: &str) -> (Vec<u8>, Vec<(usize, String)>) {
+    let b = content.as_bytes();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                i += 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &content[start + 2..i];
+                // `///` and `//!` are doc comments, not annotations.
+                if !text.starts_with('/') && !text.starts_with('!') {
+                    comments.push((start, text.to_string()));
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if !prev_is_ident(b, i) && raw_string_start(b, i).is_some() => {
+                let (body_start, hashes) = raw_string_start(b, i).expect("checked above");
+                let start = i;
+                i = body_start;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < b.len() {
+                    if b[i] == b'"' && b[i..].starts_with(&closer) {
+                        i += closer.len();
+                        break;
+                    }
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'b' if !prev_is_ident(b, i) && i + 1 < b.len() && b[i + 1] == b'"' => {
+                // b"..." byte string: let the `"` arm handle it next round.
+                i += 1;
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let start = i;
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    blank(&mut out, start, i);
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    blank(&mut out, i, i + 3);
+                    i += 3;
+                } else {
+                    // A lifetime (or a stray quote): leave as code.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (out, comments)
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If `i` starts a raw (byte) string opener (`r"`, `r#"`, `br##"`, ...),
+/// returns `(body_start, hash_count)`.
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Byte ranges of `#[cfg(test)] mod { ... }` bodies in the code-only text.
+fn test_mod_ranges(code: &[u8]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find(code, b"cfg", i) {
+        i = pos + 3;
+        if !cfg_mentions_test(code, pos + 3) {
+            continue;
+        }
+        // A test cfg: does a `mod` follow closely (the attribute's item)?
+        let window_end = (pos + 160).min(code.len());
+        let Some(mod_pos) = find_word(code, b"mod", pos, window_end) else {
+            continue;
+        };
+        let Some(brace) = code[mod_pos..window_end.max(mod_pos + 80).min(code.len())]
+            .iter()
+            .position(|&c| c == b'{')
+            .map(|p| mod_pos + p)
+        else {
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut j = brace + 1;
+        while j < code.len() && depth > 0 {
+            match code[j] {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((brace, j));
+        i = j;
+    }
+    ranges
+}
+
+/// True when the parenthesised list right after a `cfg` occurrence names
+/// `test` (covers `cfg(test)`, `cfg(all(test, ...))`, `cfg(any(..., test))`).
+fn cfg_mentions_test(code: &[u8], after_cfg: usize) -> bool {
+    if after_cfg >= code.len() || code[after_cfg] != b'(' {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut j = after_cfg;
+    let mut end = code.len();
+    while j < code.len() {
+        match code[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    find_word(code, b"test", after_cfg, end).is_some()
+}
+
+fn find(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Finds `word` in `hay[from..to]` at identifier boundaries.
+fn find_word(hay: &[u8], word: &[u8], from: usize, to: usize) -> Option<usize> {
+    let mut i = from;
+    let to = to.min(hay.len());
+    while let Some(pos) = find(&hay[..to], word, i) {
+        let before_ok = !prev_is_ident(hay, pos);
+        let after = pos + word.len();
+        let after_ok =
+            after >= hay.len() || (!hay[after].is_ascii_alphanumeric() && hay[after] != b'_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        i = pos + 1;
+    }
+    None
+}
+
+const ORDERING_WORDS: [(&str, TokenKind); 5] = [
+    ("SeqCst", TokenKind::SeqCst),
+    ("Relaxed", TokenKind::Relaxed),
+    ("Acquire", TokenKind::Acquire),
+    ("Release", TokenKind::Release),
+    ("AcqRel", TokenKind::AcqRel),
+];
+
+const ATOMIC_PATHS: [&str; 3] = ["std::sync::atomic", "core::sync::atomic", "loom::sync::atomic"];
+
+/// Scans one file's contents.
+#[must_use]
+pub fn scan_str(rel: &str, content: &str, test_path: bool) -> FileScan {
+    let (code, comments) = strip(content);
+    let test_ranges = test_mod_ranges(&code);
+    let in_test_at =
+        |off: usize| test_path || test_ranges.iter().any(|&(s, e)| off >= s && off < e);
+
+    // Byte offset of each line start, for offset -> line mapping.
+    let mut line_starts = vec![0usize];
+    for (i, &c) in code.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| match line_starts.binary_search(&off) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+
+    let mut events = Vec::new();
+    // Ordering words: only behind a `::` whose previous path segment ends in
+    // `Ordering` (so `SiteKind::Release` or `cmp::Ordering::Less` never
+    // match, while `StdOrdering::SeqCst` aliases do).
+    for (word, kind) in ORDERING_WORDS {
+        let mut i = 0;
+        while let Some(pos) = find_word(&code, word.as_bytes(), i, code.len()) {
+            i = pos + word.len();
+            if pos >= 2 && &code[pos - 2..pos] == b"::" {
+                let mut seg_end = pos - 2;
+                while seg_end > 0
+                    && (code[seg_end - 1].is_ascii_alphanumeric() || code[seg_end - 1] == b'_')
+                {
+                    seg_end -= 1;
+                }
+                let segment = &code[seg_end..pos - 2];
+                if segment.ends_with(b"Ordering") {
+                    events.push(Event { line: line_of(pos), kind, in_test: in_test_at(pos) });
+                }
+            }
+        }
+    }
+    // `fence(` calls.
+    let mut i = 0;
+    while let Some(pos) = find_word(&code, b"fence", i, code.len()) {
+        i = pos + 5;
+        let mut j = pos + 5;
+        while j < code.len() && (code[j] == b' ' || code[j] == b'\t') {
+            j += 1;
+        }
+        if j < code.len() && code[j] == b'(' {
+            events.push(Event { line: line_of(pos), kind: TokenKind::Fence, in_test: in_test_at(pos) });
+        }
+    }
+    // `unsafe` keyword.
+    let mut i = 0;
+    while let Some(pos) = find_word(&code, b"unsafe", i, code.len()) {
+        i = pos + 6;
+        events.push(Event { line: line_of(pos), kind: TokenKind::Unsafe, in_test: in_test_at(pos) });
+    }
+    // Direct atomic import paths.
+    for path in ATOMIC_PATHS {
+        let mut i = 0;
+        while let Some(pos) = find(&code, path.as_bytes(), i) {
+            i = pos + path.len();
+            if !prev_is_ident(&code, pos) {
+                events.push(Event {
+                    line: line_of(pos),
+                    kind: TokenKind::AtomicImport,
+                    in_test: in_test_at(pos),
+                });
+            }
+        }
+    }
+    events.sort_by_key(|e| e.line);
+
+    // Annotations from plain line comments.
+    let mut annotations = Vec::new();
+    for (off, text) in &comments {
+        let Some(mem_pos) = text.find("mem:") else {
+            continue;
+        };
+        let boundary_ok = mem_pos == 0
+            || matches!(text.as_bytes()[mem_pos - 1], b' ' | b'\t' | b'/');
+        if !boundary_ok {
+            continue;
+        }
+        let spec = text[mem_pos + 4..].trim_start();
+        let name: String = spec
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_' || *c == '.')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let line = line_of(*off);
+        // Standalone comment line (nothing but whitespace before it in the
+        // code-only text) covers the next line; trailing covers its own.
+        let ls = line_starts[line - 1];
+        let own_line = code[ls..*off].iter().all(|&c| c == b' ' || c == b'\t');
+        let (protocol, side) = match name.split_once('.') {
+            Some((p, s)) => (p.to_string(), Some(s.to_string())),
+            None => (name.clone(), None),
+        };
+        annotations.push(Annotation {
+            line,
+            covers: if own_line { line + 1 } else { line },
+            protocol,
+            side,
+            in_test: in_test_at(*off),
+        });
+    }
+
+    let has_forbid_unsafe = content.contains("forbid(unsafe_code)");
+    FileScan { rel: rel.to_string(), events, annotations, has_forbid_unsafe, test_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let scan = scan_str(
+            "x.rs",
+            r##"
+fn f() {
+    let _s = "Ordering::SeqCst inside a string";
+    let _r = r#"Ordering::Relaxed raw"#;
+    // a comment mentioning Ordering::SeqCst
+    /* block Ordering::SeqCst */
+    a.load(Ordering::SeqCst) // mem: epoch-cycle
+}
+"##,
+            false,
+        );
+        let seqcst: Vec<_> =
+            scan.events.iter().filter(|e| e.kind == TokenKind::SeqCst).collect();
+        assert_eq!(seqcst.len(), 1);
+        assert_eq!(seqcst[0].line, 7);
+        assert_eq!(scan.annotations.len(), 1);
+        assert_eq!(scan.annotations[0].protocol, "epoch-cycle");
+        assert_eq!(scan.annotations[0].covers, 7);
+    }
+
+    #[test]
+    fn non_ordering_paths_do_not_match() {
+        let scan = scan_str(
+            "x.rs",
+            "fn f() { let _ = SiteKind::Release; let _ = std::cmp::Ordering::Less; }",
+            false,
+        );
+        assert!(scan.events.iter().all(|e| e.kind != TokenKind::Release));
+    }
+
+    #[test]
+    fn aliased_ordering_paths_match() {
+        let scan = scan_str(
+            "x.rs",
+            "fn f() { a.load(StdOrdering::SeqCst); fence(Ordering::SeqCst); }",
+            false,
+        );
+        assert_eq!(
+            scan.events.iter().filter(|e| e.kind == TokenKind::SeqCst).count(),
+            2
+        );
+        assert_eq!(
+            scan.events.iter().filter(|e| e.kind == TokenKind::Fence).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_scope() {
+        let src = "
+fn f() { a.load(Ordering::SeqCst); }
+#[cfg(all(test, not(loom)))]
+mod tests {
+    fn g() { b.load(Ordering::SeqCst); }
+}
+";
+        let scan = scan_str("x.rs", src, false);
+        let flags: Vec<bool> = scan
+            .events
+            .iter()
+            .filter(|e| e.kind == TokenKind::SeqCst)
+            .map(|e| e.in_test)
+            .collect();
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_line() {
+        let src = "fn f() {\n    // mem: seat-word\n    a.load(Ordering::SeqCst);\n}\n";
+        let scan = scan_str("x.rs", src, false);
+        assert_eq!(scan.annotations[0].covers, 3);
+    }
+
+    #[test]
+    fn facade_bypass_and_own_facade_paths() {
+        let scan = scan_str(
+            "x.rs",
+            "use std::sync::atomic::{AtomicU64, Ordering};\nuse bakery_core::sync::AtomicU64;\n",
+            false,
+        );
+        assert_eq!(
+            scan.events.iter().filter(|e| e.kind == TokenKind::AtomicImport).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let scan = scan_str(
+            "x.rs",
+            "fn f<'a>(x: &'a str) { let _c = '\"'; let _d = '\\''; a.load(Ordering::SeqCst); }",
+            false,
+        );
+        assert_eq!(
+            scan.events.iter().filter(|e| e.kind == TokenKind::SeqCst).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn doc_comments_never_annotate() {
+        let scan = scan_str(
+            "x.rs",
+            "/// mem: epoch-cycle\nfn f() { a.load(Ordering::SeqCst); }\n",
+            false,
+        );
+        assert!(scan.annotations.is_empty());
+    }
+
+    #[test]
+    fn side_tags_parse() {
+        let scan = scan_str(
+            "x.rs",
+            "fence(Ordering::SeqCst); // mem: doorway-dekker.publish\n",
+            false,
+        );
+        assert_eq!(scan.annotations[0].protocol, "doorway-dekker");
+        assert_eq!(scan.annotations[0].side.as_deref(), Some("publish"));
+    }
+
+    #[test]
+    fn unsafe_token_is_reported() {
+        let scan = scan_str("x.rs", "fn f() { unsafe { g(); } }", false);
+        assert_eq!(
+            scan.events.iter().filter(|e| e.kind == TokenKind::Unsafe).count(),
+            1
+        );
+    }
+}

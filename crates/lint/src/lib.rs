@@ -1,0 +1,142 @@
+//! # bakery-lint
+//!
+//! A zero-dependency static-analysis plane for the bakery workspace's
+//! memory-ordering and synchronization discipline.  The paper's correctness
+//! argument (and PR 1's "acquire/release plus two targeted `SeqCst` fences"
+//! regime) depends on *which* ordering every atomic access uses; this crate
+//! keeps those choices honest as the codebase grows:
+//!
+//! * **ordering-justification** — every `Ordering::SeqCst` / `Relaxed` site
+//!   in non-test code must carry a `// mem: <protocol>` annotation naming an
+//!   entry in the `MEMORY_ORDERING.md` catalog; paired (Dekker) protocols
+//!   must annotate both sides or the workspace fails the lint.
+//! * **sync-facade** — non-test code must reach atomics through the
+//!   `bakery_core::sync` facade so the loom shim always interposes; the
+//!   explicit [`rules::FACADE_ALLOWLIST`] carries the only exceptions, each
+//!   with a reason.
+//! * **forbid-unsafe** — every crate root keeps `#![forbid(unsafe_code)]`
+//!   and no `unsafe` token appears anywhere.
+//! * **ratchet** — per-file ordering counts are pinned in the committed
+//!   `lint-baseline.json`; `SeqCst` debt can only shrink without an explicit
+//!   `--update-baseline`.
+//!
+//! The scanner is a purpose-built lexer (comment / string / raw-string /
+//! char-literal aware, `#[cfg(test)] mod`-skipping) rather than a full
+//! parser: the build environment is offline and vendored, so `syn` is not
+//! available — and none of the rules need more than token extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod catalog;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+use bakery_json::Value;
+
+use baseline::Baseline;
+use catalog::Catalog;
+use lexer::FileScan;
+use rules::Diagnostic;
+
+/// Name of the committed ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+/// Name of the protocol catalog at the workspace root.
+pub const CATALOG_FILE: &str = "MEMORY_ORDERING.md";
+/// Schema tag of the JSON report.
+pub const REPORT_SCHEMA: &str = "bakery-lint-report/v1";
+
+/// Everything one lint run produces.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Per-file scans, sorted by path.
+    pub scans: Vec<FileScan>,
+    /// The parsed catalog.
+    pub catalog: Catalog,
+    /// Findings (empty means the workspace is clean).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintRun {
+    /// Scans the workspace at `root` and runs every rule against the
+    /// committed catalog and baseline.
+    pub fn check(root: &Path) -> std::io::Result<Self> {
+        let catalog_text = std::fs::read_to_string(root.join(CATALOG_FILE))?;
+        let catalog = Catalog::parse(&catalog_text);
+        let scans = workspace::scan_workspace(root)?;
+        let baseline = match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+            Ok(text) => Baseline::from_json(&text).ok(),
+            Err(_) => None,
+        };
+        let diagnostics = rules::check_files(&scans, &catalog, baseline.as_ref());
+        Ok(Self { scans, catalog, diagnostics })
+    }
+
+    /// The JSON report (uploaded as a CI artifact).
+    #[must_use]
+    pub fn report(&self) -> Value {
+        let mut totals = baseline::FileCounts::default();
+        let mut annotated = 0u64;
+        for scan in &self.scans {
+            let c = baseline::FileCounts::of(scan);
+            totals.seqcst += c.seqcst;
+            totals.relaxed += c.relaxed;
+            totals.acquire += c.acquire;
+            totals.release += c.release;
+            totals.acqrel += c.acqrel;
+            totals.fences += c.fences;
+            annotated += scan.annotations.iter().filter(|a| !a.in_test).count() as u64;
+        }
+        let diagnostics = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Value::Object(vec![
+                    ("rule".into(), Value::Str(d.rule.into())),
+                    ("path".into(), Value::Str(d.path.clone())),
+                    ("line".into(), Value::Int(d.line as i128)),
+                    ("message".into(), Value::Str(d.message.clone())),
+                ])
+            })
+            .collect();
+        let allowlist = rules::FACADE_ALLOWLIST
+            .iter()
+            .map(|(path, reason)| {
+                Value::Object(vec![
+                    ("path".into(), Value::Str((*path).into())),
+                    ("reason".into(), Value::Str((*reason).into())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::Str(REPORT_SCHEMA.into())),
+            ("files_scanned".into(), Value::Int(self.scans.len() as i128)),
+            ("catalog_entries".into(), Value::Int(self.catalog.len() as i128)),
+            (
+                "sites".into(),
+                Value::Object(vec![
+                    ("seqcst".into(), Value::Int(totals.seqcst.into())),
+                    ("relaxed".into(), Value::Int(totals.relaxed.into())),
+                    ("acquire".into(), Value::Int(totals.acquire.into())),
+                    ("release".into(), Value::Int(totals.release.into())),
+                    ("acqrel".into(), Value::Int(totals.acqrel.into())),
+                    ("fences".into(), Value::Int(totals.fences.into())),
+                ]),
+            ),
+            ("annotations".into(), Value::Int(annotated.into())),
+            ("diagnostics".into(), Value::Array(diagnostics)),
+            ("facade_allowlist".into(), Value::Array(allowlist)),
+        ])
+    }
+
+    /// A fresh ratchet baseline computed from this run's scans.
+    #[must_use]
+    pub fn fresh_baseline(&self) -> Baseline {
+        Baseline::from_scans(&self.scans)
+    }
+}

@@ -1,0 +1,128 @@
+//! `bakery-lint` CLI: `cargo run -p bakery-lint -- --check` is the CI gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bakery_lint::{LintRun, BASELINE_FILE};
+
+const USAGE: &str = "\
+bakery-lint — memory-ordering & sync-discipline static analysis
+
+USAGE:
+    bakery-lint [--check] [--update-baseline] [--json PATH] [--root PATH]
+
+MODES:
+    --check             scan the workspace and exit non-zero on any finding
+                        (the default when no mode is given)
+    --update-baseline   rewrite lint-baseline.json from a fresh scan
+
+OPTIONS:
+    --json PATH         also write the JSON report to PATH
+    --root PATH         workspace root (default: discovered from the cwd)
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut update_baseline = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--update-baseline" => update_baseline = true,
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match bakery_lint::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "bakery-lint: no workspace root (Cargo.toml + MEMORY_ORDERING.md) \
+                         above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let run = match LintRun::check(&root) {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("bakery-lint: scan failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &json_out {
+        let text = run.report().to_pretty_string();
+        if let Err(err) = std::fs::write(path, text + "\n") {
+            eprintln!("bakery-lint: cannot write report {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if update_baseline {
+        let text = run.fresh_baseline().to_json().to_pretty_string();
+        let path = root.join(BASELINE_FILE);
+        if let Err(err) = std::fs::write(&path, text + "\n") {
+            eprintln!("bakery-lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bakery-lint: wrote {}", path.display());
+        // Ratchet findings are expected to clear on the refreshed baseline;
+        // everything else still gates.
+        let remaining: Vec<_> =
+            run.diagnostics.iter().filter(|d| d.rule != "ratchet").collect();
+        for d in &remaining {
+            eprintln!("{d}");
+        }
+        return if remaining.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    for d in &run.diagnostics {
+        eprintln!("{d}");
+    }
+    let counts = run
+        .scans
+        .iter()
+        .map(bakery_lint::baseline::FileCounts::of)
+        .fold((0u64, 0u64), |acc, c| (acc.0 + c.seqcst, acc.1 + c.relaxed));
+    println!(
+        "bakery-lint: {} files, {} SeqCst + {} Relaxed justified sites, {} findings",
+        run.scans.len(),
+        counts.0,
+        counts.1,
+        run.diagnostics.len()
+    );
+    if run.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("bakery-lint: {message}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,286 @@
+//! The rule engine: ordering-justification, sync-facade, forbid-unsafe and
+//! the ratchet, over [`FileScan`]s produced by the lexer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::baseline::Baseline;
+use crate::catalog::Catalog;
+use crate::lexer::{FileScan, TokenKind};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`ordering-justification`, `sync-facade`,
+    /// `forbid-unsafe`, `ratchet`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// The facade rule's allowlist: files allowed to touch `std::sync::atomic`
+/// directly, each with a one-line reason (surfaced in the JSON report).
+pub const FACADE_ALLOWLIST: [(&str, &str); 2] = [
+    (
+        "crates/core/src/sync.rs",
+        "the facade itself: re-exports std (or loom) atomics behind --cfg loom",
+    ),
+    (
+        "crates/mc/src/store.rs",
+        "spill-file name allocator; bakery-mc does not depend on bakery-core and the \
+         counter never synchronizes with lock state",
+    ),
+];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every `src/lib.rs`
+/// and every binary root (`src/main.rs`, `src/bin/*.rs`).
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs")
+        || rel.ends_with("src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+/// Runs every per-file and cross-file rule. `baseline` is `None` when the
+/// committed `lint-baseline.json` is missing (itself a diagnostic).
+#[must_use]
+pub fn check_files(
+    files: &[FileScan],
+    catalog: &Catalog,
+    baseline: Option<&Baseline>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Paired-protocol side tracking: protocol -> sides seen (non-test).
+    let mut sides_seen: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut first_use: BTreeMap<String, (String, usize)> = BTreeMap::new();
+
+    for scan in files {
+        ordering_justification(scan, catalog, &mut sides_seen, &mut first_use, &mut diags);
+        sync_facade(scan, &mut diags);
+        forbid_unsafe(scan, &mut diags);
+    }
+
+    // Workspace-level half of the pairing rule: a paired protocol used with
+    // only a subset of its declared sides is a one-sided Dekker.
+    for (name, seen) in &sides_seen {
+        let Some(proto) = catalog.get(name) else {
+            continue; // unknown-protocol already reported per site
+        };
+        if proto.sides.is_empty() {
+            continue;
+        }
+        let missing: Vec<&String> =
+            proto.sides.iter().filter(|s| !seen.contains(*s)).collect();
+        if !missing.is_empty() {
+            let (path, line) = first_use.get(name).cloned().unwrap_or_default();
+            diags.push(Diagnostic {
+                rule: "ordering-justification",
+                path,
+                line,
+                message: format!(
+                    "paired protocol `{name}` is one-sided: side(s) {} never annotated \
+                     anywhere in the workspace",
+                    missing.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+
+    ratchet(files, baseline, &mut diags);
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+fn ordering_justification(
+    scan: &FileScan,
+    catalog: &Catalog,
+    sides_seen: &mut BTreeMap<String, BTreeSet<String>>,
+    first_use: &mut BTreeMap<String, (String, usize)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Lines covered by at least one annotation, and per-annotation validity.
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    for ann in scan.annotations.iter().filter(|a| !a.in_test) {
+        covered.insert(ann.covers);
+        match catalog.get(&ann.protocol) {
+            None => diags.push(Diagnostic {
+                rule: "ordering-justification",
+                path: scan.rel.clone(),
+                line: ann.line,
+                message: format!(
+                    "`// mem: {}` names no MEMORY_ORDERING.md catalog entry",
+                    ann.protocol
+                ),
+            }),
+            Some(proto) => {
+                if proto.sides.is_empty() {
+                    if let Some(side) = &ann.side {
+                        diags.push(Diagnostic {
+                            rule: "ordering-justification",
+                            path: scan.rel.clone(),
+                            line: ann.line,
+                            message: format!(
+                                "protocol `{}` is unpaired but the annotation carries side \
+                                 `.{side}`",
+                                ann.protocol
+                            ),
+                        });
+                    }
+                } else {
+                    match &ann.side {
+                        None => diags.push(Diagnostic {
+                            rule: "ordering-justification",
+                            path: scan.rel.clone(),
+                            line: ann.line,
+                            message: format!(
+                                "paired protocol `{}` needs a side tag ({})",
+                                ann.protocol,
+                                proto.sides.join("/")
+                            ),
+                        }),
+                        Some(side) if !proto.sides.contains(side) => diags.push(Diagnostic {
+                            rule: "ordering-justification",
+                            path: scan.rel.clone(),
+                            line: ann.line,
+                            message: format!(
+                                "`.{side}` is not a side of `{}` (declared: {})",
+                                ann.protocol,
+                                proto.sides.join("/")
+                            ),
+                        }),
+                        Some(side) => {
+                            sides_seen
+                                .entry(ann.protocol.clone())
+                                .or_default()
+                                .insert(side.clone());
+                            first_use
+                                .entry(ann.protocol.clone())
+                                .or_insert_with(|| (scan.rel.clone(), ann.line));
+                        }
+                    }
+                }
+            }
+        }
+        // A justification that covers no SeqCst/Relaxed token is stale: it
+        // would silently stop gating if the site under it moved away.
+        let covers_site = scan
+            .events
+            .iter()
+            .any(|e| e.line == ann.covers && e.kind.needs_justification() && !e.in_test);
+        if !covers_site {
+            diags.push(Diagnostic {
+                rule: "ordering-justification",
+                path: scan.rel.clone(),
+                line: ann.line,
+                message: format!(
+                    "stale `// mem: {}`: no SeqCst/Relaxed site on the covered line",
+                    ann.protocol
+                ),
+            });
+        }
+    }
+
+    // Every SeqCst/Relaxed token outside test scope must sit on a covered
+    // line.  One diagnostic per line, not per token: a line with both CAS
+    // orderings is one site to fix.
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for event in &scan.events {
+        if event.in_test || !event.kind.needs_justification() {
+            continue;
+        }
+        if !covered.contains(&event.line) && flagged.insert(event.line) {
+            let name = match event.kind {
+                TokenKind::SeqCst => "SeqCst",
+                _ => "Relaxed",
+            };
+            diags.push(Diagnostic {
+                rule: "ordering-justification",
+                path: scan.rel.clone(),
+                line: event.line,
+                message: format!(
+                    "unannotated `Ordering::{name}`: add `// mem: <protocol>` naming a \
+                     MEMORY_ORDERING.md entry"
+                ),
+            });
+        }
+    }
+}
+
+fn sync_facade(scan: &FileScan, diags: &mut Vec<Diagnostic>) {
+    if scan.test_path {
+        return;
+    }
+    if FACADE_ALLOWLIST.iter().any(|(path, _)| scan.rel == *path) {
+        return;
+    }
+    for event in &scan.events {
+        if event.kind == TokenKind::AtomicImport && !event.in_test {
+            diags.push(Diagnostic {
+                rule: "sync-facade",
+                path: scan.rel.clone(),
+                line: event.line,
+                message: "direct std/loom atomic path bypasses the `bakery_core::sync` \
+                          facade (loom would not interpose here)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn forbid_unsafe(scan: &FileScan, diags: &mut Vec<Diagnostic>) {
+    if is_crate_root(&scan.rel) && !scan.has_forbid_unsafe {
+        diags.push(Diagnostic {
+            rule: "forbid-unsafe",
+            path: scan.rel.clone(),
+            line: 0,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    for event in &scan.events {
+        if event.kind == TokenKind::Unsafe {
+            diags.push(Diagnostic {
+                rule: "forbid-unsafe",
+                path: scan.rel.clone(),
+                line: event.line,
+                message: "`unsafe` token in a forbid(unsafe_code) workspace".to_string(),
+            });
+        }
+    }
+}
+
+fn ratchet(files: &[FileScan], baseline: Option<&Baseline>, diags: &mut Vec<Diagnostic>) {
+    let Some(baseline) = baseline else {
+        diags.push(Diagnostic {
+            rule: "ratchet",
+            path: "lint-baseline.json".to_string(),
+            line: 0,
+            message: "committed baseline missing: run `bakery-lint --update-baseline`"
+                .to_string(),
+        });
+        return;
+    };
+    for scan in files {
+        let counts = crate::baseline::FileCounts::of(scan);
+        let allowed = baseline.seqcst_for(&scan.rel);
+        if counts.seqcst > allowed {
+            diags.push(Diagnostic {
+                rule: "ratchet",
+                path: scan.rel.clone(),
+                line: 0,
+                message: format!(
+                    "SeqCst count {} exceeds the ratchet baseline {} — justify the new \
+                     site(s), then refresh with `bakery-lint --update-baseline`",
+                    counts.seqcst, allowed
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Fixture-based self-tests for every `bakery-lint` rule, plus the two
+//! workspace-level pins the PR's acceptance criteria name: the committed
+//! ratchet baseline must equal a fresh scan, and removing any single
+//! `// mem:` annotation from real protocol code must produce a finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use bakery_lint::baseline::Baseline;
+use bakery_lint::catalog::Catalog;
+use bakery_lint::lexer::scan_str;
+use bakery_lint::rules::{check_files, Diagnostic};
+use bakery_lint::{workspace, LintRun, BASELINE_FILE};
+
+/// The fixture catalog: one unpaired entry, one justified-Relaxed entry and
+/// one paired Dekker handshake.
+fn fixture_catalog() -> Catalog {
+    Catalog::parse(
+        "# fixture\n\
+         ## `epoch-cycle`\n\
+         ## `stats-relaxed`\n\
+         ## `doorway-dekker` (paired: choosing/ticket)\n",
+    )
+}
+
+/// Lints one non-test fixture file against a baseline derived from itself,
+/// so only non-ratchet rules can fire.
+fn lint_fixture(src: &str) -> Vec<Diagnostic> {
+    let scans = vec![scan_str("crates/demo/src/lib.rs", src, false)];
+    let baseline = Baseline::from_scans(&scans);
+    check_files(&scans, &fixture_catalog(), Some(&baseline))
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+const GOOD_HEADER: &str = "#![forbid(unsafe_code)]\nuse bakery_core::sync::Ordering;\n";
+
+// ---------------------------------------------------------------- ordering
+
+#[test]
+fn unannotated_seqcst_is_exactly_one_diagnostic() {
+    let bad = format!("{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }}\n");
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("unannotated `Ordering::SeqCst`"));
+}
+
+#[test]
+fn annotated_seqcst_passes() {
+    let good =
+        format!("{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }} // mem: epoch-cycle\n");
+    assert_eq!(lint_fixture(&good), vec![], "annotated fixture must be clean");
+}
+
+#[test]
+fn standalone_annotation_covers_next_line() {
+    let good = format!(
+        "{GOOD_HEADER}fn f(a: &A) {{\n    // mem: epoch-cycle\n    a.load(Ordering::SeqCst);\n}}\n"
+    );
+    assert_eq!(lint_fixture(&good), vec![]);
+}
+
+#[test]
+fn unknown_protocol_is_exactly_one_diagnostic() {
+    let bad =
+        format!("{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }} // mem: no-such-entry\n");
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert!(diags[0].message.contains("names no MEMORY_ORDERING.md catalog entry"));
+}
+
+#[test]
+fn stale_annotation_is_exactly_one_diagnostic() {
+    // The annotation sits on a line with no SeqCst/Relaxed token at all.
+    let bad = format!("{GOOD_HEADER}fn f() {{ let x = 1; }} // mem: epoch-cycle\n");
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert!(diags[0].message.contains("stale"));
+}
+
+#[test]
+fn paired_protocol_without_side_is_exactly_one_diagnostic() {
+    let bad = format!(
+        "{GOOD_HEADER}fn f() {{ fence(Ordering::SeqCst); }} // mem: doorway-dekker\n"
+    );
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert!(diags[0].message.contains("needs a side tag"));
+}
+
+#[test]
+fn side_on_unpaired_protocol_is_exactly_one_diagnostic() {
+    let bad = format!(
+        "{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }} // mem: epoch-cycle.waiter\n"
+    );
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert!(diags[0].message.contains("unpaired but the annotation carries side"));
+}
+
+#[test]
+fn one_sided_dekker_is_exactly_one_diagnostic() {
+    // Only the `choosing` side appears anywhere: the workspace-level pairing
+    // check must flag the missing `ticket` side.
+    let bad = format!(
+        "{GOOD_HEADER}fn f() {{ fence(Ordering::SeqCst); }} // mem: doorway-dekker.choosing\n"
+    );
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["ordering-justification"], "{diags:?}");
+    assert!(diags[0].message.contains("one-sided"), "{}", diags[0].message);
+    assert!(diags[0].message.contains("`ticket`"));
+}
+
+#[test]
+fn both_sides_anywhere_in_workspace_pass() {
+    let a = format!(
+        "{GOOD_HEADER}fn f() {{ fence(Ordering::SeqCst); }} // mem: doorway-dekker.choosing\n"
+    );
+    let b = format!(
+        "{GOOD_HEADER}fn g() {{ fence(Ordering::SeqCst); }} // mem: doorway-dekker.ticket\n"
+    );
+    let scans = vec![
+        scan_str("crates/demo/src/lib.rs", &a, false),
+        scan_str("crates/demo/src/other.rs", &b, false),
+    ];
+    let baseline = Baseline::from_scans(&scans);
+    let diags = check_files(&scans, &fixture_catalog(), Some(&baseline));
+    assert_eq!(diags, vec![], "two-sided pairing must be clean");
+}
+
+#[test]
+fn test_scope_needs_no_annotation() {
+    let good = format!(
+        "{GOOD_HEADER}#[cfg(test)]\nmod tests {{\n    fn probe(a: &A) {{ a.load(Ordering::SeqCst); }}\n}}\n"
+    );
+    assert_eq!(lint_fixture(&good), vec![]);
+}
+
+// ------------------------------------------------------------- sync-facade
+
+#[test]
+fn direct_atomic_import_is_exactly_one_diagnostic() {
+    let bad = "#![forbid(unsafe_code)]\nuse std::sync::atomic::{AtomicU64, Ordering};\n\
+         fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); } // mem: epoch-cycle\n";
+    let diags = lint_fixture(bad);
+    assert_eq!(rules_of(&diags), vec!["sync-facade"], "{diags:?}");
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("bakery_core::sync"));
+}
+
+#[test]
+fn facade_import_passes() {
+    let good = "#![forbid(unsafe_code)]\nuse bakery_core::sync::{AtomicU64, Ordering};\n\
+         fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); } // mem: epoch-cycle\n";
+    assert_eq!(lint_fixture(good), vec![]);
+}
+
+#[test]
+fn test_files_may_import_atomics_directly() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f() {}\n";
+    let scans = vec![scan_str("crates/demo/tests/probe.rs", src, true)];
+    let baseline = Baseline::from_scans(&scans);
+    let diags = check_files(&scans, &fixture_catalog(), Some(&baseline));
+    assert_eq!(diags, vec![]);
+}
+
+// ----------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn crate_root_without_forbid_is_exactly_one_diagnostic() {
+    let bad = "use bakery_core::sync::Ordering;\nfn f() {}\n";
+    let diags = lint_fixture(bad);
+    assert_eq!(rules_of(&diags), vec!["forbid-unsafe"], "{diags:?}");
+    assert!(diags[0].message.contains("#![forbid(unsafe_code)]"));
+}
+
+#[test]
+fn unsafe_token_is_exactly_one_diagnostic() {
+    let bad = format!("{GOOD_HEADER}fn f() {{ let p = unsafe {{ *core::ptr::null::<u8>() }}; }}\n");
+    let diags = lint_fixture(&bad);
+    assert_eq!(rules_of(&diags), vec!["forbid-unsafe"], "{diags:?}");
+    assert!(diags[0].message.contains("`unsafe` token"));
+}
+
+#[test]
+fn unsafe_in_comment_or_string_does_not_count() {
+    let good = format!("{GOOD_HEADER}// unsafe is fine in prose\nfn f() -> &'static str {{ \"unsafe\" }}\n");
+    assert_eq!(lint_fixture(&good), vec![]);
+}
+
+// ----------------------------------------------------------------- ratchet
+
+#[test]
+fn seqcst_above_baseline_is_exactly_one_diagnostic() {
+    let src = format!(
+        "{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); a.load(Ordering::SeqCst); }} // mem: epoch-cycle\n"
+    );
+    let scans = vec![scan_str("crates/demo/src/lib.rs", &src, false)];
+    // Pin the file at one SeqCst; the fixture has two.
+    let pinned = format!(
+        "{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }} // mem: epoch-cycle\n"
+    );
+    let baseline =
+        Baseline::from_scans(&[scan_str("crates/demo/src/lib.rs", &pinned, false)]);
+    let diags = check_files(&scans, &fixture_catalog(), Some(&baseline));
+    assert_eq!(rules_of(&diags), vec!["ratchet"], "{diags:?}");
+    assert!(diags[0].message.contains("exceeds the ratchet baseline 1"));
+}
+
+#[test]
+fn missing_baseline_is_exactly_one_diagnostic() {
+    let good =
+        format!("{GOOD_HEADER}fn f(a: &A) {{ a.load(Ordering::SeqCst); }} // mem: epoch-cycle\n");
+    let scans = vec![scan_str("crates/demo/src/lib.rs", &good, false)];
+    let diags = check_files(&scans, &fixture_catalog(), None);
+    assert_eq!(rules_of(&diags), vec!["ratchet"], "{diags:?}");
+    assert!(diags[0].message.contains("baseline missing"));
+}
+
+// ------------------------------------------------------- workspace-level pins
+
+fn workspace_root() -> std::path::PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let run = LintRun::check(&workspace_root()).expect("scan");
+    assert_eq!(
+        run.diagnostics,
+        vec![],
+        "the committed workspace must pass its own lint"
+    );
+}
+
+#[test]
+fn committed_baseline_matches_fresh_scan() {
+    let root = workspace_root();
+    let run = LintRun::check(&root).expect("scan");
+    let committed = std::fs::read_to_string(root.join(BASELINE_FILE)).expect("baseline file");
+    let committed = Baseline::from_json(&committed).expect("baseline parses");
+    assert_eq!(
+        committed,
+        run.fresh_baseline(),
+        "lint-baseline.json is stale: run `bakery-lint --update-baseline`"
+    );
+}
+
+/// Removing any single `// mem:` annotation from real protocol code must
+/// fail the lint — either the uncovered site fires (trailing form) or the
+/// now-uncovered next line fires, and paired protocols may additionally go
+/// one-sided.  This is the acceptance pin for the annotation discipline.
+#[test]
+fn removing_any_single_annotation_fails_the_lint() {
+    let root = workspace_root();
+    let catalog_text =
+        std::fs::read_to_string(root.join("MEMORY_ORDERING.md")).expect("catalog");
+    let catalog = Catalog::parse(&catalog_text);
+    let scans = workspace::scan_workspace(&root).expect("scan");
+    let baseline = Baseline::from_scans(&scans);
+    let clean = check_files(&scans, &catalog, Some(&baseline));
+    assert_eq!(clean, vec![], "precondition: workspace is clean");
+
+    let mut checked = 0usize;
+    for scan in &scans {
+        // One representative (the first non-test annotation) per file keeps
+        // the test fast while still covering every file and protocol.
+        let Some(ann) = scan.annotations.iter().find(|a| !a.in_test) else {
+            continue;
+        };
+        let path = root.join(&scan.rel);
+        let content = std::fs::read_to_string(&path).expect("source file");
+        let mutated: String = content
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                if i + 1 == ann.line {
+                    match line.find("// mem:") {
+                        Some(pos) => line[..pos].trim_end().to_string(),
+                        None => line.to_string(),
+                    }
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(mutated, content, "{}: annotation not found to strip", scan.rel);
+
+        let mut mutated_scans: Vec<_> = scans
+            .iter()
+            .filter(|s| s.rel != scan.rel)
+            .cloned()
+            .collect();
+        mutated_scans.push(scan_str(&scan.rel, &mutated, scan.test_path));
+        mutated_scans.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let diags = check_files(&mutated_scans, &catalog, Some(&baseline));
+        assert!(
+            !diags.is_empty(),
+            "{}:{}: stripping `// mem: {}` produced no finding",
+            scan.rel,
+            ann.line,
+            ann.protocol
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "expected >= 20 annotated files, saw {checked}");
+}

@@ -158,7 +158,7 @@ impl SpillTier {
         // process (parallel tests, a future parallel sweep) would open the
         // same file and corrupt each other's sealed chunks.
         static ARENA_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = ARENA_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seq = ARENA_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // mem: id-alloc
         let path = dir.join(format!(
             "bakery-mc-arena-{}-{seq}-{stride}w.spill",
             std::process::id()
