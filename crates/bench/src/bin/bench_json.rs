@@ -14,16 +14,21 @@
 //! * **E13** (async echo service): 10⁵ async clients multiplexed as futures
 //!   over a ≤ 64-slot plane, swept across the wait strategies
 //!   (spin / yield / park), reporting sessions/sec and attach-latency
-//!   percentiles.
+//!   percentiles;
+//! * **E2** (parallel-explorer scaling): the exhaustive tree close-out at
+//!   1 / 2 / 4 worker threads (quick: the 2-process placement), reporting
+//!   states/sec, states/sec/core (work efficiency) and the memory ceiling —
+//!   and asserting the counts and digest are thread-count invariant.
 //!
 //! ```text
 //! bench-json [--quick] [--out-dir DIR]
 //! ```
 //!
-//! Output files: `BENCH_e6.json`, `BENCH_e7.json`, `BENCH_e11.json`,
-//! `BENCH_e12.json` and `BENCH_e13.json` in `--out-dir` (default: the
-//! current directory).  The summary — including the packed-vs-padded
-//! improvement percentages — is also printed as Markdown-ish text.
+//! Output files: `BENCH_e2.json`, `BENCH_e6.json`, `BENCH_e7.json`,
+//! `BENCH_e11.json`, `BENCH_e12.json` and `BENCH_e13.json` in `--out-dir`
+//! (default: the current directory).  The summary — including the
+//! packed-vs-padded improvement percentages — is also printed as
+//! Markdown-ish text.
 
 #![forbid(unsafe_code)]
 
@@ -273,6 +278,105 @@ bakery_json::json_object!(E7Report {
     tree_entries,
     tree_comparisons,
 });
+
+/// One E2 scaling measurement: the exhaustive scaling configuration at one
+/// worker-thread count.
+#[derive(Debug, Clone)]
+struct E2Entry {
+    configuration: String,
+    threads: usize,
+    wall_s: f64,
+    states: usize,
+    canonical_states: usize,
+    transitions: usize,
+    max_depth: usize,
+    frontier_digest: u64,
+    states_per_sec: f64,
+    states_per_sec_per_core: f64,
+    store_bytes: usize,
+    peak_rss_bytes: usize,
+}
+bakery_json::json_object!(E2Entry {
+    configuration,
+    threads,
+    wall_s,
+    states,
+    canonical_states,
+    transitions,
+    max_depth,
+    frontier_digest,
+    states_per_sec,
+    states_per_sec_per_core,
+    store_bytes,
+    peak_rss_bytes,
+});
+
+#[derive(Debug, Clone)]
+struct E2Report {
+    schema: String,
+    experiment: String,
+    quick: bool,
+    /// Logical CPUs available during the run: with fewer CPUs than worker
+    /// threads the multi-thread rows measure scheduling, not scaling, and
+    /// only the work-efficiency (states/sec/core at 1 thread vs the
+    /// sequential trajectory) is meaningful.
+    cpus: usize,
+    entries: Vec<E2Entry>,
+}
+bakery_json::json_object!(E2Report {
+    schema,
+    experiment,
+    quick,
+    cpus,
+    entries,
+});
+
+fn run_e2(quick: bool) -> E2Report {
+    use bakery_harness::experiments::e2_model_check::scaling_row;
+    let mut entries = Vec::new();
+    for threads in [1usize, 2, 4] {
+        eprintln!("bench-json: E2 scaling run at {threads} thread(s)...");
+        let row = scaling_row(quick, threads);
+        entries.push(E2Entry {
+            configuration: row.configuration,
+            threads: row.threads,
+            wall_s: row.wall_s,
+            states: row.states,
+            canonical_states: row.canonical_states,
+            transitions: row.transitions,
+            max_depth: row.max_depth,
+            frontier_digest: row.frontier_digest,
+            states_per_sec: row.states_per_sec,
+            states_per_sec_per_core: row.states_per_sec_per_core,
+            store_bytes: row.store_bytes,
+            peak_rss_bytes: row.peak_rss_bytes,
+        });
+    }
+    // The determinism gate: every row explored the same space and must have
+    // found bit-identical counts and digest.
+    let first = &entries[0];
+    for row in &entries[1..] {
+        assert_eq!(
+            (row.states, row.canonical_states, row.transitions, row.max_depth, row.frontier_digest),
+            (
+                first.states,
+                first.canonical_states,
+                first.transitions,
+                first.max_depth,
+                first.frontier_digest
+            ),
+            "E2: exploration results must be thread-count invariant"
+        );
+    }
+    E2Report {
+        schema: "bakery-bench/e2/v1".to_string(),
+        experiment: "E2 parallel-explorer scaling: exhaustive BFS states/sec by thread count"
+            .to_string(),
+        quick,
+        cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        entries,
+    }
+}
 
 fn bakery_pair(n: usize, bound: u64, mode: ScanMode) -> Vec<(String, Arc<dyn RawMutexAlgorithm>)> {
     vec![
@@ -980,7 +1084,7 @@ fn run_e13(quick: bool) -> E13Report {
 }
 
 /// The experiment keys `--only` accepts, in run order.
-const SECTIONS: [&str; 5] = ["e6", "e7", "e11", "e12", "e13"];
+const SECTIONS: [&str; 6] = ["e2", "e6", "e7", "e11", "e12", "e13"];
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -1016,7 +1120,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: bench-json [--quick] [--out-dir DIR] [--only e6,e7,e11,e12,e13]");
+                println!("usage: bench-json [--quick] [--out-dir DIR] [--only e2,e6,e7,e11,e12,e13]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -1027,6 +1131,10 @@ fn main() -> ExitCode {
     }
     let want = |key: &str| only.as_ref().is_none_or(|keys| keys.iter().any(|k| k == key));
 
+    let e2 = want("e2").then(|| {
+        eprintln!("bench-json: measuring E2 (parallel-explorer scaling)...");
+        run_e2(quick)
+    });
     let e6 = want("e6").then(|| {
         eprintln!("bench-json: measuring E6 (uncontended latency)...");
         run_e6(quick)
@@ -1048,6 +1156,23 @@ fn main() -> ExitCode {
         run_e13(quick)
     });
 
+    if let Some(e2) = &e2 {
+        println!("\n## E2 parallel-explorer scaling ({} CPUs)", e2.cpus);
+        println!("| configuration | threads | wall s | states/s | states/s/core | store MB | peak RSS MB |");
+        println!("|---|---|---|---|---|---|---|");
+        for entry in &e2.entries {
+            println!(
+                "| {} | {} | {:.1} | {:.0} | {:.0} | {:.0} | {:.0} |",
+                entry.configuration,
+                entry.threads,
+                entry.wall_s,
+                entry.states_per_sec,
+                entry.states_per_sec_per_core,
+                entry.store_bytes as f64 / 1e6,
+                entry.peak_rss_bytes as f64 / 1e6,
+            );
+        }
+    }
     if let Some(e6) = &e6 {
         print_comparisons("E6 uncontended acquire latency (ns)", "ns", &e6.comparisons);
     }
@@ -1163,6 +1288,9 @@ fn main() -> ExitCode {
     }
 
     let mut outputs: Vec<(&str, Result<String, bakery_json::Error>)> = Vec::new();
+    if let Some(e2) = &e2 {
+        outputs.push(("BENCH_e2.json", bakery_json::to_string_pretty(e2)));
+    }
     if let Some(e6) = &e6 {
         outputs.push(("BENCH_e6.json", bakery_json::to_string_pretty(e6)));
     }

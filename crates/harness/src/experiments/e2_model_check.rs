@@ -188,6 +188,120 @@ pub fn run(quick: bool) -> Vec<Table> {
 /// comfortably above the 39.6 M reachable states.
 pub const TREE_CLOSEOUT_BUDGET: usize = 60_000_000;
 
+/// One row of the E2 scaling table (`bench-json --only e2`): one exhaustive
+/// exploration of the scaling configuration at one worker-thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Which configuration the row explored.
+    pub configuration: String,
+    /// Worker threads of the run.
+    pub threads: usize,
+    /// Wall-clock seconds of the exploration (excluding spec construction).
+    pub wall_s: f64,
+    /// Distinct concrete states visited.
+    pub states: usize,
+    /// Symmetry orbits (canonical states).
+    pub canonical_states: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+    /// Deepest expanded BFS level.
+    pub max_depth: usize,
+    /// Replay-determinism digest — must be identical across the rows of one
+    /// configuration, whatever the thread count.
+    pub frontier_digest: u64,
+    /// Concrete states per wall-clock second.
+    pub states_per_sec: f64,
+    /// `states_per_sec / threads` — the work-efficiency figure: flat across
+    /// thread counts means the parallel engine adds no per-state overhead.
+    pub states_per_sec_per_core: f64,
+    /// Analytic resident footprint of the sharded visited set (arena words +
+    /// variant masks + concrete log/parent metadata + index estimate).
+    pub store_bytes: usize,
+    /// Peak resident set of the *process* (`VmHWM`) after the run, in bytes;
+    /// 0 where `/proc` is unavailable.  The kernel high-water mark is
+    /// monotone, so within one bench invocation later rows inherit the
+    /// ceiling of earlier ones — it bounds, not measures, each row.
+    pub peak_rss_bytes: usize,
+}
+
+/// Reads the process's peak resident set (`VmHWM`) in bytes (0 when
+/// `/proc/self/status` is unavailable, e.g. off Linux).
+#[must_use]
+pub fn peak_rss_bytes() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<usize>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Analytic size of the sharded visited set: canonical codes in the arenas,
+/// one variant mask per orbit, one log + parent word per concrete state, and
+/// ~16 bytes per orbit for the fingerprint index (hash-map entry plus load
+/// factor).  An estimate — it deliberately ignores allocator slack.
+fn store_bytes_estimate(stride: usize, states: usize, canonical: usize) -> usize {
+    canonical * (stride * 8 + 8 + 16) + states * 16
+}
+
+/// Runs the E2 scaling configuration once at `threads` workers.
+///
+/// Full mode explores the close-out configuration of the `mc-exhaustive` CI
+/// job — the complete 4-process tree with the paper invariants, the tree
+/// path invariant and orbit compression (~39.6 M states); quick mode runs
+/// the 2-process leaf placement of the same spec, which closes out in
+/// seconds.  The row's counts and digest must be identical across thread
+/// counts — `bench-json` asserts it.
+#[must_use]
+pub fn scaling_row(quick: bool, threads: usize) -> ScalingRow {
+    let (spec, configuration, budget) = if quick {
+        (
+            TreeBakerySpec::new(2, 2).with_active_processes(&[0, 1]),
+            "tree 2-level, active [0, 1]".to_string(),
+            3_000_000,
+        )
+    } else {
+        (
+            TreeBakerySpec::new(2, 2),
+            "tree 2-level, all 4 (close-out)".to_string(),
+            TREE_CLOSEOUT_BUDGET,
+        )
+    };
+    let stride = bakery_mc::StateCodec::new(&spec).words_per_state();
+    let start = std::time::Instant::now();
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(TreeBakerySpec::cs_holder_owns_path())
+        .with_symmetry_reduction(true)
+        .with_max_states(budget)
+        .with_threads(threads)
+        .run();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(report.holds(), "the scaling configuration must verify: {report}");
+    assert!(!report.truncated, "the scaling configuration must close out");
+    #[allow(clippy::cast_precision_loss)]
+    let states_per_sec = report.states as f64 / wall_s.max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let per_core = states_per_sec / threads as f64;
+    ScalingRow {
+        configuration,
+        threads,
+        wall_s,
+        states: report.states,
+        canonical_states: report.canonical_states,
+        transitions: report.transitions,
+        max_depth: report.max_depth,
+        frontier_digest: report.frontier_digest,
+        states_per_sec,
+        states_per_sec_per_core: per_core,
+        store_bytes: store_bytes_estimate(stride, report.states, report.canonical_states),
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,17 +29,10 @@ impl std::fmt::Display for Diagnostic {
 
 /// The facade rule's allowlist: files allowed to touch `std::sync::atomic`
 /// directly, each with a one-line reason (surfaced in the JSON report).
-pub const FACADE_ALLOWLIST: [(&str, &str); 2] = [
-    (
-        "crates/core/src/sync.rs",
-        "the facade itself: re-exports std (or loom) atomics behind --cfg loom",
-    ),
-    (
-        "crates/mc/src/store.rs",
-        "spill-file name allocator; bakery-mc does not depend on bakery-core and the \
-         counter never synchronizes with lock state",
-    ),
-];
+pub const FACADE_ALLOWLIST: [(&str, &str); 1] = [(
+    "crates/core/src/sync.rs",
+    "the facade itself: re-exports std (or loom) atomics behind --cfg loom",
+)];
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: every `src/lib.rs`
 /// and every binary root (`src/main.rs`, `src/bin/*.rs`).

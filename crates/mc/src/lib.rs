@@ -59,5 +59,6 @@ pub use code::{StateCode, StateCodec};
 pub use explore::{ExplorationReport, ModelChecker, TraceStep, Violation};
 pub use liveness::{
     find_starvation_cycle, find_starvation_cycle_where, starvation_report,
-    starvation_report_where, LivenessReport, StarvationWitness,
+    starvation_report_where, starvation_report_where_with_threads,
+    starvation_report_with_threads, LivenessReport, StarvationWitness,
 };

@@ -31,10 +31,21 @@
 //! memory becomes the limit.  No symmetry reduction is applied here: the
 //! waiting predicate pins a concrete victim, which process relabelling would
 //! not preserve.
+//!
+//! The graph construction can run with several worker threads
+//! ([`starvation_report_where_with_threads`]): each BFS level is expanded in
+//! parallel (decode + successor enumeration + encode are the dominant cost
+//! and are pure), then the per-head results are **merged in head order** by
+//! one thread.  The merge replays exactly the insertion sequence of the
+//! sequential loop, so arena ids, depths, edges, the truncation point and
+//! therefore the DFS witness are bit-identical for every thread count.
 
+use std::sync::Mutex;
+
+use bakery_core::sync::{AtomicUsize, Ordering};
 use bakery_sim::{Algorithm, ProgState};
 
-use crate::code::StateCodec;
+use crate::code::{StateCode, StateCodec};
 use crate::store::{CodeArena, CodeIndex};
 
 /// A starvation witness: a reachable cycle during which the victim process
@@ -124,7 +135,7 @@ pub fn find_starvation_cycle_where<A, F>(
 ) -> Option<StarvationWitness>
 where
     A: Algorithm + ?Sized,
-    F: Fn(&A, &ProgState) -> bool,
+    F: Fn(&A, &ProgState) -> bool + Sync,
 {
     starvation_report_where(algorithm, victim, max_states, waiting).witness
 }
@@ -141,6 +152,19 @@ pub fn starvation_report<A: Algorithm + ?Sized>(
     })
 }
 
+/// [`starvation_report`] with a worker-thread count for the graph phase.
+#[must_use]
+pub fn starvation_report_with_threads<A: Algorithm + ?Sized>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+    threads: usize,
+) -> LivenessReport {
+    starvation_report_where_with_threads(algorithm, victim, max_states, threads, |alg, state| {
+        alg.is_trying(state, victim)
+    })
+}
+
 /// [`find_starvation_cycle_where`] with the full [`LivenessReport`] outcome.
 #[must_use]
 pub fn starvation_report_where<A, F>(
@@ -151,8 +175,33 @@ pub fn starvation_report_where<A, F>(
 ) -> LivenessReport
 where
     A: Algorithm + ?Sized,
-    F: Fn(&A, &ProgState) -> bool,
+    F: Fn(&A, &ProgState) -> bool + Sync,
 {
+    starvation_report_where_with_threads(algorithm, victim, max_states, 1, waiting)
+}
+
+/// [`starvation_report_where`] with `threads` workers expanding the
+/// reachable-graph phase (clamped to ≥ 1; `1` runs inline without spawning).
+///
+/// Each BFS level is expanded in parallel and merged in head order, which
+/// replays the sequential insertion sequence exactly: the report — states,
+/// truncation, witness cycle — is **bit-identical for every thread count**,
+/// including budget-truncated runs.  The cycle-search DFS itself stays
+/// sequential; the graph construction dominates the wall time.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn starvation_report_where_with_threads<A, F>(
+    algorithm: &A,
+    victim: usize,
+    max_states: usize,
+    threads: usize,
+    waiting: F,
+) -> LivenessReport
+where
+    A: Algorithm + ?Sized,
+    F: Fn(&A, &ProgState) -> bool + Sync,
+{
+    let threads = threads.max(1);
     let n = algorithm.processes();
     assert!(victim < n, "victim {victim} out of range");
     let codec = StateCodec::new(algorithm);
@@ -181,23 +230,74 @@ where
     edges.push(Vec::new());
     eligible.push(false);
 
+    // One expanded head: its index, its waiting flag, and its outgoing
+    // (pid, successor code) steps in enumeration order.
+    type HeadOut = (usize, bool, Vec<(u32, StateCode)>);
+
     let mut truncated = false;
-    let mut successors = Vec::new();
-    let mut head = 0usize;
-    while head < arena.len() {
-        if arena.len() >= max_states {
-            truncated = true;
-            break;
+    let mut level_start = 0usize;
+    'bfs: while level_start < arena.len() {
+        let level_end = arena.len();
+
+        // Expand every head of the level.  Decoding, successor enumeration,
+        // the waiting predicate and re-encoding are pure, so this part runs
+        // on the workers; the arena is immutable for the duration.
+        let expand = |i: usize| -> HeadOut {
+            let state = decode(&arena, i);
+            let is_waiting = waiting(algorithm, &state);
+            let mut steps = Vec::new();
+            let mut successors = Vec::new();
+            for pid in 0..n {
+                successors.clear();
+                algorithm.successors(&state, pid, &mut successors);
+                for next in successors.drain(..) {
+                    steps.push((pid as u32, codec.encode(&next)));
+                }
+            }
+            (i, is_waiting, steps)
+        };
+        let mut outs: Vec<HeadOut> = Vec::with_capacity(level_end - level_start);
+        if threads == 1 {
+            outs.extend((level_start..level_end).map(expand));
+        } else {
+            let cursor = AtomicUsize::new(level_start);
+            let collected: Mutex<Vec<Vec<HeadOut>>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed); // mem: explorer-frontier
+                            if i >= level_end {
+                                break;
+                            }
+                            local.push(expand(i));
+                        }
+                        collected
+                            .lock()
+                            .expect("liveness worker buffer poisoned")
+                            .push(local);
+                    });
+                }
+            });
+            for buf in collected.into_inner().expect("liveness worker buffer poisoned") {
+                outs.extend(buf);
+            }
+            // Head order makes the merge below replay the sequential loop.
+            outs.sort_unstable_by_key(|&(i, _, _)| i);
         }
-        let current = head;
-        head += 1;
-        let state = decode(&arena, current);
-        eligible[current] = waiting(algorithm, &state);
-        for pid in 0..n {
-            successors.clear();
-            algorithm.successors(&state, pid, &mut successors);
-            for next in successors.drain(..) {
-                let code = codec.encode(&next);
+
+        // Merge in head order: identical insertion sequence — and identical
+        // truncation point — to the single-threaded walk.  Heads past the
+        // truncation point stay unexpanded (no edges, not eligible), exactly
+        // as if the sequential loop had stopped before them.
+        for (current, is_waiting, steps) in outs {
+            if arena.len() >= max_states {
+                truncated = true;
+                break 'bfs;
+            }
+            eligible[current] = is_waiting;
+            for (pid, code) in steps {
                 let candidate = arena.len() as u32;
                 let (target, inserted) = index.get_or_insert(&code, candidate, &arena);
                 if inserted {
@@ -206,9 +306,10 @@ where
                     edges.push(Vec::new());
                     eligible.push(false);
                 }
-                edges[current].push((pid as u32, target));
+                edges[current].push((pid, target));
             }
         }
+        level_start = level_end;
     }
 
     // Phase 2: restrict to states where the victim is waiting and to edges
@@ -373,6 +474,33 @@ mod tests {
             alg.is_trying(state, 1) && state.read(1) == 1 // flag[1] == 1
         });
         assert!(report.proves_starvation_freedom(), "{:?}", report.witness);
+    }
+
+    #[test]
+    fn liveness_search_is_thread_count_invariant() {
+        // The ordered merge replays the sequential insertion sequence, so
+        // the whole report — including the concrete witness cycle, which
+        // depends on arena ids — must not change with the worker count,
+        // for a complete graph and for a budget-truncated one.
+        let spec = BakeryPlusPlusSpec::new(3, 2);
+        let run = |threads: usize, budget: usize| {
+            starvation_report_where_with_threads(&spec, 2, budget, threads, |_, state| {
+                state.pc(2) == pc::L1_SCAN
+            })
+        };
+        for budget in [150_000, 4_000] {
+            let seq = run(1, budget);
+            for threads in [2, 4] {
+                let par = run(threads, budget);
+                assert_eq!(par.states, seq.states, "threads {threads} budget {budget}");
+                assert_eq!(par.truncated, seq.truncated, "threads {threads} budget {budget}");
+                assert_eq!(
+                    par.witness.as_ref().map(|w| (w.prefix_length, w.cycle.clone())),
+                    seq.witness.as_ref().map(|w| (w.prefix_length, w.cycle.clone())),
+                    "threads {threads} budget {budget}: witness must be schedule-independent"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Visited-set storage for the explorer: a flat code arena plus a
-//! fingerprint index, with an optional spill-to-disk tier.
+//! fingerprint index, stripeable for parallel insertion, with an optional
+//! spill-to-disk tier.
 //!
 //! * [`CodeArena`] stores every discovered state's packed words
 //!   contiguously, `stride` words per state — 16 bytes per state for the
@@ -16,10 +17,18 @@
 //!   fingerprint) fall back to an exact side map, so deduplication is always
 //!   exact — a collision can never silently merge two distinct states, which
 //!   would be unsound for an exhaustiveness claim.
+//! * [`Stripe`] bundles one arena + one index into the unit of sharding the
+//!   parallel explorer locks independently: the visited set is split into
+//!   [`STRIPE_COUNT`] stripes keyed by fingerprint bits ([`stripe_of`]), so
+//!   insertions from different worker threads almost never contend.  The
+//!   stripe count is a fixed power of two, deliberately independent of the
+//!   thread count — the stripe a code lands in (and hence every per-stripe
+//!   slot number) is a pure function of the code itself, never of the
+//!   schedule.
 
-#[cfg(feature = "spill")]
-use std::cell::RefCell;
 use std::collections::HashMap;
+#[cfg(feature = "spill")]
+use std::sync::Mutex;
 
 use crate::code::StateCode;
 
@@ -145,8 +154,12 @@ struct SpillTier {
     /// Codes already written to the file.
     sealed_codes: usize,
     file: std::fs::File,
-    /// Tiny LRU of resident sealed chunks: front = most recent.
-    cache: RefCell<Vec<(usize, Vec<u64>)>>,
+    /// Tiny LRU of resident sealed chunks: front = most recent.  A `Mutex`
+    /// (not a `RefCell`) so a spill-backed arena stays `Sync`: the parallel
+    /// explorer shares `&CodeArena` across worker threads for reads, and in
+    /// the sharded store every *write* already happens under the stripe
+    /// lock, so this inner lock is uncontended in practice.
+    cache: Mutex<Vec<(usize, Vec<u64>)>>,
     /// The backing file's path, removed on drop.
     path: std::path::PathBuf,
 }
@@ -155,10 +168,11 @@ struct SpillTier {
 impl SpillTier {
     fn create(stride: usize, dir: &std::path::Path) -> std::io::Result<Self> {
         // Process id alone is not unique: two same-stride arenas in one
-        // process (parallel tests, a future parallel sweep) would open the
-        // same file and corrupt each other's sealed chunks.
-        static ARENA_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = ARENA_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // mem: id-alloc
+        // process (parallel tests, the sharded store's per-stripe spill
+        // files) would open the same file and corrupt each other's sealed
+        // chunks.
+        static ARENA_SEQ: bakery_core::sync::AtomicU64 = bakery_core::sync::AtomicU64::new(0);
+        let seq = ARENA_SEQ.fetch_add(1, bakery_core::sync::Ordering::Relaxed); // mem: id-alloc
         let path = dir.join(format!(
             "bakery-mc-arena-{}-{seq}-{stride}w.spill",
             std::process::id()
@@ -173,7 +187,7 @@ impl SpillTier {
             stride,
             sealed_codes: 0,
             file,
-            cache: RefCell::new(Vec::new()),
+            cache: Mutex::new(Vec::new()),
             path,
         })
     }
@@ -202,7 +216,7 @@ impl SpillTier {
         use std::os::unix::fs::FileExt;
         let chunk_index = index / SPILL_CHUNK_CODES;
         let within = (index % SPILL_CHUNK_CODES) * self.stride;
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock().expect("spill cache poisoned");
         if let Some(pos) = cache.iter().position(|(c, _)| *c == chunk_index) {
             let entry = cache.remove(pos);
             cache.insert(0, entry);
@@ -283,6 +297,103 @@ impl CodeIndex {
     }
 }
 
+/// Number of visited-set stripes the parallel explorer shards over.
+///
+/// A fixed power of two, independent of the worker thread count: which
+/// stripe a code belongs to is a pure function of its fingerprint
+/// ([`stripe_of`]), so per-stripe slot numbers — and everything derived from
+/// them — cannot depend on the schedule.  64 stripes keep the probability of
+/// two of a handful of workers colliding on one stripe lock low while the
+/// per-stripe constant overhead stays negligible.
+pub const STRIPE_COUNT: usize = 64;
+
+/// Bits of the fingerprint consumed by [`stripe_of`].
+pub const STRIPE_BITS: u32 = STRIPE_COUNT.trailing_zeros();
+
+/// Maps a code fingerprint to its stripe.
+///
+/// FNV-1a's low-order bits are its worst-dispersed, so the fingerprint is
+/// first finalized with a Fibonacci multiply and the stripe read from the
+/// *high* bits; [`CodeIndex`]'s internal hash map rehashes the full
+/// fingerprint independently, so striping steals no index entropy.
+#[must_use]
+pub fn stripe_of(fingerprint: u64) -> usize {
+    let mixed = (fingerprint ^ (fingerprint >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> (64 - STRIPE_BITS)) as usize
+}
+
+/// One independently lockable stripe of the sharded visited set: an
+/// append-only [`CodeArena`] plus its exact [`CodeIndex`].
+///
+/// The stripe itself carries no lock — the explorer wraps each stripe (plus
+/// its per-state metadata) in one `Mutex`, so an insertion's dedup check,
+/// arena append and metadata update are a single atomic step.
+#[derive(Debug)]
+pub struct Stripe {
+    arena: CodeArena,
+    index: CodeIndex,
+}
+
+impl Stripe {
+    /// Creates an in-memory stripe for codes of `stride` words.
+    #[must_use]
+    pub fn new(stride: usize) -> Self {
+        Self {
+            arena: CodeArena::new(stride),
+            index: CodeIndex::new(),
+        }
+    }
+
+    /// Creates a stripe whose arena seals full chunks to a file under `dir`
+    /// (each stripe gets its own uniquely named spill file).
+    ///
+    /// # Errors
+    /// Returns the I/O error if the spill file cannot be created.
+    #[cfg(feature = "spill")]
+    pub fn with_spill_dir(stride: usize, dir: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self {
+            arena: CodeArena::with_spill_dir(stride, dir)?,
+            index: CodeIndex::new(),
+        })
+    }
+
+    /// Number of distinct codes stored in this stripe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when the stripe holds no codes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// The stripe's arena (for reads: decode, trace reconstruction).
+    #[must_use]
+    pub fn arena(&self) -> &CodeArena {
+        &self.arena
+    }
+
+    /// Interns `code`: returns its stripe-local slot and whether it was
+    /// freshly inserted.  Exact — fingerprint collisions fall back to
+    /// [`CodeIndex`]'s side map.
+    pub fn intern(&mut self, code: &StateCode) -> (u32, bool) {
+        let next = self.arena.len() as u32;
+        let (slot, inserted) = self.index.get_or_insert(code, next, &self.arena);
+        if inserted {
+            self.arena.push(code);
+        }
+        (slot, inserted)
+    }
+
+    /// Number of fingerprint collisions this stripe resolved exactly.
+    #[must_use]
+    pub fn collision_count(&self) -> usize {
+        self.index.collision_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +446,67 @@ mod tests {
         assert_eq!(idx_b, 1);
         arena.push(&b);
         assert_eq!(index.collision_count(), 0);
+    }
+
+    #[test]
+    fn stripe_interns_exactly_like_arena_plus_index() {
+        let mut stripe = Stripe::new(2);
+        assert!(stripe.is_empty());
+        let a = code(&[1, 2]);
+        let b = code(&[3, 4]);
+        assert_eq!(stripe.intern(&a), (0, true));
+        assert_eq!(stripe.intern(&b), (1, true));
+        assert_eq!(stripe.intern(&a), (0, false));
+        assert_eq!(stripe.len(), 2);
+        assert!(stripe.arena().matches(1, &[3, 4]));
+        assert_eq!(stripe.collision_count(), 0);
+    }
+
+    #[test]
+    fn stripe_of_partitions_the_fingerprint_space() {
+        assert!(STRIPE_COUNT.is_power_of_two());
+        assert_eq!(1usize << STRIPE_BITS, STRIPE_COUNT);
+        // Every fingerprint lands in exactly one valid stripe, and a spread
+        // of fingerprints actually uses many stripes (the sharding would be
+        // pointless if everything hashed to one lock).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            let s = stripe_of(code(&[i, i * 7 + 1]).fingerprint());
+            assert!(s < STRIPE_COUNT);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), STRIPE_COUNT, "fingerprints must spread");
+    }
+
+    #[cfg(feature = "spill")]
+    #[test]
+    fn spilled_stripe_seals_and_rereads_across_a_chunk_boundary() {
+        // The sharded store's disk tier: push one chunk plus a tail through a
+        // Stripe, forcing a seal, then re-intern codes on both sides of the
+        // chunk boundary — each must dedup against the sealed file, not
+        // insert a duplicate.
+        let dir = std::env::temp_dir();
+        let mut stripe = Stripe::with_spill_dir(2, &dir).expect("spill stripe");
+        let total = SPILL_CHUNK_CODES + 17;
+        for i in 0..total as u64 {
+            let (slot, inserted) = stripe.intern(&code(&[i, i ^ 0xABCD]));
+            assert!(inserted);
+            assert_eq!(slot as usize, i as usize);
+        }
+        // Rereads straddling the seal boundary (sealed side + tail side).
+        for i in [
+            0usize,
+            SPILL_CHUNK_CODES - 1,
+            SPILL_CHUNK_CODES,
+            total - 1,
+        ] {
+            let w = [i as u64, (i as u64) ^ 0xABCD];
+            assert!(stripe.arena().matches(i, &w), "code {i}");
+            let (slot, inserted) = stripe.intern(&code(&w));
+            assert!(!inserted, "code {i} must dedup against the sealed chunk");
+            assert_eq!(slot as usize, i);
+        }
+        assert_eq!(stripe.len(), total);
     }
 
     #[cfg(feature = "spill")]

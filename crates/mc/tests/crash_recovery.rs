@@ -201,6 +201,13 @@ fn full_four_process_tree_shows_no_crash_violation_within_budget() {
     ignore = "runs in release only (crash-matrix CI job): larger than the 40 M-state crash-free space"
 )]
 fn full_four_process_tree_closes_out_with_crashes() {
+    // The crash-matrix CI job sets MC_THREADS to the runner's core count;
+    // the parallel explorer's reduction is deterministic, so the verdict and
+    // counts are identical at any value.
+    let threads = std::env::var("MC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let spec = TreeBakerySpec::new(2, 2);
     let report = ModelChecker::new(&spec)
         .with_paper_invariants()
@@ -210,6 +217,7 @@ fn full_four_process_tree_closes_out_with_crashes() {
         .with_symmetry_reduction(true)
         .with_crashes(true)
         .with_max_states(150_000_000)
+        .with_threads(threads)
         .run();
     assert_clean(&report, "full 4-process tree + crashes");
     assert_eq!(report.symmetry_order, 8, "full wreath group S2 wr S2");

@@ -32,6 +32,22 @@ const FULL_TREE_STATES: usize = 39_624_406;
 /// canonical state count committed in the E2 table.
 const FULL_TREE_CANONICAL_STATES: usize = 8_052_063;
 
+/// Transitions examined by the full close-out, pinned alongside the state
+/// count since the parallel explorer must reproduce it at any thread count.
+const FULL_TREE_TRANSITIONS: usize = 149_376_721;
+
+/// BFS depth of the full close-out (the deepest expanded level).
+const FULL_TREE_MAX_DEPTH: usize = 292;
+
+/// Worker threads for the release close-out: `MC_THREADS` (the mc-exhaustive
+/// CI job sets it to the runner's core count), defaulting to 1.
+fn closeout_threads() -> usize {
+    std::env::var("MC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// The tree-specific safety invariant, shared with the `tree_closeout`
 /// example and the spec's own tests ([`TreeBakerySpec::cs_holder_owns_path`]).
 fn cs_holder_owns_path() -> Invariant<TreeBakerySpec> {
@@ -138,6 +154,7 @@ fn full_four_process_tree_closes_out_exhaustively() {
         .with_invariant(cs_holder_owns_path())
         .with_symmetry_reduction(true)
         .with_max_states(60_000_000)
+        .with_threads(closeout_threads())
         .run();
     assert!(!report.truncated, "the close-out must cover the whole space");
     assert!(report.holds(), "{report}");
@@ -150,6 +167,11 @@ fn full_four_process_tree_closes_out_exhaustively() {
         report.canonical_states, FULL_TREE_CANONICAL_STATES,
         "canonical (orbit) count drifted"
     );
+    assert_eq!(
+        report.transitions, FULL_TREE_TRANSITIONS,
+        "transition count drifted"
+    );
+    assert_eq!(report.max_depth, FULL_TREE_MAX_DEPTH, "BFS depth drifted");
     // The mc-exhaustive CI job sets MC_SUMMARY_OUT so this single
     // exploration also produces the uploaded state-count artifact (the
     // tree_closeout example runs the same configuration for ad-hoc use).
