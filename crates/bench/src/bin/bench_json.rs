@@ -311,6 +311,28 @@ bakery_json::json_object!(E2Entry {
     peak_rss_bytes,
 });
 
+/// One atomic-vs-safe register-semantics comparison row: the same
+/// configuration explored exhaustively under both register models.
+#[derive(Debug, Clone)]
+struct E2SemanticsEntry {
+    algorithm: String,
+    n: usize,
+    bound: u64,
+    atomic_states: usize,
+    safe_states: usize,
+    blowup: f64,
+    complete: bool,
+}
+bakery_json::json_object!(E2SemanticsEntry {
+    algorithm,
+    n,
+    bound,
+    atomic_states,
+    safe_states,
+    blowup,
+    complete,
+});
+
 #[derive(Debug, Clone)]
 struct E2Report {
     schema: String,
@@ -322,6 +344,9 @@ struct E2Report {
     /// sequential trajectory) is meaningful.
     cpus: usize,
     entries: Vec<E2Entry>,
+    /// Atomic vs safe (flickering) register state-space sizes for the
+    /// n = 2 / n = 3 close-outs (the weak-register plane's E2 column).
+    semantics: Vec<E2SemanticsEntry>,
 }
 bakery_json::json_object!(E2Report {
     schema,
@@ -329,10 +354,11 @@ bakery_json::json_object!(E2Report {
     quick,
     cpus,
     entries,
+    semantics,
 });
 
 fn run_e2(quick: bool) -> E2Report {
-    use bakery_harness::experiments::e2_model_check::scaling_row;
+    use bakery_harness::experiments::e2_model_check::{scaling_row, semantics_rows};
     let mut entries = Vec::new();
     for threads in [1usize, 2, 4] {
         eprintln!("bench-json: E2 scaling run at {threads} thread(s)...");
@@ -368,13 +394,27 @@ fn run_e2(quick: bool) -> E2Report {
             "E2: exploration results must be thread-count invariant"
         );
     }
+    eprintln!("bench-json: E2 atomic-vs-safe register semantics rows...");
+    let semantics = semantics_rows(quick)
+        .into_iter()
+        .map(|row| E2SemanticsEntry {
+            algorithm: row.algorithm,
+            n: row.n,
+            bound: row.bound,
+            atomic_states: row.atomic_states,
+            safe_states: row.safe_states,
+            blowup: row.blowup,
+            complete: row.complete,
+        })
+        .collect();
     E2Report {
-        schema: "bakery-bench/e2/v1".to_string(),
+        schema: "bakery-bench/e2/v2".to_string(),
         experiment: "E2 parallel-explorer scaling: exhaustive BFS states/sec by thread count"
             .to_string(),
         quick,
         cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         entries,
+        semantics,
     }
 }
 
@@ -1170,6 +1210,21 @@ fn main() -> ExitCode {
                 entry.states_per_sec_per_core,
                 entry.store_bytes as f64 / 1e6,
                 entry.peak_rss_bytes as f64 / 1e6,
+            );
+        }
+        println!("\n## E2b atomic vs safe (flickering) registers");
+        println!("| algorithm | N | M | atomic states | safe states | blowup | complete |");
+        println!("|---|---|---|---|---|---|---|");
+        for row in &e2.semantics {
+            println!(
+                "| {} | {} | {} | {} | {} | {:.2}x | {} |",
+                row.algorithm,
+                row.n,
+                row.bound,
+                row.atomic_states,
+                row.safe_states,
+                row.blowup,
+                if row.complete { "yes" } else { "no" },
             );
         }
     }

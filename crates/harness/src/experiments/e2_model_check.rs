@@ -7,7 +7,7 @@
 //! reaches an overflow state.
 
 use bakery_mc::ModelChecker;
-use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, TreeBakerySpec};
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, RegisterSemantics, TreeBakerySpec};
 
 use crate::report::Table;
 
@@ -181,12 +181,103 @@ pub fn run(quick: bool) -> Vec<Table> {
          four-process tree **closes out exhaustively** in full mode and in the mc-exhaustive CI \
          job — 39,624,406 states, 8,052,063 canonical orbits (/8), zero violations.",
     );
-    vec![table]
+
+    let mut semantics_table = Table::new(
+        "E2b — state-space size: atomic vs safe (flickering) registers",
+        &["algorithm", "N", "M", "atomic states", "safe states", "blowup", "complete"],
+    );
+    for row in semantics_rows(quick) {
+        semantics_table.push_row(vec![
+            row.algorithm.clone(),
+            row.n.to_string(),
+            row.bound.to_string(),
+            row.atomic_states.to_string(),
+            row.safe_states.to_string(),
+            format!("{:.2}x", row.blowup),
+            if row.complete { "yes" } else { "no (bounded)" }.to_string(),
+        ]);
+    }
+    semantics_table.push_note(
+        "The same configurations explored under both register models (pure reachability).  \
+         Safe semantics splits every shared-register write into a begin and a commit step and \
+         branches every overlapping read over the whole register domain, so the state space \
+         grows by the listed factor — and the weak-register close-outs in `bakery-mc` \
+         (`tests/weak_registers.rs`) verify the paper invariants over exactly these enlarged \
+         spaces.",
+    );
+    vec![table, semantics_table]
 }
 
 /// State budget of the full four-process close-out row (full mode only):
 /// comfortably above the 39.6 M reachable states.
 pub const TREE_CLOSEOUT_BUDGET: usize = 60_000_000;
+
+/// One atomic-vs-safe register-semantics comparison: the same configuration
+/// explored exhaustively under both register models (pure reachability, no
+/// invariants, so a violation cannot cut the exploration short and the two
+/// state counts compare like for like).
+#[derive(Debug, Clone)]
+pub struct SemanticsRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Register bound M.
+    pub bound: u64,
+    /// Reachable states under [`RegisterSemantics::Atomic`].
+    pub atomic_states: usize,
+    /// Reachable states under [`RegisterSemantics::Safe`] (writes split into
+    /// begin/commit, overlapping reads branch over the register domain).
+    pub safe_states: usize,
+    /// `safe_states / atomic_states` — the cost of the weaker register model.
+    pub blowup: f64,
+    /// Both explorations closed out (`truncated == false` twice).
+    pub complete: bool,
+}
+
+/// Explores one Bakery-family configuration under both register semantics
+/// and reports the state-space sizes side by side.
+#[must_use]
+pub fn semantics_row(classic: bool, n: usize, bound: u64, max_states: usize) -> SemanticsRow {
+    let explore = |semantics: RegisterSemantics| {
+        if classic {
+            let spec = BakerySpec::new(n, bound).with_semantics(semantics);
+            ModelChecker::new(&spec).with_max_states(max_states).run()
+        } else {
+            let spec = BakeryPlusPlusSpec::new(n, bound).with_semantics(semantics);
+            ModelChecker::new(&spec).with_max_states(max_states).run()
+        }
+    };
+    let atomic = explore(RegisterSemantics::Atomic);
+    let safe = explore(RegisterSemantics::Safe);
+    #[allow(clippy::cast_precision_loss)]
+    let blowup = safe.states as f64 / atomic.states.max(1) as f64;
+    SemanticsRow {
+        algorithm: if classic { "bakery" } else { "bakery++" }.to_string(),
+        n,
+        bound,
+        atomic_states: atomic.states,
+        safe_states: safe.states,
+        blowup,
+        complete: !atomic.truncated && !safe.truncated,
+    }
+}
+
+/// The atomic-vs-safe comparison rows for the n = 2 / n = 3 close-outs
+/// (quick mode keeps only the two-process rows).
+#[must_use]
+pub fn semantics_rows(quick: bool) -> Vec<SemanticsRow> {
+    let max_states = 3_000_000;
+    let mut rows = vec![
+        semantics_row(false, 2, 3, max_states),
+        semantics_row(true, 2, 3, max_states),
+    ];
+    if !quick {
+        rows.push(semantics_row(false, 3, 3, max_states));
+        rows.push(semantics_row(true, 3, 2, max_states));
+    }
+    rows
+}
 
 /// One row of the E2 scaling table (`bench-json --only e2`): one exhaustive
 /// exploration of the scaling configuration at one worker-thread count.
@@ -324,12 +415,23 @@ mod tests {
     #[test]
     fn quick_table_has_all_algorithms() {
         let tables = run(true);
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].len(), 8, "3 bounded configs x 2 + 2 tree rows");
         let md = tables[0].to_markdown();
         assert!(md.contains("bakery++"));
         assert!(md.contains("tree-bakery"));
         assert!(md.contains("VIOLATED: NoOverflow"));
+        assert_eq!(tables[1].len(), 2, "quick mode: the two n=2 semantics rows");
+        assert!(tables[1].to_markdown().contains("atomic states"));
+    }
+
+    #[test]
+    fn semantics_rows_show_the_safe_register_blowup() {
+        let row = semantics_row(false, 2, 3, 1_000_000);
+        assert_eq!(row.atomic_states, 1570);
+        assert_eq!(row.safe_states, 3667);
+        assert!(row.complete);
+        assert!(row.blowup > 2.0);
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! (assumptions 1.5–1.7), and a read that overlaps a write may return an
 //! arbitrary value.  This experiment re-runs the exhaustive check of E2 with
 //! those behaviours switched on: crash transitions explored from every state,
-//! and "flicker" reads that may return 0, the written value, or the bound
-//! whenever the owner is mid-doorway.
+//! and [`RegisterSemantics::Safe`] registers, under which every write is a
+//! begin/commit step pair and a read overlapping an in-progress write may
+//! return any value in `[0, bound]`.
 
 use bakery_mc::ModelChecker;
-use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, SafeReadMode};
+use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, RegisterSemantics};
 
 use crate::report::Table;
 
@@ -37,12 +38,12 @@ pub fn check_pp_variant(
     flicker: bool,
     max_states: usize,
 ) -> SafetyOutcome {
-    let mode = if flicker {
-        SafeReadMode::Flicker
+    let semantics = if flicker {
+        RegisterSemantics::Safe
     } else {
-        SafeReadMode::Atomic
+        RegisterSemantics::Atomic
     };
-    let spec = BakeryPlusPlusSpec::new(n, bound).with_read_mode(mode);
+    let spec = BakeryPlusPlusSpec::new(n, bound).with_semantics(semantics);
     let report = ModelChecker::new(&spec)
         .with_paper_invariants()
         .with_crashes(crashes)
@@ -68,12 +69,12 @@ pub fn check_classic_variant(
     flicker: bool,
     max_states: usize,
 ) -> SafetyOutcome {
-    let mode = if flicker {
-        SafeReadMode::Flicker
+    let semantics = if flicker {
+        RegisterSemantics::Safe
     } else {
-        SafeReadMode::Atomic
+        RegisterSemantics::Atomic
     };
-    let spec = BakerySpec::new(n, bound).with_read_mode(mode);
+    let spec = BakerySpec::new(n, bound).with_semantics(semantics);
     let report = ModelChecker::new(&spec)
         .with_invariant(bakery_sim::Invariant::mutual_exclusion())
         .with_crashes(crashes)
@@ -107,9 +108,20 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["algorithm", "model variant", "states", "complete", "verdict"],
     );
     for &(crashes, flicker) in &[(false, false), (true, false), (false, true), (true, true)] {
+        // Safe-register reads branch over the whole `[0, bound]` domain, so
+        // the flicker rows for the classic Bakery must use a small bound —
+        // which also lets the exploration actually reach the overflow
+        // sentinel the note below discusses.
+        let classic_bound = if flicker { 4 } else { 1_000_000 };
         for outcome in [
             check_pp_variant(n, bound, crashes, flicker, max_states),
-            check_classic_variant(n, 1_000_000, crashes, flicker, if quick { 60_000 } else { 200_000 }),
+            check_classic_variant(
+                n,
+                classic_bound,
+                crashes,
+                flicker,
+                if quick { 60_000 } else { 200_000 },
+            ),
         ] {
             table.push_row(vec![
                 outcome.algorithm.clone(),
@@ -125,14 +137,16 @@ pub fn run(quick: bool) -> Vec<Table> {
         }
     }
     table.push_note(
-        "Bakery++ keeps both invariants under crash/restart faults and under safe-register \
-         (flicker) reads — its registers are genuinely bounded by M, so even a read that \
-         returns the largest possible value stays within the algorithm's ticket domain.  The \
-         classic Bakery keeps mutual exclusion under crash faults; under flicker reads our \
-         bounded model reports a violation, an artifact of approximating its *unbounded* \
-         ticket domain with a finite sentinel (an arbitrary flicker value collides with the \
-         cap and breaks the strict ticket growth Lamport's argument relies on) — which is \
-         itself an illustration of the paper's point that finite registers change the game.",
+        "Bakery++ keeps both invariants under crash/restart faults and under safe \
+         (flickering) registers — its registers are genuinely bounded by M, so even a read \
+         that returns the largest possible value stays within the algorithm's ticket domain.  \
+         The classic Bakery keeps mutual exclusion under crash faults; its safe-register rows \
+         necessarily run with a small ticket bound (flickering reads branch over the whole \
+         register domain), and any reported violation there sits downstream of the finite \
+         M+1 overflow sentinel that approximates its *unbounded* ticket domain — which is \
+         itself an illustration of the paper's point that finite registers change the game.  \
+         The `weak_registers` exhaustive suite in `bakery-mc` is the definitive close-out of \
+         both algorithms under safe semantics.",
     );
     vec![table]
 }

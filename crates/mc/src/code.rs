@@ -22,7 +22,7 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use bakery_sim::{Algorithm, ProcState, ProgState, StatePermutation};
+use bakery_sim::{Algorithm, PendingWrite, ProcState, ProgState, RegisterSemantics, StatePermutation};
 
 /// Number of words a [`StateCode`] stores inline before spilling to a heap
 /// allocation.  Three words cover every specification in the suite at its
@@ -135,6 +135,13 @@ pub struct StateCodec {
     procs: usize,
     /// Total words per code.
     words: usize,
+    /// True when the algorithm runs under [`RegisterSemantics::Safe`]: the
+    /// code grows pending-write lanes appended *after* the atomic layout, so
+    /// atomic-mode codes stay bit-identical to the pre-knob plane.
+    weak: bool,
+    /// Register owners (single-writer registers), used to reconstruct owned
+    /// writer masks on decode and to validate permutations under `weak`.
+    owners: Vec<Option<usize>>,
 }
 
 /// Narrowest lane holding every value in `0..=max` (at least one bit).
@@ -163,20 +170,35 @@ impl StateCodec {
                 "process {pid} has a different local count"
             );
         }
-        let shared_maxes: Vec<u64> = algorithm
-            .registers()
+        let registers = algorithm.registers();
+        let shared_maxes: Vec<u64> = registers
             .iter()
             .map(|reg| reg.bound.saturating_add(1))
             .collect();
         let shared_bits: Vec<u32> = shared_maxes.iter().map(|&m| bits_for(m)).collect();
+        let owners: Vec<Option<usize>> = registers.iter().map(|reg| reg.owner).collect();
         let local_maxes: Vec<u64> = (0..local_count)
             .map(|slot| bounds.local_bound(slot))
             .collect();
         let local_bits: Vec<u32> = local_maxes.iter().map(|&m| bits_for(m)).collect();
         let pc_bits = bits_for(u64::from(bounds.max_pc));
         let per_proc: u32 = pc_bits + 1 + local_bits.iter().sum::<u32>();
-        let total_bits =
+        let weak = algorithm.register_semantics() == RegisterSemantics::Safe;
+        let mut total_bits =
             shared_bits.iter().sum::<u32>() as usize + per_proc as usize * initial.procs.len();
+        if weak {
+            // Pending-write lanes, appended after the atomic layout: owned
+            // registers need an active bit + a pending-value lane (the mask
+            // is implied by the owner); multi-writer registers need a full
+            // writer mask + a clash bit + the pending-value lane.
+            let procs = initial.procs.len() as u32;
+            for (idx, bits) in shared_bits.iter().enumerate() {
+                total_bits += match owners[idx] {
+                    Some(_) => 1 + *bits as usize,
+                    None => procs as usize + 1 + *bits as usize,
+                };
+            }
+        }
         Self {
             shared_bits,
             shared_maxes,
@@ -185,6 +207,8 @@ impl StateCodec {
             local_maxes,
             procs: initial.procs.len(),
             words: total_bits.div_ceil(64).max(1),
+            weak,
+            owners,
         }
     }
 
@@ -265,6 +289,50 @@ impl StateCodec {
                 writer.push(value, self.local_bits[slot]);
             }
         }
+        if self.weak {
+            assert_eq!(
+                state.writes.len(),
+                self.shared_bits.len(),
+                "safe-semantics state is missing its pending-write cells"
+            );
+            for new_index in 0..state.writes.len() {
+                let old_index = preimage.map_or(new_index, |p| p.map_register(new_index));
+                let cell = &state.writes[old_index];
+                debug_assert!(
+                    (cell.writers != 0 || (cell.value == 0 && !cell.clash))
+                        && (!cell.clash || cell.value == 0),
+                    "pending-write cell {old_index} violates its normalisation invariant"
+                );
+                assert!(
+                    cell.value <= self.shared_maxes[new_index],
+                    "pending value {} on register {old_index} exceeds its lane max {}",
+                    cell.value,
+                    self.shared_maxes[new_index]
+                );
+                match self.owners[new_index] {
+                    Some(_) => {
+                        // Single-writer: the mask is implied by the owner.
+                        writer.push(u64::from(cell.writers != 0), 1);
+                        writer.push(cell.value, self.shared_bits[new_index]);
+                    }
+                    None => {
+                        // The mask's writer bits follow the process
+                        // relabelling: the new mask's bit q is the old
+                        // mask's bit for q's preimage process.
+                        let mut mask = 0u64;
+                        for q in 0..self.procs {
+                            let old_pid = preimage.map_or(q, |p| p.map_process(q));
+                            if cell.writers & (1 << old_pid) != 0 {
+                                mask |= 1 << q;
+                            }
+                        }
+                        writer.push(mask, self.procs as u32);
+                        writer.push(u64::from(cell.clash), 1);
+                        writer.push(cell.value, self.shared_bits[new_index]);
+                    }
+                }
+            }
+        }
         StateCode::from_words(writer.finish())
     }
 
@@ -283,6 +351,17 @@ impl StateCodec {
                 self.shared_maxes[old], self.shared_maxes[new],
                 "permutation maps register {old} onto {new}, which has a different bound"
             );
+            if self.weak {
+                // The owned-register encoding stores only an active bit, so
+                // a permutation must map owners consistently with the
+                // process relabelling (and never mix owned with multi-writer
+                // cells) for permuted codes to stay exact.
+                let mapped_owner = self.owners[old].map(|o| perm.map_process(o));
+                assert_eq!(
+                    mapped_owner, self.owners[new],
+                    "permutation maps register {old} onto {new} with inconsistent ownership"
+                );
+            }
         }
     }
 
@@ -313,7 +392,38 @@ impl StateCodec {
                 proc_state
             })
             .collect();
-        ProgState { shared, procs }
+        let writes: Vec<PendingWrite> = if self.weak {
+            (0..self.shared_bits.len())
+                .map(|idx| match self.owners[idx] {
+                    Some(owner) => {
+                        let active = reader.pull(1) != 0;
+                        let value = reader.pull(self.shared_bits[idx]);
+                        PendingWrite {
+                            writers: if active { 1 << owner } else { 0 },
+                            value,
+                            clash: false,
+                        }
+                    }
+                    None => {
+                        let writers = reader.pull(self.procs as u32);
+                        let clash = reader.pull(1) != 0;
+                        let value = reader.pull(self.shared_bits[idx]);
+                        PendingWrite {
+                            writers,
+                            value,
+                            clash,
+                        }
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ProgState {
+            shared,
+            procs,
+            writes,
+        }
     }
 }
 

@@ -994,7 +994,7 @@ impl<'a, A: Algorithm + ?Sized> ModelChecker<'a, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, PetersonSpec, SafeReadMode, TicketSpec};
+    use bakery_spec::{BakeryPlusPlusSpec, BakerySpec, PetersonSpec, RegisterSemantics, TicketSpec};
 
     #[test]
     fn peterson_satisfies_mutual_exclusion_exhaustively() {
@@ -1019,7 +1019,7 @@ mod tests {
 
     #[test]
     fn bakery_pp_holds_under_flicker_reads() {
-        let spec = BakeryPlusPlusSpec::new(2, 2).with_read_mode(SafeReadMode::Flicker);
+        let spec = BakeryPlusPlusSpec::new(2, 2).with_semantics(RegisterSemantics::Safe);
         let report = ModelChecker::new(&spec).with_paper_invariants().run();
         assert!(report.holds(), "{report}");
     }

@@ -31,12 +31,15 @@
 //! checked to produce a counterexample.
 
 use bakery_mc::ModelChecker;
-use bakery_sim::{Algorithm, Invariant, ProgState};
+use bakery_sim::{Algorithm, Invariant, ProgState, RegisterSemantics};
 use bakery_spec::{AdaptiveHandoffSpec, BakeryPlusPlusSpec, TreeBakerySpec};
 
 /// *CrashResetsOwnRegisters*: from every reachable state, every crash
 /// transition on offer leaves the victim at its NCS (pc 0 across all shipped
-/// specs) with each register it owns reading zero.
+/// specs) with each register it owns reading zero — and, under
+/// [`RegisterSemantics::Safe`], with no write of the victim's still in
+/// flight: a crash mid-write aborts the write, dropping the pending value
+/// rather than committing it.
 ///
 /// The owned-register indices are precomputed from `alg` — rebuilding the
 /// full `RegisterSpec` list per checked state would dominate a
@@ -62,7 +65,9 @@ fn crash_resets_own_registers<A: Algorithm>(alg: &A) -> Invariant<A> {
             (0..owned.len()).all(|pid| match alg.crash(state, pid) {
                 None => true,
                 Some(next) => {
-                    next.pc(pid) == 0 && owned[pid].iter().all(|&idx| next.read(idx) == 0)
+                    next.pc(pid) == 0
+                        && owned[pid].iter().all(|&idx| next.read(idx) == 0)
+                        && next.write_in_progress_by(pid).is_none()
                 }
             })
         },
@@ -118,6 +123,49 @@ fn bakery_pp_two_processes_close_out_with_crashes() {
 #[test]
 fn bakery_pp_three_processes_close_out_with_crashes() {
     close_out_bakery_pp(3, 3, 8_000_000);
+}
+
+/// **Crash during a write** (the weak-register plane meets the crash
+/// plane): under [`RegisterSemantics::Safe`] every write is a begin/commit
+/// pair, and a crash may land exactly between them.  The paper's recovery
+/// assumption (1.7) then demands the pending value be *dropped*, not
+/// committed — the victim restarts with its registers zeroed and no write of
+/// its own still in flight.  This row explores the crash-extended safe
+/// state space exhaustively with the strengthened
+/// `CrashResetsOwnRegisters` (which now also rejects any surviving
+/// in-flight write of the victim's) plus the paper invariants.
+#[test]
+fn bakery_pp_crash_during_write_closes_out_under_safe_registers() {
+    let spec = BakeryPlusPlusSpec::new(2, 2).with_semantics(RegisterSemantics::Safe);
+    let report = ModelChecker::new(&spec)
+        .with_paper_invariants()
+        .with_invariant(Invariant::crashed_registers_are_zero())
+        .with_invariant(crash_resets_own_registers(&spec))
+        .with_invariant(crashed_pid_may_reenter())
+        .with_crashes(true)
+        .with_max_states(2_000_000)
+        .run();
+    assert_clean(&report, "bakery++ n=2 M=2 safe + crashes");
+
+    // The row has bite only if crashes are actually offered mid-write:
+    // drive the spec into an in-flight ticket write by hand and watch the
+    // crash abort it.
+    let mut state = spec.initial_state();
+    'outer: for _ in 0..64 {
+        for next in spec.successors_vec(&state, 0) {
+            if next.write_in_progress_by(0).is_some() {
+                state = next;
+                break 'outer;
+            }
+        }
+        state = spec.successors_vec(&state, 0).remove(0);
+    }
+    let idx = state
+        .write_in_progress_by(0)
+        .expect("p0 must reach an in-flight write within 64 solo steps");
+    let crashed = spec.crash(&state, 0).expect("crash is offered mid-write");
+    assert!(crashed.write_in_progress_by(0).is_none(), "write aborted");
+    assert_eq!(crashed.read(idx), 0, "pending value dropped, register zeroed");
 }
 
 #[test]

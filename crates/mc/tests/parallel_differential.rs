@@ -10,7 +10,7 @@
 //! specification parameters.
 
 use bakery_mc::{ExplorationReport, ModelChecker};
-use bakery_spec::{BakeryPlusPlusSpec, SafeReadMode, TreeBakerySpec};
+use bakery_spec::{BakeryPlusPlusSpec, RegisterSemantics, TreeBakerySpec};
 use proptest::prelude::*;
 
 /// Field-by-field equality of the exploration outcomes we guarantee to be
@@ -167,7 +167,7 @@ proptest! {
     ) {
         let mut spec = BakeryPlusPlusSpec::new(2, bound);
         if flicker == 1 {
-            spec = spec.with_read_mode(SafeReadMode::Flicker);
+            spec = spec.with_semantics(RegisterSemantics::Safe);
         }
         let run = |threads: usize| {
             ModelChecker::new(&spec)

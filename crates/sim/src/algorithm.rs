@@ -21,6 +21,46 @@
 use crate::state::{ProgState, RegisterSpec};
 use crate::symmetry::SymmetryGroup;
 
+/// Which register model a specification's shared variables obey.
+///
+/// * [`RegisterSemantics::Atomic`] — the classic interleaving model: every
+///   read and write is one indivisible step.  This is the default, and
+///   algorithms running under it carry **no** pending-write state
+///   ([`ProgState::writes`] stays empty), so atomic-mode state spaces,
+///   hashes and packed encodings are bit-identical to the pre-knob plane.
+///
+/// * [`RegisterSemantics::Safe`] — Lamport's *safe* (non-atomic,
+///   "flickering") registers, the model the bakery algorithm was designed
+///   to survive.  The exact rules:
+///
+///   1. A write is **two** steps: `begin_write(r, v)` marks the register
+///      busy and records the pending value (the writer's pc advances on
+///      this step); a later `end_write` commits a value and clears the
+///      mark.  Program order is enforced — a process with a write in
+///      flight can only take its commit step next.
+///   2. A read that does **not** overlap any write returns the last
+///      committed value, exactly.
+///   3. A read that overlaps an in-progress write returns **any** value in
+///      `[0, bound]` for that register (nondeterministic branch per value).
+///      The flicker range is the declared bound, not the transient
+///      physical range — reads never observe an overflow sentinel.
+///   4. Overlapping writes to the same register *clash*: the value
+///      eventually committed by each writer is arbitrary in `[0, bound]`.
+///      (Single-writer registers never clash by construction; this rule
+///      only bites multi-writer registers such as Peterson's `turn`.)
+///   5. A crash mid-write **aborts** the write: the pending value is
+///      dropped, the busy mark (for that writer) is cleared, and the
+///      register obeys the paper's crash rule (owned registers read zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RegisterSemantics {
+    /// Indivisible reads and writes (the default).
+    #[default]
+    Atomic,
+    /// Safe/flickering registers: two-step writes, arbitrary in-range
+    /// values for overlapping reads, clash semantics for overlapping writes.
+    Safe,
+}
+
 /// Upper bounds on the non-register components of a [`ProgState`], used by
 /// the model checker's compact state encoding to size bit lanes.
 ///
@@ -162,6 +202,14 @@ pub trait Algorithm: Send + Sync {
     /// sound; override to shrink the per-state footprint.
     fn state_bounds(&self) -> StateBounds {
         StateBounds::conservative()
+    }
+
+    /// The register model this instance's shared variables obey.  Defaults
+    /// to [`RegisterSemantics::Atomic`]; implementations with a semantics
+    /// knob return [`RegisterSemantics::Safe`] when it is switched on, which
+    /// tells the model checker's compact encoding to add pending-write lanes.
+    fn register_semantics(&self) -> RegisterSemantics {
+        RegisterSemantics::Atomic
     }
 
     /// The symmetry group the specification's states may be quotiented by

@@ -84,6 +84,15 @@ impl<A: Algorithm + ?Sized> Invariant<A> {
                 .iter()
                 .zip(specs.iter())
                 .all(|(value, spec)| *value <= spec.bound)
+                // Under safe semantics an in-progress write is an overflow
+                // the moment its pending value exceeds the bound — waiting
+                // for the commit would let a crash hide the attempt.  Idle
+                // cells are normalised to value 0, so no idle-check needed.
+                && state
+                    .writes
+                    .iter()
+                    .zip(specs.iter())
+                    .all(|(cell, spec)| cell.value <= spec.bound)
         })
     }
 
@@ -111,6 +120,11 @@ impl<A: Algorithm + ?Sized> Invariant<A> {
                 .iter()
                 .zip(bounds.iter())
                 .all(|(value, bound)| value <= bound)
+                && state
+                    .writes
+                    .iter()
+                    .zip(bounds.iter())
+                    .all(|(cell, bound)| cell.value <= *bound)
         })
     }
 
@@ -124,11 +138,18 @@ impl<A: Algorithm + ?Sized> Invariant<A> {
                 if !state.is_crashed(pid) {
                     return true;
                 }
-                specs
+                // A crash mid-write must abort the write: the crashed pid
+                // may hold no writer bit on any register (safe semantics).
+                let no_pending = state
+                    .writes
                     .iter()
-                    .enumerate()
-                    .filter(|(_, spec)| spec.owner == Some(pid))
-                    .all(|(idx, _)| state.read(idx) == 0)
+                    .all(|cell| cell.writers & (1 << pid) == 0);
+                no_pending
+                    && specs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, spec)| spec.owner == Some(pid))
+                        .all(|(idx, _)| state.read(idx) == 0)
             })
         })
     }
@@ -183,6 +204,41 @@ mod tests {
         let odd = state.with_write(0, 1);
         assert!(!copy.holds(&alg, &odd));
         assert!(format!("{inv:?}").contains("EntriesEven"));
+    }
+
+    #[test]
+    fn register_bounds_flags_overlarge_pending_writes() {
+        let alg = BrokenLock {
+            processes: 1,
+            bound: 3,
+        };
+        let plain = Invariant::<BrokenLock>::register_bounds();
+        let fast = Invariant::<BrokenLock>::register_bounds_for(&alg);
+        let mut state = alg.initial_state();
+        state.writes = vec![crate::state::PendingWrite::default()];
+        state.begin_write(0, 3, 0);
+        assert!(plain.holds(&alg, &state));
+        assert!(fast.holds(&alg, &state));
+        state.end_write(0, 0, 3);
+        state.begin_write(0, 4, 0);
+        assert!(!plain.holds(&alg, &state), "pending 4 > bound 3");
+        assert!(!fast.holds(&alg, &state));
+    }
+
+    #[test]
+    fn crashed_process_may_hold_no_inflight_write() {
+        let alg = BrokenLock {
+            processes: 2,
+            bound: 10,
+        };
+        let inv = Invariant::<BrokenLock>::crashed_registers_are_zero();
+        let mut state = alg.initial_state();
+        state.writes = vec![crate::state::PendingWrite::default()];
+        state.begin_write(0, 2, 0);
+        state.procs[0].crashed = true;
+        assert!(!inv.holds(&alg, &state), "crash must abort in-flight writes");
+        state.abort_writes(0);
+        assert!(inv.holds(&alg, &state));
     }
 
     #[test]

@@ -40,12 +40,12 @@ pub mod state;
 pub mod symmetry;
 pub mod trace;
 
-pub use algorithm::{Algorithm, Observation, StateBounds};
+pub use algorithm::{Algorithm, Observation, RegisterSemantics, StateBounds};
 pub use faults::FaultPlan;
 pub use invariant::Invariant;
 pub use metrics::RunReport;
 pub use runner::{RunConfig, Simulator};
 pub use scheduler::{AdversarialScheduler, RandomScheduler, ReplayScheduler, RoundRobinScheduler, Scheduler};
-pub use state::{ProcState, ProgState, RegisterSpec};
+pub use state::{PendingWrite, ProcState, ProgState, RegisterSpec};
 pub use symmetry::{StatePermutation, SymmetryGroup};
 pub use trace::{Trace, TraceEvent};

@@ -67,6 +67,43 @@ impl ProcState {
     }
 }
 
+/// An in-progress (begun but not yet committed) write to one shared
+/// register, used only under [`crate::RegisterSemantics::Safe`].
+///
+/// The normalisation invariant — relied on by the model checker's packed
+/// encoding — is: `writers == 0` implies `value == 0 && !clash`, and
+/// `clash` implies `value == 0` (a clash has no single pending value; the
+/// eventual committed value is arbitrary in `[0, bound]`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PendingWrite {
+    /// Bitmask of process ids with a write in flight on this register.
+    pub writers: u64,
+    /// The pending value, when exactly one writer is in flight (no clash).
+    pub value: u64,
+    /// True when two or more writes overlapped on this register; the value
+    /// eventually committed is then arbitrary within the register's bound.
+    pub clash: bool,
+}
+
+impl PendingWrite {
+    /// True when no write is in flight on this register.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.writers == 0
+    }
+
+    /// Re-establishes the normalisation invariant after clearing a writer
+    /// bit: an idle cell is all-zero, and a clash carries no pending value.
+    fn normalize(&mut self) {
+        if self.writers == 0 {
+            self.value = 0;
+            self.clash = false;
+        } else if self.clash {
+            self.value = 0;
+        }
+    }
+}
+
 /// A complete global state: shared registers plus every process's state.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProgState {
@@ -75,20 +112,47 @@ pub struct ProgState {
     pub shared: Vec<u64>,
     /// Per-process program counters and locals.
     pub procs: Vec<ProcState>,
+    /// In-progress writes, index-aligned with `shared`.  **Empty** under
+    /// [`crate::RegisterSemantics::Atomic`] (the common case), so atomic-mode
+    /// states hash, compare and encode exactly as they did before the
+    /// weak-register plane existed.
+    pub writes: Vec<PendingWrite>,
 }
 
 bakery_json::json_object!(RegisterSpec { name, bound, owner });
 bakery_json::json_object!(ProcState { pc, locals, crashed });
-bakery_json::json_object!(ProgState { shared, procs });
+bakery_json::json_object!(PendingWrite {
+    writers,
+    value,
+    clash
+});
+bakery_json::json_object!(ProgState {
+    shared,
+    procs,
+    writes
+});
 
 impl ProgState {
     /// Creates a state with `registers` shared cells (all zero, as the paper
-    /// requires) and the given per-process initial states.
+    /// requires) and the given per-process initial states.  The state carries
+    /// no pending-write cells — this is the atomic-semantics constructor.
     #[must_use]
     pub fn new(registers: usize, procs: Vec<ProcState>) -> Self {
         Self {
             shared: vec![0; registers],
             procs,
+            writes: Vec::new(),
+        }
+    }
+
+    /// Creates a state for [`crate::RegisterSemantics::Safe`] execution: like
+    /// [`ProgState::new`] but with one (idle) pending-write cell per register.
+    #[must_use]
+    pub fn new_weak(registers: usize, procs: Vec<ProcState>) -> Self {
+        Self {
+            shared: vec![0; registers],
+            procs,
+            writes: vec![PendingWrite::default(); registers],
         }
     }
 
@@ -145,6 +209,91 @@ impl ProgState {
         self.shared[idx] = value;
     }
 
+    /// Starts a safe-semantics write of `value` to register `idx` by process
+    /// `pid` (in place).  If another write is already in flight the two
+    /// overlap and the cell degrades to a *clash*: the committed value will
+    /// be arbitrary within the register's bound.
+    pub fn begin_write(&mut self, idx: usize, value: u64, pid: usize) {
+        let cell = &mut self.writes[idx];
+        if cell.writers == 0 {
+            cell.writers = 1 << pid;
+            cell.value = value;
+            cell.clash = false;
+        } else {
+            cell.writers |= 1 << pid;
+            cell.clash = true;
+            cell.value = 0;
+        }
+    }
+
+    /// The values `pid`'s in-flight write on register `idx` may commit:
+    /// the single pending value normally, or every value in `[0, bound]`
+    /// after a clash.
+    #[must_use]
+    pub fn commit_values(&self, idx: usize, bound: u64) -> Vec<u64> {
+        let cell = &self.writes[idx];
+        if cell.clash {
+            (0..=bound).collect()
+        } else {
+            vec![cell.value]
+        }
+    }
+
+    /// Completes `pid`'s in-flight write on register `idx` (in place),
+    /// committing `value` to the register.  Any clash mark persists while
+    /// other writers remain in flight.
+    pub fn end_write(&mut self, idx: usize, pid: usize, value: u64) {
+        self.shared[idx] = value;
+        let cell = &mut self.writes[idx];
+        cell.writers &= !(1 << pid);
+        cell.normalize();
+    }
+
+    /// Aborts every in-flight write by `pid` (in place) — the crash rule for
+    /// safe registers: the pending value is dropped, never committed.  A
+    /// clash with surviving writers persists (their outcome stays arbitrary).
+    pub fn abort_writes(&mut self, pid: usize) {
+        for cell in &mut self.writes {
+            if cell.writers & (1 << pid) != 0 {
+                cell.writers &= !(1 << pid);
+                cell.normalize();
+            }
+        }
+    }
+
+    /// The register index of `pid`'s in-flight write, if it has one.  The
+    /// specifications issue at most one write at a time per process, so a
+    /// single index suffices.
+    #[must_use]
+    pub fn write_in_progress_by(&self, pid: usize) -> Option<usize> {
+        self.writes
+            .iter()
+            .position(|cell| cell.writers & (1 << pid) != 0)
+    }
+
+    /// The values a safe-semantics read of register `idx` may return: the
+    /// committed value when no write is in flight, otherwise every value in
+    /// `[0, bound]` (a flickering read).
+    #[must_use]
+    pub fn read_values(&self, idx: usize, bound: u64) -> Vec<u64> {
+        match self.writes.get(idx) {
+            Some(cell) if !cell.is_idle() => (0..=bound).collect(),
+            _ => vec![self.shared[idx]],
+        }
+    }
+
+    /// The value most recently *stored to* register `idx` by its writer: the
+    /// pending value while a (non-clash) write is in flight, otherwise the
+    /// committed value.  Used by observers that need the writer's intent
+    /// rather than a reader's view.
+    #[must_use]
+    pub fn last_stored(&self, idx: usize) -> u64 {
+        match self.writes.get(idx) {
+            Some(cell) if !cell.is_idle() && !cell.clash => cell.value,
+            _ => self.shared[idx],
+        }
+    }
+
     /// Local variable `slot` of process `pid`.
     #[must_use]
     pub fn local(&self, pid: usize, slot: usize) -> u64 {
@@ -174,7 +323,17 @@ impl ProgState {
                 let name = registers
                     .get(i)
                     .map_or_else(|| format!("r{i}"), |r| r.name.clone());
-                format!("{name}={v}")
+                match self.writes.get(i) {
+                    Some(cell) if !cell.is_idle() => {
+                        let pending = if cell.clash {
+                            "clash".to_string()
+                        } else {
+                            cell.value.to_string()
+                        };
+                        format!("{name}={v}*{pending}")
+                    }
+                    _ => format!("{name}={v}"),
+                }
             })
             .collect();
         let procs: Vec<String> = self
@@ -270,6 +429,63 @@ mod tests {
     #[test]
     fn states_serialize_round_trip() {
         let s = two_proc_state().with_write(3, 7).with_pc(0, 5);
+        let json = bakery_json::to_string(&s).unwrap();
+        let back: ProgState = bakery_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    fn weak_two_proc_state() -> ProgState {
+        ProgState::new_weak(
+            2,
+            vec![ProcState::new(0, vec![0]), ProcState::new(0, vec![0])],
+        )
+    }
+
+    #[test]
+    fn single_writer_begin_end_commits_pending_value() {
+        let mut s = weak_two_proc_state();
+        s.begin_write(1, 5, 0);
+        assert_eq!(s.write_in_progress_by(0), Some(1));
+        assert_eq!(s.read(1), 0, "committed value unchanged until end_write");
+        assert_eq!(s.last_stored(1), 5, "writer's intent visible");
+        assert_eq!(s.read_values(1, 7), (0..=7).collect::<Vec<_>>(), "flicker");
+        assert_eq!(s.commit_values(1, 7), vec![5]);
+        s.end_write(1, 0, 5);
+        assert_eq!(s.read(1), 5);
+        assert!(s.writes[1].is_idle());
+        assert_eq!(s.read_values(1, 7), vec![5], "quiescent read is exact");
+    }
+
+    #[test]
+    fn overlapping_writes_clash_and_commit_arbitrarily() {
+        let mut s = weak_two_proc_state();
+        s.begin_write(0, 3, 0);
+        s.begin_write(0, 1, 1);
+        assert!(s.writes[0].clash);
+        assert_eq!(s.writes[0].value, 0, "clash carries no pending value");
+        assert_eq!(s.commit_values(0, 2), vec![0, 1, 2]);
+        s.end_write(0, 0, 2);
+        assert!(s.writes[0].clash, "clash persists while a writer remains");
+        s.end_write(0, 1, 1);
+        assert!(s.writes[0].is_idle());
+        assert!(!s.writes[0].clash);
+    }
+
+    #[test]
+    fn abort_drops_pending_value_and_normalizes() {
+        let mut s = weak_two_proc_state();
+        s.begin_write(1, 6, 1);
+        s.abort_writes(1);
+        assert!(s.writes[1].is_idle());
+        assert_eq!(s.writes[1].value, 0);
+        assert_eq!(s.read(1), 0, "aborted value never committed");
+        assert_eq!(s.write_in_progress_by(1), None);
+    }
+
+    #[test]
+    fn weak_states_serialize_round_trip() {
+        let mut s = weak_two_proc_state();
+        s.begin_write(0, 2, 0);
         let json = bakery_json::to_string(&s).unwrap();
         let back: ProgState = bakery_json::from_str(&json).unwrap();
         assert_eq!(s, back);

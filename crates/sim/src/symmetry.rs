@@ -145,7 +145,28 @@ impl StatePermutation {
         for (old, &new) in self.shared_map.iter().enumerate() {
             next.shared[new] = state.shared[old];
         }
+        // Pending-write cells (safe-register semantics) follow their
+        // registers, and the writer bitmasks follow the process relabelling.
+        if !state.writes.is_empty() {
+            for (old, &new) in self.shared_map.iter().enumerate() {
+                let mut cell = state.writes[old].clone();
+                cell.writers = self.map_writer_mask(cell.writers);
+                next.writes[new] = cell;
+            }
+        }
         next
+    }
+
+    /// Applies the process relabelling to a writer bitmask.
+    #[must_use]
+    pub fn map_writer_mask(&self, mask: u64) -> u64 {
+        let mut mapped = 0u64;
+        for (old, &new) in self.proc_map.iter().enumerate() {
+            if mask & (1 << old) != 0 {
+                mapped |= 1 << new;
+            }
+        }
+        mapped
     }
 }
 
@@ -253,6 +274,7 @@ mod tests {
         ProgState {
             shared,
             procs: pcs.into_iter().map(|pc| ProcState::new(pc, vec![])).collect(),
+            writes: Vec::new(),
         }
     }
 
@@ -341,6 +363,24 @@ mod tests {
         // An asymmetric state has the full orbit.
         let asym = state(vec![5, 6], vec![1, 2]);
         assert_eq!(group.orbit(&asym).len(), 2);
+    }
+
+    #[test]
+    fn pending_writes_permute_with_registers_and_writer_masks() {
+        let swap = StatePermutation::new(vec![1, 0], vec![1, 0]);
+        let mut s = ProgState::new_weak(
+            2,
+            vec![ProcState::new(1, vec![]), ProcState::new(2, vec![])],
+        );
+        s.set_shared(0, 7);
+        s.begin_write(0, 3, 0); // p0 writing 3 to register 0
+        let t = swap.apply(&s);
+        assert_eq!(t.shared, vec![0, 7]);
+        assert_eq!(t.writes[1].writers, 0b10, "writer bit follows p0 -> p1");
+        assert_eq!(t.writes[1].value, 3);
+        assert!(t.writes[0].is_idle());
+        // Round trip through the inverse restores the original.
+        assert_eq!(swap.inverse().apply(&t), s);
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! overflowed a real register*, which is what the `NoOverflow` invariant
 //! detects, while the cap keeps the reachable state space finite.
 
-use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec, StateBounds, SymmetryGroup};
+use bakery_sim::{
+    Algorithm, Observation, ProcState, ProgState, RegisterSemantics, RegisterSpec, StateBounds,
+    SymmetryGroup,
+};
 
-use crate::layout::{choosing_idx, flat_symmetry, number_idx, read_number, ticket_precedes};
-use crate::{pc, SafeReadMode};
+use crate::layout::{
+    choosing_idx, choosing_may_read_zero, flat_symmetry, number_idx, read_number, ticket_precedes,
+};
+use crate::pc;
 
 /// Local-variable slots used by the Bakery-family specs.
 pub(crate) const LOCAL_J: usize = 0;
@@ -21,7 +26,7 @@ pub(crate) const LOCAL_MAX: usize = 1;
 pub struct BakerySpec {
     n: usize,
     bound: u64,
-    read_mode: SafeReadMode,
+    semantics: RegisterSemantics,
 }
 
 impl BakerySpec {
@@ -33,14 +38,14 @@ impl BakerySpec {
         Self {
             n,
             bound,
-            read_mode: SafeReadMode::Atomic,
+            semantics: RegisterSemantics::Atomic,
         }
     }
 
-    /// Enables or disables safe-register flicker on doorway reads.
+    /// Selects the register model (atomic or safe/flickering registers).
     #[must_use]
-    pub fn with_read_mode(mut self, mode: SafeReadMode) -> Self {
-        self.read_mode = mode;
+    pub fn with_semantics(mut self, semantics: RegisterSemantics) -> Self {
+        self.semantics = semantics;
         self
     }
 
@@ -50,14 +55,22 @@ impl BakerySpec {
         self.bound
     }
 
-    fn flicker(&self) -> bool {
-        self.read_mode == SafeReadMode::Flicker
-    }
-
     /// The value physically stored for an attempted ticket `attempted`
     /// (capped at the overflow sentinel `M + 1`).
     fn store_value(&self, attempted: u64) -> u64 {
         attempted.min(self.bound + 1)
+    }
+
+    /// A successor in which `pid` stores `value` to register `idx`: the
+    /// whole write under atomic semantics, the *begin* step under safe
+    /// semantics (the commit is forced as `pid`'s next step).
+    fn store(&self, state: &ProgState, pid: usize, idx: usize, value: u64) -> ProgState {
+        let mut next = state.clone();
+        match self.semantics {
+            RegisterSemantics::Atomic => next.set_shared(idx, value),
+            RegisterSemantics::Safe => next.begin_write(idx, value, pid),
+        }
+        next
     }
 }
 
@@ -75,17 +88,29 @@ impl Algorithm for BakerySpec {
     }
 
     fn initial_state(&self) -> ProgState {
-        ProgState::new(
-            2 * self.n,
-            (0..self.n)
-                .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
-                .collect(),
-        )
+        let procs = (0..self.n)
+            .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
+            .collect();
+        match self.semantics {
+            RegisterSemantics::Atomic => ProgState::new(2 * self.n, procs),
+            RegisterSemantics::Safe => ProgState::new_weak(2 * self.n, procs),
+        }
     }
 
     #[allow(clippy::too_many_lines)]
     fn successors(&self, state: &ProgState, pid: usize, out: &mut Vec<ProgState>) {
         if state.is_crashed(pid) {
+            return;
+        }
+        // Safe semantics: a begun write must commit before the process takes
+        // any other step (program order).  Bakery registers are all
+        // single-writer, so the commit is the pending value, never a clash.
+        if let Some(idx) = state.write_in_progress_by(pid) {
+            for value in state.commit_values(idx, self.bound) {
+                let mut next = state.clone();
+                next.end_write(idx, pid, value);
+                out.push(next);
+            }
             return;
         }
         let n = self.n;
@@ -94,8 +119,7 @@ impl Algorithm for BakerySpec {
         match state.pc(pid) {
             pc::NCS => {
                 // Enter the doorway: choosing[i] := 1.
-                let mut next = state.clone();
-                next.set_shared(choosing_idx(pid), 1);
+                let mut next = self.store(state, pid, choosing_idx(pid), 1);
                 next.set_local(pid, LOCAL_J, 0);
                 next.set_local(pid, LOCAL_MAX, 0);
                 next.set_pc(pid, pc::COMPUTE_MAX);
@@ -103,10 +127,18 @@ impl Algorithm for BakerySpec {
             }
             pc::COMPUTE_MAX => {
                 if j < n {
-                    // Fold number[j] into the running maximum (one read per step).
-                    for value in read_number(state, n, j, self.bound, self.flicker()) {
+                    // Fold number[j] into the running maximum (one read per
+                    // step).  Flicker values folding to the same maximum
+                    // yield the same successor, so deduplicate by outcome.
+                    let mut maxima: Vec<u64> = read_number(state, n, j, self.bound)
+                        .into_iter()
+                        .map(|value| max.max(value))
+                        .collect();
+                    maxima.sort_unstable();
+                    maxima.dedup();
+                    for folded in maxima {
                         let mut next = state.clone();
-                        next.set_local(pid, LOCAL_MAX, max.max(value));
+                        next.set_local(pid, LOCAL_MAX, folded);
                         next.set_local(pid, LOCAL_J, (j + 1) as u64);
                         out.push(next);
                     }
@@ -119,14 +151,13 @@ impl Algorithm for BakerySpec {
             pc::WRITE_TICKET => {
                 // number[i] := 1 + maximum — the store that can overflow.
                 let attempted = max + 1;
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), self.store_value(attempted));
+                let mut next =
+                    self.store(state, pid, number_idx(n, pid), self.store_value(attempted));
                 next.set_pc(pid, pc::CLEAR_CHOOSING);
                 out.push(next);
             }
             pc::CLEAR_CHOOSING => {
-                let mut next = state.clone();
-                next.set_shared(choosing_idx(pid), 0);
+                let mut next = self.store(state, pid, choosing_idx(pid), 0);
                 next.set_local(pid, LOCAL_J, 0);
                 next.set_pc(pid, pc::SCAN_CHOOSING);
                 out.push(next);
@@ -140,7 +171,7 @@ impl Algorithm for BakerySpec {
                     let mut next = state.clone();
                     next.set_pc(pid, pc::CS);
                     out.push(next);
-                } else if state.read(choosing_idx(j)) == 0 {
+                } else if choosing_may_read_zero(state, j) {
                     let mut next = state.clone();
                     next.set_pc(pid, pc::SCAN_NUMBER);
                     out.push(next);
@@ -148,21 +179,23 @@ impl Algorithm for BakerySpec {
                 // else: blocked at L2.
             }
             pc::SCAN_NUMBER => {
+                // Every passing read value yields the same successor, so one
+                // push suffices (outcome dedup); a read that can only return
+                // blocking values keeps us at L3.
                 let my_number = state.read(number_idx(n, pid));
-                for other in read_number(state, n, j, self.bound, self.flicker()) {
-                    if other == 0 || !ticket_precedes(other, j, my_number, pid) {
-                        let mut next = state.clone();
-                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
-                        next.set_pc(pid, pc::SCAN_CHOOSING);
-                        out.push(next);
-                    }
-                    // else: this read keeps us blocked at L3.
+                let passes = read_number(state, n, j, self.bound)
+                    .into_iter()
+                    .any(|other| other == 0 || !ticket_precedes(other, j, my_number, pid));
+                if passes {
+                    let mut next = state.clone();
+                    next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                    next.set_pc(pid, pc::SCAN_CHOOSING);
+                    out.push(next);
                 }
             }
             pc::CS => {
                 // Leave: number[i] := 0.
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), 0);
+                let mut next = self.store(state, pid, number_idx(n, pid), 0);
                 next.set_pc(pid, pc::NCS);
                 out.push(next);
             }
@@ -183,10 +216,14 @@ impl Algorithm for BakerySpec {
         if state.pc(pid) == pc::NCS
             && state.read(choosing_idx(pid)) == 0
             && state.read(number_idx(self.n, pid)) == 0
+            && state.write_in_progress_by(pid).is_none()
         {
             return None;
         }
         let mut next = state.clone();
+        // A crash mid-write aborts the write: the pending value is dropped,
+        // never committed (safe semantics; no-op under atomic).
+        next.abort_writes(pid);
         next.set_shared(choosing_idx(pid), 0);
         next.set_shared(number_idx(self.n, pid), 0);
         next.set_local(pid, LOCAL_J, 0);
@@ -205,6 +242,10 @@ impl Algorithm for BakerySpec {
         StateBounds::new(pc::CS, vec![self.n as u64, self.bound.saturating_add(1)])
     }
 
+    fn register_semantics(&self) -> RegisterSemantics {
+        self.semantics
+    }
+
     fn symmetry(&self) -> Option<SymmetryGroup> {
         flat_symmetry(self.n)
     }
@@ -212,7 +253,10 @@ impl Algorithm for BakerySpec {
     fn observe(&self, prev: &ProgState, next: &ProgState, pid: usize) -> Option<Observation> {
         let (before, after) = (prev.pc(pid), next.pc(pid));
         if before == pc::WRITE_TICKET && after == pc::CLEAR_CHOOSING {
-            let stored = next.read(number_idx(self.n, pid));
+            // Under safe semantics this transition is the write's *begin*
+            // step, so the ticket is the pending value, not the (stale)
+            // committed one.
+            let stored = next.last_stored(number_idx(self.n, pid));
             if stored > self.bound {
                 return Some(Observation::Overflowed {
                     pid,
@@ -269,7 +313,7 @@ mod tests {
 
     #[test]
     fn flicker_reads_do_not_break_mutual_exclusion() {
-        let spec = BakerySpec::new(2, 1_000).with_read_mode(SafeReadMode::Flicker);
+        let spec = BakerySpec::new(2, 1_000).with_semantics(RegisterSemantics::Safe);
         for seed in 0..10 {
             let config = RunConfig::<BakerySpec>::checked(2_000);
             let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);

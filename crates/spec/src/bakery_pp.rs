@@ -5,18 +5,23 @@
 //! its reset path.  The specification never stores a value above `M` — the
 //! model checker verifies that exhaustively in experiment **E2**.
 
-use bakery_sim::{Algorithm, Observation, ProcState, ProgState, RegisterSpec, StateBounds, SymmetryGroup};
+use bakery_sim::{
+    Algorithm, Observation, ProcState, ProgState, RegisterSemantics, RegisterSpec, StateBounds,
+    SymmetryGroup,
+};
 
 use crate::bakery::{LOCAL_J, LOCAL_MAX};
-use crate::layout::{choosing_idx, flat_symmetry, number_idx, read_number, ticket_precedes};
-use crate::{pc, SafeReadMode};
+use crate::layout::{
+    choosing_idx, choosing_may_read_zero, flat_symmetry, number_idx, read_number, ticket_precedes,
+};
+use crate::pc;
 
 /// Bakery++ as a checkable specification.
 #[derive(Debug, Clone)]
 pub struct BakeryPlusPlusSpec {
     n: usize,
     bound: u64,
-    read_mode: SafeReadMode,
+    semantics: RegisterSemantics,
 }
 
 impl BakeryPlusPlusSpec {
@@ -28,14 +33,14 @@ impl BakeryPlusPlusSpec {
         Self {
             n,
             bound,
-            read_mode: SafeReadMode::Atomic,
+            semantics: RegisterSemantics::Atomic,
         }
     }
 
-    /// Enables or disables safe-register flicker on doorway reads.
+    /// Selects the register model (atomic or safe/flickering registers).
     #[must_use]
-    pub fn with_read_mode(mut self, mode: SafeReadMode) -> Self {
-        self.read_mode = mode;
+    pub fn with_semantics(mut self, semantics: RegisterSemantics) -> Self {
+        self.semantics = semantics;
         self
     }
 
@@ -45,8 +50,16 @@ impl BakeryPlusPlusSpec {
         self.bound
     }
 
-    fn flicker(&self) -> bool {
-        self.read_mode == SafeReadMode::Flicker
+    /// A successor in which `pid` stores `value` to register `idx`: the
+    /// whole write under atomic semantics, the *begin* step under safe
+    /// semantics (the commit is forced as `pid`'s next step).
+    fn store(&self, state: &ProgState, pid: usize, idx: usize, value: u64) -> ProgState {
+        let mut next = state.clone();
+        match self.semantics {
+            RegisterSemantics::Atomic => next.set_shared(idx, value),
+            RegisterSemantics::Safe => next.begin_write(idx, value, pid),
+        }
+        next
     }
 }
 
@@ -64,17 +77,29 @@ impl Algorithm for BakeryPlusPlusSpec {
     }
 
     fn initial_state(&self) -> ProgState {
-        ProgState::new(
-            2 * self.n,
-            (0..self.n)
-                .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
-                .collect(),
-        )
+        let procs = (0..self.n)
+            .map(|_| ProcState::new(pc::NCS, vec![0, 0]))
+            .collect();
+        match self.semantics {
+            RegisterSemantics::Atomic => ProgState::new(2 * self.n, procs),
+            RegisterSemantics::Safe => ProgState::new_weak(2 * self.n, procs),
+        }
     }
 
     #[allow(clippy::too_many_lines)]
     fn successors(&self, state: &ProgState, pid: usize, out: &mut Vec<ProgState>) {
         if state.is_crashed(pid) {
+            return;
+        }
+        // Safe semantics: a begun write must commit before the process takes
+        // any other step (program order).  Bakery++ registers are all
+        // single-writer, so the commit is the pending value, never a clash.
+        if let Some(idx) = state.write_in_progress_by(pid) {
+            for value in state.commit_values(idx, self.bound) {
+                let mut next = state.clone();
+                next.end_write(idx, pid, value);
+                out.push(next);
+            }
             return;
         }
         let n = self.n;
@@ -97,23 +122,25 @@ impl Algorithm for BakeryPlusPlusSpec {
                     next.set_pc(pid, pc::SET_CHOOSING);
                     out.push(next);
                 } else {
-                    for value in read_number(state, n, j, self.bound, self.flicker()) {
-                        if value >= self.bound {
-                            // Illegitimate situation: restart the scan (goto L1).
-                            let mut next = state.clone();
-                            next.set_local(pid, LOCAL_J, 0);
-                            out.push(next);
-                        } else {
-                            let mut next = state.clone();
-                            next.set_local(pid, LOCAL_J, (j + 1) as u64);
-                            out.push(next);
-                        }
+                    // Two possible outcomes (restart vs advance); flicker
+                    // values with the same outcome yield the same successor,
+                    // so push each outcome at most once.
+                    let values = read_number(state, n, j, self.bound);
+                    if values.iter().any(|&value| value >= self.bound) {
+                        // Illegitimate situation: restart the scan (goto L1).
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_J, 0);
+                        out.push(next);
+                    }
+                    if values.iter().any(|&value| value < self.bound) {
+                        let mut next = state.clone();
+                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                        out.push(next);
                     }
                 }
             }
             pc::SET_CHOOSING => {
-                let mut next = state.clone();
-                next.set_shared(choosing_idx(pid), 1);
+                let mut next = self.store(state, pid, choosing_idx(pid), 1);
                 next.set_local(pid, LOCAL_J, 0);
                 next.set_local(pid, LOCAL_MAX, 0);
                 next.set_pc(pid, pc::COMPUTE_MAX);
@@ -121,9 +148,16 @@ impl Algorithm for BakeryPlusPlusSpec {
             }
             pc::COMPUTE_MAX => {
                 if j < n {
-                    for value in read_number(state, n, j, self.bound, self.flicker()) {
+                    // Deduplicate flicker reads by the folded maximum.
+                    let mut maxima: Vec<u64> = read_number(state, n, j, self.bound)
+                        .into_iter()
+                        .map(|value| max.max(value))
+                        .collect();
+                    maxima.sort_unstable();
+                    maxima.dedup();
+                    for folded in maxima {
                         let mut next = state.clone();
-                        next.set_local(pid, LOCAL_MAX, max.max(value));
+                        next.set_local(pid, LOCAL_MAX, folded);
                         next.set_local(pid, LOCAL_J, (j + 1) as u64);
                         out.push(next);
                     }
@@ -136,8 +170,7 @@ impl Algorithm for BakeryPlusPlusSpec {
             pc::WRITE_MAX => {
                 // number[i] := maximum(...).  Always <= M: each register is <= M
                 // individually (flicker reads are also capped at the bound).
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), max.min(self.bound));
+                let mut next = self.store(state, pid, number_idx(n, pid), max.min(self.bound));
                 next.set_pc(pid, pc::CHECK_BOUND);
                 out.push(next);
             }
@@ -151,14 +184,12 @@ impl Algorithm for BakeryPlusPlusSpec {
                 out.push(next);
             }
             pc::RESET_NUMBER => {
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), 0);
+                let mut next = self.store(state, pid, number_idx(n, pid), 0);
                 next.set_pc(pid, pc::RESET_CHOOSING);
                 out.push(next);
             }
             pc::RESET_CHOOSING => {
-                let mut next = state.clone();
-                next.set_shared(choosing_idx(pid), 0);
+                let mut next = self.store(state, pid, choosing_idx(pid), 0);
                 next.set_local(pid, LOCAL_J, 0);
                 next.set_pc(pid, pc::L1_SCAN);
                 out.push(next);
@@ -166,14 +197,12 @@ impl Algorithm for BakeryPlusPlusSpec {
             pc::WRITE_TICKET => {
                 // number[i] := max + 1, guarded by max < M so the store is <= M.
                 debug_assert!(max < self.bound);
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), max + 1);
+                let mut next = self.store(state, pid, number_idx(n, pid), max + 1);
                 next.set_pc(pid, pc::CLEAR_CHOOSING);
                 out.push(next);
             }
             pc::CLEAR_CHOOSING => {
-                let mut next = state.clone();
-                next.set_shared(choosing_idx(pid), 0);
+                let mut next = self.store(state, pid, choosing_idx(pid), 0);
                 next.set_local(pid, LOCAL_J, 0);
                 next.set_pc(pid, pc::SCAN_CHOOSING);
                 out.push(next);
@@ -187,26 +216,28 @@ impl Algorithm for BakeryPlusPlusSpec {
                     let mut next = state.clone();
                     next.set_pc(pid, pc::CS);
                     out.push(next);
-                } else if state.read(choosing_idx(j)) == 0 {
+                } else if choosing_may_read_zero(state, j) {
                     let mut next = state.clone();
                     next.set_pc(pid, pc::SCAN_NUMBER);
                     out.push(next);
                 }
             }
             pc::SCAN_NUMBER => {
+                // Outcome dedup: every passing read value yields the same
+                // successor, so one push suffices.
                 let my_number = state.read(number_idx(n, pid));
-                for other in read_number(state, n, j, self.bound, self.flicker()) {
-                    if other == 0 || !ticket_precedes(other, j, my_number, pid) {
-                        let mut next = state.clone();
-                        next.set_local(pid, LOCAL_J, (j + 1) as u64);
-                        next.set_pc(pid, pc::SCAN_CHOOSING);
-                        out.push(next);
-                    }
+                let passes = read_number(state, n, j, self.bound)
+                    .into_iter()
+                    .any(|other| other == 0 || !ticket_precedes(other, j, my_number, pid));
+                if passes {
+                    let mut next = state.clone();
+                    next.set_local(pid, LOCAL_J, (j + 1) as u64);
+                    next.set_pc(pid, pc::SCAN_CHOOSING);
+                    out.push(next);
                 }
             }
             pc::CS => {
-                let mut next = state.clone();
-                next.set_shared(number_idx(n, pid), 0);
+                let mut next = self.store(state, pid, number_idx(n, pid), 0);
                 next.set_pc(pid, pc::NCS);
                 out.push(next);
             }
@@ -227,10 +258,13 @@ impl Algorithm for BakeryPlusPlusSpec {
         if state.pc(pid) == pc::NCS
             && state.read(choosing_idx(pid)) == 0
             && state.read(number_idx(self.n, pid)) == 0
+            && state.write_in_progress_by(pid).is_none()
         {
             return None;
         }
         let mut next = state.clone();
+        // A crash mid-write aborts the write (pending value dropped).
+        next.abort_writes(pid);
         next.set_shared(choosing_idx(pid), 0);
         next.set_shared(number_idx(self.n, pid), 0);
         next.set_local(pid, LOCAL_J, 0);
@@ -250,6 +284,10 @@ impl Algorithm for BakeryPlusPlusSpec {
         StateBounds::new(pc::CS, vec![self.n as u64, self.bound])
     }
 
+    fn register_semantics(&self) -> RegisterSemantics {
+        self.semantics
+    }
+
     fn symmetry(&self) -> Option<SymmetryGroup> {
         flat_symmetry(self.n)
     }
@@ -259,7 +297,9 @@ impl Algorithm for BakeryPlusPlusSpec {
         if before == pc::WRITE_TICKET && after == pc::CLEAR_CHOOSING {
             return Some(Observation::TicketTaken {
                 pid,
-                number: next.read(number_idx(self.n, pid)),
+                // The pending value under safe semantics (this transition is
+                // the write's begin step), the committed value otherwise.
+                number: next.last_stored(number_idx(self.n, pid)),
             });
         }
         if before == pc::RESET_CHOOSING && after == pc::L1_SCAN {
@@ -329,7 +369,7 @@ mod tests {
 
     #[test]
     fn flicker_reads_preserve_both_invariants() {
-        let spec = BakeryPlusPlusSpec::new(2, 4).with_read_mode(SafeReadMode::Flicker);
+        let spec = BakeryPlusPlusSpec::new(2, 4).with_semantics(RegisterSemantics::Safe);
         for seed in 0..10 {
             let config = RunConfig::<BakeryPlusPlusSpec>::checked(3_000);
             let outcome = Simulator::new().run(&spec, &mut RandomScheduler::new(seed), &config);

@@ -7,18 +7,22 @@
 //! (experiments **E2**, **E3**, **E5**) and sampled at scale by the
 //! `bakery-sim` simulator (experiments **E1**, **E4**, **E6**, **E8**).
 //!
-//! ## Atomicity granularity
+//! ## Atomicity granularity and register semantics
 //!
 //! Each specification step performs **at most one shared-register access**,
 //! which is the granularity Lamport's correctness argument assumes (and finer
-//! than a typical PlusCal label).  Reads that overlap a concurrent write are
-//! modelled by the optional [`SafeReadMode::Flicker`]: while the owner of a
-//! `number` register is inside its doorway (its `choosing` flag is set), a
-//! read of that register may nondeterministically return the written value,
-//! zero, or the register bound — an approximation of the paper's "a read that
-//! overlaps a write may return any value".  The default
-//! ([`SafeReadMode::Atomic`]) matches what TLC checks for the paper's own
-//! PlusCal specification.
+//! than a typical PlusCal label).  The register model itself is a knob:
+//! under the default [`RegisterSemantics::Atomic`] every access is one
+//! indivisible step (what TLC checks for the paper's own PlusCal
+//! specification); under [`RegisterSemantics::Safe`] every write splits into
+//! a begin step and a commit step, a read overlapping an in-progress write
+//! nondeterministically returns **any** value in `[0, bound]` (Lamport's
+//! *safe*/"flickering" registers — the model the bakery was designed to
+//! survive), and overlapping writes to a multi-writer register commit an
+//! arbitrary in-range value.  See [`RegisterSemantics`] for the exact rules.
+//! The Bakery-family specs and [`PetersonSpec`] expose the knob via
+//! `with_semantics`; Peterson *requires* atomic registers, which is the
+//! suite's negative control.
 //!
 //! ## Register bounds and the overflow sentinel
 //!
@@ -46,19 +50,7 @@ pub use peterson::PetersonSpec;
 pub use ticket::TicketSpec;
 pub use tree::TreeBakerySpec;
 
-/// How reads of another process's `number` register behave while its owner is
-/// inside the doorway (writing it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SafeReadMode {
-    /// Reads always return the current value (atomic registers — what the
-    /// paper's PlusCal/TLC verification models).
-    #[default]
-    Atomic,
-    /// Reads of a register whose owner is currently choosing may return the
-    /// current value, `0`, or the register bound (safe-register
-    /// approximation).
-    Flicker,
-}
+pub use bakery_sim::RegisterSemantics;
 
 /// Program-counter labels shared by the Bakery-family specifications.
 ///
@@ -146,25 +138,23 @@ pub(crate) mod layout {
         regs
     }
 
-    /// Reads `number[j]` with optional safe-register flicker.
+    /// Reads `number[j]` under the state's register semantics.
     ///
-    /// Returns the set of values the read may yield.
-    pub fn read_number(
-        state: &ProgState,
-        n: usize,
-        j: usize,
-        bound: u64,
-        flicker: bool,
-    ) -> Vec<u64> {
-        let actual = state.read(number_idx(n, j));
-        if flicker && state.read(choosing_idx(j)) == 1 {
-            let mut values = vec![actual, 0, bound];
-            values.sort_unstable();
-            values.dedup();
-            values
-        } else {
-            vec![actual]
-        }
+    /// Returns the set of values the read may yield: the committed value
+    /// when no write is in flight (always the case under atomic semantics,
+    /// where states carry no pending-write cells), or every value in
+    /// `[0, bound]` when the read overlaps an in-progress write.
+    pub fn read_number(state: &ProgState, n: usize, j: usize, bound: u64) -> Vec<u64> {
+        state.read_values(number_idx(n, j), bound)
+    }
+
+    /// True when a read of `choosing[j]` may return zero: either the
+    /// committed value is zero, or an in-progress write makes the read
+    /// flicker (one of the flicker values is always zero).  This is the
+    /// outcome-level view of the L2 guard — the distinct flicker values all
+    /// lead to the same successor, so the specs branch on the outcome.
+    pub fn choosing_may_read_zero(state: &ProgState, j: usize) -> bool {
+        state.read_values(choosing_idx(j), 1).contains(&0)
     }
 
     /// The paper's `(a, b) < (c, d)` comparison on `(number, pid)` pairs.
@@ -235,7 +225,20 @@ mod tests {
     }
 
     #[test]
-    fn default_safe_read_mode_is_atomic() {
-        assert_eq!(SafeReadMode::default(), SafeReadMode::Atomic);
+    fn default_register_semantics_is_atomic() {
+        assert_eq!(RegisterSemantics::default(), RegisterSemantics::Atomic);
+        use bakery_sim::Algorithm;
+        assert_eq!(
+            BakerySpec::new(2, 3).register_semantics(),
+            RegisterSemantics::Atomic
+        );
+        assert_eq!(
+            BakeryPlusPlusSpec::new(2, 2).register_semantics(),
+            RegisterSemantics::Atomic
+        );
+        assert_eq!(
+            PetersonSpec::new().register_semantics(),
+            RegisterSemantics::Atomic
+        );
     }
 }

@@ -12,8 +12,8 @@
 //! granularity as [`crate::BakeryPlusPlusSpec`]; in fact each level of the
 //! program *is* that specification, re-indexed onto the level's node
 //! registers with the process's child slot playing the role of the node-local
-//! process id.  Reads are atomic ([`crate::SafeReadMode::Atomic`]): the
-//! composition argument, not the safe-register model, is what this spec
+//! process id.  Registers are atomic ([`crate::RegisterSemantics::Atomic`]):
+//! the composition argument, not the safe-register model, is what this spec
 //! exists to check.
 //!
 //! The `bakery-mc` explorer checks the composition exhaustively for small

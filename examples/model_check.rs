@@ -9,7 +9,7 @@
 //! ```
 
 use bakery_suite::mc::ModelChecker;
-use bakery_suite::spec::{BakeryPlusPlusSpec, BakerySpec, SafeReadMode};
+use bakery_suite::spec::{BakeryPlusPlusSpec, BakerySpec, RegisterSemantics};
 
 fn main() {
     println!("== Bakery++ (N = 2, M = 3): exhaustive check ==\n");
@@ -18,8 +18,8 @@ fn main() {
     println!("{report}");
     assert!(report.holds());
 
-    println!("== Bakery++ (N = 2, M = 2) with crash faults and safe-register reads ==\n");
-    let spec = BakeryPlusPlusSpec::new(2, 2).with_read_mode(SafeReadMode::Flicker);
+    println!("== Bakery++ (N = 2, M = 2) with crash faults and safe registers ==\n");
+    let spec = BakeryPlusPlusSpec::new(2, 2).with_semantics(RegisterSemantics::Safe);
     let report = ModelChecker::new(&spec)
         .with_paper_invariants()
         .with_crashes(true)

@@ -7,7 +7,7 @@ use bakery_suite::locks::{
 };
 use bakery_suite::mc::{find_starvation_cycle_where, ModelChecker};
 use bakery_suite::sim::{Algorithm, Invariant};
-use bakery_suite::spec::{pc, BakeryPlusPlusSpec, BakerySpec, SafeReadMode};
+use bakery_suite::spec::{pc, BakeryPlusPlusSpec, BakerySpec, RegisterSemantics};
 
 #[test]
 fn paper_verification_bakery_pp_holds_classic_overflows() {
@@ -63,7 +63,7 @@ fn spec_verdict_matches_real_lock_behaviour() {
 
 #[test]
 fn crash_faults_and_flicker_reads_do_not_break_bakery_pp() {
-    let spec = BakeryPlusPlusSpec::new(2, 2).with_read_mode(SafeReadMode::Flicker);
+    let spec = BakeryPlusPlusSpec::new(2, 2).with_semantics(RegisterSemantics::Safe);
     let report = ModelChecker::new(&spec)
         .with_paper_invariants()
         .with_invariant(Invariant::crashed_registers_are_zero())
